@@ -1,0 +1,169 @@
+package taccc_test
+
+// One benchmark per evaluation table/figure (T1..T3, F1..F8) plus
+// micro-benchmarks for the hot paths they exercise. The experiment benches
+// run in quick mode with one replication per iteration; use cmd/tacbench
+// for full-fidelity numbers.
+
+import (
+	"fmt"
+	"testing"
+
+	taccc "taccc"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	spec, err := taccc.ExperimentByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := spec.Run(taccc.ExperimentOptions{Quick: true, Reps: 1, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT1AlgorithmComparison(b *testing.B) { benchExperiment(b, "T1") }
+func BenchmarkT2Runtime(b *testing.B)             { benchExperiment(b, "T2") }
+func BenchmarkT3EndToEnd(b *testing.B)            { benchExperiment(b, "T3") }
+func BenchmarkT4OnlinePolicies(b *testing.B)      { benchExperiment(b, "T4") }
+func BenchmarkF1ScaleIoT(b *testing.B)            { benchExperiment(b, "F1") }
+func BenchmarkF2ScaleEdge(b *testing.B)           { benchExperiment(b, "F2") }
+func BenchmarkF3Tightness(b *testing.B)           { benchExperiment(b, "F3") }
+func BenchmarkF4Convergence(b *testing.B)         { benchExperiment(b, "F4") }
+func BenchmarkF5Gap(b *testing.B)                 { benchExperiment(b, "F5") }
+func BenchmarkF6Topology(b *testing.B)            { benchExperiment(b, "F6") }
+func BenchmarkF7Dynamic(b *testing.B)             { benchExperiment(b, "F7") }
+func BenchmarkF8Ablation(b *testing.B)            { benchExperiment(b, "F8") }
+func BenchmarkF9Congestion(b *testing.B)          { benchExperiment(b, "F9") }
+func BenchmarkF10GatewayDensity(b *testing.B)     { benchExperiment(b, "F10") }
+func BenchmarkF11DesignAblation(b *testing.B)     { benchExperiment(b, "F11") }
+func BenchmarkF12Multipath(b *testing.B)          { benchExperiment(b, "F12") }
+func BenchmarkF13Fairness(b *testing.B)           { benchExperiment(b, "F13") }
+func BenchmarkF14Resilience(b *testing.B)         { benchExperiment(b, "F14") }
+func BenchmarkF15ReconfigFrequency(b *testing.B)  { benchExperiment(b, "F15") }
+func BenchmarkF16CloudOffload(b *testing.B)       { benchExperiment(b, "F16") }
+
+// --- Micro-benchmarks for the substrates the experiments lean on ---
+
+func buildBench(b *testing.B, n, m int) *taccc.BuiltScenario {
+	b.Helper()
+	built, err := taccc.Scenario{NumIoT: n, NumEdge: m, Seed: 1}.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return built
+}
+
+func BenchmarkTopologyGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := taccc.GenerateTopology(taccc.FamilyHierarchical, taccc.TopologyConfig{
+			NumIoT: 200, NumEdge: 20, NumGateways: 40, Seed: int64(i),
+		}, taccc.PlaceUniform)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDelayMatrix(b *testing.B) {
+	g, err := taccc.GenerateTopology(taccc.FamilyHierarchical, taccc.TopologyConfig{
+		NumIoT: 200, NumEdge: 20, NumGateways: 40, Seed: 1,
+	}, taccc.PlaceUniform)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		taccc.NewDelayMatrix(g, taccc.LatencyCost)
+	}
+}
+
+func benchAssigner(b *testing.B, name string, n, m int) {
+	built := buildBench(b, n, m)
+	reg := taccc.NewAlgorithmRegistry()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a, err := reg.New(name, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := a.Assign(built.Instance); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAssignGreedy100(b *testing.B)      { benchAssigner(b, "greedy", 100, 10) }
+func BenchmarkAssignRegret100(b *testing.B)      { benchAssigner(b, "regret-greedy", 100, 10) }
+func BenchmarkAssignLocalSearch100(b *testing.B) { benchAssigner(b, "local-search", 100, 10) }
+func BenchmarkAssignLagrangian100(b *testing.B)  { benchAssigner(b, "lagrangian", 100, 10) }
+func BenchmarkAssignQLearning100(b *testing.B)   { benchAssigner(b, "qlearning", 100, 10) }
+func BenchmarkAssignQLearning400(b *testing.B)   { benchAssigner(b, "qlearning", 400, 40) }
+
+func BenchmarkBranchAndBound12(b *testing.B) {
+	in, err := taccc.SyntheticInstance(taccc.SyntheticCorrelated, 12, 3, 0.8, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := taccc.BranchAndBound(in, taccc.BnBOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterSim(b *testing.B) {
+	built := buildBench(b, 100, 10)
+	a, err := taccc.NewGreedy().Assign(built.Instance)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim, err := taccc.NewSimulator(taccc.SimConfig{
+			UplinkMs:    built.Delay.DelayMs,
+			Devices:     built.Devices,
+			ServiceRate: taccc.ServiceRates(built.Capacity, 0.7),
+			Assignment:  a.Of,
+			Seed:        int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(10_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScenarioBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := (taccc.Scenario{NumIoT: 100, NumEdge: 10, Seed: int64(i)}).Build(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLowerBound(b *testing.B) {
+	built := buildBench(b, 200, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = taccc.LowerBound(built.Instance)
+	}
+}
+
+func BenchmarkAssignScaling(b *testing.B) {
+	for _, n := range []int{50, 100, 200} {
+		n := n
+		b.Run(fmt.Sprintf("greedy-n%d", n), func(b *testing.B) { benchAssigner(b, "greedy", n, n/10) })
+		b.Run(fmt.Sprintf("qlearning-n%d", n), func(b *testing.B) { benchAssigner(b, "qlearning", n, n/10) })
+	}
+}

@@ -1,0 +1,90 @@
+// Command tacbench regenerates the evaluation tables and figures
+// (T1..T4, F1..F16; see DESIGN.md and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	tacbench -list
+//	tacbench -exp T1
+//	tacbench -exp all -quick
+//	tacbench -exp F3 -reps 10 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	taccc "taccc"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tacbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp    = fs.String("exp", "all", "experiment ID (T1..T4, F1..F16) or 'all'")
+		reps   = fs.Int("reps", 0, "replications per data point (0 = default)")
+		quick  = fs.Bool("quick", false, "smaller instances and horizons")
+		csv    = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		outdir = fs.String("outdir", "", "also write each table as CSV into this directory")
+		seed   = fs.Int64("seed", 1, "root seed")
+		list   = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, s := range taccc.Experiments() {
+			fmt.Fprintf(stdout, "%-4s %s\n", s.ID, s.Title)
+		}
+		return 0
+	}
+	var specs []taccc.ExperimentSpec
+	if *exp == "all" {
+		specs = taccc.Experiments()
+	} else {
+		s, err := taccc.ExperimentByID(*exp)
+		if err != nil {
+			fmt.Fprintf(stderr, "tacbench: %v\n", err)
+			return 2
+		}
+		specs = []taccc.ExperimentSpec{s}
+	}
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fmt.Fprintf(stderr, "tacbench: %v\n", err)
+			return 1
+		}
+	}
+	opts := taccc.ExperimentOptions{Reps: *reps, Quick: *quick, Seed: *seed}
+	for _, s := range specs {
+		start := time.Now()
+		tables, err := s.Run(opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "tacbench: %s: %v\n", s.ID, err)
+			return 1
+		}
+		for _, t := range tables {
+			if *csv {
+				fmt.Fprintf(stdout, "# %s: %s\n%s\n", t.ID, t.Title, t.CSV())
+			} else {
+				fmt.Fprintln(stdout, t.Render())
+			}
+			if *outdir != "" {
+				path := filepath.Join(*outdir, t.ID+".csv")
+				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+					fmt.Fprintf(stderr, "tacbench: %v\n", err)
+					return 1
+				}
+			}
+		}
+		fmt.Fprintf(stdout, "(%s completed in %s)\n\n", s.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return 0
+}

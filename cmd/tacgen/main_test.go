@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateTopologyJSON(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-kind", "topology", "-iot", "10", "-edge", "2", "-seed", "3"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), `"nodes"`) {
+		t.Fatal("no JSON nodes in output")
+	}
+}
+
+func TestGenerateTopologyDOT(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-kind", "topology", "-format", "dot", "-iot", "5", "-edge", "2"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "graph topology") {
+		t.Fatal("no DOT header")
+	}
+}
+
+func TestGenerateInstanceToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "inst.json")
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-kind", "instance", "-iot", "12", "-edge", "3", "-o", path}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"cost_ms"`) {
+		t.Fatal("instance JSON missing cost matrix")
+	}
+}
+
+func TestGenerateSynthetic(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-kind", "synthetic", "-n", "8", "-m", "3", "-class", "correlated"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), `"capacity"`) {
+		t.Fatal("synthetic JSON missing capacity")
+	}
+}
+
+func TestGenerateTopologyStats(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-kind", "topology", "-format", "stats", "-iot", "20", "-edge", "3"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	for _, want := range []string{"nodes:", "diameter:", "IoT->nearest edge:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stats missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	cases := [][]string{
+		{"-kind", "bogus"},
+		{"-kind", "topology", "-family", "bogus"},
+		{"-kind", "topology", "-format", "bogus"},
+		{"-kind", "synthetic", "-class", "bogus"},
+		{"-not-a-flag"},
+	}
+	for _, args := range cases {
+		var out, errBuf bytes.Buffer
+		if code := run(args, &out, &errBuf); code == 0 {
+			t.Errorf("args %v: expected nonzero exit", args)
+		}
+	}
+}
+
+func TestHotspotPlacement(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-kind", "topology", "-place", "hotspot", "-iot", "10", "-edge", "2"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+}
+
+func TestGenerateDevices(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-kind", "devices", "-iot", "5", "-profile", "wearables"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), `"RateHz"`) {
+		t.Fatal("devices JSON missing fields")
+	}
+	if code := run([]string{"-kind", "devices", "-profile", "bogus"}, &out, &errBuf); code == 0 {
+		t.Fatal("bogus profile accepted")
+	}
+}

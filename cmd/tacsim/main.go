@@ -1,0 +1,144 @@
+// Command tacsim builds a deployment scenario, solves the assignment with
+// a chosen algorithm, and replays the workload through the edge-cluster
+// discrete-event simulator, reporting end-to-end latency and deadline
+// behaviour.
+//
+// Usage:
+//
+//	tacsim -iot 100 -edge 10 -algo qlearning -duration 60
+//	tacsim -iot 100 -edge 10 -algo greedy -fail-edge 0 -fail-at 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	taccc "taccc"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tacsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		iot        = fs.Int("iot", 100, "number of IoT devices")
+		edge       = fs.Int("edge", 10, "number of edge servers")
+		family     = fs.String("family", "hierarchical", "topology family")
+		algo       = fs.String("algo", "qlearning", "assignment algorithm")
+		rho        = fs.Float64("rho", 0.7, "capacity tightness in (0,1]")
+		payload    = fs.Float64("payload", 4, "request payload KB (payload-aware delays)")
+		duration   = fs.Float64("duration", 60, "simulated seconds")
+		warmup     = fs.Float64("warmup", 5, "warmup seconds excluded from stats")
+		failEdge   = fs.Int("fail-edge", -1, "edge index to fail mid-run (-1 = none)")
+		failAt     = fs.Float64("fail-at", 30, "failure time in seconds")
+		discipline = fs.String("discipline", "fifo", "edge queueing: fifo | ps")
+		maxQueue   = fs.Int("max-queue", 0, "per-edge queue cap (0 = unlimited)")
+		tracePath  = fs.String("trace", "", "write a per-request CSV trace to this file")
+		jitter     = fs.Float64("jitter", 0, "lognormal network jitter sigma (0 = deterministic delays)")
+		seed       = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	built, err := taccc.Scenario{
+		Family: taccc.Family(*family),
+		NumIoT: *iot, NumEdge: *edge, Rho: *rho, PayloadKB: *payload, Seed: *seed,
+	}.Build()
+	if err != nil {
+		fmt.Fprintf(stderr, "tacsim: %v\n", err)
+		return 1
+	}
+	reg := taccc.NewAlgorithmRegistry()
+	a, err := reg.New(*algo, *seed)
+	if err != nil {
+		fmt.Fprintf(stderr, "tacsim: %v\n", err)
+		return 2
+	}
+	got, err := a.Assign(built.Instance)
+	if err != nil {
+		fmt.Fprintf(stderr, "tacsim: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "assignment: algo=%s mean-delay=%.3fms max-delay=%.3fms imbalance=%.2f\n",
+		*algo, built.Instance.MeanCost(got), built.Instance.MaxCost(got), built.Instance.Imbalance(got))
+
+	disc := taccc.DisciplineFIFO
+	switch *discipline {
+	case "fifo":
+	case "ps":
+		disc = taccc.DisciplinePS
+	default:
+		fmt.Fprintf(stderr, "tacsim: unknown discipline %q\n", *discipline)
+		return 2
+	}
+
+	var recorder taccc.Recorder
+	var traceWriter *taccc.TraceWriter
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "tacsim: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		traceWriter, err = taccc.NewTraceWriter(f)
+		if err != nil {
+			fmt.Fprintf(stderr, "tacsim: %v\n", err)
+			return 1
+		}
+		recorder = traceWriter
+	}
+
+	down := taccc.NewDelayMatrix(built.Graph, taccc.LatencyCost)
+	sim, err := taccc.NewSimulator(taccc.SimConfig{
+		UplinkMs:    built.Delay.DelayMs,
+		DownlinkMs:  down.DelayMs,
+		Devices:     built.Devices,
+		ServiceRate: taccc.ServiceRates(built.Capacity, 0.7),
+		Assignment:  got.Of,
+		WarmupMs:    *warmup * 1000,
+		Discipline:  disc,
+		MaxQueue:    *maxQueue,
+		Recorder:    recorder,
+		JitterSigma: *jitter,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "tacsim: %v\n", err)
+		return 1
+	}
+	if *failEdge >= 0 {
+		if err := sim.ScheduleEdgeFailure(*failAt*1000, *failEdge); err != nil {
+			fmt.Fprintf(stderr, "tacsim: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "injecting failure of edge %d at t=%.0fs\n", *failEdge, *failAt)
+	}
+	res, err := sim.Run(*duration * 1000)
+	if err != nil {
+		fmt.Fprintf(stderr, "tacsim: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "completed:  %d requests (%d dropped)\n", res.Completed, res.Dropped)
+	fmt.Fprintf(stdout, "latency:    p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
+		res.Latency.Median(), res.Latency.P95(), res.Latency.P99(), res.Latency.Quantile(1))
+	fmt.Fprintf(stdout, "deadlines:  %d missed (%.2f%%)\n", res.DeadlineMisses, 100*res.MissRate())
+	fmt.Fprint(stdout, "edge util: ")
+	for _, u := range res.Utilization() {
+		fmt.Fprintf(stdout, " %.2f", u)
+	}
+	fmt.Fprintln(stdout)
+	if traceWriter != nil {
+		if err := traceWriter.Flush(); err != nil {
+			fmt.Fprintf(stderr, "tacsim: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "trace:      %d records -> %s\n", traceWriter.N(), *tracePath)
+	}
+	return 0
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSimulateSmall(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{
+		"-iot", "20", "-edge", "3", "-algo", "greedy",
+		"-duration", "5", "-warmup", "1", "-seed", "2",
+	}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	for _, want := range []string{"assignment:", "completed:", "latency:", "deadlines:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestSimulateWithFailure(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{
+		"-iot", "20", "-edge", "3", "-algo", "greedy",
+		"-duration", "6", "-warmup", "1", "-fail-edge", "0", "-fail-at", "3",
+	}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "injecting failure") {
+		t.Fatal("failure injection not reported")
+	}
+}
+
+func TestSimulatePSDiscipline(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{
+		"-iot", "15", "-edge", "3", "-algo", "greedy",
+		"-duration", "4", "-warmup", "1", "-discipline", "ps", "-max-queue", "50",
+	}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "latency:") {
+		t.Fatal("no latency line")
+	}
+}
+
+func TestSimulateWithTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	var out, errBuf bytes.Buffer
+	code := run([]string{
+		"-iot", "10", "-edge", "2", "-algo", "greedy",
+		"-duration", "3", "-warmup", "1", "-trace", path,
+	}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "trace:") {
+		t.Fatal("trace line missing")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "device,edge,") {
+		t.Fatalf("trace file missing header: %q", string(data[:40]))
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	cases := [][]string{
+		{"-iot", "0"},
+		{"-algo", "bogus"},
+		{"-discipline", "bogus"},
+		{"-fail-edge", "99", "-iot", "10", "-edge", "2", "-duration", "3", "-warmup", "1"},
+		{"-bogus-flag"},
+	}
+	for _, args := range cases {
+		var out, errBuf bytes.Buffer
+		if code := run(args, &out, &errBuf); code == 0 {
+			t.Errorf("args %v: expected nonzero exit", args)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Command tacsolve solves an assignment-problem instance (as produced by
+// tacgen) with a chosen algorithm and reports delay, load and feasibility.
+//
+// Usage:
+//
+//	tacsolve -instance inst.json -algo qlearning
+//	tacsolve -instance inst.json -algo exact            # branch-and-bound
+//	tacsolve -instance inst.json -algo greedy -o a.json # save assignment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	taccc "taccc"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tacsolve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		instPath = fs.String("instance", "", "instance JSON file (required)")
+		algo     = fs.String("algo", "qlearning", "algorithm name, 'exact' for branch-and-bound, or 'all' to compare every algorithm")
+		seed     = fs.Int64("seed", 1, "algorithm seed")
+		out      = fs.String("o", "", "write the assignment JSON here")
+		list     = fs.Bool("list", false, "list available algorithms and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	reg := taccc.NewAlgorithmRegistry()
+	if *list {
+		fmt.Fprintln(stdout, strings.Join(append(reg.Names(), "exact"), "\n"))
+		return 0
+	}
+	if *instPath == "" {
+		fmt.Fprintln(stderr, "tacsolve: -instance is required")
+		return 2
+	}
+	f, err := os.Open(*instPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "tacsolve: %v\n", err)
+		return 1
+	}
+	in, err := taccc.ReadInstance(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(stderr, "tacsolve: %v\n", err)
+		return 1
+	}
+
+	if *algo == "all" {
+		return compareAll(in, reg, *seed, stdout)
+	}
+
+	start := time.Now()
+	var got *taccc.Assignment
+	if *algo == "exact" {
+		res, err := taccc.BranchAndBound(in, taccc.BnBOptions{})
+		if err != nil {
+			fmt.Fprintf(stderr, "tacsolve: %v\n", err)
+			return 1
+		}
+		got = res.Assignment
+		fmt.Fprintf(stdout, "proven optimal: %v (nodes expanded: %d)\n", res.Proven, res.Nodes)
+	} else {
+		a, err := reg.New(*algo, *seed)
+		if err != nil {
+			fmt.Fprintf(stderr, "tacsolve: %v\n", err)
+			return 2
+		}
+		got, err = a.Assign(in)
+		if err != nil {
+			fmt.Fprintf(stderr, "tacsolve: %v\n", err)
+			return 1
+		}
+	}
+	elapsed := time.Since(start)
+
+	fmt.Fprintf(stdout, "algorithm:    %s\n", *algo)
+	fmt.Fprintf(stdout, "devices:      %d  edges: %d\n", in.N(), in.M())
+	fmt.Fprintf(stdout, "total delay:  %.3f ms\n", in.TotalCost(got))
+	fmt.Fprintf(stdout, "mean delay:   %.3f ms\n", in.MeanCost(got))
+	fmt.Fprintf(stdout, "max delay:    %.3f ms\n", in.MaxCost(got))
+	fmt.Fprintf(stdout, "lower bound:  %.3f ms (total)\n", taccc.LowerBound(in))
+	fmt.Fprintf(stdout, "imbalance:    %.3f\n", in.Imbalance(got))
+	fmt.Fprintf(stdout, "feasible:     %v\n", in.Feasible(got))
+	fmt.Fprintf(stdout, "solve time:   %s\n", elapsed.Round(time.Microsecond))
+	util := in.Utilization(got)
+	fmt.Fprint(stdout, "edge utilization:")
+	for _, u := range util {
+		fmt.Fprintf(stdout, " %.2f", u)
+	}
+	fmt.Fprintln(stdout)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "tacsolve: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := got.WriteJSON(f); err != nil {
+			fmt.Fprintf(stderr, "tacsolve: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// compareAll solves the instance with every registered algorithm and
+// prints a comparison table in registry order.
+func compareAll(in *taccc.Instance, reg *taccc.AlgorithmRegistry, seed int64, stdout io.Writer) int {
+	fmt.Fprintf(stdout, "%-18s %12s %12s %10s %12s\n", "algorithm", "mean ms", "max ms", "feasible", "time")
+	fmt.Fprintf(stdout, "%-18s %12s %12s %10s %12s\n", "---------", "-------", "------", "--------", "----")
+	for _, name := range reg.Names() {
+		a, err := reg.New(name, seed)
+		if err != nil {
+			continue
+		}
+		start := time.Now()
+		got, err := a.Assign(in)
+		elapsed := time.Since(start).Round(time.Microsecond)
+		if err != nil {
+			fmt.Fprintf(stdout, "%-18s %12s %12s %10s %12s\n", name, "-", "-", "no", elapsed)
+			continue
+		}
+		fmt.Fprintf(stdout, "%-18s %12.3f %12.3f %10v %12s\n",
+			name, in.MeanCost(got), in.MaxCost(got), in.Feasible(got), elapsed)
+	}
+	fmt.Fprintf(stdout, "lower bound (mean): %.3f ms\n", taccc.LowerBound(in)/float64(in.N()))
+	return 0
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	taccc "taccc"
+)
+
+func writeInstance(t *testing.T) string {
+	t.Helper()
+	in, err := taccc.SyntheticInstance(taccc.SyntheticUniform, 12, 3, 0.7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "inst.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := in.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSolveHeuristic(t *testing.T) {
+	path := writeInstance(t)
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-instance", path, "-algo", "greedy"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	for _, want := range []string{"mean delay", "feasible:     true", "edge utilization"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestSolveExactAndSave(t *testing.T) {
+	path := writeInstance(t)
+	outPath := filepath.Join(t.TempDir(), "a.json")
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-instance", path, "-algo", "exact", "-o", outPath}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "proven optimal: true") {
+		t.Fatalf("exact solve not proven:\n%s", out.String())
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"of"`) {
+		t.Fatal("assignment JSON missing")
+	}
+}
+
+func TestList(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"qlearning", "greedy", "exact"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	path := writeInstance(t)
+	cases := [][]string{
+		{},                            // missing -instance
+		{"-instance", "/nonexistent"}, // unreadable
+		{"-instance", path, "-algo", "bogus"},
+	}
+	for _, args := range cases {
+		var out, errBuf bytes.Buffer
+		if code := run(args, &out, &errBuf); code == 0 {
+			t.Errorf("args %v: expected nonzero exit", args)
+		}
+	}
+}
+
+func TestSolveAll(t *testing.T) {
+	path := writeInstance(t)
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-instance", path, "-algo", "all"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	for _, want := range []string{"greedy", "qlearning", "minmax", "lower bound"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("compare output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Command tactrace analyzes a per-request CSV trace produced by
+// tacsim -trace (or any cluster.Recorder feeding taccc.TraceWriter):
+// aggregate summary, per-edge breakdown, and a latency-over-time series.
+//
+// Usage:
+//
+//	tacsim -iot 100 -edge 10 -duration 60 -trace run.csv
+//	tactrace -in run.csv
+//	tactrace -in run.csv -window 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	taccc "taccc"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tactrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in     = fs.String("in", "", "trace CSV file (required)")
+		window = fs.Float64("window", 10_000, "time-series bucket width in ms")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *in == "" {
+		fmt.Fprintln(stderr, "tactrace: -in is required")
+		return 2
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintf(stderr, "tactrace: %v\n", err)
+		return 1
+	}
+	records, err := taccc.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(stderr, "tactrace: %v\n", err)
+		return 1
+	}
+
+	sum := taccc.SummarizeTrace(records)
+	fmt.Fprintf(stdout, "records:    %d (%d completed, %d missed deadline, %d dropped)\n",
+		len(records), sum.Completed, sum.Missed, sum.Dropped)
+	if sum.Completed > 0 {
+		fmt.Fprintf(stdout, "latency:    mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms\n",
+			sum.Latency.Mean(), sum.Latency.Median(), sum.Latency.P95(), sum.Latency.P99())
+		fmt.Fprintf(stdout, "miss rate:  %.2f%%\n", 100*sum.MissRate())
+	}
+
+	if len(sum.PerEdge) > 0 {
+		edges := make([]int, 0, len(sum.PerEdge))
+		for e := range sum.PerEdge {
+			edges = append(edges, e)
+		}
+		sort.Ints(edges)
+		fmt.Fprintln(stdout, "\nper-edge completions:")
+		for _, e := range edges {
+			fmt.Fprintf(stdout, "  edge-%d: %d\n", e, sum.PerEdge[e])
+		}
+	}
+
+	series, err := taccc.TraceTimeSeries(records, *window)
+	if err != nil {
+		fmt.Fprintf(stderr, "tactrace: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "\ntime series (%.0f ms windows):\n", *window)
+	fmt.Fprintln(stdout, "start_ms  completed  dropped  mean_ms  p95_ms")
+	for _, w := range series {
+		fmt.Fprintf(stdout, "%8.0f  %9d  %7d  %7.2f  %7.2f\n",
+			w.StartMs, w.Completed, w.Dropped, w.MeanLatencyMs, w.P95Ms)
+	}
+	return 0
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	taccc "taccc"
+)
+
+// writeTrace produces a real trace via a tiny simulation.
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w, err := taccc.NewTraceWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := taccc.Scenario{NumIoT: 10, NumEdge: 2, Seed: 4}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := taccc.NewGreedy().Assign(built.Instance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := taccc.NewSimulator(taccc.SimConfig{
+		UplinkMs:    built.Delay.DelayMs,
+		Devices:     built.Devices,
+		ServiceRate: taccc.ServiceRates(built.Capacity, 0.7),
+		Assignment:  a.Of,
+		Recorder:    w,
+		Seed:        4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(5_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAnalyzeTrace(t *testing.T) {
+	path := writeTrace(t)
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-in", path, "-window", "1000"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	for _, want := range []string{"records:", "latency:", "per-edge completions:", "time series"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-in", "/nonexistent.csv"},
+		{"-bad-flag"},
+	}
+	for _, args := range cases {
+		var out, errBuf bytes.Buffer
+		if code := run(args, &out, &errBuf); code == 0 {
+			t.Errorf("args %v: expected nonzero exit", args)
+		}
+	}
+	// Garbage file.
+	bad := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(bad, []byte("not,a,trace\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-in", bad}, &out, &errBuf); code == 0 {
+		t.Error("garbage trace accepted")
+	}
+	// Bad window on a good file.
+	good := writeTrace(t)
+	if code := run([]string{"-in", good, "-window", "0"}, &out, &errBuf); code == 0 {
+		t.Error("zero window accepted")
+	}
+}

@@ -1,0 +1,23 @@
+// Package taccc (Topology-Aware Cluster Configuration) assigns IoT devices
+// to edge servers so that communication delay is minimized while no edge
+// device is overloaded — the problem studied in "Topology Aware Cluster
+// Configuration for Minimizing Communication Delay in Edge Computing"
+// (Rajashekar, Paul, Karmakar, Sidhanta; ICDCS 2022).
+//
+// The assignment problem is an instance of the NP-hard Generalized
+// Assignment Problem; this library ships the paper's reinforcement-learning
+// heuristic (tabular Q-learning over an episodic placement MDP) along with
+// eleven baselines, the network-topology substrate that derives delay
+// matrices, a workload generator, an edge-cluster discrete-event simulator
+// and a full evaluation harness.
+//
+// # Quick start
+//
+//	built, err := taccc.Scenario{NumIoT: 100, NumEdge: 10, Seed: 1}.Build()
+//	if err != nil { ... }
+//	a, err := taccc.NewQLearning(1).Assign(built.Instance)
+//	if err != nil { ... }
+//	fmt.Printf("mean delay %.2f ms\n", built.Instance.MeanCost(a))
+//
+// See examples/ for runnable programs and DESIGN.md for the architecture.
+package taccc

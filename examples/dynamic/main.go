@@ -1,0 +1,134 @@
+// Dynamic reconfiguration: mobile IoT devices roam a campus (random
+// waypoint), so the topology-derived delay matrix drifts over time, and an
+// edge server fails halfway through. The example contrasts a one-shot
+// static assignment with periodic Q-learning reconfiguration.
+//
+// Run with: go run ./examples/dynamic
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	taccc "taccc"
+)
+
+const (
+	numDevices = 40
+	numEdges   = 6
+	epochs     = 10
+	epochMs    = 30_000.0
+	failEpoch  = 5
+	area       = 3000.0
+)
+
+func main() {
+	infra, err := taccc.HierarchicalInfra(taccc.TopologyConfig{
+		NumIoT: 1, NumEdge: numEdges, NumGateways: 12, AreaMeters: area, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	devices, err := taccc.GenerateDevices(numDevices, taccc.DefaultProfile(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	capacity := make([]float64, numEdges)
+	per := taccc.TotalLoad(devices) / 0.7 / numEdges
+	for _, d := range devices {
+		if l := d.Load() * 1.1; l > per {
+			per = l
+		}
+	}
+	for j := range capacity {
+		capacity[j] = per
+	}
+
+	walkers := make([]*taccc.RandomWaypoint, numDevices)
+	for i := range walkers {
+		w, err := taccc.NewRandomWaypoint(area, 1, 10, 3_000,
+			taccc.SplitSeed(5, fmt.Sprintf("walker-%d", i)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		walkers[i] = w
+	}
+
+	buildInstance := func(epoch int, failed bool) *taccc.Instance {
+		xs := make([]float64, numDevices)
+		ys := make([]float64, numDevices)
+		for i, w := range walkers {
+			p := w.Pos()
+			xs[i], ys[i] = p.X, p.Y
+		}
+		g := infra.Clone()
+		if err := taccc.AttachIoTAt(g, xs, ys, taccc.LinkParams{}, int64(epoch)); err != nil {
+			log.Fatal(err)
+		}
+		dm := taccc.NewDelayMatrix(g, taccc.LatencyCost)
+		if failed {
+			for i := range dm.DelayMs {
+				dm.DelayMs[i][0] = math.Inf(1) // edge 0 is down
+			}
+		}
+		in, err := taccc.InstanceFromTopology(dm, devices, capacity)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return in
+	}
+
+	// One-shot static assignment from epoch 0.
+	static, err := taccc.NewQLearning(5).Assign(buildInstance(0, false))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("epoch  static-delay  static-served  periodic-delay  migrations")
+	var prev *taccc.Assignment
+	for e := 0; e < epochs; e++ {
+		failed := e >= failEpoch
+		in := buildInstance(e, failed)
+
+		served, sum := 0, 0.0
+		for i, j := range static.Of {
+			if c := in.CostMs[i][j]; !math.IsInf(c, 1) {
+				sum += c
+				served++
+			}
+		}
+		staticCell := "    (none)"
+		if served > 0 {
+			staticCell = fmt.Sprintf("%7.3f ms", sum/float64(served))
+		}
+
+		periodic, err := taccc.NewQLearning(int64(100 + e)).Assign(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		migrations := 0
+		if prev != nil {
+			for i := range periodic.Of {
+				if periodic.Of[i] != prev.Of[i] {
+					migrations++
+				}
+			}
+		}
+		prev = periodic
+
+		marker := ""
+		if e == failEpoch {
+			marker = "   <- edge 0 fails"
+		}
+		fmt.Printf("%5d  %s  %11d/%d  %11.3f ms  %10d%s\n",
+			e, staticCell, served, numDevices, in.MeanCost(periodic), migrations, marker)
+
+		for _, w := range walkers {
+			w.Advance(epochMs)
+		}
+	}
+	fmt.Println("\nperiodic reconfiguration keeps every device served at low delay;")
+	fmt.Println("the static configuration strands the failed edge's devices and")
+	fmt.Println("degrades as devices roam away from their original gateways.")
+}

@@ -1,0 +1,134 @@
+// Online cluster configuration: devices arrive over the day, occasionally
+// leave, and an edge cabinet fails at noon. The OnlineController keeps the
+// configuration healthy incrementally — immediate placement on join,
+// threshold-triggered migrations as devices move, and a periodic bounded
+// rebalance with the Q-learning assigner.
+//
+// Run with: go run ./examples/online
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	taccc "taccc"
+)
+
+const (
+	numEdges  = 5
+	hours     = 12
+	maxJoined = 60
+	area      = 2500.0
+)
+
+func main() {
+	infra, err := taccc.HierarchicalInfra(taccc.TopologyConfig{
+		NumIoT: 1, NumEdge: numEdges, NumGateways: 10, AreaMeters: area, Seed: 21,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	devices, err := taccc.GenerateDevices(maxJoined, taccc.DefaultProfile(21))
+	if err != nil {
+		log.Fatal(err)
+	}
+	capacity := make([]float64, numEdges)
+	per := taccc.TotalLoad(devices) / 0.65 / numEdges
+	for _, d := range devices {
+		if l := d.Load() * 1.1; l > per {
+			per = l
+		}
+	}
+	for j := range capacity {
+		capacity[j] = per
+	}
+	ctrl, err := taccc.NewOnlineController(capacity)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	walkers := make([]*taccc.RandomWaypoint, maxJoined)
+	for i := range walkers {
+		w, err := taccc.NewRandomWaypoint(area, 0.5, 8, 10_000,
+			taccc.SplitSeed(21, fmt.Sprintf("w-%d", i)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		walkers[i] = w
+	}
+
+	// costsNow snapshots every device's delay vector for this hour.
+	costsNow := func(hour int) [][]float64 {
+		xs := make([]float64, maxJoined)
+		ys := make([]float64, maxJoined)
+		for i, w := range walkers {
+			p := w.Pos()
+			xs[i], ys[i] = p.X, p.Y
+		}
+		g := infra.Clone()
+		if err := taccc.AttachIoTAt(g, xs, ys, taccc.LinkParams{}, int64(hour)); err != nil {
+			log.Fatal(err)
+		}
+		return taccc.NewDelayMatrix(g, taccc.LatencyCost).DelayMs
+	}
+
+	fmt.Println("hour  devices  mean-delay  migrations(cum)  note")
+	joined := 0
+	for hour := 0; hour < hours; hour++ {
+		costs := costsNow(hour)
+		note := ""
+
+		// Five devices join every hour until all are in.
+		for k := 0; k < 5 && joined < maxJoined; k++ {
+			if _, err := ctrl.Join(joined, costs[joined], devices[joined].Load()); err != nil {
+				if errors.Is(err, taccc.ErrNoCapacity) {
+					note = "join rejected (cluster full)"
+					break
+				}
+				log.Fatal(err)
+			}
+			joined++
+		}
+		// Everyone moved since last hour: refresh delays, migrate the
+		// clear winners (>= 0.5 ms gain).
+		for id := 0; id < joined; id++ {
+			if err := ctrl.UpdateCosts(id, costs[id]); errors.Is(err, taccc.ErrUnknownDevice) {
+				continue // stranded by the failure below
+			} else if err != nil {
+				log.Fatal(err)
+			}
+		}
+		if _, err := ctrl.SweepMigrate(0.5); err != nil {
+			log.Fatal(err)
+		}
+		// Every third hour: bounded rebalance with the RL assigner.
+		if hour%3 == 2 {
+			q := taccc.NewQLearning(int64(hour))
+			if _, err := ctrl.Rebalance(q, ctrl.NumDevices()/4); err != nil &&
+				!errors.Is(err, taccc.ErrInfeasible) {
+				log.Fatal(err)
+			}
+			note = "periodic rebalance"
+		}
+		// Noon failure.
+		if hour == 6 {
+			stranded, err := ctrl.FailEdge(0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			note = fmt.Sprintf("edge 0 failed; %d stranded, rest evacuated", len(stranded))
+		}
+
+		fmt.Printf("%4d  %7d  %7.3f ms  %15d  %s\n",
+			hour, ctrl.NumDevices(), ctrl.MeanDelay(), ctrl.Migrations(), note)
+		for _, w := range walkers {
+			w.Advance(3_600_000 / 60) // advance one simulated minute per hour tick (keeps drift gentle)
+		}
+	}
+
+	fmt.Println("\nfinal edge utilization:")
+	for j, u := range ctrl.Utilization() {
+		fmt.Printf("  edge-%d: %5.1f%%\n", j, 100*u)
+	}
+}

@@ -1,0 +1,107 @@
+// Smart city: traffic cameras and sensors clustered around hotspots
+// (intersections), served by roadside edge cabinets on a metro grid.
+// This example builds a payload-aware scenario, compares the full
+// algorithm suite, and replays the winning assignment through the
+// discrete-event cluster simulator to report end-to-end latency.
+//
+// Run with: go run ./examples/smartcity
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	taccc "taccc"
+)
+
+func main() {
+	// Camera-heavy workload: fewer devices, large payloads, tight
+	// deadlines, strong spatial clustering at intersections.
+	profile := taccc.Profile{
+		Classes: []taccc.DeviceClass{
+			{Name: "camera", Weight: 0.4, RateHz: 8, RateJitter: 0.3, PayloadKB: 60, PayloadSigma: 0.4, ComputeUnits: 1.5, DeadlineMs: 120, BurstProb: 0.3},
+			{Name: "loop-sensor", Weight: 0.6, RateHz: 2, RateJitter: 0.5, PayloadKB: 0.5, PayloadSigma: 0.2, ComputeUnits: 0.3, DeadlineMs: 150},
+		},
+		ZipfSkew: 0.6,
+		Seed:     7,
+	}
+	devices, err := taccc.GenerateDevices(80, profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	g, err := taccc.GenerateTopology(taccc.FamilyGrid, taccc.TopologyConfig{
+		NumIoT: 80, NumEdge: 8, NumGateways: 36, AreaMeters: 4000, Seed: 7,
+	}, taccc.PlaceHotspot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	uplink := taccc.NewDelayMatrix(g, taccc.PayloadCost(30)) // video chunks
+	downlink := taccc.NewDelayMatrix(g, taccc.LatencyCost)   // tiny ACKs
+
+	capacity := make([]float64, 8)
+	per := taccc.TotalLoad(devices) / 0.65 / 8
+	for _, d := range devices {
+		if l := d.Load() * 1.1; l > per {
+			per = l
+		}
+	}
+	for j := range capacity {
+		capacity[j] = per
+	}
+	in, err := taccc.InstanceFromTopology(uplink, devices, capacity)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("algorithm      mean-delay   max-delay  feasible")
+	reg := taccc.NewAlgorithmRegistry()
+	best := ""
+	bestCost := 0.0
+	var bestAssign *taccc.Assignment
+	for _, name := range reg.Names() {
+		a, err := reg.New(name, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got, err := a.Assign(in)
+		if err != nil {
+			if errors.Is(err, taccc.ErrInfeasible) {
+				fmt.Printf("%-14s %10s  %10s  no\n", name, "-", "-")
+				continue
+			}
+			log.Fatal(err)
+		}
+		cost := in.MeanCost(got)
+		fmt.Printf("%-14s %8.3fms  %8.3fms  yes\n", name, cost, in.MaxCost(got))
+		if best == "" || cost < bestCost {
+			best, bestCost, bestAssign = name, cost, got
+		}
+	}
+	fmt.Printf("\nbest: %s (%.3f ms mean uplink delay)\n", best, bestCost)
+
+	sim, err := taccc.NewSimulator(taccc.SimConfig{
+		UplinkMs:    uplink.DelayMs,
+		DownlinkMs:  downlink.DelayMs,
+		Devices:     devices,
+		ServiceRate: taccc.ServiceRates(capacity, 0.7),
+		Assignment:  bestAssign.Of,
+		WarmupMs:    5_000,
+		Seed:        7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run(60_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n60 s simulated operation under %q:\n", best)
+	fmt.Printf("  requests:   %d completed, %d dropped\n", res.Completed, res.Dropped)
+	fmt.Printf("  latency:    p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
+		res.Latency.Median(), res.Latency.P95(), res.Latency.P99())
+	fmt.Printf("  deadlines:  %.2f%% missed\n", 100*res.MissRate())
+	fmt.Println("  (the p95/p99 tail and misses come from correlated camera bursts:")
+	fmt.Println("   ~30% of cameras are MMPP sources that burst to 5x their mean rate)")
+}

@@ -1,0 +1,230 @@
+package taccc_test
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	taccc "taccc"
+)
+
+func TestPublicOnlineController(t *testing.T) {
+	ctrl, err := taccc.NewOnlineController([]float64{10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.Join(0, []float64{3, 1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.Join(1, []float64{1, 3}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.NumDevices() != 2 || ctrl.MeanDelay() != 1 {
+		t.Fatalf("controller state: n=%d mean=%v", ctrl.NumDevices(), ctrl.MeanDelay())
+	}
+	if _, err := ctrl.Rebalance(taccc.NewGreedy(), -1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.Join(0, []float64{1, 1}, 1); err == nil {
+		t.Fatal("duplicate join accepted")
+	}
+	if _, err := ctrl.Join(9, []float64{1, 1}, 1e9); !errors.Is(err, taccc.ErrNoCapacity) {
+		t.Fatalf("want ErrNoCapacity, got %v", err)
+	}
+	if err := ctrl.Leave(42); !errors.Is(err, taccc.ErrUnknownDevice) {
+		t.Fatalf("want ErrUnknownDevice, got %v", err)
+	}
+}
+
+func TestPublicCongestionFlow(t *testing.T) {
+	built, err := taccc.Scenario{
+		Family: taccc.FamilyGrid, NumIoT: 20, NumEdge: 3,
+		Place: taccc.PlaceHotspot, Seed: 6,
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := taccc.NewGreedy().Assign(built.Instance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := make([]taccc.Flow, 20)
+	for i, d := range built.Devices {
+		flows[i] = taccc.Flow{IoT: built.Delay.IoT[i], RateHz: d.RateHz, PayloadKB: d.PayloadKB}
+	}
+	res, err := taccc.EvaluateCongestion(built.Graph, built.Delay, flows, a.Of)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanDelayMs() <= 0 {
+		t.Fatal("non-positive mean effective delay")
+	}
+	multi, err := built.Graph.EvaluateCongestionMultipath(built.Delay, flows, a.Of, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.MeanDelayMs() <= 0 {
+		t.Fatal("non-positive multipath delay")
+	}
+	cam, err := taccc.CongestionAwareDelayMatrix(built.Graph, built.Delay, flows, a.Of)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cam.NumIoT() != 20 {
+		t.Fatalf("congestion-aware matrix rows = %d", cam.NumIoT())
+	}
+}
+
+func TestPublicKShortestPaths(t *testing.T) {
+	built, err := taccc.Scenario{Family: taccc.FamilyGrid, NumIoT: 10, NumEdge: 2, Seed: 2}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iot := built.Delay.IoT[0]
+	edge := built.Delay.Edge[0]
+	paths, err := built.Graph.KShortestPaths(iot, edge, 3, taccc.LatencyCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no paths on connected graph")
+	}
+	if math.Abs(paths[0].Cost-built.Delay.DelayMs[0][0]) > 1e-9 {
+		t.Fatalf("first path cost %v != delay matrix %v", paths[0].Cost, built.Delay.DelayMs[0][0])
+	}
+}
+
+func TestPublicPreprocessAndPortfolio(t *testing.T) {
+	in, err := taccc.SyntheticInstance(taccc.SyntheticCorrelated, 12, 3, 0.9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := taccc.Preprocess(in)
+	if err != nil {
+		if errors.Is(err, taccc.ErrInfeasible) {
+			t.Skip("instance preprocessed to infeasible")
+		}
+		t.Fatal(err)
+	}
+	target := red.Residual
+	if target == nil {
+		t.Skip("fully fixed by preprocessing")
+	}
+	p := taccc.NewPortfolio(8)
+	sub, err := p.Assign(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := red.Expand(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Feasible(full) {
+		t.Fatal("expanded portfolio assignment infeasible")
+	}
+	if lpb := taccc.LPBound(in); in.TotalCost(full) < lpb-1e-6 {
+		t.Fatalf("cost %v below LP bound %v", in.TotalCost(full), lpb)
+	}
+}
+
+func TestPublicTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := taccc.NewTraceWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Record(taccc.RequestRecord{Device: 1, Edge: 0, SentAtMs: 5, DoneAtMs: 20, LatencyMs: 15, Outcome: taccc.OutcomeOK})
+	w.Record(taccc.RequestRecord{Device: 2, Edge: 1, SentAtMs: 6, DoneAtMs: 6, Outcome: taccc.OutcomeDropped})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := taccc.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := taccc.SummarizeTrace(recs)
+	if sum.Completed != 1 || sum.Dropped != 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	ts, err := taccc.TraceTimeSeries(recs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 {
+		t.Fatalf("windows = %d, want 2", len(ts))
+	}
+}
+
+func TestPublicTopologyMetrics(t *testing.T) {
+	g, err := taccc.GenerateTopology(taccc.FamilyRing, taccc.TopologyConfig{
+		NumIoT: 12, NumEdge: 3, NumGateways: 6, Seed: 3,
+	}, taccc.PlaceUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := taccc.ComputeTopologyMetrics(g)
+	if m.Nodes == 0 || m.DiameterHops <= 0 || m.AvgIoTMinDelayMs <= 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestPublicPSDisciplineAndQueueCap(t *testing.T) {
+	built, err := taccc.Scenario{NumIoT: 15, NumEdge: 3, Seed: 9}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := taccc.NewGreedy().Assign(built.Instance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := taccc.NewSimulator(taccc.SimConfig{
+		UplinkMs:    built.Delay.DelayMs,
+		Devices:     built.Devices,
+		ServiceRate: taccc.ServiceRates(built.Capacity, 0.7),
+		Assignment:  a.Of,
+		Discipline:  taccc.DisciplinePS,
+		MaxQueue:    100,
+		Seed:        9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(4_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("PS simulation completed nothing")
+	}
+}
+
+func TestPublicOnlinePolicies(t *testing.T) {
+	ctrl, err := taccc.NewOnlineController([]float64{10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.Join(0, []float64{4, 1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.UpdateCosts(0, []float64{1, 4}); err != nil {
+		t.Fatal(err)
+	}
+	policies := []taccc.OnlinePolicy{
+		taccc.PolicyJoinOnly{},
+		taccc.PolicyThreshold{GainMs: 0.5},
+		taccc.PolicyRebalance{Every: 1, BudgetFrac: 1, Seed: 2},
+	}
+	for _, p := range policies {
+		if p.Name() == "" {
+			t.Fatal("empty policy name")
+		}
+	}
+	// The threshold policy should move the device to the now-closer edge.
+	if err := policies[1].Tick(0, ctrl); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := ctrl.Placement(0); got != 0 {
+		t.Fatalf("device on edge %d, want 0 after threshold tick", got)
+	}
+}

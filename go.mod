@@ -1,0 +1,3 @@
+module taccc
+
+go 1.22

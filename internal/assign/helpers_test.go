@@ -1,0 +1,6 @@
+package assign
+
+import "taccc/internal/xrand"
+
+// newTestSource returns a fixed-seed source for repair tests.
+func newTestSource() *xrand.Source { return xrand.New(12345) }

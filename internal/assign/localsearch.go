@@ -1,0 +1,246 @@
+package assign
+
+import (
+	"fmt"
+	"math"
+
+	"taccc/internal/gap"
+	"taccc/internal/xrand"
+)
+
+// LocalSearch hill-climbs from a constructive start with shift moves
+// (reassign one device) and swap moves (exchange two devices' edges),
+// accepting only strict improvements, until a local optimum or the move
+// budget is reached.
+type LocalSearch struct {
+	seed int64
+	// MaxRounds caps full improvement sweeps; 0 means 100.
+	MaxRounds int
+}
+
+// NewLocalSearch returns a local-search assigner seeded for its randomized
+// start order.
+func NewLocalSearch(seed int64) *LocalSearch { return &LocalSearch{seed: seed} }
+
+// Name implements Assigner.
+func (*LocalSearch) Name() string { return "local-search" }
+
+// Assign implements Assigner.
+func (ls *LocalSearch) Assign(in *gap.Instance) (*gap.Assignment, error) {
+	start, err := startFeasible(in, ls.seed)
+	if err != nil {
+		return nil, fmt.Errorf("assign/local-search: %w", err)
+	}
+	of := start.Of
+	residual := residuals(in)
+	for i, j := range of {
+		residual[j] -= in.Weight[i][j]
+	}
+	maxRounds := ls.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 100
+	}
+	for round := 0; round < maxRounds; round++ {
+		if !improveOnce(in, of, residual) {
+			break
+		}
+	}
+	return finish(in, of, "local-search")
+}
+
+// improveOnce performs one full sweep of shift and swap moves, applying
+// every strict improvement found; reports whether anything improved.
+func improveOnce(in *gap.Instance, of []int, residual []float64) bool {
+	improved := false
+	n, m := in.N(), in.M()
+	// Shift moves.
+	for i := 0; i < n; i++ {
+		cur := of[i]
+		for j := 0; j < m; j++ {
+			if j == cur {
+				continue
+			}
+			if in.CostMs[i][j] >= in.CostMs[i][cur] {
+				continue
+			}
+			if !fits(in, residual, i, j) {
+				continue
+			}
+			residual[cur] += in.Weight[i][cur]
+			residual[j] -= in.Weight[i][j]
+			of[i] = j
+			cur = j
+			improved = true
+		}
+	}
+	// Swap moves.
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			ja, jb := of[a], of[b]
+			if ja == jb {
+				continue
+			}
+			delta := in.CostMs[a][jb] + in.CostMs[b][ja] - in.CostMs[a][ja] - in.CostMs[b][jb]
+			if delta >= -1e-12 {
+				continue
+			}
+			// Capacity check after removing both devices.
+			resA := residual[ja] + in.Weight[a][ja]
+			resB := residual[jb] + in.Weight[b][jb]
+			if in.Weight[b][ja] > resA+1e-12 || in.Weight[a][jb] > resB+1e-12 {
+				continue
+			}
+			if math.IsInf(in.CostMs[a][jb], 1) || math.IsInf(in.CostMs[b][ja], 1) {
+				continue
+			}
+			residual[ja] = resA - in.Weight[b][ja]
+			residual[jb] = resB - in.Weight[a][jb]
+			of[a], of[b] = jb, ja
+			improved = true
+		}
+	}
+	return improved
+}
+
+// startFeasible builds an initial feasible assignment: greedy first, then
+// regret-greedy, then randomized restarts — local search and annealing
+// both start from it.
+func startFeasible(in *gap.Instance, seed int64) (*gap.Assignment, error) {
+	if a, err := NewGreedy().Assign(in); err == nil {
+		return a, nil
+	}
+	if a, err := NewRegretGreedy().Assign(in); err == nil {
+		return a, nil
+	}
+	for attempt := int64(0); attempt < 20; attempt++ {
+		if a, err := NewRandom(xrand.SplitSeed(seed, fmt.Sprintf("restart-%d", attempt))).Assign(in); err == nil {
+			return a, nil
+		}
+	}
+	return nil, gap.ErrInfeasible
+}
+
+// SimulatedAnnealing explores shift/swap moves with Metropolis acceptance
+// and geometric cooling, keeping the best feasible assignment seen.
+type SimulatedAnnealing struct {
+	seed int64
+	// Iters is the number of proposals; 0 means 20000.
+	Iters int
+	// T0 and Cooling set the initial temperature and geometric decay; 0
+	// means T0 = 10% of the start cost and Cooling = 0.9995.
+	T0      float64
+	Cooling float64
+}
+
+// NewSimulatedAnnealing returns an annealing assigner with default
+// schedule.
+func NewSimulatedAnnealing(seed int64) *SimulatedAnnealing {
+	return &SimulatedAnnealing{seed: seed}
+}
+
+// Name implements Assigner.
+func (*SimulatedAnnealing) Name() string { return "sim-anneal" }
+
+// Assign implements Assigner.
+func (sa *SimulatedAnnealing) Assign(in *gap.Instance) (*gap.Assignment, error) {
+	start, err := startFeasible(in, sa.seed)
+	if err != nil {
+		return nil, fmt.Errorf("assign/sim-anneal: %w", err)
+	}
+	src := xrand.NewSplit(sa.seed, "sa")
+	of := start.Of
+	residual := residuals(in)
+	for i, j := range of {
+		residual[j] -= in.Weight[i][j]
+	}
+	cur := in.TotalCost(&gap.Assignment{Of: of})
+	bestOf := make([]int, len(of))
+	copy(bestOf, of)
+	bestCost := cur
+
+	iters := sa.Iters
+	if iters <= 0 {
+		iters = 20000
+	}
+	temp := sa.T0
+	if temp <= 0 {
+		temp = cur * 0.1 / float64(in.N())
+		if temp <= 0 {
+			temp = 1
+		}
+	}
+	cooling := sa.Cooling
+	if cooling <= 0 || cooling >= 1 {
+		cooling = 0.9995
+	}
+
+	n, m := in.N(), in.M()
+	for it := 0; it < iters; it++ {
+		if src.Bernoulli(0.7) {
+			// Shift proposal.
+			i := src.Intn(n)
+			j := src.Intn(m)
+			cur = proposeShift(in, of, residual, i, j, cur, temp, src)
+		} else {
+			// Swap proposal.
+			a, b := src.Intn(n), src.Intn(n)
+			if a != b {
+				cur = proposeSwap(in, of, residual, a, b, cur, temp, src)
+			}
+		}
+		if cur < bestCost-1e-12 {
+			bestCost = cur
+			copy(bestOf, of)
+		}
+		temp *= cooling
+	}
+	return finish(in, bestOf, "sim-anneal")
+}
+
+func metropolisAccept(delta, temp float64, src *xrand.Source) bool {
+	if delta <= 0 {
+		return true
+	}
+	if temp <= 0 {
+		return false
+	}
+	return src.Bernoulli(math.Exp(-delta / temp))
+}
+
+func proposeShift(in *gap.Instance, of []int, residual []float64, i, j int, cur, temp float64, src *xrand.Source) float64 {
+	curJ := of[i]
+	if j == curJ || !fits(in, residual, i, j) {
+		return cur
+	}
+	delta := in.CostMs[i][j] - in.CostMs[i][curJ]
+	if !metropolisAccept(delta, temp, src) {
+		return cur
+	}
+	residual[curJ] += in.Weight[i][curJ]
+	residual[j] -= in.Weight[i][j]
+	of[i] = j
+	return cur + delta
+}
+
+func proposeSwap(in *gap.Instance, of []int, residual []float64, a, b int, cur, temp float64, src *xrand.Source) float64 {
+	ja, jb := of[a], of[b]
+	if ja == jb {
+		return cur
+	}
+	if math.IsInf(in.CostMs[a][jb], 1) || math.IsInf(in.CostMs[b][ja], 1) {
+		return cur
+	}
+	resA := residual[ja] + in.Weight[a][ja]
+	resB := residual[jb] + in.Weight[b][jb]
+	if in.Weight[b][ja] > resA+1e-12 || in.Weight[a][jb] > resB+1e-12 {
+		return cur
+	}
+	delta := in.CostMs[a][jb] + in.CostMs[b][ja] - in.CostMs[a][ja] - in.CostMs[b][jb]
+	if !metropolisAccept(delta, temp, src) {
+		return cur
+	}
+	residual[ja] = resA - in.Weight[b][ja]
+	residual[jb] = resB - in.Weight[a][jb]
+	of[a], of[b] = jb, ja
+	return cur + delta
+}

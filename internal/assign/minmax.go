@@ -1,0 +1,125 @@
+package assign
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"taccc/internal/gap"
+	"taccc/internal/xrand"
+)
+
+// MinMax minimizes the *maximum* per-device delay (min-max fairness — the
+// objective that matters when the deployment's deadline is set by its
+// worst-served device) instead of the total. It bisects over the sorted
+// distinct delay values: at threshold T every cell with delay > T is
+// masked infeasible and a constructive packer checks whether an
+// overload-free assignment still exists. The smallest feasible T wins;
+// total delay is then polished with local search *under the threshold
+// mask* so the secondary objective doesn't regress the primary one.
+type MinMax struct {
+	seed int64
+}
+
+// NewMinMax returns a min-max assigner.
+func NewMinMax(seed int64) *MinMax { return &MinMax{seed: seed} }
+
+// Name implements Assigner.
+func (*MinMax) Name() string { return "minmax" }
+
+// Assign implements Assigner.
+func (mm *MinMax) Assign(in *gap.Instance) (*gap.Assignment, error) {
+	// Candidate thresholds: every distinct finite cost.
+	var costs []float64
+	for i := 0; i < in.N(); i++ {
+		for j := 0; j < in.M(); j++ {
+			if c := in.CostMs[i][j]; !math.IsInf(c, 1) {
+				costs = append(costs, c)
+			}
+		}
+	}
+	if len(costs) == 0 {
+		return nil, fmt.Errorf("assign/minmax: no reachable pairs: %w", gap.ErrInfeasible)
+	}
+	sort.Float64s(costs)
+	costs = dedupFloats(costs)
+
+	// Bisection over threshold index. Feasibility at a threshold is
+	// checked heuristically, so "feasible(T)" is not perfectly
+	// monotone; bisection finds the smallest index the packer can
+	// certify, which upper-bounds the true optimum.
+	lo, hi := 0, len(costs)-1
+	var best *gap.Assignment
+	if a := mm.packUnder(in, costs[hi]); a != nil {
+		best = a
+	} else {
+		return nil, fmt.Errorf("assign/minmax: infeasible even without a delay cap: %w", gap.ErrInfeasible)
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a := mm.packUnder(in, costs[mid]); a != nil {
+			best = a
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	// Polish total delay while respecting the achieved threshold.
+	masked := maskAbove(in, in.MaxCost(best))
+	of := append([]int(nil), best.Of...)
+	residual := residuals(masked)
+	for i, j := range of {
+		residual[j] -= masked.Weight[i][j]
+	}
+	for round := 0; round < 50; round++ {
+		if !improveOnce(masked, of, residual) {
+			break
+		}
+	}
+	return finish(in, of, "minmax")
+}
+
+// packUnder tries to build a feasible assignment using only cells with
+// delay <= t; nil when the packer fails.
+func (mm *MinMax) packUnder(in *gap.Instance, t float64) *gap.Assignment {
+	masked := maskAbove(in, t)
+	a, err := startFeasible(masked, xrand.SplitSeed(mm.seed, fmt.Sprintf("minmax-%g", t)))
+	if err != nil {
+		return nil
+	}
+	return a
+}
+
+// maskAbove returns a copy of in whose cells with cost > t are unreachable.
+func maskAbove(in *gap.Instance, t float64) *gap.Instance {
+	n, m := in.N(), in.M()
+	cost := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, m)
+		for j := 0; j < m; j++ {
+			c := in.CostMs[i][j]
+			if c > t+1e-12 {
+				c = math.Inf(1)
+			}
+			row[j] = c
+		}
+		cost[i] = row
+	}
+	// Weights and capacities are shared read-only.
+	masked, err := gap.NewInstance(cost, in.Weight, in.Capacity)
+	if err != nil {
+		// Construction from a valid instance cannot fail.
+		panic(fmt.Sprintf("assign/minmax: internal error building mask: %v", err))
+	}
+	return masked
+}
+
+func dedupFloats(xs []float64) []float64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

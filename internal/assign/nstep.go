@@ -1,0 +1,145 @@
+package assign
+
+import (
+	"fmt"
+	"math"
+
+	"taccc/internal/gap"
+	"taccc/internal/xrand"
+)
+
+// NStepQLearning propagates reward information n steps back per update
+// (episodic n-step Q-learning with per-episode batch updates): the TD
+// target for step t is the discounted sum of the next n rewards plus a
+// bootstrap from the best feasible action n steps ahead. Longer horizons
+// move credit for capacity dead-ends toward the early placements that
+// caused them. N = 1 recovers one-step targets.
+type NStepQLearning struct {
+	// Params tunes learning; zero fields take defaults.
+	Params RLParams
+	// N is the backup horizon (default 3).
+	N    int
+	seed int64
+}
+
+// NewNStepQLearning returns an n-step Q-learning assigner.
+func NewNStepQLearning(seed int64) *NStepQLearning { return &NStepQLearning{seed: seed} }
+
+// Name implements Assigner.
+func (*NStepQLearning) Name() string { return "nstep-qlearning" }
+
+// Assign implements Assigner.
+func (nq *NStepQLearning) Assign(in *gap.Instance) (*gap.Assignment, error) {
+	p := nq.Params.withDefaults()
+	nStep := nq.N
+	if nStep <= 0 {
+		nStep = 3
+	}
+	src := xrand.NewSplit(nq.seed, "nstep-q")
+	env := newMDPSeeded(in, p.LoadLevels, !p.NoCostSeeding)
+	table := make(qtable, p.Episodes)
+	var actBuf []int
+
+	bestOf := make([]int, in.N())
+	bestCost := math.Inf(1)
+	found := false
+	of := make([]int, in.N())
+
+	if c, ok := greedyRollout(env, table, of); ok {
+		bestCost = c
+		copy(bestOf, of)
+		found = true
+	}
+	if !p.NoWarmStart {
+		if c, warm := warmStart(in); warm != nil && c < bestCost {
+			bestCost = c
+			copy(bestOf, warm)
+			found = true
+		}
+	}
+
+	// Per-step trajectory storage, reused across episodes.
+	type step struct {
+		row      []float64
+		action   int
+		reward   float64
+		feasible []int
+	}
+	traj := make([]step, 0, in.N())
+
+	eps := p.Epsilon0
+	for ep := 0; ep < p.Episodes; ep++ {
+		env.reset()
+		traj = traj[:0]
+		cost := 0.0
+		feasibleRun := true
+		for !env.done() {
+			key := env.stateKey()
+			actBuf = env.feasibleActions(actBuf)
+			if len(actBuf) == 0 {
+				feasibleRun = false
+				break
+			}
+			row := table.row(key, env.rowInit[env.step])
+			a := epsGreedyMode(row, actBuf, eps, src, p.UniformExploration)
+			i := env.device()
+			r := env.take(a)
+			cost -= r
+			of[i] = a
+			traj = append(traj, step{
+				row:      row,
+				action:   a,
+				reward:   r,
+				feasible: append([]int(nil), actBuf...),
+			})
+		}
+		// Terminal value: 0 for a completed episode, a large penalty
+		// for a dead end (the trajectory is punished through its tail).
+		terminal := 0.0
+		if !feasibleRun {
+			terminal = -deadEndPenalty(in)
+		}
+		// Batch n-step backward updates against the current table.
+		T := len(traj)
+		for t := 0; t < T; t++ {
+			g := 0.0
+			discount := 1.0
+			end := t + nStep
+			if end > T {
+				end = T
+			}
+			for k := t; k < end; k++ {
+				g += discount * traj[k].reward
+				discount *= p.Gamma
+			}
+			if end < T {
+				// Bootstrap from the state entered at step `end`,
+				// which is the state acted on at index `end` of
+				// the trajectory.
+				_, nv := bestQ(traj[end].row, traj[end].feasible)
+				g += discount * nv
+			} else {
+				g += discount * terminal
+			}
+			traj[t].row[traj[t].action] += p.Alpha * (g - traj[t].row[traj[t].action])
+		}
+		if feasibleRun && cost < bestCost {
+			bestCost = cost
+			copy(bestOf, of)
+			found = true
+		}
+		eps *= p.EpsilonDecay
+		if eps < p.EpsilonMin {
+			eps = p.EpsilonMin
+		}
+	}
+	if c, ok := greedyRollout(env, table, of); ok && c < bestCost {
+		bestCost = c
+		copy(bestOf, of)
+		found = true
+	}
+	if !found {
+		return nil, fmt.Errorf("assign/nstep-qlearning: no feasible episode in %d attempts: %w", p.Episodes, gap.ErrInfeasible)
+	}
+	return finish(in, bestOf, "nstep-qlearning")
+}

@@ -1,0 +1,86 @@
+package assign
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"taccc/internal/gap"
+)
+
+// Portfolio runs a set of assigners and returns the best feasible result —
+// the pragmatic production choice when solve time is cheap relative to the
+// delay the configuration will accrue. The default portfolio combines the
+// strongest constructive, relaxation and learning heuristics.
+//
+// Set Parallel to run members concurrently; Instance is read-only for
+// assigners, so members never contend, and the result is identical to the
+// sequential run (best cost, ties broken by member order).
+type Portfolio struct {
+	// Parallel runs members on separate goroutines.
+	Parallel bool
+
+	members []Assigner
+}
+
+// NewPortfolio builds a portfolio over the given members; with no members
+// it uses the default set (regret-greedy, local-search, lagrangian,
+// qlearning) seeded from seed.
+func NewPortfolio(seed int64, members ...Assigner) *Portfolio {
+	if len(members) == 0 {
+		members = []Assigner{
+			NewRegretGreedy(),
+			NewLocalSearch(seed),
+			NewLagrangian(seed),
+			NewQLearning(seed),
+		}
+	}
+	return &Portfolio{members: members}
+}
+
+// Name implements Assigner.
+func (*Portfolio) Name() string { return "portfolio" }
+
+// Assign implements Assigner: best feasible member result wins. If every
+// member fails, the error wraps gap.ErrInfeasible (plus the first
+// unexpected error seen, if any).
+func (p *Portfolio) Assign(in *gap.Instance) (*gap.Assignment, error) {
+	results := make([]*gap.Assignment, len(p.members))
+	errs := make([]error, len(p.members))
+	if p.Parallel {
+		var wg sync.WaitGroup
+		for idx, m := range p.members {
+			wg.Add(1)
+			go func(idx int, m Assigner) {
+				defer wg.Done()
+				results[idx], errs[idx] = m.Assign(in)
+			}(idx, m)
+		}
+		wg.Wait()
+	} else {
+		for idx, m := range p.members {
+			results[idx], errs[idx] = m.Assign(in)
+		}
+	}
+	var best *gap.Assignment
+	bestCost := 0.0
+	var firstErr error
+	for idx := range p.members {
+		if err := errs[idx]; err != nil {
+			if !errors.Is(err, gap.ErrInfeasible) && firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if c := in.TotalCost(results[idx]); best == nil || c < bestCost {
+			best, bestCost = results[idx], c
+		}
+	}
+	if best == nil {
+		if firstErr != nil {
+			return nil, fmt.Errorf("assign/portfolio: all members failed (first unexpected: %v): %w", firstErr, gap.ErrInfeasible)
+		}
+		return nil, fmt.Errorf("assign/portfolio: all members infeasible: %w", gap.ErrInfeasible)
+	}
+	return best, nil
+}

@@ -1,0 +1,92 @@
+package assign
+
+import (
+	"errors"
+	"testing"
+
+	"taccc/internal/gap"
+)
+
+func TestPortfolioDominatesMembers(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		in := mustSynthetic(t, gap.SyntheticCorrelated, 20, 4, 0.85, seed)
+		members := []Assigner{
+			NewRegretGreedy(), NewLocalSearch(seed), NewLagrangian(seed), NewQLearning(seed),
+		}
+		p := NewPortfolio(seed, members...)
+		got, err := p.Assign(in)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		best := in.TotalCost(got)
+		for _, m := range members {
+			mg, err := m.Assign(in)
+			if err != nil {
+				continue
+			}
+			if best > in.TotalCost(mg)+1e-9 {
+				t.Fatalf("seed %d: portfolio (%v) worse than member %s (%v)",
+					seed, best, m.Name(), in.TotalCost(mg))
+			}
+		}
+	}
+}
+
+func TestPortfolioParallelMatchesSequential(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		in := mustSynthetic(t, gap.SyntheticUniform, 20, 4, 0.8, seed)
+		seq := NewPortfolio(seed)
+		par := NewPortfolio(seed)
+		par.Parallel = true
+		a, aerr := seq.Assign(in)
+		b, berr := par.Assign(in)
+		if (aerr == nil) != (berr == nil) {
+			t.Fatalf("seed %d: error mismatch: %v vs %v", seed, aerr, berr)
+		}
+		if aerr != nil {
+			continue
+		}
+		if in.TotalCost(a) != in.TotalCost(b) {
+			t.Fatalf("seed %d: parallel cost %v != sequential %v",
+				seed, in.TotalCost(b), in.TotalCost(a))
+		}
+	}
+}
+
+func TestPortfolioAllInfeasible(t *testing.T) {
+	in := infeasibleInstance(t)
+	if _, err := NewPortfolio(1).Assign(in); !errors.Is(err, gap.ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestPortfolioDefaultMembers(t *testing.T) {
+	in := mustSynthetic(t, gap.SyntheticUniform, 15, 3, 0.7, 1)
+	got, err := NewPortfolio(1).Assign(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Feasible(got) {
+		t.Fatal("infeasible result")
+	}
+}
+
+func TestQLearningAblationSwitches(t *testing.T) {
+	in := mustSynthetic(t, gap.SyntheticCorrelated, 15, 3, 0.85, 4)
+	for _, mut := range []func(*RLParams){
+		func(p *RLParams) { p.NoCostSeeding = true },
+		func(p *RLParams) { p.NoWarmStart = true },
+		func(p *RLParams) { p.UniformExploration = true },
+		func(p *RLParams) { p.NoCostSeeding = true; p.NoWarmStart = true; p.UniformExploration = true },
+	} {
+		q := NewQLearning(4)
+		mut(&q.Params)
+		got, err := q.Assign(in)
+		if err != nil {
+			t.Fatalf("ablated variant failed: %v", err)
+		}
+		if !in.Feasible(got) {
+			t.Fatal("ablated variant produced infeasible result")
+		}
+	}
+}

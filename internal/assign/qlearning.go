@@ -1,0 +1,530 @@
+package assign
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"taccc/internal/gap"
+	"taccc/internal/xrand"
+)
+
+// RLParams are the shared hyper-parameters of the tabular RL assigners.
+// Zero fields take the documented defaults.
+type RLParams struct {
+	// Episodes is the number of training episodes (default 400).
+	Episodes int
+	// Alpha is the learning rate (default 0.3).
+	Alpha float64
+	// Gamma is the discount factor; the placement MDP is a finite
+	// horizon with additive delay, so the default is 1.0.
+	Gamma float64
+	// Epsilon0, EpsilonMin and EpsilonDecay shape the exploration
+	// schedule: eps(k) = max(EpsilonMin, Epsilon0 * EpsilonDecay^k)
+	// (defaults 0.4, 0.02, 0.99).
+	Epsilon0     float64
+	EpsilonMin   float64
+	EpsilonDecay float64
+	// LoadLevels quantizes each edge's utilization into this many levels
+	// when forming the state signature (default 4). Level count trades
+	// table size against state resolution; the F8 ablation sweeps it.
+	LoadLevels int
+
+	// Ablation switches (experiment F11). Production configurations
+	// leave all three false.
+	//
+	// NoCostSeeding initializes Q rows to zero instead of the negated
+	// delay, so the untrained policy has no domain knowledge.
+	NoCostSeeding bool
+	// NoWarmStart skips priming the incumbent with the regret-greedy
+	// constructive solution.
+	NoWarmStart bool
+	// UniformExploration replaces cost-biased softmax exploration with
+	// uniform random choice over feasible edges.
+	UniformExploration bool
+}
+
+func (p RLParams) withDefaults() RLParams {
+	if p.Episodes <= 0 {
+		p.Episodes = 400
+	}
+	if p.Alpha <= 0 {
+		p.Alpha = 0.3
+	}
+	if p.Gamma <= 0 {
+		p.Gamma = 1.0
+	}
+	if p.Epsilon0 <= 0 {
+		p.Epsilon0 = 0.4
+	}
+	if p.EpsilonMin <= 0 {
+		p.EpsilonMin = 0.02
+	}
+	if p.EpsilonDecay <= 0 || p.EpsilonDecay >= 1 {
+		p.EpsilonDecay = 0.99
+	}
+	if p.LoadLevels <= 0 {
+		p.LoadLevels = 4
+	}
+	return p
+}
+
+// mdp is the episodic placement MDP shared by the RL assigners: step t
+// places device order[t]; the state is (t, quantized utilization vector);
+// an action picks a feasible edge; the reward is the negated delay.
+type mdp struct {
+	in       *gap.Instance
+	order    []int
+	levels   int
+	residual []float64
+	loads    []float64
+	step     int
+	// rowInit[t] is the Q-row initialization for any state at step t.
+	rowInit [][]float64
+}
+
+func newMDP(in *gap.Instance, levels int) *mdp {
+	return newMDPSeeded(in, levels, true)
+}
+
+// newMDPSeeded builds the MDP with or without cost-seeded Q rows.
+func newMDPSeeded(in *gap.Instance, levels int, costSeed bool) *mdp {
+	m := &mdp{
+		in:       in,
+		order:    byDecreasingLoad(in),
+		levels:   levels,
+		residual: make([]float64, in.M()),
+		loads:    make([]float64, in.M()),
+	}
+	// Cost-seeded Q initialization: a fresh row for step t starts at
+	// -cost(device(t), j), so the untrained greedy policy already acts
+	// like min-delay greedy and learning only has to correct for
+	// capacity interactions. Unreachable edges start at -Inf and are
+	// never picked either way.
+	m.rowInit = make([][]float64, in.N())
+	for t, dev := range m.order {
+		row := make([]float64, in.M())
+		for j := 0; j < in.M(); j++ {
+			switch {
+			case math.IsInf(in.CostMs[dev][j], 1):
+				row[j] = math.Inf(-1)
+			case costSeed:
+				row[j] = -in.CostMs[dev][j]
+			}
+		}
+		m.rowInit[t] = row
+	}
+	return m
+}
+
+// reset starts a new episode.
+func (m *mdp) reset() {
+	copy(m.residual, m.in.Capacity)
+	for j := range m.loads {
+		m.loads[j] = 0
+	}
+	m.step = 0
+}
+
+// done reports whether all devices are placed.
+func (m *mdp) done() bool { return m.step >= len(m.order) }
+
+// device returns the device placed at the current step.
+func (m *mdp) device() int { return m.order[m.step] }
+
+// stateKey encodes (step, quantized utilization vector). Utilization is
+// load/capacity clipped to [0, 1); zero-capacity edges are always at the
+// top level.
+func (m *mdp) stateKey() string {
+	// Preallocate: step digits + one byte per edge.
+	buf := make([]byte, 0, 8+len(m.loads))
+	buf = strconv.AppendInt(buf, int64(m.step), 10)
+	buf = append(buf, '|')
+	for j, load := range m.loads {
+		level := m.levels - 1
+		if m.in.Capacity[j] > 0 {
+			u := load / m.in.Capacity[j]
+			if u >= 1 {
+				u = 1 - 1e-9
+			}
+			level = int(u * float64(m.levels))
+		}
+		buf = append(buf, byte('a'+level))
+	}
+	return string(buf)
+}
+
+// feasibleActions lists edges with remaining capacity for the current
+// device. The returned slice is reused across calls.
+func (m *mdp) feasibleActions(buf []int) []int {
+	buf = buf[:0]
+	i := m.device()
+	for j := 0; j < m.in.M(); j++ {
+		if fits(m.in, m.residual, i, j) {
+			buf = append(buf, j)
+		}
+	}
+	return buf
+}
+
+// take places the current device on edge j, returning the reward.
+func (m *mdp) take(j int) float64 {
+	i := m.device()
+	m.residual[j] -= m.in.Weight[i][j]
+	m.loads[j] += m.in.Weight[i][j]
+	m.step++
+	return -m.in.CostMs[i][j]
+}
+
+// qtable is a lazily grown state-action value table; fresh rows copy the
+// step's initialization vector.
+type qtable map[string][]float64
+
+func (q qtable) row(key string, init []float64) []float64 {
+	if r, ok := q[key]; ok {
+		return r
+	}
+	r := make([]float64, len(init))
+	copy(r, init)
+	q[key] = r
+	return r
+}
+
+// bestFeasible returns the feasible action with maximal Q and its value.
+func bestQ(row []float64, feasible []int) (int, float64) {
+	best, bestV := feasible[0], math.Inf(-1)
+	for _, a := range feasible {
+		if row[a] > bestV {
+			best, bestV = a, row[a]
+		}
+	}
+	return best, bestV
+}
+
+// epsGreedy picks a feasible action: explore with probability eps,
+// otherwise exploit the Q row. Exploration is cost-biased (softmax over
+// the Q row rather than uniform) so exploratory episodes sample plausible
+// alternative placements instead of arbitrary far-away edges — uniform
+// exploration wastes most episodes on assignments no policy would choose.
+func epsGreedy(row []float64, feasible []int, eps float64, src *xrand.Source) int {
+	return epsGreedyMode(row, feasible, eps, src, false)
+}
+
+// epsGreedyMode is epsGreedy with selectable exploration (uniform for the
+// F11 ablation).
+func epsGreedyMode(row []float64, feasible []int, eps float64, src *xrand.Source, uniform bool) int {
+	if !src.Bernoulli(eps) {
+		a, _ := bestQ(row, feasible)
+		return a
+	}
+	if uniform {
+		return feasible[src.Intn(len(feasible))]
+	}
+	// Softmax over Q values with a temperature tied to their spread.
+	best := math.Inf(-1)
+	worst := math.Inf(1)
+	for _, a := range feasible {
+		if row[a] > best {
+			best = row[a]
+		}
+		if row[a] < worst {
+			worst = row[a]
+		}
+	}
+	temp := (best - worst) / 3
+	if temp <= eps0Temp {
+		return feasible[src.Intn(len(feasible))] // flat row: uniform
+	}
+	weights := make([]float64, len(feasible))
+	for k, a := range feasible {
+		weights[k] = math.Exp((row[a] - best) / temp)
+	}
+	return feasible[src.Choice(weights)]
+}
+
+// eps0Temp guards against zero/negligible Q spread in softmax exploration.
+const eps0Temp = 1e-12
+
+// QLearning is the paper's primary heuristic: tabular Q-learning over the
+// placement MDP with load-quantized states, feasibility-masked actions
+// (overload is structurally impossible) and an epsilon-greedy schedule.
+// The best feasible episode ever seen is returned, which makes the
+// algorithm an anytime improver over its own greedy rollouts.
+type QLearning struct {
+	// Params tunes learning; zero fields take defaults.
+	Params RLParams
+	seed   int64
+
+	// lastTrace records, per episode, the best total cost found so far;
+	// read it with Trace after Assign for the convergence experiment.
+	lastTrace []float64
+}
+
+// NewQLearning returns a Q-learning assigner with default parameters.
+func NewQLearning(seed int64) *QLearning { return &QLearning{seed: seed} }
+
+// Name implements Assigner.
+func (*QLearning) Name() string { return "qlearning" }
+
+// Trace returns the per-episode best-cost-so-far curve of the last Assign
+// call. The caller owns the slice.
+func (q *QLearning) Trace() []float64 {
+	out := make([]float64, len(q.lastTrace))
+	copy(out, q.lastTrace)
+	return out
+}
+
+// Assign implements Assigner.
+func (q *QLearning) Assign(in *gap.Instance) (*gap.Assignment, error) {
+	p := q.Params.withDefaults()
+	src := xrand.NewSplit(q.seed, "qlearning")
+	env := newMDPSeeded(in, p.LoadLevels, !p.NoCostSeeding)
+	table := make(qtable, p.Episodes)
+	var actBuf, nextBuf []int
+
+	bestOf := make([]int, in.N())
+	bestCost := math.Inf(1)
+	found := false
+	of := make([]int, in.N())
+	q.lastTrace = make([]float64, 0, p.Episodes)
+
+	// Incumbent seeding: one pure-exploitation rollout (with cost-seeded
+	// Q rows this reproduces min-delay greedy) plus the regret-greedy
+	// constructive solution. The returned assignment can therefore never
+	// be worse than either constructive baseline; the episodes below
+	// only improve on the warm start.
+	if c, ok := greedyRollout(env, table, of); ok {
+		bestCost = c
+		copy(bestOf, of)
+		found = true
+	}
+	if !p.NoWarmStart {
+		if c, warm := warmStart(in); warm != nil && c < bestCost {
+			bestCost = c
+			copy(bestOf, warm)
+			found = true
+		}
+	}
+
+	eps := p.Epsilon0
+	for ep := 0; ep < p.Episodes; ep++ {
+		env.reset()
+		cost := 0.0
+		feasibleRun := true
+		for !env.done() {
+			key := env.stateKey()
+			actBuf = env.feasibleActions(actBuf)
+			if len(actBuf) == 0 {
+				// Dead end: punish the whole visited path is
+				// unnecessary — Q of the last action gets the
+				// penalty so the policy steers away.
+				feasibleRun = false
+				break
+			}
+			row := table.row(key, env.rowInit[env.step])
+			a := epsGreedyMode(row, actBuf, eps, src, p.UniformExploration)
+			i := env.device()
+			r := env.take(a)
+			cost -= r
+			of[i] = a
+
+			var target float64
+			if env.done() {
+				target = r
+			} else {
+				nextBuf = env.feasibleActions(nextBuf)
+				if len(nextBuf) == 0 {
+					// Next state is a dead end: large
+					// penalty as the terminal value.
+					target = r - deadEndPenalty(in)
+					feasibleRun = false
+				} else {
+					nextRow := table.row(env.stateKey(), env.rowInit[env.step])
+					_, nv := bestQ(nextRow, nextBuf)
+					target = r + p.Gamma*nv
+				}
+			}
+			row[a] += p.Alpha * (target - row[a])
+			if !feasibleRun {
+				break
+			}
+		}
+		if feasibleRun && cost < bestCost {
+			bestCost = cost
+			copy(bestOf, of)
+			found = true
+		}
+		if found {
+			q.lastTrace = append(q.lastTrace, bestCost)
+		} else {
+			q.lastTrace = append(q.lastTrace, math.Inf(1))
+		}
+		eps *= p.EpsilonDecay
+		if eps < p.EpsilonMin {
+			eps = p.EpsilonMin
+		}
+	}
+
+	// Final pure-exploitation rollout over the learned table; keep it if
+	// it beats the best training episode.
+	if c, ok := greedyRollout(env, table, of); ok && c < bestCost {
+		bestCost = c
+		copy(bestOf, of)
+		found = true
+	}
+	if !found {
+		return nil, fmt.Errorf("assign/qlearning: no feasible episode in %d attempts: %w", p.Episodes, gap.ErrInfeasible)
+	}
+	return finish(in, bestOf, "qlearning")
+}
+
+// warmStart returns the regret-greedy constructive solution and its cost,
+// or (0, nil) when that heuristic fails. RL assigners use it to prime
+// their incumbent, the standard warm-start that makes episodic search an
+// anytime improver over the best constructive baseline.
+func warmStart(in *gap.Instance) (float64, []int) {
+	rg, err := NewRegretGreedy().Assign(in)
+	if err != nil {
+		return 0, nil
+	}
+	return in.TotalCost(rg), rg.Of
+}
+
+// greedyRollout performs one epsilon=0 episode against the current table,
+// writing the placement into of. It reports the episode cost and whether a
+// complete feasible placement was reached. Q rows touched are created (and
+// therefore cost-seeded) but not updated.
+func greedyRollout(env *mdp, table qtable, of []int) (float64, bool) {
+	env.reset()
+	cost := 0.0
+	var buf []int
+	for !env.done() {
+		buf = env.feasibleActions(buf)
+		if len(buf) == 0 {
+			return 0, false
+		}
+		row := table.row(env.stateKey(), env.rowInit[env.step])
+		a, _ := bestQ(row, buf)
+		i := env.device()
+		cost -= env.take(a)
+		of[i] = a
+	}
+	return cost, true
+}
+
+// deadEndPenalty scales the infeasibility punishment to the instance's
+// cost magnitude so it dominates any delay difference.
+func deadEndPenalty(in *gap.Instance) float64 {
+	max := 0.0
+	for i := 0; i < in.N(); i++ {
+		for j := 0; j < in.M(); j++ {
+			if c := in.CostMs[i][j]; !math.IsInf(c, 1) && c > max {
+				max = c
+			}
+		}
+	}
+	return (max + 1) * float64(in.N())
+}
+
+// SARSA is the on-policy variant of the RL assigner: the TD target uses
+// the action the behaviour policy actually takes next. Kept as an
+// ablation/second heuristic; in the evaluation it tracks Q-learning
+// closely.
+type SARSA struct {
+	// Params tunes learning; zero fields take defaults.
+	Params RLParams
+	seed   int64
+}
+
+// NewSARSA returns a SARSA assigner with default parameters.
+func NewSARSA(seed int64) *SARSA { return &SARSA{seed: seed} }
+
+// Name implements Assigner.
+func (*SARSA) Name() string { return "sarsa" }
+
+// Assign implements Assigner.
+func (s *SARSA) Assign(in *gap.Instance) (*gap.Assignment, error) {
+	p := s.Params.withDefaults()
+	src := xrand.NewSplit(s.seed, "sarsa")
+	env := newMDP(in, p.LoadLevels)
+	table := make(qtable, p.Episodes)
+	var actBuf []int
+
+	bestOf := make([]int, in.N())
+	bestCost := math.Inf(1)
+	found := false
+	of := make([]int, in.N())
+
+	// Same incumbent seeding as QLearning: start from the greedy-quality
+	// exploitation rollout and the regret-greedy warm start so training
+	// can only improve the result.
+	if c, ok := greedyRollout(env, table, of); ok {
+		bestCost = c
+		copy(bestOf, of)
+		found = true
+	}
+	if !p.NoWarmStart {
+		if c, warm := warmStart(in); warm != nil && c < bestCost {
+			bestCost = c
+			copy(bestOf, warm)
+			found = true
+		}
+	}
+
+	eps := p.Epsilon0
+	for ep := 0; ep < p.Episodes; ep++ {
+		env.reset()
+		cost := 0.0
+		feasibleRun := true
+
+		key := env.stateKey()
+		actBuf = env.feasibleActions(actBuf)
+		if len(actBuf) == 0 {
+			return nil, fmt.Errorf("assign/sarsa: no feasible first action: %w", gap.ErrInfeasible)
+		}
+		row := table.row(key, env.rowInit[env.step])
+		a := epsGreedy(row, actBuf, eps, src)
+
+		for {
+			i := env.device()
+			r := env.take(a)
+			cost -= r
+			of[i] = a
+			prevRow, prevA := row, a
+
+			if env.done() {
+				prevRow[prevA] += p.Alpha * (r - prevRow[prevA])
+				break
+			}
+			actBuf = env.feasibleActions(actBuf)
+			if len(actBuf) == 0 {
+				prevRow[prevA] += p.Alpha * (r - deadEndPenalty(in) - prevRow[prevA])
+				feasibleRun = false
+				break
+			}
+			key = env.stateKey()
+			row = table.row(key, env.rowInit[env.step])
+			a = epsGreedy(row, actBuf, eps, src)
+			target := r + p.Gamma*row[a]
+			prevRow[prevA] += p.Alpha * (target - prevRow[prevA])
+		}
+		if feasibleRun && cost < bestCost {
+			bestCost = cost
+			copy(bestOf, of)
+			found = true
+		}
+		eps *= p.EpsilonDecay
+		if eps < p.EpsilonMin {
+			eps = p.EpsilonMin
+		}
+	}
+	if c, ok := greedyRollout(env, table, of); ok && c < bestCost {
+		bestCost = c
+		copy(bestOf, of)
+		found = true
+	}
+	if !found {
+		return nil, fmt.Errorf("assign/sarsa: no feasible episode in %d attempts: %w", p.Episodes, gap.ErrInfeasible)
+	}
+	return finish(in, bestOf, "sarsa")
+}

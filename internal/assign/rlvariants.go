@@ -1,0 +1,232 @@
+package assign
+
+import (
+	"fmt"
+	"math"
+
+	"taccc/internal/gap"
+	"taccc/internal/xrand"
+)
+
+// DoubleQLearning is the double-estimator variant of the RL assigner: two
+// Q tables are updated alternately, each using the other to evaluate its
+// argmax, which removes the positive maximization bias of plain Q-learning
+// (van Hasselt, 2010). Part of the F8 ablation.
+type DoubleQLearning struct {
+	// Params tunes learning; zero fields take defaults.
+	Params RLParams
+	seed   int64
+}
+
+// NewDoubleQLearning returns a double Q-learning assigner.
+func NewDoubleQLearning(seed int64) *DoubleQLearning { return &DoubleQLearning{seed: seed} }
+
+// Name implements Assigner.
+func (*DoubleQLearning) Name() string { return "double-qlearning" }
+
+// Assign implements Assigner.
+func (dq *DoubleQLearning) Assign(in *gap.Instance) (*gap.Assignment, error) {
+	p := dq.Params.withDefaults()
+	src := xrand.NewSplit(dq.seed, "double-q")
+	env := newMDP(in, p.LoadLevels)
+	tableA := make(qtable, p.Episodes)
+	tableB := make(qtable, p.Episodes)
+	var actBuf, nextBuf []int
+	sumRow := make([]float64, in.M())
+
+	bestOf := make([]int, in.N())
+	bestCost := math.Inf(1)
+	found := false
+	of := make([]int, in.N())
+
+	if c, ok := greedyRollout(env, tableA, of); ok {
+		bestCost = c
+		copy(bestOf, of)
+		found = true
+	}
+	if !p.NoWarmStart {
+		if c, warm := warmStart(in); warm != nil && c < bestCost {
+			bestCost = c
+			copy(bestOf, warm)
+			found = true
+		}
+	}
+
+	eps := p.Epsilon0
+	for ep := 0; ep < p.Episodes; ep++ {
+		env.reset()
+		cost := 0.0
+		feasibleRun := true
+		for !env.done() {
+			key := env.stateKey()
+			actBuf = env.feasibleActions(actBuf)
+			if len(actBuf) == 0 {
+				feasibleRun = false
+				break
+			}
+			rowA := tableA.row(key, env.rowInit[env.step])
+			rowB := tableB.row(key, env.rowInit[env.step])
+			// Behaviour policy acts on the sum of the two tables.
+			for j := range sumRow {
+				sumRow[j] = rowA[j] + rowB[j]
+			}
+			a := epsGreedy(sumRow, actBuf, eps, src)
+			i := env.device()
+			r := env.take(a)
+			cost -= r
+			of[i] = a
+
+			// Flip a coin: update one table using the other as
+			// the evaluator of its own argmax.
+			updateA := src.Bernoulli(0.5)
+			upd := rowA
+			if !updateA {
+				upd = rowB
+			}
+			var target float64
+			if env.done() {
+				target = r
+			} else {
+				nextBuf = env.feasibleActions(nextBuf)
+				if len(nextBuf) == 0 {
+					target = r - deadEndPenalty(in)
+					feasibleRun = false
+				} else {
+					nk := env.stateKey()
+					nA := tableA.row(nk, env.rowInit[env.step])
+					nB := tableB.row(nk, env.rowInit[env.step])
+					nUpd, nEval := nA, nB
+					if !updateA {
+						nUpd, nEval = nB, nA
+					}
+					am, _ := bestQ(nUpd, nextBuf)
+					target = r + p.Gamma*nEval[am]
+				}
+			}
+			upd[a] += p.Alpha * (target - upd[a])
+			if !feasibleRun {
+				break
+			}
+		}
+		if feasibleRun && cost < bestCost {
+			bestCost = cost
+			copy(bestOf, of)
+			found = true
+		}
+		eps *= p.EpsilonDecay
+		if eps < p.EpsilonMin {
+			eps = p.EpsilonMin
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("assign/double-qlearning: no feasible episode in %d attempts: %w", p.Episodes, gap.ErrInfeasible)
+	}
+	return finish(in, bestOf, "double-qlearning")
+}
+
+// ExpectedSARSA replaces the SARSA sample of the next action with its
+// expectation under the epsilon-greedy policy, reducing update variance.
+// Part of the F8 ablation.
+type ExpectedSARSA struct {
+	// Params tunes learning; zero fields take defaults.
+	Params RLParams
+	seed   int64
+}
+
+// NewExpectedSARSA returns an expected-SARSA assigner.
+func NewExpectedSARSA(seed int64) *ExpectedSARSA { return &ExpectedSARSA{seed: seed} }
+
+// Name implements Assigner.
+func (*ExpectedSARSA) Name() string { return "expected-sarsa" }
+
+// Assign implements Assigner.
+func (es *ExpectedSARSA) Assign(in *gap.Instance) (*gap.Assignment, error) {
+	p := es.Params.withDefaults()
+	src := xrand.NewSplit(es.seed, "expected-sarsa")
+	env := newMDP(in, p.LoadLevels)
+	table := make(qtable, p.Episodes)
+	var actBuf, nextBuf []int
+
+	bestOf := make([]int, in.N())
+	bestCost := math.Inf(1)
+	found := false
+	of := make([]int, in.N())
+
+	if c, ok := greedyRollout(env, table, of); ok {
+		bestCost = c
+		copy(bestOf, of)
+		found = true
+	}
+	if !p.NoWarmStart {
+		if c, warm := warmStart(in); warm != nil && c < bestCost {
+			bestCost = c
+			copy(bestOf, warm)
+			found = true
+		}
+	}
+
+	eps := p.Epsilon0
+	for ep := 0; ep < p.Episodes; ep++ {
+		env.reset()
+		cost := 0.0
+		feasibleRun := true
+		for !env.done() {
+			key := env.stateKey()
+			actBuf = env.feasibleActions(actBuf)
+			if len(actBuf) == 0 {
+				feasibleRun = false
+				break
+			}
+			row := table.row(key, env.rowInit[env.step])
+			a := epsGreedy(row, actBuf, eps, src)
+			i := env.device()
+			r := env.take(a)
+			cost -= r
+			of[i] = a
+
+			var target float64
+			if env.done() {
+				target = r
+			} else {
+				nextBuf = env.feasibleActions(nextBuf)
+				if len(nextBuf) == 0 {
+					target = r - deadEndPenalty(in)
+					feasibleRun = false
+				} else {
+					nextRow := table.row(env.stateKey(), env.rowInit[env.step])
+					target = r + p.Gamma*expectedValue(nextRow, nextBuf, eps)
+				}
+			}
+			row[a] += p.Alpha * (target - row[a])
+			if !feasibleRun {
+				break
+			}
+		}
+		if feasibleRun && cost < bestCost {
+			bestCost = cost
+			copy(bestOf, of)
+			found = true
+		}
+		eps *= p.EpsilonDecay
+		if eps < p.EpsilonMin {
+			eps = p.EpsilonMin
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("assign/expected-sarsa: no feasible episode in %d attempts: %w", p.Episodes, gap.ErrInfeasible)
+	}
+	return finish(in, bestOf, "expected-sarsa")
+}
+
+// expectedValue computes E[Q(s', A')] under an epsilon-greedy policy that
+// explores uniformly over the feasible set (a simplification of the
+// softmax behaviour, adequate as an update target).
+func expectedValue(row []float64, feasible []int, eps float64) float64 {
+	_, best := bestQ(row, feasible)
+	mean := 0.0
+	for _, a := range feasible {
+		mean += row[a]
+	}
+	mean /= float64(len(feasible))
+	return (1-eps)*best + eps*mean
+}

@@ -1,0 +1,210 @@
+package assign
+
+import (
+	"fmt"
+	"math"
+
+	"taccc/internal/gap"
+	"taccc/internal/xrand"
+)
+
+// TabuSearch escapes the local optima that plain hill climbing stalls in:
+// every iteration applies the best feasible shift move even if it worsens
+// the objective, while a tabu list forbids undoing recent moves; an
+// aspiration criterion overrides the list when a move would produce a new
+// incumbent.
+type TabuSearch struct {
+	// Iters is the number of moves (default 2000).
+	Iters int
+	// Tenure is how many iterations a reversed move stays forbidden
+	// (default n/4+3, set when 0).
+	Tenure int
+	seed   int64
+}
+
+// NewTabuSearch returns a tabu-search assigner.
+func NewTabuSearch(seed int64) *TabuSearch { return &TabuSearch{seed: seed} }
+
+// Name implements Assigner.
+func (*TabuSearch) Name() string { return "tabu" }
+
+// Assign implements Assigner.
+func (ts *TabuSearch) Assign(in *gap.Instance) (*gap.Assignment, error) {
+	start, err := startFeasible(in, ts.seed)
+	if err != nil {
+		return nil, fmt.Errorf("assign/tabu: %w", err)
+	}
+	n, m := in.N(), in.M()
+	iters := ts.Iters
+	if iters <= 0 {
+		iters = 2000
+	}
+	tenure := ts.Tenure
+	if tenure <= 0 {
+		tenure = n/4 + 3
+	}
+
+	of := start.Of
+	residual := residuals(in)
+	for i, j := range of {
+		residual[j] -= in.Weight[i][j]
+	}
+	cur := in.TotalCost(&gap.Assignment{Of: of})
+	bestOf := make([]int, n)
+	copy(bestOf, of)
+	bestCost := cur
+
+	// tabuUntil[i][j] bans placing device i on edge j until that
+	// iteration index.
+	tabuUntil := make([][]int, n)
+	for i := range tabuUntil {
+		tabuUntil[i] = make([]int, m)
+	}
+
+	for it := 0; it < iters; it++ {
+		// Best admissible shift move across the whole neighborhood.
+		bi, bj := -1, -1
+		bestDelta := math.Inf(1)
+		for i := 0; i < n; i++ {
+			curJ := of[i]
+			for j := 0; j < m; j++ {
+				if j == curJ || !fits(in, residual, i, j) {
+					continue
+				}
+				delta := in.CostMs[i][j] - in.CostMs[i][curJ]
+				newCost := cur + delta
+				if it < tabuUntil[i][j] && newCost >= bestCost-1e-12 {
+					continue // tabu and not aspirational
+				}
+				if delta < bestDelta {
+					bestDelta, bi, bj = delta, i, j
+				}
+			}
+		}
+		if bi < 0 {
+			break // no admissible move
+		}
+		from := of[bi]
+		residual[from] += in.Weight[bi][from]
+		residual[bj] -= in.Weight[bi][bj]
+		of[bi] = bj
+		cur += bestDelta
+		// Forbid moving the device straight back.
+		tabuUntil[bi][from] = it + tenure
+		if cur < bestCost-1e-12 {
+			bestCost = cur
+			copy(bestOf, of)
+		}
+	}
+	return finish(in, bestOf, "tabu")
+}
+
+// LNS is a large-neighborhood search: repeatedly destroy a random fraction
+// of the assignment (remove those devices) and repair it with regret-based
+// reinsertion, accepting improvements. Destroy-and-repair escapes local
+// structure that single-device moves cannot.
+type LNS struct {
+	// Iters is the number of destroy/repair rounds (default 60).
+	Iters int
+	// DestroyFrac is the fraction of devices removed each round
+	// (default 0.25).
+	DestroyFrac float64
+	seed        int64
+}
+
+// NewLNS returns a large-neighborhood-search assigner.
+func NewLNS(seed int64) *LNS { return &LNS{seed: seed} }
+
+// Name implements Assigner.
+func (*LNS) Name() string { return "lns" }
+
+// Assign implements Assigner.
+func (l *LNS) Assign(in *gap.Instance) (*gap.Assignment, error) {
+	start, err := startFeasible(in, l.seed)
+	if err != nil {
+		return nil, fmt.Errorf("assign/lns: %w", err)
+	}
+	src := xrand.NewSplit(l.seed, "lns")
+	n := in.N()
+	iters := l.Iters
+	if iters <= 0 {
+		iters = 60
+	}
+	frac := l.DestroyFrac
+	if frac <= 0 || frac >= 1 {
+		frac = 0.25
+	}
+	k := int(float64(n)*frac) + 1
+
+	bestOf := make([]int, n)
+	copy(bestOf, start.Of)
+	bestCost := in.TotalCost(start)
+
+	work := make([]int, n)
+	for it := 0; it < iters; it++ {
+		copy(work, bestOf)
+		residual := residuals(in)
+		for i, j := range work {
+			residual[j] -= in.Weight[i][j]
+		}
+		// Destroy: remove k random devices.
+		perm := src.Perm(n)
+		removed := perm[:k]
+		for _, i := range removed {
+			residual[work[i]] += in.Weight[i][work[i]]
+			work[i] = -1
+		}
+		// Repair: regret-based reinsertion over the removed set.
+		if !regretReinsert(in, work, residual, removed) {
+			continue
+		}
+		c := in.TotalCost(&gap.Assignment{Of: work})
+		if c < bestCost-1e-12 {
+			bestCost = c
+			copy(bestOf, work)
+		}
+	}
+	return finish(in, bestOf, "lns")
+}
+
+// regretReinsert places the removed devices back (largest regret first);
+// reports success.
+func regretReinsert(in *gap.Instance, of []int, residual []float64, removed []int) bool {
+	pending := make(map[int]bool, len(removed))
+	for _, i := range removed {
+		pending[i] = true
+	}
+	for len(pending) > 0 {
+		bestDev, bestEdge := -1, -1
+		bestRegret := math.Inf(-1)
+		for i := range pending {
+			first, second, firstJ := math.Inf(1), math.Inf(1), -1
+			for j := 0; j < in.M(); j++ {
+				if !fits(in, residual, i, j) {
+					continue
+				}
+				c := in.CostMs[i][j]
+				switch {
+				case c < first:
+					second, first, firstJ = first, c, j
+				case c < second:
+					second = c
+				}
+			}
+			if firstJ < 0 {
+				return false
+			}
+			regret := second - first
+			if math.IsInf(second, 1) {
+				regret = math.Inf(1)
+			}
+			if regret > bestRegret {
+				bestRegret, bestDev, bestEdge = regret, i, firstJ
+			}
+		}
+		of[bestDev] = bestEdge
+		residual[bestEdge] -= in.Weight[bestDev][bestEdge]
+		delete(pending, bestDev)
+	}
+	return true
+}

@@ -1,0 +1,694 @@
+// Package cluster is the edge-cluster runtime simulator: it replays IoT
+// request streams against an assignment, modeling uplink network delay
+// (from the topology-derived delay matrix), FIFO queueing and service at
+// each edge server, and downlink delay back to the device. It reports
+// end-to-end latency distributions, deadline misses, per-edge utilization
+// and drops, and supports runtime reconfiguration, device churn and edge
+// failure injection — the substrate for the end-to-end and dynamic
+// experiments (T3, F7).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"taccc/internal/sim"
+	"taccc/internal/stats"
+	"taccc/internal/workload"
+	"taccc/internal/xrand"
+)
+
+// Discipline selects how an edge server schedules queued requests.
+type Discipline int
+
+// Queueing disciplines.
+const (
+	// DisciplineFIFO serves one request at a time in arrival order
+	// (the default).
+	DisciplineFIFO Discipline = iota
+	// DisciplinePS is egalitarian processor sharing: all queued
+	// requests progress simultaneously at rate/k each.
+	DisciplinePS
+)
+
+// Config describes a simulation run. All fields are required unless noted.
+type Config struct {
+	// UplinkMs[i][j] is the request delay from device i to edge j;
+	// DownlinkMs[i][j] the response delay (often smaller payloads). If
+	// DownlinkMs is nil, UplinkMs is used for both directions.
+	UplinkMs   [][]float64
+	DownlinkMs [][]float64
+	// Devices holds the demand profiles; Devices[i] pairs with row i.
+	Devices []workload.Device
+	// ServiceRate[j] is the processing rate of ONE server at edge j, in
+	// compute units per second; a request of c units takes c/rate
+	// seconds of service.
+	ServiceRate []float64
+	// ServersPerEdge[j] is the number of parallel servers at edge j
+	// (an M/M/c-style station under FIFO). Nil means one server
+	// everywhere. Under processor sharing the servers pool into one
+	// PS station of aggregate rate c*rate (the standard fluid
+	// approximation).
+	ServersPerEdge []int
+	// Assignment[i] is the edge serving device i.
+	Assignment []int
+	// WarmupMs excludes the initial transient from statistics.
+	WarmupMs float64
+	// Discipline selects FIFO (default) or processor sharing.
+	Discipline Discipline
+	// MaxQueue caps the number of requests queued or in service per
+	// edge; arrivals beyond the cap are dropped. 0 means unlimited.
+	MaxQueue int
+	// Recorder, when non-nil, receives one RequestRecord per request
+	// (completions and drops, including warmup traffic). Use
+	// internal/trace to persist and analyze.
+	Recorder Recorder
+	// JitterSigma, when > 0, multiplies every per-request network delay
+	// (uplink and downlink) by an independent lognormal factor with the
+	// given sigma, normalized to mean 1 so average delays are preserved
+	// while variance grows — wireless links are not deterministic.
+	JitterSigma float64
+	// Seed drives arrival randomness.
+	Seed int64
+}
+
+// Outcome classifies how a request ended.
+type Outcome string
+
+// Request outcomes.
+const (
+	// OutcomeOK completed within its deadline (or had none).
+	OutcomeOK Outcome = "ok"
+	// OutcomeMissed completed after its deadline.
+	OutcomeMissed Outcome = "missed"
+	// OutcomeDropped never completed (failed edge, unreachable pair or
+	// full queue).
+	OutcomeDropped Outcome = "dropped"
+)
+
+// RequestRecord is one request's lifecycle for trace recording.
+type RequestRecord struct {
+	// Device and Edge identify the request's endpoints; Edge is -1 for
+	// requests dropped before edge selection mattered.
+	Device int
+	Edge   int
+	// SentAtMs and DoneAtMs bound the lifecycle (DoneAtMs is the drop
+	// time for dropped requests).
+	SentAtMs float64
+	DoneAtMs float64
+	// LatencyMs is end-to-end latency (0 for drops).
+	LatencyMs float64
+	// Outcome classifies the ending.
+	Outcome Outcome
+}
+
+// Recorder consumes request records as the simulation produces them.
+type Recorder interface {
+	Record(RequestRecord)
+}
+
+func (c Config) validate() error {
+	n := len(c.Devices)
+	if n == 0 {
+		return errors.New("cluster: no devices")
+	}
+	m := len(c.ServiceRate)
+	if m == 0 {
+		return errors.New("cluster: no edge servers")
+	}
+	if len(c.UplinkMs) != n {
+		return fmt.Errorf("cluster: uplink matrix has %d rows, want %d", len(c.UplinkMs), n)
+	}
+	for i, row := range c.UplinkMs {
+		if len(row) != m {
+			return fmt.Errorf("cluster: uplink row %d has %d cols, want %d", i, len(row), m)
+		}
+	}
+	if c.DownlinkMs != nil {
+		if len(c.DownlinkMs) != n {
+			return fmt.Errorf("cluster: downlink matrix has %d rows, want %d", len(c.DownlinkMs), n)
+		}
+		for i, row := range c.DownlinkMs {
+			if len(row) != m {
+				return fmt.Errorf("cluster: downlink row %d has %d cols, want %d", i, len(row), m)
+			}
+		}
+	}
+	for j, r := range c.ServiceRate {
+		if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return fmt.Errorf("cluster: invalid service rate %v at edge %d", r, j)
+		}
+	}
+	if len(c.Assignment) != n {
+		return fmt.Errorf("cluster: assignment length %d, want %d", len(c.Assignment), n)
+	}
+	for i, j := range c.Assignment {
+		if j < 0 || j >= m {
+			return fmt.Errorf("cluster: device %d assigned to invalid edge %d", i, j)
+		}
+	}
+	if c.WarmupMs < 0 {
+		return fmt.Errorf("cluster: negative warmup %v", c.WarmupMs)
+	}
+	if c.Discipline != DisciplineFIFO && c.Discipline != DisciplinePS {
+		return fmt.Errorf("cluster: unknown discipline %d", c.Discipline)
+	}
+	if c.MaxQueue < 0 {
+		return fmt.Errorf("cluster: negative MaxQueue %d", c.MaxQueue)
+	}
+	if c.JitterSigma < 0 || math.IsNaN(c.JitterSigma) {
+		return fmt.Errorf("cluster: invalid JitterSigma %v", c.JitterSigma)
+	}
+	if c.ServersPerEdge != nil {
+		if len(c.ServersPerEdge) != m {
+			return fmt.Errorf("cluster: %d server counts for %d edges", len(c.ServersPerEdge), m)
+		}
+		for j, k := range c.ServersPerEdge {
+			if k <= 0 {
+				return fmt.Errorf("cluster: edge %d has %d servers, want >= 1", j, k)
+			}
+		}
+	}
+	return nil
+}
+
+// servers returns edge j's server count.
+func (c Config) servers(j int) int {
+	if c.ServersPerEdge == nil {
+		return 1
+	}
+	return c.ServersPerEdge[j]
+}
+
+// Result aggregates a run's observable behaviour (post-warmup).
+type Result struct {
+	// Latency collects end-to-end request latencies in ms.
+	Latency stats.Sample
+	// Completed, DeadlineMisses and Dropped count requests.
+	Completed      int
+	DeadlineMisses int
+	Dropped        int
+	// EdgeBusyMs[j] is the total service busy time of edge j; divide by
+	// the measured duration for utilization.
+	EdgeBusyMs []float64
+	// PeakQueue[j] is the maximum number of requests simultaneously
+	// queued or in service at edge j.
+	PeakQueue []int
+	// DurationMs is the measured (post-warmup) horizon.
+	DurationMs float64
+}
+
+// Utilization returns per-edge busy fractions over the measured window.
+func (r *Result) Utilization() []float64 {
+	out := make([]float64, len(r.EdgeBusyMs))
+	if r.DurationMs <= 0 {
+		return out
+	}
+	for j, b := range r.EdgeBusyMs {
+		out[j] = b / r.DurationMs
+	}
+	return out
+}
+
+// MissRate returns the fraction of completed requests that missed their
+// deadline.
+func (r *Result) MissRate() float64 {
+	if r.Completed == 0 {
+		return 0
+	}
+	return float64(r.DeadlineMisses) / float64(r.Completed)
+}
+
+// Simulator owns one simulation. Construct with New, optionally schedule
+// reconfigurations/failures/churn, then call Run once.
+type Simulator struct {
+	cfg     Config
+	engine  sim.Engine
+	src     *xrand.Source
+	arrival []workload.Arrivals
+
+	assignment []int
+	active     []bool
+	failed     []bool
+	// nextArrive[i] is device i's pending arrival event; deactivation
+	// cancels it so reactivation can never duplicate the stream.
+	nextArrive []*sim.Event
+	// uplink/downlink are the live delay matrices (swappable at runtime
+	// via ScheduleUplinkUpdate).
+	uplink   [][]float64
+	downlink [][]float64
+	// busyUntil[j][s] is server s of edge j's next free time.
+	busyUntil [][]float64
+	inFlight  []int
+	ps        []*psServer
+
+	result  Result
+	horizon float64
+	ran     bool
+}
+
+// New validates the config and builds a simulator.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	src := xrand.NewSplit(cfg.Seed, "cluster")
+	s := &Simulator{
+		cfg:        cfg,
+		src:        src,
+		arrival:    make([]workload.Arrivals, len(cfg.Devices)),
+		assignment: make([]int, len(cfg.Assignment)),
+		active:     make([]bool, len(cfg.Devices)),
+		failed:     make([]bool, len(cfg.ServiceRate)),
+		nextArrive: make([]*sim.Event, len(cfg.Devices)),
+		busyUntil:  make([][]float64, len(cfg.ServiceRate)),
+		inFlight:   make([]int, len(cfg.ServiceRate)),
+	}
+	for j := range s.busyUntil {
+		s.busyUntil[j] = make([]float64, cfg.servers(j))
+	}
+	copy(s.assignment, cfg.Assignment)
+	s.uplink = cfg.UplinkMs
+	s.downlink = cfg.DownlinkMs
+	for i, d := range cfg.Devices {
+		a, err := workload.NewArrivals(d, src.Split(fmt.Sprintf("dev-%d", i)))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: device %d: %w", i, err)
+		}
+		s.arrival[i] = a
+		s.active[i] = true
+	}
+	s.result.EdgeBusyMs = make([]float64, len(cfg.ServiceRate))
+	s.result.PeakQueue = make([]int, len(cfg.ServiceRate))
+	if cfg.Discipline == DisciplinePS {
+		s.ps = make([]*psServer, len(cfg.ServiceRate))
+		for j := range s.ps {
+			// Multi-server PS pools into one station of aggregate rate.
+			s.ps[j] = &psServer{
+				rate: cfg.ServiceRate[j] * float64(cfg.servers(j)),
+				jobs: make(map[int64]*psJob),
+			}
+		}
+	}
+	return s, nil
+}
+
+// psJob is one in-service request under processor sharing.
+type psJob struct {
+	remaining float64 // compute units left
+	devIdx    int
+	sentAt    float64
+}
+
+// psServer shares its rate equally among active jobs. Remaining work is
+// advanced lazily at every arrival/completion event.
+type psServer struct {
+	rate   float64
+	jobs   map[int64]*psJob
+	nextID int64
+	lastT  float64
+	wake   *sim.Event
+}
+
+// advance applies elapsed virtual time to all jobs.
+func (p *psServer) advance(now float64) {
+	if k := len(p.jobs); k > 0 && now > p.lastT {
+		done := p.rate * (now - p.lastT) / 1000 / float64(k)
+		for _, j := range p.jobs {
+			j.remaining -= done
+		}
+	}
+	p.lastT = now
+}
+
+// nextCompletion returns the id and absolute time of the earliest finishing
+// job, or (-1, 0) when idle.
+func (p *psServer) nextCompletion(now float64) (int64, float64) {
+	bestID := int64(-1)
+	best := math.Inf(1)
+	for id, j := range p.jobs {
+		// Tie-break on id so map iteration order cannot leak into the
+		// schedule.
+		if j.remaining < best || (j.remaining == best && id < bestID) {
+			best = j.remaining
+			bestID = id
+		}
+	}
+	if bestID < 0 {
+		return -1, 0
+	}
+	if best < 0 {
+		best = 0
+	}
+	return bestID, now + best*float64(len(p.jobs))*1000/p.rate
+}
+
+// record forwards to the configured recorder, if any.
+func (s *Simulator) record(rec RequestRecord) {
+	if s.cfg.Recorder != nil {
+		s.cfg.Recorder.Record(rec)
+	}
+}
+
+// downlinkDelay returns the response delay for (device, edge).
+func (s *Simulator) downlinkDelay(i, j int) float64 {
+	base := s.uplink[i][j]
+	if s.downlink != nil {
+		base = s.downlink[i][j]
+	}
+	return s.jitter(base)
+}
+
+// jitter applies the configured per-request lognormal network jitter.
+// The factor exp(N(0, sigma)) has mean exp(sigma^2/2), so it is divided
+// out to keep the average delay equal to the configured one.
+func (s *Simulator) jitter(delayMs float64) float64 {
+	sigma := s.cfg.JitterSigma
+	if sigma == 0 || math.IsInf(delayMs, 1) {
+		return delayMs
+	}
+	factor := math.Exp(s.src.Normal(0, sigma)) / math.Exp(sigma*sigma/2)
+	return delayMs * factor
+}
+
+// validateMatrix checks an n-by-m delay matrix.
+func (s *Simulator) validateMatrix(ms [][]float64, label string) error {
+	if len(ms) != len(s.cfg.Devices) {
+		return fmt.Errorf("cluster: %s matrix has %d rows, want %d", label, len(ms), len(s.cfg.Devices))
+	}
+	for i, row := range ms {
+		if len(row) != len(s.cfg.ServiceRate) {
+			return fmt.Errorf("cluster: %s row %d has %d cols, want %d", label, i, len(row), len(s.cfg.ServiceRate))
+		}
+	}
+	return nil
+}
+
+// ScheduleUplinkUpdate swaps the live delay matrices at virtual time tMs —
+// the mechanism for replaying mobility-driven topology drift inside one
+// simulation run. downlink may be nil to mirror the uplink. Must be called
+// before Run. The matrices are used as-is (not copied); do not mutate them
+// after scheduling.
+func (s *Simulator) ScheduleUplinkUpdate(tMs float64, uplink, downlink [][]float64) error {
+	if err := s.validateMatrix(uplink, "uplink"); err != nil {
+		return err
+	}
+	if downlink != nil {
+		if err := s.validateMatrix(downlink, "downlink"); err != nil {
+			return err
+		}
+	}
+	s.engine.Schedule(tMs, func(*sim.Engine) {
+		s.uplink = uplink
+		s.downlink = downlink
+	})
+	return nil
+}
+
+// ScheduleReconfigureWithPause swaps the assignment at tMs like
+// ScheduleReconfigure, but devices whose placement changed pause for
+// pauseMs (their state is migrating): their arrival streams stop and
+// resume when the migration completes. Must be called before Run.
+func (s *Simulator) ScheduleReconfigureWithPause(tMs float64, assignment []int, pauseMs float64) error {
+	if len(assignment) != len(s.cfg.Devices) {
+		return fmt.Errorf("cluster: reconfigure assignment length %d, want %d", len(assignment), len(s.cfg.Devices))
+	}
+	for i, j := range assignment {
+		if j < 0 || j >= len(s.cfg.ServiceRate) {
+			return fmt.Errorf("cluster: reconfigure device %d to invalid edge %d", i, j)
+		}
+	}
+	if pauseMs < 0 {
+		return fmt.Errorf("cluster: negative migration pause %v", pauseMs)
+	}
+	of := make([]int, len(assignment))
+	copy(of, assignment)
+	s.engine.Schedule(tMs, func(e *sim.Engine) {
+		for i := range of {
+			if s.assignment[i] == of[i] || !s.active[i] {
+				continue
+			}
+			i := i
+			s.deactivateDevice(e, i)
+			e.After(pauseMs, func(e *sim.Engine) { s.activateDevice(e, i) })
+		}
+		copy(s.assignment, of)
+	})
+	return nil
+}
+
+// ScheduleReconfigure swaps the live assignment at virtual time tMs.
+// Requests already in flight complete under their old edge; new arrivals
+// use the new mapping. Must be called before Run.
+func (s *Simulator) ScheduleReconfigure(tMs float64, assignment []int) error {
+	if len(assignment) != len(s.cfg.Devices) {
+		return fmt.Errorf("cluster: reconfigure assignment length %d, want %d", len(assignment), len(s.cfg.Devices))
+	}
+	for i, j := range assignment {
+		if j < 0 || j >= len(s.cfg.ServiceRate) {
+			return fmt.Errorf("cluster: reconfigure device %d to invalid edge %d", i, j)
+		}
+	}
+	of := make([]int, len(assignment))
+	copy(of, assignment)
+	s.engine.Schedule(tMs, func(*sim.Engine) { copy(s.assignment, of) })
+	return nil
+}
+
+// ScheduleEdgeFailure marks edge j failed at tMs: all requests targeting
+// it afterwards are dropped until ScheduleEdgeRecovery. Must be called
+// before Run.
+func (s *Simulator) ScheduleEdgeFailure(tMs float64, j int) error {
+	if j < 0 || j >= len(s.cfg.ServiceRate) {
+		return fmt.Errorf("cluster: failure on invalid edge %d", j)
+	}
+	s.engine.Schedule(tMs, func(*sim.Engine) { s.failed[j] = true })
+	return nil
+}
+
+// ScheduleEdgeRecovery clears a failure at tMs. Must be called before Run.
+func (s *Simulator) ScheduleEdgeRecovery(tMs float64, j int) error {
+	if j < 0 || j >= len(s.cfg.ServiceRate) {
+		return fmt.Errorf("cluster: recovery on invalid edge %d", j)
+	}
+	s.engine.Schedule(tMs, func(*sim.Engine) { s.failed[j] = false })
+	return nil
+}
+
+// ScheduleDeviceChurn toggles device i's activity at tMs (join = true
+// resumes arrivals, false silences the device). Must be called before Run.
+func (s *Simulator) ScheduleDeviceChurn(tMs float64, i int, join bool) error {
+	if i < 0 || i >= len(s.cfg.Devices) {
+		return fmt.Errorf("cluster: churn on invalid device %d", i)
+	}
+	s.engine.Schedule(tMs, func(e *sim.Engine) {
+		if join {
+			s.activateDevice(e, i)
+		} else {
+			s.deactivateDevice(e, i)
+		}
+	})
+	return nil
+}
+
+// scheduleNextArrival arms device i's next arrival and tracks the event so
+// deactivation can cancel it (preventing duplicated streams on resume).
+func (s *Simulator) scheduleNextArrival(e *sim.Engine, i int) {
+	s.nextArrive[i] = e.After(s.arrival[i].NextGapMs(), func(e *sim.Engine) { s.arrive(e, i) })
+}
+
+// deactivateDevice silences device i and cancels its pending arrival.
+func (s *Simulator) deactivateDevice(e *sim.Engine, i int) {
+	s.active[i] = false
+	if ev := s.nextArrive[i]; ev != nil {
+		e.Cancel(ev)
+		s.nextArrive[i] = nil
+	}
+}
+
+// activateDevice resumes device i's arrival stream if it was silent.
+func (s *Simulator) activateDevice(e *sim.Engine, i int) {
+	if s.active[i] {
+		return
+	}
+	s.active[i] = true
+	s.scheduleNextArrival(e, i)
+}
+
+// arrive handles one request arrival from device i and schedules the next.
+func (s *Simulator) arrive(e *sim.Engine, i int) {
+	s.nextArrive[i] = nil
+	if !s.active[i] {
+		return // deactivated after this event was armed: stream stops
+	}
+	now := e.Now()
+	j := s.assignment[i]
+	measured := now >= s.cfg.WarmupMs
+
+	if s.failed[j] {
+		if measured {
+			s.result.Dropped++
+		}
+		s.record(RequestRecord{Device: i, Edge: j, SentAtMs: now, DoneAtMs: now, Outcome: OutcomeDropped})
+	} else {
+		uplink := s.uplink[i][j]
+		if math.IsInf(uplink, 1) {
+			if measured {
+				s.result.Dropped++
+			}
+			s.record(RequestRecord{Device: i, Edge: j, SentAtMs: now, DoneAtMs: now, Outcome: OutcomeDropped})
+		} else {
+			arriveAtEdge := now + s.jitter(uplink)
+			e.Schedule(arriveAtEdge, func(e *sim.Engine) { s.serve(e, i, j, now) })
+		}
+	}
+	s.scheduleNextArrival(e, i)
+}
+
+// serve enqueues the request at edge j under the configured discipline.
+func (s *Simulator) serve(e *sim.Engine, i, j int, sentAt float64) {
+	if s.failed[j] {
+		if sentAt >= s.cfg.WarmupMs {
+			s.result.Dropped++
+		}
+		s.record(RequestRecord{Device: i, Edge: j, SentAtMs: sentAt, DoneAtMs: e.Now(), Outcome: OutcomeDropped})
+		return
+	}
+	if s.cfg.MaxQueue > 0 && s.inFlight[j] >= s.cfg.MaxQueue {
+		if sentAt >= s.cfg.WarmupMs {
+			s.result.Dropped++
+		}
+		s.record(RequestRecord{Device: i, Edge: j, SentAtMs: sentAt, DoneAtMs: e.Now(), Outcome: OutcomeDropped})
+		return
+	}
+	if s.cfg.Discipline == DisciplinePS {
+		s.servePS(e, i, j, sentAt)
+		return
+	}
+	now := e.Now()
+	d := s.cfg.Devices[i]
+	serviceMs := d.ComputeUnits / s.cfg.ServiceRate[j] * 1000
+	// FIFO with c parallel servers: the request takes the server that
+	// frees up first.
+	srv := 0
+	for k := 1; k < len(s.busyUntil[j]); k++ {
+		if s.busyUntil[j][k] < s.busyUntil[j][srv] {
+			srv = k
+		}
+	}
+	start := now
+	if s.busyUntil[j][srv] > start {
+		start = s.busyUntil[j][srv]
+	}
+	finish := start + serviceMs
+	s.busyUntil[j][srv] = finish
+	s.inFlight[j]++
+	if s.inFlight[j] > s.result.PeakQueue[j] {
+		s.result.PeakQueue[j] = s.inFlight[j]
+	}
+	if sentAt >= s.cfg.WarmupMs {
+		s.result.EdgeBusyMs[j] += serviceMs
+	}
+	e.Schedule(finish, func(e *sim.Engine) {
+		s.inFlight[j]--
+		latency := e.Now() + s.downlinkDelay(i, j) - sentAt
+		outcome := OutcomeOK
+		if d.DeadlineMs > 0 && latency > d.DeadlineMs {
+			outcome = OutcomeMissed
+		}
+		if sentAt >= s.cfg.WarmupMs {
+			s.result.Completed++
+			s.result.Latency.Add(latency)
+			if outcome == OutcomeMissed {
+				s.result.DeadlineMisses++
+			}
+		}
+		s.record(RequestRecord{Device: i, Edge: j, SentAtMs: sentAt, DoneAtMs: sentAt + latency, LatencyMs: latency, Outcome: outcome})
+	})
+}
+
+// servePS admits the request into the edge's processor-sharing pool and
+// (re)schedules the next completion.
+func (s *Simulator) servePS(e *sim.Engine, i, j int, sentAt float64) {
+	p := s.ps[j]
+	now := e.Now()
+	p.advance(now)
+	id := p.nextID
+	p.nextID++
+	p.jobs[id] = &psJob{remaining: s.cfg.Devices[i].ComputeUnits, devIdx: i, sentAt: sentAt}
+	s.inFlight[j]++
+	if s.inFlight[j] > s.result.PeakQueue[j] {
+		s.result.PeakQueue[j] = s.inFlight[j]
+	}
+	if sentAt >= s.cfg.WarmupMs {
+		// A PS server is busy whenever any job is present; attribute
+		// per-request service demand as busy time (equivalent in
+		// total to FIFO accounting).
+		s.result.EdgeBusyMs[j] += s.cfg.Devices[i].ComputeUnits / s.cfg.ServiceRate[j] * 1000
+	}
+	s.reschedulePS(e, j)
+}
+
+// reschedulePS cancels and re-arms edge j's completion wake-up.
+func (s *Simulator) reschedulePS(e *sim.Engine, j int) {
+	p := s.ps[j]
+	if p.wake != nil {
+		e.Cancel(p.wake)
+		p.wake = nil
+	}
+	id, at := p.nextCompletion(e.Now())
+	if id < 0 {
+		return
+	}
+	p.wake = e.Schedule(at, func(e *sim.Engine) { s.completePS(e, j) })
+}
+
+// completePS finishes every job whose remaining work has drained.
+func (s *Simulator) completePS(e *sim.Engine, j int) {
+	p := s.ps[j]
+	now := e.Now()
+	p.wake = nil
+	p.advance(now)
+	const drained = 1e-9
+	for id, job := range p.jobs {
+		if job.remaining > drained {
+			continue
+		}
+		delete(p.jobs, id)
+		s.inFlight[j]--
+		latency := now + s.downlinkDelay(job.devIdx, j) - job.sentAt
+		outcome := OutcomeOK
+		if dl := s.cfg.Devices[job.devIdx].DeadlineMs; dl > 0 && latency > dl {
+			outcome = OutcomeMissed
+		}
+		if job.sentAt >= s.cfg.WarmupMs {
+			s.result.Completed++
+			s.result.Latency.Add(latency)
+			if outcome == OutcomeMissed {
+				s.result.DeadlineMisses++
+			}
+		}
+		s.record(RequestRecord{Device: job.devIdx, Edge: j, SentAtMs: job.sentAt, DoneAtMs: job.sentAt + latency, LatencyMs: latency, Outcome: outcome})
+	}
+	s.reschedulePS(e, j)
+}
+
+// Run executes the simulation for durationMs of virtual time and returns
+// the collected result. Run may be called only once.
+func (s *Simulator) Run(durationMs float64) (*Result, error) {
+	if s.ran {
+		return nil, errors.New("cluster: Run called twice")
+	}
+	if durationMs <= s.cfg.WarmupMs {
+		return nil, fmt.Errorf("cluster: duration %v must exceed warmup %v", durationMs, s.cfg.WarmupMs)
+	}
+	s.ran = true
+	s.horizon = durationMs
+	for i := range s.cfg.Devices {
+		s.scheduleNextArrival(&s.engine, i)
+	}
+	s.engine.Run(durationMs)
+	s.result.DurationMs = durationMs - s.cfg.WarmupMs
+	return &s.result, nil
+}

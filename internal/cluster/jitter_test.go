@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJitterValidation(t *testing.T) {
+	cfg := simpleConfig()
+	cfg.JitterSigma = -0.1
+	if _, err := New(cfg); err == nil {
+		t.Error("negative jitter accepted")
+	}
+	cfg = simpleConfig()
+	cfg.JitterSigma = math.NaN()
+	if _, err := New(cfg); err == nil {
+		t.Error("NaN jitter accepted")
+	}
+}
+
+func TestJitterPreservesMeanRaisesVariance(t *testing.T) {
+	mk := func(sigma float64) *Result {
+		cfg := simpleConfig()
+		cfg.Devices[0].RateHz = 5
+		cfg.Devices[1].RateHz = 5
+		cfg.JitterSigma = sigma
+		res, err := mustRun(cfg, 240_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	clean := mk(0)
+	noisy := mk(0.5)
+	// Mean latency preserved within a few percent (jitter is
+	// mean-normalized).
+	if math.Abs(clean.Latency.Mean()-noisy.Latency.Mean()) > 0.08*clean.Latency.Mean() {
+		t.Fatalf("jitter shifted the mean: %v vs %v", clean.Latency.Mean(), noisy.Latency.Mean())
+	}
+	// The spread must widen: p99 - p50 grows materially.
+	cleanSpread := clean.Latency.P99() - clean.Latency.Median()
+	noisySpread := noisy.Latency.P99() - noisy.Latency.Median()
+	if noisySpread <= cleanSpread*1.5 {
+		t.Fatalf("jitter did not widen the tail: spread %v vs %v", noisySpread, cleanSpread)
+	}
+}
+
+func TestJitterNeverNegative(t *testing.T) {
+	cfg := simpleConfig()
+	cfg.JitterSigma = 1.5 // extreme
+	res, err := mustRun(cfg, 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency.Quantile(0) <= 0 {
+		t.Fatalf("non-positive latency with jitter: %v", res.Latency.Quantile(0))
+	}
+}

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"taccc/internal/workload"
+)
+
+func TestServersPerEdgeValidation(t *testing.T) {
+	cfg := simpleConfig()
+	cfg.ServersPerEdge = []int{1}
+	if _, err := New(cfg); err == nil {
+		t.Error("wrong server-count length accepted")
+	}
+	cfg = simpleConfig()
+	cfg.ServersPerEdge = []int{1, 0}
+	if _, err := New(cfg); err == nil {
+		t.Error("zero servers accepted")
+	}
+}
+
+// Two servers absorb an offered load that overwhelms one server of the
+// same per-server rate.
+func TestMultiServerAbsorbsLoad(t *testing.T) {
+	mk := func(servers int) *Result {
+		cfg := Config{
+			UplinkMs:       [][]float64{{0}},
+			DownlinkMs:     [][]float64{{0}},
+			Devices:        []workload.Device{{ID: 0, RateHz: 60, ComputeUnits: 1}},
+			ServiceRate:    []float64{50}, // 20 ms service; rho = 1.2 on one server
+			ServersPerEdge: []int{servers},
+			Assignment:     []int{0},
+			WarmupMs:       20_000,
+			Seed:           3,
+		}
+		res, err := mustRun(cfg, 120_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	one := mk(1)
+	two := mk(2)
+	// One server at rho=1.2 diverges; two servers at rho=0.6 stay stable.
+	if one.Latency.Mean() < 5*two.Latency.Mean() {
+		t.Fatalf("overloaded single server (%v ms) should dwarf two servers (%v ms)",
+			one.Latency.Mean(), two.Latency.Mean())
+	}
+	if two.Latency.P95() > 200 {
+		t.Fatalf("two-server p95 = %v ms; expected a stable queue", two.Latency.P95())
+	}
+}
+
+// M/D/2 sanity: with two servers at rho=0.3 each, waiting time is tiny, so
+// mean latency ~ service time.
+func TestMD2LowLoadLatency(t *testing.T) {
+	cfg := Config{
+		UplinkMs:       [][]float64{{0}},
+		DownlinkMs:     [][]float64{{0}},
+		Devices:        []workload.Device{{ID: 0, RateHz: 30, ComputeUnits: 1}},
+		ServiceRate:    []float64{50}, // 20 ms service; 2 servers -> rho 0.3 each
+		ServersPerEdge: []int{2},
+		Assignment:     []int{0},
+		WarmupMs:       10_000,
+		Seed:           7,
+	}
+	res, err := mustRun(cfg, 300_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Latency.Mean()-20) > 4 {
+		t.Fatalf("M/D/2 low-load mean = %v ms, want ~20 (service only)", res.Latency.Mean())
+	}
+}
+
+// PS pools multi-server capacity: aggregate rate doubles, so the same
+// offered load completes with roughly half the sojourn time.
+func TestPSMultiServerPoolsCapacity(t *testing.T) {
+	mk := func(servers int) *Result {
+		cfg := Config{
+			UplinkMs:       [][]float64{{0}},
+			DownlinkMs:     [][]float64{{0}},
+			Devices:        []workload.Device{{ID: 0, RateHz: 20, ComputeUnits: 1}},
+			ServiceRate:    []float64{50},
+			ServersPerEdge: []int{servers},
+			Assignment:     []int{0},
+			Discipline:     DisciplinePS,
+			WarmupMs:       10_000,
+			Seed:           5,
+		}
+		res, err := mustRun(cfg, 300_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	one := mk(1)
+	two := mk(2)
+	// M/G/1-PS: T = S/(1-rho). one: S=20, rho=0.4 -> 33.3 ms.
+	// pooled two: S=10, rho=0.2 -> 12.5 ms.
+	if math.Abs(one.Latency.Mean()-33.3) > 4 {
+		t.Fatalf("PS single mean = %v, want ~33.3", one.Latency.Mean())
+	}
+	if math.Abs(two.Latency.Mean()-12.5) > 2.5 {
+		t.Fatalf("PS pooled mean = %v, want ~12.5", two.Latency.Mean())
+	}
+}

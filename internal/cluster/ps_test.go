@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPSValidation(t *testing.T) {
+	cfg := simpleConfig()
+	cfg.Discipline = Discipline(9)
+	if _, err := New(cfg); err == nil {
+		t.Error("unknown discipline accepted")
+	}
+	cfg = simpleConfig()
+	cfg.MaxQueue = -1
+	if _, err := New(cfg); err == nil {
+		t.Error("negative MaxQueue accepted")
+	}
+}
+
+func TestPSLightLoadMatchesFIFO(t *testing.T) {
+	// At light load requests rarely overlap, so PS and FIFO should see
+	// nearly identical latency distributions.
+	mk := func(d Discipline) *Result {
+		cfg := simpleConfig()
+		cfg.Devices[0].RateHz = 1
+		cfg.Devices[1].RateHz = 1
+		cfg.Discipline = d
+		res, err := mustRun(cfg, 60_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fifo := mk(DisciplineFIFO)
+	ps := mk(DisciplinePS)
+	if math.Abs(fifo.Latency.Median()-ps.Latency.Median()) > 1 {
+		t.Fatalf("light-load medians diverge: fifo %v, ps %v",
+			fifo.Latency.Median(), ps.Latency.Median())
+	}
+	if ps.Completed == 0 {
+		t.Fatal("PS completed nothing")
+	}
+}
+
+func TestPSSharesCapacityUnderLoad(t *testing.T) {
+	// Two devices on one edge at moderate load. Under PS short requests
+	// are not stuck behind long ones, so the completion count should be
+	// close to FIFO while latencies stay finite and ordered.
+	mk := func(d Discipline) *Result {
+		cfg := simpleConfig()
+		cfg.Devices[0].RateHz = 40
+		cfg.Devices[1].RateHz = 40
+		cfg.ServiceRate = []float64{100, 100} // service 10 ms, util 0.8
+		cfg.Assignment = []int{0, 0}
+		cfg.Discipline = d
+		res, err := mustRun(cfg, 60_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fifo := mk(DisciplineFIFO)
+	ps := mk(DisciplinePS)
+	if ps.Completed < fifo.Completed*8/10 {
+		t.Fatalf("PS completed %d vs FIFO %d", ps.Completed, fifo.Completed)
+	}
+	if ps.Latency.P95() <= 0 || math.IsInf(ps.Latency.P95(), 0) {
+		t.Fatalf("PS p95 = %v", ps.Latency.P95())
+	}
+	// Utilization accounting should be comparable (same offered work).
+	fu, pu := fifo.Utilization()[0], ps.Utilization()[0]
+	if math.Abs(fu-pu) > 0.1 {
+		t.Fatalf("utilization accounting diverges: fifo %v, ps %v", fu, pu)
+	}
+}
+
+func TestPSDeterministic(t *testing.T) {
+	mk := func() *Result {
+		cfg := simpleConfig()
+		cfg.Discipline = DisciplinePS
+		res, err := mustRun(cfg, 20_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := mk(), mk()
+	if a.Completed != b.Completed || a.Latency.Mean() != b.Latency.Mean() {
+		t.Fatal("PS runs with equal seeds differ")
+	}
+}
+
+func TestMaxQueueDrops(t *testing.T) {
+	cfg := simpleConfig()
+	cfg.Devices[0].RateHz = 50
+	cfg.ServiceRate = []float64{20, 1000} // 50 ms service, overload
+	cfg.MaxQueue = 3
+	res, err := mustRun(cfg, 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Fatal("no drops despite queue cap under overload")
+	}
+	if res.PeakQueue[0] > 3 {
+		t.Fatalf("peak queue %d exceeds cap 3", res.PeakQueue[0])
+	}
+}
+
+func TestMaxQueueDropsPS(t *testing.T) {
+	cfg := simpleConfig()
+	cfg.Devices[0].RateHz = 50
+	cfg.ServiceRate = []float64{20, 1000}
+	cfg.MaxQueue = 3
+	cfg.Discipline = DisciplinePS
+	res, err := mustRun(cfg, 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Fatal("no drops despite queue cap under PS overload")
+	}
+	if res.PeakQueue[0] > 3 {
+		t.Fatalf("peak queue %d exceeds cap 3", res.PeakQueue[0])
+	}
+}
+
+func TestPSShortJobsNotStuckBehindLong(t *testing.T) {
+	// Device 0 issues rare huge requests, device 1 frequent tiny ones,
+	// same edge. Under FIFO the tiny requests queue behind the huge
+	// ones; under PS their median should be much lower.
+	mk := func(d Discipline) *Result {
+		cfg := simpleConfig()
+		cfg.Devices[0].RateHz = 0.5
+		cfg.Devices[0].ComputeUnits = 50 // 500 ms of work
+		cfg.Devices[1].RateHz = 20
+		cfg.Devices[1].ComputeUnits = 0.5 // 5 ms of work
+		cfg.ServiceRate = []float64{100, 100}
+		cfg.Assignment = []int{0, 0}
+		cfg.Discipline = d
+		res, err := mustRun(cfg, 120_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fifo := mk(DisciplineFIFO)
+	ps := mk(DisciplinePS)
+	// The median is the uncontended path in both disciplines; the tail
+	// is where FIFO strands short requests behind 500 ms jobs.
+	if ps.Latency.P95() >= fifo.Latency.P95() {
+		t.Fatalf("PS p95 %v not below FIFO p95 %v for short-job mix",
+			ps.Latency.P95(), fifo.Latency.P95())
+	}
+}

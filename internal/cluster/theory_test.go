@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"taccc/internal/workload"
+)
+
+// TestMD1MeanWait validates the FIFO queue against queueing theory: one
+// Poisson source with deterministic service is an M/D/1 queue, whose mean
+// waiting time is W = rho * S / (2 * (1 - rho)) with service time S.
+func TestMD1MeanWait(t *testing.T) {
+	const (
+		rateHz    = 40.0
+		serviceMs = 15.0 // rho = 0.6
+	)
+	rho := rateHz * serviceMs / 1000
+	cfg := Config{
+		UplinkMs: [][]float64{{0}}, // isolate queueing: no network delay
+		Devices: []workload.Device{
+			{ID: 0, RateHz: rateHz, ComputeUnits: 1},
+		},
+		DownlinkMs:  [][]float64{{0}},
+		ServiceRate: []float64{1000 / serviceMs}, // S = 15 ms
+		Assignment:  []int{0},
+		WarmupMs:    60_000,
+		Seed:        5,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(1_200_000) // 20 simulated minutes
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWait := rho * serviceMs / (2 * (1 - rho))
+	wantLatency := wantWait + serviceMs
+	got := res.Latency.Mean()
+	if math.Abs(got-wantLatency) > 0.1*wantLatency {
+		t.Fatalf("M/D/1 mean latency = %.3f ms, theory %.3f ms (wait %.3f + service %.1f)",
+			got, wantLatency, wantWait, serviceMs)
+	}
+	// Utilization should match rho.
+	if u := res.Utilization()[0]; math.Abs(u-rho) > 0.05 {
+		t.Fatalf("utilization = %.3f, want ~%.2f", u, rho)
+	}
+}
+
+// TestMD1PSMeanLatency validates processor sharing against the M/G/1-PS
+// result: mean sojourn time T = S / (1 - rho), insensitive to the service
+// distribution.
+func TestMD1PSMeanLatency(t *testing.T) {
+	const (
+		rateHz    = 40.0
+		serviceMs = 15.0 // rho = 0.6
+	)
+	rho := rateHz * serviceMs / 1000
+	cfg := Config{
+		UplinkMs: [][]float64{{0}},
+		Devices: []workload.Device{
+			{ID: 0, RateHz: rateHz, ComputeUnits: 1},
+		},
+		DownlinkMs:  [][]float64{{0}},
+		ServiceRate: []float64{1000 / serviceMs},
+		Assignment:  []int{0},
+		WarmupMs:    60_000,
+		Discipline:  DisciplinePS,
+		Seed:        5,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(1_200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serviceMs / (1 - rho)
+	got := res.Latency.Mean()
+	if math.Abs(got-want) > 0.1*want {
+		t.Fatalf("M/D/1-PS mean latency = %.3f ms, theory %.3f ms", got, want)
+	}
+}
+
+// TestLittlesLaw checks L = lambda * W on the FIFO queue by comparing the
+// time-averaged offered rate against completions and latency.
+func TestLittlesLaw(t *testing.T) {
+	cfg := Config{
+		UplinkMs: [][]float64{{0}},
+		Devices: []workload.Device{
+			{ID: 0, RateHz: 25, ComputeUnits: 1},
+		},
+		DownlinkMs:  [][]float64{{0}},
+		ServiceRate: []float64{50}, // S = 20 ms, rho = 0.5
+		Assignment:  []int{0},
+		WarmupMs:    30_000,
+		Seed:        9,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(630_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda := float64(res.Completed) / res.DurationMs // per ms
+	wMs := res.Latency.Mean()
+	l := lambda * wMs
+	// For M/D/1 at rho=0.5: W = 0.5*20/(2*0.5) + 20 = 30 ms; L = 0.75.
+	wantL := lambda * 30
+	if math.Abs(l-wantL) > 0.15*wantL {
+		t.Fatalf("Little's law estimate L = %.3f, want ~%.3f", l, wantL)
+	}
+}

@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"taccc/internal/assign"
+	"taccc/internal/gap"
+	"taccc/internal/stats"
+	"taccc/internal/xrand"
+)
+
+// F11 ablates the three design choices the Q-learning assigner makes on
+// top of vanilla tabular Q-learning (see DESIGN.md):
+//
+//  1. cost-seeded Q initialization (vs zero initialization),
+//  2. regret-greedy warm start of the incumbent (vs none),
+//  3. cost-biased softmax exploration (vs uniform).
+//
+// Each row disables exactly one choice; the last row disables all three
+// (vanilla tabular Q-learning with feasibility masking).
+func F11(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	n, m := 100, 10
+	if o.Quick {
+		n, m = 30, 4
+	}
+	type variant struct {
+		name string
+		mut  func(*assign.RLParams)
+	}
+	variants := []variant{
+		{"full (all choices on)", func(*assign.RLParams) {}},
+		{"- cost seeding", func(p *assign.RLParams) { p.NoCostSeeding = true }},
+		{"- warm start", func(p *assign.RLParams) { p.NoWarmStart = true }},
+		{"- softmax exploration", func(p *assign.RLParams) { p.UniformExploration = true }},
+		{"vanilla (all off)", func(p *assign.RLParams) {
+			p.NoCostSeeding = true
+			p.NoWarmStart = true
+			p.UniformExploration = true
+		}},
+	}
+	tab := &Table{
+		ID:     "F11",
+		Title:  fmt.Sprintf("Q-learning design-choice ablation, n=%d m=%d, rho=0.85", n, m),
+		Header: []string{"variant", "mean delay ms", "feasible rate", "runtime ms"},
+		Note:   fmt.Sprintf("%d replications; each row disables one design choice", o.Reps),
+	}
+	for _, v := range variants {
+		var cost, rt stats.Welford
+		feasible := 0
+		for r := 0; r < o.Reps; r++ {
+			sc := Scenario{NumIoT: n, NumEdge: m, Rho: 0.85, Seed: xrand.SplitSeed(o.Seed, fmt.Sprintf("F11-%d", r))}
+			b, err := sc.Build()
+			if err != nil {
+				return nil, err
+			}
+			q := assign.NewQLearning(xrand.SplitSeed(o.Seed, fmt.Sprintf("F11-%s-%d", v.name, r)))
+			v.mut(&q.Params)
+			start := time.Now()
+			got, err := q.Assign(b.Instance)
+			rt.Add(float64(time.Since(start).Nanoseconds()) / 1e6)
+			if err != nil {
+				if errors.Is(err, gap.ErrInfeasible) {
+					continue
+				}
+				return nil, err
+			}
+			feasible++
+			cost.Add(b.Instance.MeanCost(got))
+		}
+		if feasible == 0 {
+			tab.AddRow(v.name, "-", 0.0, rt.Mean())
+			continue
+		}
+		tab.AddRow(v.name, cost.Mean(), float64(feasible)/float64(o.Reps), rt.Mean())
+	}
+	return []*Table{tab}, nil
+}

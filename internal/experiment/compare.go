@@ -1,0 +1,105 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"taccc/internal/assign"
+	"taccc/internal/gap"
+	"taccc/internal/stats"
+	"taccc/internal/xrand"
+)
+
+// DefaultAlgorithms is the algorithm subset used by most experiments:
+// every baseline class plus the paper's RL heuristics, ordered weakest
+// first so tables read top-to-bottom as "worse to better".
+var DefaultAlgorithms = []string{
+	"random", "round-robin", "first-fit", "greedy", "regret-greedy",
+	"local-search", "tabu", "lns", "lagrangian", "qlearning",
+}
+
+// FastAlgorithms is a cheaper subset for wide sweeps.
+var FastAlgorithms = []string{"random", "greedy", "local-search", "qlearning"}
+
+// AlgoStat aggregates one algorithm's behaviour over replications of a
+// scenario.
+type AlgoStat struct {
+	Name string
+	// MeanCost and CostCI95 summarize per-device mean delay (ms) over
+	// feasible replications.
+	MeanCost float64
+	CostCI95 float64
+	// MaxCost is the mean of per-replication max device delay.
+	MaxCost float64
+	// Imbalance is the mean max/mean edge-utilization ratio.
+	Imbalance float64
+	// MeanRuntimeMs is the mean wall-clock solve time.
+	MeanRuntimeMs float64
+	// FeasibleRate is the fraction of replications with a feasible
+	// result.
+	FeasibleRate float64
+	// Reps is the number of replications attempted.
+	Reps int
+}
+
+// CompareAlgorithms runs each named algorithm on reps independently seeded
+// replications of the scenario and aggregates. Scenario seeds are derived
+// from sc.Seed, so the same call is fully reproducible.
+func CompareAlgorithms(sc Scenario, algos []string, reps int) ([]AlgoStat, error) {
+	if reps <= 0 {
+		return nil, fmt.Errorf("experiment: reps must be positive, got %d", reps)
+	}
+	reg := assign.NewRegistry()
+	// Pre-build the instances once; all algorithms see identical inputs.
+	builds := make([]*Built, reps)
+	for r := 0; r < reps; r++ {
+		s := sc
+		s.Seed = xrand.SplitSeed(sc.Seed, fmt.Sprintf("rep-%d", r))
+		b, err := s.Build()
+		if err != nil {
+			return nil, err
+		}
+		builds[r] = b
+	}
+	out := make([]AlgoStat, 0, len(algos))
+	for _, name := range algos {
+		var cost, maxCost, imb, runtime stats.Welford
+		feasible := 0
+		for r := 0; r < reps; r++ {
+			a, err := reg.New(name, xrand.SplitSeed(sc.Seed, fmt.Sprintf("%s-%d", name, r)))
+			if err != nil {
+				return nil, err
+			}
+			in := builds[r].Instance
+			start := time.Now()
+			got, err := a.Assign(in)
+			elapsed := time.Since(start)
+			runtime.Add(float64(elapsed.Nanoseconds()) / 1e6)
+			if err != nil {
+				if errors.Is(err, gap.ErrInfeasible) {
+					continue
+				}
+				return nil, fmt.Errorf("experiment: %s rep %d: %w", name, r, err)
+			}
+			feasible++
+			cost.Add(in.MeanCost(got))
+			maxCost.Add(in.MaxCost(got))
+			imb.Add(in.Imbalance(got))
+		}
+		st := AlgoStat{
+			Name:          name,
+			MeanRuntimeMs: runtime.Mean(),
+			FeasibleRate:  float64(feasible) / float64(reps),
+			Reps:          reps,
+		}
+		if feasible > 0 {
+			st.MeanCost = cost.Mean()
+			st.CostCI95 = cost.CI95()
+			st.MaxCost = maxCost.Mean()
+			st.Imbalance = imb.Mean()
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}

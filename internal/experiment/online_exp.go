@@ -1,0 +1,191 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+
+	"taccc/internal/gap"
+	"taccc/internal/online"
+	"taccc/internal/stats"
+	"taccc/internal/topology"
+	"taccc/internal/workload"
+	"taccc/internal/xrand"
+)
+
+// T4 evaluates online reconfiguration policies on a churn-and-mobility
+// trace: devices join and leave over time, every attached device moves
+// (random waypoint) so delays drift each epoch, and one edge server fails
+// midway. Policies trade delay against migration churn:
+//
+//   - join-only: place on arrival, never migrate (beyond failure
+//     evacuation) — the "configure once" strawman.
+//   - threshold: migrate any device whose best edge beats its current one
+//     by more than a fixed gain.
+//   - rebalance: periodically re-solve with the Q-learning assigner under
+//     a migration budget.
+func T4(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	m, epochs := 8, 16
+	maxDevices := 80
+	failEpoch := 8
+	if o.Quick {
+		m, epochs, maxDevices, failEpoch = 4, 8, 24, 4
+	}
+	const area = 4000.0
+
+	type policyResult struct {
+		name       string
+		delay      stats.Welford
+		migrations int
+		stranded   int
+		rejected   int
+	}
+	// The three built-in online.Policy implementations, compared on the
+	// same trace.
+	mkPolicies := func(seed int64) []online.Policy {
+		return []online.Policy{
+			online.JoinOnly{},
+			online.Threshold{GainMs: 0.5},
+			online.Rebalance{Every: 2, BudgetFrac: 0.2, Seed: xrand.SplitSeed(seed, "rebalance")},
+		}
+	}
+	policies := []string{"join-only", "threshold", "rebalance"}
+
+	tab := &Table{
+		ID:     "T4",
+		Title:  fmt.Sprintf("online policies under churn+mobility, m=%d, %d epochs, edge 0 fails at epoch %d", m, epochs, failEpoch),
+		Header: []string{"policy", "avg mean delay ms", "migrations", "stranded", "rejected joins"},
+		Note:   fmt.Sprintf("%d replications; delay averaged over epochs and attached devices", o.Reps),
+	}
+
+	results := make([]*policyResult, len(policies))
+	for i, p := range policies {
+		results[i] = &policyResult{name: p}
+	}
+
+	for r := 0; r < o.Reps; r++ {
+		seed := xrand.SplitSeed(o.Seed, fmt.Sprintf("T4-%d", r))
+		infra, err := topology.HierarchicalInfra(topology.Config{
+			NumIoT: 1, NumEdge: m, NumGateways: 2 * m, AreaMeters: area,
+			Seed: xrand.SplitSeed(seed, "infra"),
+		})
+		if err != nil {
+			return nil, err
+		}
+		devices, err := workload.Generate(maxDevices, workload.DefaultProfile(xrand.SplitSeed(seed, "devices")))
+		if err != nil {
+			return nil, err
+		}
+		capacity, err := Capacities(m, devices, 0.7)
+		if err != nil {
+			return nil, err
+		}
+		walkers := make([]*workload.RandomWaypoint, maxDevices)
+		for i := range walkers {
+			w, err := workload.NewRandomWaypoint(area, 1, 12, 4_000,
+				xrand.New(xrand.SplitSeed(seed, fmt.Sprintf("walker-%d", i))))
+			if err != nil {
+				return nil, err
+			}
+			walkers[i] = w
+		}
+		// Deterministic churn script: device i joins at epoch i%J and
+		// leaves for one epoch every 6th epoch when (i+e)%11 == 0.
+		churn := xrand.NewSplit(seed, "churn")
+		joinEpoch := make([]int, maxDevices)
+		for i := range joinEpoch {
+			joinEpoch[i] = churn.Intn(epochs / 2)
+		}
+
+		// costsAt computes the delay vector of device i this epoch from
+		// a per-epoch topology snapshot. Build the snapshot once per
+		// epoch for all devices.
+		buildCosts := func(epoch int) ([][]float64, error) {
+			xs := make([]float64, maxDevices)
+			ys := make([]float64, maxDevices)
+			for i, w := range walkers {
+				p := w.Pos()
+				xs[i], ys[i] = p.X, p.Y
+			}
+			g := infra.Clone()
+			if err := topology.AttachIoTAt(g, xs, ys, topology.LinkParams{},
+				xrand.SplitSeed(seed, fmt.Sprintf("attach-%d", epoch))); err != nil {
+				return nil, err
+			}
+			dm := topology.NewDelayMatrix(g, topology.LatencyCost)
+			return dm.DelayMs, nil
+		}
+
+		for pi, policy := range mkPolicies(seed) {
+			res := results[pi]
+			ctrl, err := online.NewController(capacity)
+			if err != nil {
+				return nil, err
+			}
+			attached := make(map[int]bool)
+			// Reset walkers per policy by re-deriving them so every
+			// policy sees the identical trace.
+			for i := range walkers {
+				w, err := workload.NewRandomWaypoint(area, 1, 12, 4_000,
+					xrand.New(xrand.SplitSeed(seed, fmt.Sprintf("walker-%d", i))))
+				if err != nil {
+					return nil, err
+				}
+				walkers[i] = w
+			}
+			for e := 0; e < epochs; e++ {
+				costs, err := buildCosts(e)
+				if err != nil {
+					return nil, err
+				}
+				// Churn: joins due this epoch, temporary leaves.
+				for i := 0; i < maxDevices; i++ {
+					if e == joinEpoch[i] && !attached[i] {
+						if _, err := ctrl.Join(i, costs[i], devices[i].Load()); err != nil {
+							if errors.Is(err, online.ErrNoCapacity) {
+								res.rejected++
+								continue
+							}
+							return nil, err
+						}
+						attached[i] = true
+					}
+				}
+				// Refresh delay vectors for attached devices.
+				for i := range attached {
+					if err := ctrl.UpdateCosts(i, costs[i]); err != nil {
+						return nil, err
+					}
+				}
+				// Failure injection.
+				if e == failEpoch {
+					stranded, err := ctrl.FailEdge(0)
+					if err != nil {
+						return nil, err
+					}
+					res.stranded += len(stranded)
+					for _, id := range stranded {
+						delete(attached, id)
+					}
+				}
+				// Policy action. A transiently unsolvable snapshot
+				// just skips this round's maintenance.
+				if err := policy.Tick(e, ctrl); err != nil && !errors.Is(err, gap.ErrInfeasible) {
+					return nil, err
+				}
+				if ctrl.NumDevices() > 0 {
+					res.delay.Add(ctrl.MeanDelay())
+				}
+				for _, w := range walkers {
+					w.Advance(60_000)
+				}
+			}
+			res.migrations += ctrl.Migrations()
+		}
+	}
+	for _, res := range results {
+		tab.AddRow(res.name, res.delay.Mean(),
+			res.migrations/o.Reps, res.stranded/o.Reps, res.rejected/o.Reps)
+	}
+	return []*Table{tab}, nil
+}

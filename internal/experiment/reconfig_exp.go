@@ -1,0 +1,187 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"taccc/internal/assign"
+	"taccc/internal/cluster"
+	"taccc/internal/gap"
+	"taccc/internal/stats"
+	"taccc/internal/topology"
+	"taccc/internal/workload"
+	"taccc/internal/xrand"
+)
+
+// F15 measures the reconfiguration-frequency trade-off end to end inside
+// one simulation: device mobility drifts the delay matrix every epoch
+// (replayed via ScheduleUplinkUpdate), and each policy re-solves the
+// assignment every k epochs, paying a migration pause per moved device.
+// Too rare = latency creeps with drift; too frequent = migration pauses
+// eat throughput. The sweet spot is the operational answer to "how often
+// should the cluster be reconfigured?".
+func F15(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	n, m, epochs := 50, 6, 12
+	epochMs := 30_000.0
+	pauseMs := 2_000.0
+	if o.Quick {
+		n, m, epochs = 16, 3, 6
+		epochMs = 10_000
+	}
+	const area = 3000.0
+	periods := []int{0, 6, 3, 1} // 0 = never reconfigure
+
+	type row struct {
+		label     string
+		meanLat   stats.Welford
+		completed stats.Welford
+		moved     stats.Welford
+	}
+	rows := make([]*row, len(periods))
+	for i, k := range periods {
+		label := "never"
+		if k > 0 {
+			label = fmt.Sprintf("every %d epochs", k)
+		}
+		rows[i] = &row{label: label}
+	}
+
+	for r := 0; r < o.Reps; r++ {
+		seed := xrand.SplitSeed(o.Seed, fmt.Sprintf("F15-%d", r))
+		infra, err := topology.HierarchicalInfra(topology.Config{
+			NumIoT: 1, NumEdge: m, NumGateways: 2 * m, AreaMeters: area,
+			Seed: xrand.SplitSeed(seed, "infra"),
+		})
+		if err != nil {
+			return nil, err
+		}
+		devices, err := workload.Generate(n, workload.DefaultProfile(xrand.SplitSeed(seed, "devices")))
+		if err != nil {
+			return nil, err
+		}
+		capacity, err := Capacities(m, devices, 0.6)
+		if err != nil {
+			return nil, err
+		}
+		// Precompute one delay matrix per epoch from the mobility trace.
+		walkers := make([]*workload.RandomWaypoint, n)
+		for i := range walkers {
+			w, err := workload.NewRandomWaypoint(area, 2, 14, 3_000,
+				xrand.New(xrand.SplitSeed(seed, fmt.Sprintf("walker-%d", i))))
+			if err != nil {
+				return nil, err
+			}
+			walkers[i] = w
+		}
+		matrices := make([][][]float64, epochs)
+		instances := make([]*gap.Instance, epochs)
+		for e := 0; e < epochs; e++ {
+			xs := make([]float64, n)
+			ys := make([]float64, n)
+			for i, w := range walkers {
+				p := w.Pos()
+				xs[i], ys[i] = p.X, p.Y
+			}
+			g := infra.Clone()
+			if err := topology.AttachIoTAt(g, xs, ys, topology.LinkParams{},
+				xrand.SplitSeed(seed, fmt.Sprintf("attach-%d", e))); err != nil {
+				return nil, err
+			}
+			dm := topology.NewDelayMatrix(g, topology.LatencyCost)
+			matrices[e] = dm.DelayMs
+			in, err := gap.FromTopology(dm, devices, capacity)
+			if err != nil {
+				return nil, err
+			}
+			instances[e] = in
+			for _, w := range walkers {
+				w.Advance(epochMs)
+			}
+		}
+
+		solve := func(e int, s int64) (*gap.Assignment, error) {
+			q := assign.NewQLearning(xrand.SplitSeed(seed, fmt.Sprintf("q-%d-%d", e, s)))
+			q.Params.Episodes = 150
+			got, err := q.Assign(instances[e])
+			if err != nil && !errors.Is(err, gap.ErrInfeasible) {
+				return nil, err
+			}
+			return got, nil
+		}
+		initial, err := solve(0, 0)
+		if err != nil {
+			return nil, err
+		}
+		if initial == nil {
+			continue
+		}
+
+		for pi, k := range periods {
+			simCfg := cluster.Config{
+				UplinkMs:    matrices[0],
+				Devices:     devices,
+				ServiceRate: ServiceRates(capacity, 0.6),
+				Assignment:  initial.Of,
+				WarmupMs:    epochMs / 2,
+				Seed:        xrand.SplitSeed(seed, fmt.Sprintf("sim-%d", pi)),
+			}
+			s, err := cluster.New(simCfg)
+			if err != nil {
+				return nil, err
+			}
+			moved := 0
+			prev := initial
+			for e := 1; e < epochs; e++ {
+				at := float64(e) * epochMs
+				if err := s.ScheduleUplinkUpdate(at, matrices[e], nil); err != nil {
+					return nil, err
+				}
+				if k > 0 && e%k == 0 {
+					next, err := solve(e, int64(pi))
+					if err != nil {
+						return nil, err
+					}
+					if next == nil {
+						continue
+					}
+					for i := range next.Of {
+						if next.Of[i] != prev.Of[i] {
+							moved++
+						}
+					}
+					if err := s.ScheduleReconfigureWithPause(at+1, next.Of, pauseMs); err != nil {
+						return nil, err
+					}
+					prev = next
+				}
+			}
+			res, err := s.Run(float64(epochs) * epochMs)
+			if err != nil {
+				return nil, err
+			}
+			if res.Completed == 0 {
+				continue
+			}
+			rows[pi].meanLat.Add(res.Latency.Mean())
+			rows[pi].completed.Add(float64(res.Completed))
+			rows[pi].moved.Add(float64(moved))
+		}
+	}
+
+	tab := &Table{
+		ID:     "F15",
+		Title:  fmt.Sprintf("reconfiguration frequency trade-off, n=%d m=%d, %d epochs, %.0f s each, %.1f s migration pause", n, m, epochs, epochMs/1000, pauseMs/1000),
+		Header: []string{"reconfigure", "mean latency ms", "completed requests", "devices moved"},
+		Note:   fmt.Sprintf("%d replications; mobility drifts the delay matrix every epoch", o.Reps),
+	}
+	for _, rw := range rows {
+		if rw.meanLat.N() == 0 {
+			tab.AddRow(rw.label, "-", "-", "-")
+			continue
+		}
+		tab.AddRow(rw.label, rw.meanLat.Mean(), math.Round(rw.completed.Mean()), rw.moved.Mean())
+	}
+	return []*Table{tab}, nil
+}

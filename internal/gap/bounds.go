@@ -1,0 +1,94 @@
+package gap
+
+import "math"
+
+// RowMinBound returns the capacity-relaxed lower bound: every device takes
+// its cheapest edge. Always a valid lower bound on the optimal total cost.
+func RowMinBound(in *Instance) float64 {
+	total := 0.0
+	for i := 0; i < in.N(); i++ {
+		min := math.Inf(1)
+		for j := 0; j < in.M(); j++ {
+			if in.CostMs[i][j] < min {
+				min = in.CostMs[i][j]
+			}
+		}
+		total += min
+	}
+	return total
+}
+
+// LagrangianBound computes a lower bound by Lagrangian relaxation of the
+// capacity constraints, improved by projected subgradient ascent on the
+// multipliers for iters rounds. It returns the best bound found (always >=
+// RowMinBound up to floating-point noise, since multipliers start at 0) and
+// the multipliers achieving it.
+//
+// L(λ) = Σ_i min_j (c_ij + λ_j·w_ij) − Σ_j λ_j·C_j is a valid lower bound
+// for every λ >= 0.
+func LagrangianBound(in *Instance, iters int) (float64, []float64) {
+	n, m := in.N(), in.M()
+	lambda := make([]float64, m)
+	best := make([]float64, m)
+	bestVal := math.Inf(-1)
+
+	demand := make([]float64, m) // Σ w_ij over argmin rows, per edge
+	for it := 0; it < iters; it++ {
+		for j := range demand {
+			demand[j] = 0
+		}
+		val := 0.0
+		for i := 0; i < n; i++ {
+			minV, minJ := math.Inf(1), -1
+			for j := 0; j < m; j++ {
+				v := in.CostMs[i][j] + lambda[j]*in.Weight[i][j]
+				if v < minV {
+					minV, minJ = v, j
+				}
+			}
+			if minJ >= 0 && !math.IsInf(minV, 1) {
+				val += minV
+				demand[minJ] += in.Weight[i][minJ]
+			} else {
+				// Row has no finite option: instance is
+				// infeasible; the bound is unbounded.
+				return math.Inf(1), lambda
+			}
+		}
+		for j := 0; j < m; j++ {
+			val -= lambda[j] * in.Capacity[j]
+		}
+		if val > bestVal {
+			bestVal = val
+			copy(best, lambda)
+		}
+		// Subgradient g_j = demand_j − C_j; diminishing step.
+		step := 1.0 / float64(it+1)
+		norm := 0.0
+		for j := 0; j < m; j++ {
+			g := demand[j] - in.Capacity[j]
+			norm += g * g
+		}
+		if norm == 0 {
+			break // multipliers are optimal for this relaxation
+		}
+		scale := step / math.Sqrt(norm)
+		for j := 0; j < m; j++ {
+			lambda[j] += scale * (demand[j] - in.Capacity[j])
+			if lambda[j] < 0 {
+				lambda[j] = 0
+			}
+		}
+	}
+	return bestVal, best
+}
+
+// LowerBound returns the better of the row-min and Lagrangian bounds.
+func LowerBound(in *Instance) float64 {
+	rb := RowMinBound(in)
+	lb, _ := LagrangianBound(in, 50)
+	if lb > rb {
+		return lb
+	}
+	return rb
+}

@@ -1,0 +1,52 @@
+package gap
+
+import (
+	"fmt"
+	"math"
+)
+
+// WithDeadlines returns a copy of the instance where any cell whose delay
+// exceeds the device's deadline budget is unreachable, so every assigner
+// automatically produces deadline-respecting configurations. A zero or
+// negative budget means "no deadline" for that device. Devices left with
+// no usable cell make the constraint set infeasible at solve time (the
+// assigners report ErrInfeasible), which is the honest answer when a
+// deadline cannot be met.
+func WithDeadlines(in *Instance, budgetMs []float64) (*Instance, error) {
+	if len(budgetMs) != in.N() {
+		return nil, fmt.Errorf("gap: %d deadline budgets for %d devices", len(budgetMs), in.N())
+	}
+	n, m := in.N(), in.M()
+	cost := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, m)
+		copy(row, in.CostMs[i])
+		if b := budgetMs[i]; b > 0 {
+			for j := 0; j < m; j++ {
+				if row[j] > b {
+					row[j] = math.Inf(1)
+				}
+			}
+		}
+		cost[i] = row
+	}
+	return NewInstance(cost, in.Weight, in.Capacity)
+}
+
+// DeadlineViolations counts devices whose assigned delay exceeds their
+// budget (budget <= 0 never violates).
+func DeadlineViolations(in *Instance, a *Assignment, budgetMs []float64) (int, error) {
+	if len(budgetMs) != in.N() {
+		return 0, fmt.Errorf("gap: %d deadline budgets for %d devices", len(budgetMs), in.N())
+	}
+	if len(a.Of) != in.N() {
+		return 0, fmt.Errorf("gap: assignment length %d for %d devices", len(a.Of), in.N())
+	}
+	count := 0
+	for i, j := range a.Of {
+		if b := budgetMs[i]; b > 0 && in.CostMs[i][j] > b {
+			count++
+		}
+	}
+	return count, nil
+}

@@ -1,0 +1,44 @@
+package gap
+
+import "fmt"
+
+// Move describes one device's placement change between two assignments.
+type Move struct {
+	// Device is the moved device.
+	Device int
+	// From and To are the old and new edges.
+	From, To int
+	// DeltaCostMs is the per-device delay change (negative = improves).
+	DeltaCostMs float64
+}
+
+// Diff lists the placement changes from old to new under in, in device
+// order. Use it to build migration plans and to cost reconfigurations.
+func Diff(in *Instance, old, new *Assignment) ([]Move, error) {
+	if len(old.Of) != in.N() || len(new.Of) != in.N() {
+		return nil, fmt.Errorf("gap: diff length mismatch: %d/%d vs %d devices", len(old.Of), len(new.Of), in.N())
+	}
+	var moves []Move
+	for i := range old.Of {
+		if old.Of[i] == new.Of[i] {
+			continue
+		}
+		moves = append(moves, Move{
+			Device:      i,
+			From:        old.Of[i],
+			To:          new.Of[i],
+			DeltaCostMs: in.CostMs[i][new.Of[i]] - in.CostMs[i][old.Of[i]],
+		})
+	}
+	return moves, nil
+}
+
+// MigrationGain sums the delay improvement of applying the diff (positive
+// = the new assignment is better).
+func MigrationGain(moves []Move) float64 {
+	total := 0.0
+	for _, m := range moves {
+		total -= m.DeltaCostMs
+	}
+	return total
+}

@@ -1,0 +1,66 @@
+package gap
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDiff(t *testing.T) {
+	in := tiny(t)
+	a, err := NewAssignment(in, []int{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewAssignment(in, []int{0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moves, err := Diff(in, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 2 {
+		t.Fatalf("moves = %+v, want 2", moves)
+	}
+	// Device 1: 0 -> 1, delta = 6 - 2 = 4. Device 2: 1 -> 0, delta = 3 - 4 = -1.
+	if moves[0].Device != 1 || moves[0].DeltaCostMs != 4 {
+		t.Fatalf("move 0 = %+v", moves[0])
+	}
+	if moves[1].Device != 2 || moves[1].DeltaCostMs != -1 {
+		t.Fatalf("move 1 = %+v", moves[1])
+	}
+	// Gain = -(4 + -1) = -3; total cost difference must agree.
+	gain := MigrationGain(moves)
+	if math.Abs(gain-(in.TotalCost(a)-in.TotalCost(b))) > 1e-12 {
+		t.Fatalf("gain %v, cost diff %v", gain, in.TotalCost(a)-in.TotalCost(b))
+	}
+}
+
+func TestDiffIdentity(t *testing.T) {
+	in := tiny(t)
+	a, err := NewAssignment(in, []int{0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moves, err := Diff(in, a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 0 {
+		t.Fatalf("identity diff has %d moves", len(moves))
+	}
+	if MigrationGain(nil) != 0 {
+		t.Fatal("empty gain != 0")
+	}
+}
+
+func TestDiffLengthMismatch(t *testing.T) {
+	in := tiny(t)
+	a, err := NewAssignment(in, []int{0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Diff(in, a, &Assignment{Of: []int{0}}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}

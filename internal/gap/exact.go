@@ -1,0 +1,213 @@
+package gap
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// BruteForce enumerates all m^n assignments and returns the optimum. It
+// refuses instances where m^n exceeds ~50M nodes; use BranchAndBound
+// beyond that.
+func BruteForce(in *Instance) (*Assignment, error) {
+	n, m := in.N(), in.M()
+	if float64(n)*math.Log(float64(m)) > math.Log(5e7) {
+		return nil, fmt.Errorf("gap: BruteForce instance too large (n=%d, m=%d)", n, m)
+	}
+	of := make([]int, n)
+	bestOf := make([]int, n)
+	bestCost := math.Inf(1)
+	residual := make([]float64, m)
+	copy(residual, in.Capacity)
+
+	var rec func(i int, cost float64)
+	rec = func(i int, cost float64) {
+		if cost >= bestCost {
+			return
+		}
+		if i == n {
+			bestCost = cost
+			copy(bestOf, of)
+			return
+		}
+		for j := 0; j < m; j++ {
+			w := in.Weight[i][j]
+			if w > residual[j]+1e-12 || math.IsInf(in.CostMs[i][j], 1) {
+				continue
+			}
+			of[i] = j
+			residual[j] -= w
+			rec(i+1, cost+in.CostMs[i][j])
+			residual[j] += w
+		}
+	}
+	rec(0, 0)
+	if math.IsInf(bestCost, 1) {
+		return nil, ErrInfeasible
+	}
+	return NewAssignment(in, bestOf)
+}
+
+// BnBResult reports a branch-and-bound outcome.
+type BnBResult struct {
+	// Assignment is the best feasible assignment found (nil if none).
+	Assignment *Assignment
+	// Cost is its total cost.
+	Cost float64
+	// Proven is true when the search space was exhausted, so Assignment
+	// is optimal (or the instance proven infeasible when Assignment is
+	// nil).
+	Proven bool
+	// Nodes is the number of search nodes expanded.
+	Nodes int64
+}
+
+// BnBOptions tunes BranchAndBound.
+type BnBOptions struct {
+	// MaxNodes caps the number of expanded nodes; 0 means 10M.
+	MaxNodes int64
+	// InitialUpper primes the incumbent with a known feasible cost
+	// (e.g. from a heuristic); 0 means +Inf.
+	InitialUpper float64
+}
+
+// BranchAndBound solves the instance exactly by depth-first search with
+// residual-capacity-aware lower bounds. Devices are branched in order of
+// decreasing best-placement regret, edges in increasing cost order.
+func BranchAndBound(in *Instance, opts BnBOptions) (*BnBResult, error) {
+	n, m := in.N(), in.M()
+	maxNodes := opts.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 10_000_000
+	}
+	upper := math.Inf(1)
+	if opts.InitialUpper > 0 {
+		upper = opts.InitialUpper
+	}
+
+	// Branch order: devices with high regret (gap between best and
+	// second-best edge) first — wrong early choices are pruned sooner.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	regret := make([]float64, n)
+	for i := 0; i < n; i++ {
+		best, second := math.Inf(1), math.Inf(1)
+		for j := 0; j < m; j++ {
+			c := in.CostMs[i][j]
+			switch {
+			case c < best:
+				second, best = best, c
+			case c < second:
+				second = c
+			}
+		}
+		if math.IsInf(second, 1) {
+			second = best
+		}
+		regret[i] = second - best
+	}
+	sort.SliceStable(order, func(a, b int) bool { return regret[order[a]] > regret[order[b]] })
+
+	// Per-device edge order by increasing cost.
+	edgeOrder := make([][]int, n)
+	for i := 0; i < n; i++ {
+		eo := make([]int, m)
+		for j := range eo {
+			eo[j] = j
+		}
+		sort.SliceStable(eo, func(a, b int) bool { return in.CostMs[i][eo[a]] < in.CostMs[i][eo[b]] })
+		edgeOrder[i] = eo
+	}
+
+	of := make([]int, n)
+	for i := range of {
+		of[i] = -1
+	}
+	bestOf := make([]int, n)
+	found := false
+	residual := make([]float64, m)
+	copy(residual, in.Capacity)
+	var nodes int64
+	exhausted := true
+
+	// remainingBound returns Σ over unplaced devices of the cheapest edge
+	// still having residual capacity for that device, or +Inf if some
+	// device has none (prune: infeasible completion).
+	remainingBound := func(pos int) float64 {
+		total := 0.0
+		for p := pos; p < n; p++ {
+			i := order[p]
+			min := math.Inf(1)
+			for j := 0; j < m; j++ {
+				if in.Weight[i][j] <= residual[j]+1e-12 && in.CostMs[i][j] < min {
+					min = in.CostMs[i][j]
+				}
+			}
+			if math.IsInf(min, 1) {
+				return math.Inf(1)
+			}
+			total += min
+		}
+		return total
+	}
+
+	var dfs func(pos int, cost float64)
+	dfs = func(pos int, cost float64) {
+		if nodes >= maxNodes {
+			exhausted = false
+			return
+		}
+		nodes++
+		if pos == n {
+			if cost < upper {
+				upper = cost
+				copy(bestOf, of)
+				found = true
+			}
+			return
+		}
+		if cost+remainingBound(pos) >= upper {
+			return
+		}
+		i := order[pos]
+		for _, j := range edgeOrder[i] {
+			c := in.CostMs[i][j]
+			if math.IsInf(c, 1) {
+				break // remaining edges in this order are worse
+			}
+			w := in.Weight[i][j]
+			if w > residual[j]+1e-12 {
+				continue
+			}
+			if cost+c >= upper {
+				break // edges are cost-sorted: nothing cheaper follows
+			}
+			of[i] = j
+			residual[j] -= w
+			dfs(pos+1, cost+c)
+			residual[j] += w
+			of[i] = -1
+			if nodes >= maxNodes {
+				exhausted = false
+				return
+			}
+		}
+	}
+	dfs(0, 0)
+
+	res := &BnBResult{Cost: upper, Proven: exhausted, Nodes: nodes}
+	if found {
+		a, err := NewAssignment(in, bestOf)
+		if err != nil {
+			return nil, fmt.Errorf("gap: internal error building B&B assignment: %w", err)
+		}
+		res.Assignment = a
+		return res, nil
+	}
+	if exhausted {
+		return res, ErrInfeasible
+	}
+	return res, fmt.Errorf("gap: branch-and-bound node budget %d exhausted without a feasible assignment", maxNodes)
+}

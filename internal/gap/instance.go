@@ -1,0 +1,225 @@
+// Package gap models the Generalized Assignment Problem instance that the
+// paper reduces cluster configuration to: assign each IoT device i to
+// exactly one edge device j, minimizing total communication delay
+// Σ cost[i][a(i)] subject to per-edge capacity Σ_{a(i)=j} weight[i][j] <=
+// capacity[j]. The package holds the instance model, objectives,
+// feasibility checks, lower bounds and exact solvers; heuristics live in
+// internal/assign.
+package gap
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInfeasible is returned when no capacity-respecting assignment can be
+// found (by exact solvers: proven; by heuristics: not found).
+var ErrInfeasible = errors.New("gap: no feasible assignment found")
+
+// Instance is an immutable GAP instance. Construct with NewInstance (which
+// validates) and treat as read-only afterwards; solvers share instances
+// across goroutines.
+type Instance struct {
+	// CostMs[i][j] is the communication delay of serving device i from
+	// edge j, in milliseconds. Entries may be +Inf for unreachable pairs.
+	CostMs [][]float64
+	// Weight[i][j] is the capacity consumed on edge j by device i.
+	Weight [][]float64
+	// Capacity[j] is edge j's capacity.
+	Capacity []float64
+}
+
+// NewInstance validates and wraps the given matrices. Dimensions must
+// agree, weights must be positive and finite, capacities non-negative, and
+// costs non-negative (+Inf allowed to mark unreachable pairs).
+func NewInstance(costMs, weight [][]float64, capacity []float64) (*Instance, error) {
+	n := len(costMs)
+	if n == 0 {
+		return nil, errors.New("gap: instance has no devices")
+	}
+	m := len(capacity)
+	if m == 0 {
+		return nil, errors.New("gap: instance has no edge devices")
+	}
+	if len(weight) != n {
+		return nil, fmt.Errorf("gap: weight rows %d != cost rows %d", len(weight), n)
+	}
+	for i := 0; i < n; i++ {
+		if len(costMs[i]) != m {
+			return nil, fmt.Errorf("gap: cost row %d has %d cols, want %d", i, len(costMs[i]), m)
+		}
+		if len(weight[i]) != m {
+			return nil, fmt.Errorf("gap: weight row %d has %d cols, want %d", i, len(weight[i]), m)
+		}
+		for j := 0; j < m; j++ {
+			c := costMs[i][j]
+			if math.IsNaN(c) || c < 0 {
+				return nil, fmt.Errorf("gap: invalid cost %v at (%d,%d)", c, i, j)
+			}
+			w := weight[i][j]
+			if math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 {
+				return nil, fmt.Errorf("gap: invalid weight %v at (%d,%d)", w, i, j)
+			}
+		}
+	}
+	for j, c := range capacity {
+		if math.IsNaN(c) || c < 0 {
+			return nil, fmt.Errorf("gap: invalid capacity %v at edge %d", c, j)
+		}
+	}
+	return &Instance{CostMs: costMs, Weight: weight, Capacity: capacity}, nil
+}
+
+// N returns the number of devices.
+func (in *Instance) N() int { return len(in.CostMs) }
+
+// M returns the number of edge devices.
+func (in *Instance) M() int { return len(in.Capacity) }
+
+// Assignment maps each device to an edge: Of[i] = j. Produce via
+// NewAssignment so lengths are checked.
+type Assignment struct {
+	// Of[i] is the edge device serving device i.
+	Of []int
+}
+
+// NewAssignment validates of against the instance: correct length and
+// in-range, reachable (finite-cost) targets.
+func NewAssignment(in *Instance, of []int) (*Assignment, error) {
+	if len(of) != in.N() {
+		return nil, fmt.Errorf("gap: assignment length %d, want %d", len(of), in.N())
+	}
+	for i, j := range of {
+		if j < 0 || j >= in.M() {
+			return nil, fmt.Errorf("gap: device %d assigned to out-of-range edge %d", i, j)
+		}
+		if math.IsInf(in.CostMs[i][j], 1) {
+			return nil, fmt.Errorf("gap: device %d assigned to unreachable edge %d", i, j)
+		}
+	}
+	return &Assignment{Of: of}, nil
+}
+
+// Clone returns a deep copy.
+func (a *Assignment) Clone() *Assignment {
+	of := make([]int, len(a.Of))
+	copy(of, a.Of)
+	return &Assignment{Of: of}
+}
+
+// TotalCost returns Σ cost[i][a(i)] for the assignment under in.
+func (in *Instance) TotalCost(a *Assignment) float64 {
+	total := 0.0
+	for i, j := range a.Of {
+		total += in.CostMs[i][j]
+	}
+	return total
+}
+
+// MeanCost returns TotalCost / N.
+func (in *Instance) MeanCost(a *Assignment) float64 {
+	return in.TotalCost(a) / float64(in.N())
+}
+
+// MaxCost returns the largest per-device cost in the assignment.
+func (in *Instance) MaxCost(a *Assignment) float64 {
+	max := 0.0
+	for i, j := range a.Of {
+		if in.CostMs[i][j] > max {
+			max = in.CostMs[i][j]
+		}
+	}
+	return max
+}
+
+// Loads returns the per-edge consumed capacity under the assignment.
+func (in *Instance) Loads(a *Assignment) []float64 {
+	loads := make([]float64, in.M())
+	for i, j := range a.Of {
+		loads[j] += in.Weight[i][j]
+	}
+	return loads
+}
+
+// Feasible reports whether the assignment respects every capacity.
+func (in *Instance) Feasible(a *Assignment) bool {
+	return len(in.Violations(a)) == 0
+}
+
+// Violations returns the edges whose capacity is exceeded, with the excess.
+type Violation struct {
+	Edge   int
+	Load   float64
+	Excess float64
+}
+
+// Violations lists all overloaded edges under the assignment. A small
+// epsilon absorbs floating-point accumulation error.
+func (in *Instance) Violations(a *Assignment) []Violation {
+	const eps = 1e-9
+	var out []Violation
+	for j, load := range in.Loads(a) {
+		if load > in.Capacity[j]*(1+eps)+eps {
+			out = append(out, Violation{Edge: j, Load: load, Excess: load - in.Capacity[j]})
+		}
+	}
+	return out
+}
+
+// Utilization returns per-edge load/capacity ratios; edges with zero
+// capacity report +Inf when loaded and 0 when empty.
+func (in *Instance) Utilization(a *Assignment) []float64 {
+	loads := in.Loads(a)
+	out := make([]float64, in.M())
+	for j, load := range loads {
+		switch {
+		case in.Capacity[j] > 0:
+			out[j] = load / in.Capacity[j]
+		case load > 0:
+			out[j] = math.Inf(1)
+		}
+	}
+	return out
+}
+
+// Imbalance returns the ratio of the maximum edge utilization to the mean
+// utilization; 1.0 is perfectly balanced. Returns 0 for an all-idle
+// cluster.
+func (in *Instance) Imbalance(a *Assignment) float64 {
+	util := in.Utilization(a)
+	sum, max := 0.0, 0.0
+	for _, u := range util {
+		sum += u
+		if u > max {
+			max = u
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return max / (sum / float64(len(util)))
+}
+
+// Tightness returns the ratio of total minimum weight to total capacity —
+// a rough difficulty indicator: near 0 is easy, near 1 nearly packed.
+func (in *Instance) Tightness() float64 {
+	totalW := 0.0
+	for i := 0; i < in.N(); i++ {
+		minW := math.Inf(1)
+		for j := 0; j < in.M(); j++ {
+			if in.Weight[i][j] < minW {
+				minW = in.Weight[i][j]
+			}
+		}
+		totalW += minW
+	}
+	totalC := 0.0
+	for _, c := range in.Capacity {
+		totalC += c
+	}
+	if totalC == 0 {
+		return math.Inf(1)
+	}
+	return totalW / totalC
+}

@@ -1,0 +1,364 @@
+package gap
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"taccc/internal/topology"
+	"taccc/internal/workload"
+)
+
+// tiny returns a 3-device, 2-edge instance where the per-device cheapest
+// edges would overload edge 0.
+func tiny(t *testing.T) *Instance {
+	t.Helper()
+	in, err := NewInstance(
+		[][]float64{{1, 5}, {2, 6}, {3, 4}},
+		[][]float64{{2, 2}, {2, 2}, {2, 2}},
+		[]float64{4, 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestNewInstanceValidation(t *testing.T) {
+	ok := func(c, w [][]float64, cap []float64) error {
+		_, err := NewInstance(c, w, cap)
+		return err
+	}
+	if err := ok([][]float64{{1}}, [][]float64{{1}}, []float64{1}); err != nil {
+		t.Fatalf("valid 1x1 rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		c, w [][]float64
+		cap  []float64
+	}{
+		{"no devices", nil, nil, []float64{1}},
+		{"no edges", [][]float64{{}}, [][]float64{{}}, nil},
+		{"ragged cost", [][]float64{{1, 2}, {1}}, [][]float64{{1, 1}, {1, 1}}, []float64{1, 1}},
+		{"ragged weight", [][]float64{{1, 2}}, [][]float64{{1}}, []float64{1, 1}},
+		{"weight rows", [][]float64{{1}}, nil, []float64{1}},
+		{"negative cost", [][]float64{{-1}}, [][]float64{{1}}, []float64{1}},
+		{"NaN cost", [][]float64{{math.NaN()}}, [][]float64{{1}}, []float64{1}},
+		{"zero weight", [][]float64{{1}}, [][]float64{{0}}, []float64{1}},
+		{"inf weight", [][]float64{{1}}, [][]float64{{math.Inf(1)}}, []float64{1}},
+		{"negative capacity", [][]float64{{1}}, [][]float64{{1}}, []float64{-1}},
+	}
+	for _, tc := range cases {
+		if err := ok(tc.c, tc.w, tc.cap); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// +Inf cost is allowed (unreachable pair).
+	if err := ok([][]float64{{math.Inf(1), 1}}, [][]float64{{1, 1}}, []float64{1, 1}); err != nil {
+		t.Errorf("+Inf cost rejected: %v", err)
+	}
+}
+
+func TestNewAssignmentValidation(t *testing.T) {
+	in := tiny(t)
+	if _, err := NewAssignment(in, []int{0, 1}); err == nil {
+		t.Error("short assignment accepted")
+	}
+	if _, err := NewAssignment(in, []int{0, 1, 2}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := NewAssignment(in, []int{0, -1, 0}); err == nil {
+		t.Error("negative edge accepted")
+	}
+	inf, err := NewInstance(
+		[][]float64{{math.Inf(1), 1}},
+		[][]float64{{1, 1}},
+		[]float64{1, 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAssignment(inf, []int{0}); err == nil {
+		t.Error("assignment to unreachable edge accepted")
+	}
+}
+
+func TestObjectives(t *testing.T) {
+	in := tiny(t)
+	a, err := NewAssignment(in, []int{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.TotalCost(a); got != 1+2+4 {
+		t.Fatalf("TotalCost = %v, want 7", got)
+	}
+	if got := in.MeanCost(a); math.Abs(got-7.0/3) > 1e-12 {
+		t.Fatalf("MeanCost = %v", got)
+	}
+	if got := in.MaxCost(a); got != 4 {
+		t.Fatalf("MaxCost = %v, want 4", got)
+	}
+	loads := in.Loads(a)
+	if loads[0] != 4 || loads[1] != 2 {
+		t.Fatalf("Loads = %v, want [4 2]", loads)
+	}
+	if !in.Feasible(a) {
+		t.Fatal("feasible assignment reported infeasible")
+	}
+	util := in.Utilization(a)
+	if util[0] != 1 || util[1] != 0.5 {
+		t.Fatalf("Utilization = %v", util)
+	}
+	if got := in.Imbalance(a); math.Abs(got-1/0.75) > 1e-12 {
+		t.Fatalf("Imbalance = %v, want %v", got, 1/0.75)
+	}
+}
+
+func TestViolations(t *testing.T) {
+	in := tiny(t)
+	a, err := NewAssignment(in, []int{0, 0, 0}) // load 6 on cap-4 edge
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := in.Violations(a)
+	if len(v) != 1 || v[0].Edge != 0 || math.Abs(v[0].Excess-2) > 1e-9 {
+		t.Fatalf("Violations = %+v", v)
+	}
+	if in.Feasible(a) {
+		t.Fatal("overloaded assignment reported feasible")
+	}
+}
+
+func TestUtilizationZeroCapacity(t *testing.T) {
+	in, err := NewInstance(
+		[][]float64{{1, 2}},
+		[][]float64{{1, 1}},
+		[]float64{0, 5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAssignment(in, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := in.Utilization(a)
+	if !math.IsInf(util[0], 1) {
+		t.Fatalf("util on zero-cap loaded edge = %v, want +Inf", util[0])
+	}
+	if util[1] != 0 {
+		t.Fatalf("idle edge util = %v, want 0", util[1])
+	}
+}
+
+func TestImbalanceIdle(t *testing.T) {
+	in := tiny(t)
+	// Imbalance of an assignment exists only with an assignment; emulate
+	// "idle" with zero utilization via zero weights — not allowed, so
+	// instead check the perfectly-balanced case.
+	a, err := NewAssignment(in, []int{0, 1, 0}) // loads [4, 2]? w all 2: [4 2]
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Imbalance(a) < 1 {
+		t.Fatal("imbalance below 1")
+	}
+}
+
+func TestTightness(t *testing.T) {
+	in := tiny(t)
+	// min weight per device = 2 each, total 6; capacity total 8.
+	if got := in.Tightness(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("Tightness = %v, want 0.75", got)
+	}
+}
+
+func TestAssignmentClone(t *testing.T) {
+	a := &Assignment{Of: []int{1, 2, 3}}
+	b := a.Clone()
+	b.Of[0] = 9
+	if a.Of[0] != 1 {
+		t.Fatal("Clone aliases storage")
+	}
+}
+
+func TestFromTopology(t *testing.T) {
+	cfg := topology.Config{NumIoT: 12, NumEdge: 3, NumGateways: 4, Seed: 5}
+	g, err := topology.Hierarchical(cfg, topology.PlaceUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := topology.NewDelayMatrix(g, topology.LatencyCost)
+	devs, err := workload.Generate(12, workload.DefaultProfile(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps, err := UniformCapacities(3, workload.TotalLoad(devs), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := FromTopology(dm, devs, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.N() != 12 || in.M() != 3 {
+		t.Fatalf("dims %dx%d", in.N(), in.M())
+	}
+	for i := 0; i < in.N(); i++ {
+		for j := 0; j < in.M(); j++ {
+			if in.CostMs[i][j] != dm.DelayMs[i][j] {
+				t.Fatal("cost matrix does not match delay matrix")
+			}
+			if in.Weight[i][j] != devs[i].Load() {
+				t.Fatal("weight does not match device load")
+			}
+		}
+	}
+}
+
+func TestFromTopologyDimensionErrors(t *testing.T) {
+	cfg := topology.Config{NumIoT: 4, NumEdge: 2, NumGateways: 2, Seed: 1}
+	g, err := topology.Hierarchical(cfg, topology.PlaceUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := topology.NewDelayMatrix(g, topology.LatencyCost)
+	devs, err := workload.Generate(3, workload.DefaultProfile(1)) // wrong count
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromTopology(dm, devs, []float64{1, 1}); err == nil {
+		t.Error("device-count mismatch accepted")
+	}
+	devs4, err := workload.Generate(4, workload.DefaultProfile(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromTopology(dm, devs4, []float64{1}); err == nil {
+		t.Error("capacity-count mismatch accepted")
+	}
+}
+
+func TestUniformCapacities(t *testing.T) {
+	caps, err := UniformCapacities(4, 100, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range caps {
+		if c != 50 {
+			t.Fatalf("caps = %v, want all 50", caps)
+		}
+	}
+	for _, tc := range []struct {
+		m    int
+		load float64
+		rho  float64
+	}{{0, 1, 0.5}, {2, 1, 0}, {2, 1, 1.5}, {2, -1, 0.5}} {
+		if _, err := UniformCapacities(tc.m, tc.load, tc.rho); err == nil {
+			t.Errorf("UniformCapacities(%d, %v, %v) accepted", tc.m, tc.load, tc.rho)
+		}
+	}
+}
+
+func TestSyntheticValid(t *testing.T) {
+	for _, kind := range []SyntheticKind{SyntheticUniform, SyntheticCorrelated} {
+		in, err := Synthetic(kind, 30, 5, 0.8, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.N() != 30 || in.M() != 5 {
+			t.Fatalf("dims %dx%d", in.N(), in.M())
+		}
+		// Capacity is sized from average weights, so min-weight
+		// tightness must come out strictly below rho but positive.
+		tight := in.Tightness()
+		if tight <= 0 || tight >= 0.8 {
+			t.Fatalf("tightness = %v, want in (0, 0.8)", tight)
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a, err := Synthetic(SyntheticUniform, 10, 3, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthetic(SyntheticUniform, 10, 3, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.CostMs {
+		for j := range a.CostMs[i] {
+			if a.CostMs[i][j] != b.CostMs[i][j] || a.Weight[i][j] != b.Weight[i][j] {
+				t.Fatal("same-seed synthetic instances differ")
+			}
+		}
+	}
+}
+
+func TestSyntheticErrors(t *testing.T) {
+	if _, err := Synthetic(SyntheticUniform, 0, 3, 0.5, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Synthetic(SyntheticUniform, 3, 0, 0.5, 1); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := Synthetic(SyntheticUniform, 3, 3, 0, 1); err == nil {
+		t.Error("rho=0 accepted")
+	}
+	if _, err := Synthetic(SyntheticKind(99), 3, 3, 0.5, 1); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestInstanceJSONRoundTrip(t *testing.T) {
+	in, err := Synthetic(SyntheticCorrelated, 8, 3, 0.7, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := in.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	in2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in2.N() != in.N() || in2.M() != in.M() {
+		t.Fatal("round trip changed dimensions")
+	}
+	for i := range in.CostMs {
+		for j := range in.CostMs[i] {
+			if in.CostMs[i][j] != in2.CostMs[i][j] {
+				t.Fatal("round trip changed costs")
+			}
+		}
+	}
+}
+
+func TestAssignmentJSONRoundTrip(t *testing.T) {
+	in := tiny(t)
+	a, err := NewAssignment(in, []int{0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := ReadAssignmentJSON(&buf, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Of {
+		if a.Of[i] != a2.Of[i] {
+			t.Fatal("assignment round trip mismatch")
+		}
+	}
+	if _, err := ReadAssignmentJSON(bytes.NewReader([]byte(`{"of":[9,9,9]}`)), in); err == nil {
+		t.Error("invalid assignment accepted on read")
+	}
+	if _, err := ReadJSON(bytes.NewReader([]byte("{"))); err == nil {
+		t.Error("truncated instance JSON accepted")
+	}
+}

@@ -1,0 +1,184 @@
+package gap
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPreprocessForcesSingleOption(t *testing.T) {
+	// Device 0 only fits on edge 1 (weight 8 > cap 5 on edge 0).
+	in, err := NewInstance(
+		[][]float64{
+			{1, 9},
+			{2, 3},
+		},
+		[][]float64{
+			{8, 8},
+			{2, 2},
+		},
+		[]float64{5, 10},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := Preprocess(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.NumFixed() != 1 || red.Fixed[0] != 1 {
+		t.Fatalf("Fixed = %v", red.Fixed)
+	}
+	if len(red.Free) != 1 || red.Free[0] != 1 {
+		t.Fatalf("Free = %v", red.Free)
+	}
+	// Residual capacity on edge 1 is 10 - 8 = 2.
+	if red.Residual.Capacity[1] != 2 {
+		t.Fatalf("residual capacity = %v", red.Residual.Capacity)
+	}
+}
+
+func TestPreprocessCascades(t *testing.T) {
+	// Forcing device 0 onto edge 0 consumes it entirely, which forces
+	// device 1 onto edge 1.
+	in, err := NewInstance(
+		[][]float64{
+			{1, math.Inf(1)}, // device 0: only edge 0
+			{1, 5},           // device 1: prefers edge 0 but won't fit after device 0
+		},
+		[][]float64{
+			{4, 4},
+			{3, 3},
+		},
+		[]float64{4, 10},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := Preprocess(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.NumFixed() != 2 {
+		t.Fatalf("Fixed = %v, want both forced", red.Fixed)
+	}
+	if red.Fixed[0] != 0 || red.Fixed[1] != 1 {
+		t.Fatalf("Fixed = %v", red.Fixed)
+	}
+	if red.Residual != nil || len(red.Free) != 0 {
+		t.Fatal("expected fully fixed reduction")
+	}
+	a, err := red.Expand(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Feasible(a) {
+		t.Fatal("expanded forced assignment infeasible")
+	}
+}
+
+func TestPreprocessDetectsInfeasible(t *testing.T) {
+	in, err := NewInstance(
+		[][]float64{{1, 1}},
+		[][]float64{{9, 9}},
+		[]float64{5, 5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Preprocess(in); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestPreprocessNoOpOnSlackInstance(t *testing.T) {
+	in, err := Synthetic(SyntheticUniform, 12, 4, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := Preprocess(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.NumFixed() != 0 {
+		t.Fatalf("slack instance fixed %d devices", red.NumFixed())
+	}
+	if red.Residual.N() != in.N() {
+		t.Fatalf("residual N = %d", red.Residual.N())
+	}
+}
+
+func TestExpandValidation(t *testing.T) {
+	in, err := NewInstance(
+		[][]float64{{1, 2}, {3, 4}},
+		[][]float64{{1, 1}, {1, 1}},
+		[]float64{5, 5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := Preprocess(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := red.Expand(nil); err == nil {
+		t.Error("nil residual accepted with free devices")
+	}
+	if _, err := red.Expand(&Assignment{Of: []int{0}}); err == nil {
+		t.Error("short residual accepted")
+	}
+	a, err := red.Expand(&Assignment{Of: []int{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Of[0] != 0 || a.Of[1] != 1 {
+		t.Fatalf("Of = %v", a.Of)
+	}
+}
+
+// Property: preprocessing preserves the optimum — solving the residual
+// exactly and expanding gives the same cost as solving the original.
+func TestPreprocessPreservesOptimumQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		in, err := Synthetic(SyntheticCorrelated, 8, 3, 0.95, seed)
+		if err != nil {
+			return false
+		}
+		direct, derr := BranchAndBound(in, BnBOptions{})
+		red, perr := Preprocess(in)
+		if perr != nil {
+			// Preprocess proved infeasibility: B&B must agree.
+			return errors.Is(perr, ErrInfeasible) && errors.Is(derr, ErrInfeasible)
+		}
+		var expanded *Assignment
+		if red.Residual != nil {
+			sub, serr := BranchAndBound(red.Residual, BnBOptions{})
+			if errors.Is(serr, ErrInfeasible) {
+				return errors.Is(derr, ErrInfeasible)
+			}
+			if serr != nil {
+				return false
+			}
+			expanded, serr = red.Expand(sub.Assignment)
+			if serr != nil {
+				return false
+			}
+		} else {
+			var eerr error
+			expanded, eerr = red.Expand(nil)
+			if eerr != nil {
+				return false
+			}
+		}
+		if derr != nil {
+			// Direct proved infeasible but reduction found a
+			// feasible assignment: contradiction.
+			return !in.Feasible(expanded)
+		}
+		return math.Abs(in.TotalCost(expanded)-direct.Cost) < 1e-6 && in.Feasible(expanded)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+package gap
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// instanceJSON is the wire format for Instance.
+type instanceJSON struct {
+	CostMs   [][]float64 `json:"cost_ms"`
+	Weight   [][]float64 `json:"weight"`
+	Capacity []float64   `json:"capacity"`
+}
+
+// WriteJSON serializes the instance.
+func (in *Instance) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(instanceJSON{CostMs: in.CostMs, Weight: in.Weight, Capacity: in.Capacity})
+}
+
+// ReadJSON parses and validates an instance written by WriteJSON.
+func ReadJSON(r io.Reader) (*Instance, error) {
+	var ij instanceJSON
+	if err := json.NewDecoder(r).Decode(&ij); err != nil {
+		return nil, fmt.Errorf("gap: decoding instance: %w", err)
+	}
+	return NewInstance(ij.CostMs, ij.Weight, ij.Capacity)
+}
+
+// assignmentJSON is the wire format for Assignment.
+type assignmentJSON struct {
+	Of []int `json:"of"`
+}
+
+// WriteJSON serializes the assignment.
+func (a *Assignment) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(assignmentJSON{Of: a.Of})
+}
+
+// ReadAssignmentJSON parses an assignment and validates it against in.
+func ReadAssignmentJSON(r io.Reader, in *Instance) (*Assignment, error) {
+	var aj assignmentJSON
+	if err := json.NewDecoder(r).Decode(&aj); err != nil {
+		return nil, fmt.Errorf("gap: decoding assignment: %w", err)
+	}
+	return NewAssignment(in, aj.Of)
+}

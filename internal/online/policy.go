@@ -1,0 +1,97 @@
+package online
+
+import (
+	"fmt"
+
+	"taccc/internal/assign"
+)
+
+// Policy decides what maintenance a controller performs at each epoch of a
+// dynamic deployment. Policies are invoked by the caller's epoch loop
+// after device costs have been refreshed (UpdateCosts) and churn applied.
+type Policy interface {
+	// Name labels the policy in reports.
+	Name() string
+	// Tick performs this epoch's maintenance on the controller.
+	Tick(epoch int, c *Controller) error
+}
+
+// JoinOnly performs no maintenance: devices stay where Join put them (the
+// "configure once" strawman baseline).
+type JoinOnly struct{}
+
+// Name implements Policy.
+func (JoinOnly) Name() string { return "join-only" }
+
+// Tick implements Policy.
+func (JoinOnly) Tick(int, *Controller) error { return nil }
+
+// Threshold migrates every device whose best edge beats its current one by
+// more than GainMs, every epoch. Cheap, reactive, migration-heavy.
+type Threshold struct {
+	// GainMs is the minimum improvement that justifies a migration
+	// (0 uses 0.5 ms).
+	GainMs float64
+}
+
+// Name implements Policy.
+func (t Threshold) Name() string { return "threshold" }
+
+// Tick implements Policy.
+func (t Threshold) Tick(_ int, c *Controller) error {
+	gain := t.GainMs
+	if gain <= 0 {
+		gain = 0.5
+	}
+	_, err := c.SweepMigrate(gain)
+	return err
+}
+
+// Rebalance re-solves the configuration with a batch assigner every Every
+// epochs under a migration budget — the planned, bounded-churn policy.
+type Rebalance struct {
+	// Every triggers a rebalance when epoch % Every == Every-1
+	// (default 2).
+	Every int
+	// BudgetFrac caps migrations at this fraction of attached devices
+	// (default 0.2).
+	BudgetFrac float64
+	// NewAssigner builds the solver for an epoch; nil uses Q-learning
+	// seeded by (Seed, epoch).
+	NewAssigner func(epoch int) assign.Assigner
+	// Seed seeds the default assigner.
+	Seed int64
+}
+
+// Name implements Policy.
+func (r Rebalance) Name() string { return "rebalance" }
+
+// Tick implements Policy.
+func (r Rebalance) Tick(epoch int, c *Controller) error {
+	every := r.Every
+	if every <= 0 {
+		every = 2
+	}
+	if epoch%every != every-1 || c.NumDevices() == 0 {
+		return nil
+	}
+	frac := r.BudgetFrac
+	if frac <= 0 {
+		frac = 0.2
+	}
+	budget := int(float64(c.NumDevices()) * frac)
+	var a assign.Assigner
+	if r.NewAssigner != nil {
+		a = r.NewAssigner(epoch)
+	} else {
+		q := assign.NewQLearning(r.Seed + int64(epoch))
+		q.Params.Episodes = 150
+		a = q
+	}
+	if _, err := c.Rebalance(a, budget); err != nil {
+		// A transiently unsolvable snapshot skips this round; any
+		// other error propagates.
+		return fmt.Errorf("online: rebalance tick (epoch %d): %w", epoch, err)
+	}
+	return nil
+}

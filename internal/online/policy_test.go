@@ -1,0 +1,127 @@
+package online
+
+import (
+	"strings"
+	"testing"
+
+	"taccc/internal/assign"
+)
+
+// policyFixture builds a controller with three devices parked on their
+// worst edge (cost updates arrived after joining).
+func policyFixture(t *testing.T) *Controller {
+	t.Helper()
+	c, err := NewController([]float64{10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Join(i, []float64{1, 5}, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.UpdateCosts(i, []float64{5, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestJoinOnlyDoesNothing(t *testing.T) {
+	c := policyFixture(t)
+	before := c.MeanDelay()
+	if err := (JoinOnly{}).Tick(0, c); err != nil {
+		t.Fatal(err)
+	}
+	if c.MeanDelay() != before || c.Migrations() != 0 {
+		t.Fatal("join-only policy acted")
+	}
+	if JoinOnly.Name(JoinOnly{}) != "join-only" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestThresholdMigrates(t *testing.T) {
+	c := policyFixture(t)
+	if err := (Threshold{}).Tick(0, c); err != nil {
+		t.Fatal(err)
+	}
+	if c.MeanDelay() != 1 {
+		t.Fatalf("MeanDelay = %v, want 1 after threshold sweep", c.MeanDelay())
+	}
+	if c.Migrations() != 3 {
+		t.Fatalf("Migrations = %d, want 3", c.Migrations())
+	}
+}
+
+func TestThresholdRespectsGain(t *testing.T) {
+	c := policyFixture(t)
+	// Gain of 10 ms exceeds the 4 ms improvement: nothing moves.
+	if err := (Threshold{GainMs: 10}).Tick(0, c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Migrations() != 0 {
+		t.Fatalf("Migrations = %d, want 0 under high gain bar", c.Migrations())
+	}
+}
+
+func TestRebalanceTriggersOnSchedule(t *testing.T) {
+	c := policyFixture(t)
+	p := Rebalance{Every: 2, BudgetFrac: 1, NewAssigner: func(int) assign.Assigner { return assign.NewGreedy() }}
+	// Epoch 0: no trigger (0 % 2 != 1).
+	if err := p.Tick(0, c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Migrations() != 0 {
+		t.Fatal("rebalanced off schedule")
+	}
+	// Epoch 1: triggers.
+	if err := p.Tick(1, c); err != nil {
+		t.Fatal(err)
+	}
+	if c.MeanDelay() != 1 {
+		t.Fatalf("MeanDelay = %v after rebalance", c.MeanDelay())
+	}
+}
+
+func TestRebalanceBudget(t *testing.T) {
+	c := policyFixture(t)
+	p := Rebalance{Every: 1, BudgetFrac: 0.34, NewAssigner: func(int) assign.Assigner { return assign.NewGreedy() }}
+	if err := p.Tick(0, c); err != nil {
+		t.Fatal(err)
+	}
+	// Budget 0.34 * 3 = 1 migration.
+	if c.Migrations() != 1 {
+		t.Fatalf("Migrations = %d, want 1 under budget", c.Migrations())
+	}
+}
+
+func TestRebalanceDefaultAssigner(t *testing.T) {
+	c := policyFixture(t)
+	p := Rebalance{Every: 1, BudgetFrac: 1, Seed: 5}
+	if err := p.Tick(0, c); err != nil {
+		t.Fatal(err)
+	}
+	if c.MeanDelay() != 1 {
+		t.Fatalf("MeanDelay = %v after default rebalance", c.MeanDelay())
+	}
+}
+
+func TestRebalanceEmptyController(t *testing.T) {
+	c, err := NewController([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (Rebalance{Every: 1}).Tick(0, c); err != nil {
+		t.Fatal("empty controller should be a no-op, got error")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for _, p := range []Policy{JoinOnly{}, Threshold{}, Rebalance{}} {
+		if strings.TrimSpace(p.Name()) == "" {
+			t.Fatalf("%T has empty name", p)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package sim is a minimal discrete-event simulation engine: a virtual
+// clock plus a time-ordered event queue. The cluster simulator in
+// internal/cluster drives all request lifecycles through it, so simulated
+// results are fully deterministic and independent of wall-clock speed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a callback scheduled at a virtual time.
+type Event struct {
+	// Time is the virtual timestamp (milliseconds) at which Fn runs.
+	Time float64
+	// Fn is invoked with the engine so handlers can schedule follow-ups.
+	Fn func(*Engine)
+
+	seq   int64 // tie-break so equal-time events run in schedule order
+	index int   // heap bookkeeping
+	dead  bool  // cancelled
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x interface{}) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine owns the clock and the pending-event queue. The zero value is
+// ready to use.
+type Engine struct {
+	now     float64
+	queue   eventHeap
+	nextSeq int64
+	stopped bool
+	// processed counts executed events, exposed for tests and progress
+	// reporting.
+	processed int64
+}
+
+// Now returns the current virtual time in milliseconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() int64 { return e.processed }
+
+// Pending returns the number of events still queued (including cancelled
+// ones not yet drained).
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule queues fn to run at absolute virtual time t and returns a handle
+// that can cancel it. Scheduling in the past (t < Now) panics: that is
+// always a logic error in the caller.
+func (e *Engine) Schedule(t float64, fn func(*Engine)) *Event {
+	if math.IsNaN(t) || t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	ev := &Event{Time: t, Fn: fn, seq: e.nextSeq}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After queues fn to run delay milliseconds from now.
+func (e *Engine) After(delay float64, fn func(*Engine)) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.Schedule(e.now+delay, fn)
+}
+
+// Cancel marks ev so it will not run. Cancelling an already-run or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev != nil {
+		ev.dead = true
+	}
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the next pending event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.Time
+		e.processed++
+		ev.Fn(e)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains, Stop is called, or the clock
+// passes until (exclusive). Events scheduled exactly at until do not run;
+// the clock is left at until if the horizon was hit, otherwise at the last
+// executed event. It returns the number of events executed.
+func (e *Engine) Run(until float64) int64 {
+	e.stopped = false
+	start := e.processed
+	for !e.stopped {
+		// Peek for horizon check.
+		var next *Event
+		for len(e.queue) > 0 {
+			if e.queue[0].dead {
+				heap.Pop(&e.queue)
+				continue
+			}
+			next = e.queue[0]
+			break
+		}
+		if next == nil {
+			break
+		}
+		if next.Time >= until {
+			e.now = until
+			break
+		}
+		e.Step()
+	}
+	return e.processed - start
+}
+
+// RunAll executes events until the queue drains or Stop is called.
+func (e *Engine) RunAll() int64 {
+	return e.Run(math.Inf(1))
+}

@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	var e Engine
+	var order []float64
+	for _, tm := range []float64{5, 1, 3, 2, 4} {
+		tm := tm
+		e.Schedule(tm, func(*Engine) { order = append(order, tm) })
+	}
+	e.RunAll()
+	if !sort.Float64sAreSorted(order) {
+		t.Fatalf("events ran out of order: %v", order)
+	}
+	if len(order) != 5 {
+		t.Fatalf("ran %d events, want 5", len(order))
+	}
+}
+
+func TestEqualTimesRunInScheduleOrder(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(1, func(*Engine) { order = append(order, i) })
+	}
+	e.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	var e Engine
+	e.Schedule(10, func(en *Engine) {
+		if en.Now() != 10 {
+			t.Errorf("Now() inside event = %v, want 10", en.Now())
+		}
+		en.After(5, func(en *Engine) {
+			if en.Now() != 15 {
+				t.Errorf("chained Now() = %v, want 15", en.Now())
+			}
+		})
+	})
+	e.RunAll()
+	if e.Now() != 15 {
+		t.Fatalf("final Now() = %v, want 15", e.Now())
+	}
+	if e.Processed() != 2 {
+		t.Fatalf("Processed = %d, want 2", e.Processed())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	var e Engine
+	e.Schedule(10, func(*Engine) {})
+	e.RunAll()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(5, func(*Engine) {})
+}
+
+func TestAfterNegativePanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative After did not panic")
+		}
+	}()
+	e.After(-1, func(*Engine) {})
+}
+
+func TestCancel(t *testing.T) {
+	var e Engine
+	ran := false
+	ev := e.Schedule(1, func(*Engine) { ran = true })
+	e.Cancel(ev)
+	e.RunAll()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	e.Cancel(ev) // double-cancel is a no-op
+	e.Cancel(nil)
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	var e Engine
+	ran := false
+	later := e.Schedule(10, func(*Engine) { ran = true })
+	e.Schedule(5, func(en *Engine) { en.Cancel(later) })
+	e.RunAll()
+	if ran {
+		t.Fatal("event cancelled mid-run still ran")
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	var e Engine
+	var ran []float64
+	for _, tm := range []float64{1, 2, 3, 10, 20} {
+		tm := tm
+		e.Schedule(tm, func(*Engine) { ran = append(ran, tm) })
+	}
+	n := e.Run(10)
+	if n != 3 {
+		t.Fatalf("Run(10) executed %d events, want 3 (exclusive horizon)", n)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock after horizon = %v, want 10", e.Now())
+	}
+	// Remaining events still runnable.
+	e.RunAll()
+	if len(ran) != 5 {
+		t.Fatalf("total ran %d, want 5", len(ran))
+	}
+}
+
+func TestStop(t *testing.T) {
+	var e Engine
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(float64(i), func(en *Engine) {
+			count++
+			if count == 3 {
+				en.Stop()
+			}
+		})
+	}
+	e.RunAll()
+	if count != 3 {
+		t.Fatalf("Stop did not halt the run: executed %d", count)
+	}
+	// A subsequent run resumes.
+	e.RunAll()
+	if count != 10 {
+		t.Fatalf("resume executed %d total, want 10", count)
+	}
+}
+
+func TestPending(t *testing.T) {
+	var e Engine
+	a := e.Schedule(1, func(*Engine) {})
+	e.Schedule(2, func(*Engine) {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.Cancel(a)
+	if e.Pending() != 1 {
+		t.Fatalf("Pending after cancel = %d, want 1", e.Pending())
+	}
+}
+
+func TestEventCascade(t *testing.T) {
+	// A self-perpetuating process: each event schedules the next until a
+	// horizon; verifies heap behavior under interleaved push/pop.
+	var e Engine
+	ticks := 0
+	var tick func(*Engine)
+	tick = func(en *Engine) {
+		ticks++
+		if ticks < 1000 {
+			en.After(1, tick)
+		}
+	}
+	e.After(0, tick)
+	e.RunAll()
+	if ticks != 1000 {
+		t.Fatalf("ticks = %d, want 1000", ticks)
+	}
+	if e.Now() != 999 {
+		t.Fatalf("Now = %v, want 999", e.Now())
+	}
+}
+
+// Property: for arbitrary event time sets, execution order is the sorted
+// order and the final clock equals the max time.
+func TestOrderingQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var e Engine
+		var times []float64
+		var ran []float64
+		for _, r := range raw {
+			tm := float64(r)
+			times = append(times, tm)
+			e.Schedule(tm, func(*Engine) { ran = append(ran, tm) })
+		}
+		e.RunAll()
+		if len(ran) != len(times) {
+			return false
+		}
+		sort.Float64s(times)
+		for i := range ran {
+			if ran[i] != times[i] {
+				return false
+			}
+		}
+		if len(times) > 0 && e.Now() != times[len(times)-1] {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleNaNPanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NaN schedule did not panic")
+		}
+	}()
+	e.Schedule(math.NaN(), func(*Engine) {})
+}

@@ -1,0 +1,154 @@
+package topology
+
+import (
+	"math"
+	"testing"
+)
+
+// congGraph: two IoT devices share one gateway uplink to the edge.
+//
+//	iot-0 --\
+//	         gw --(bw 10)-- edge-0
+//	iot-1 --/
+func congGraph(t *testing.T) (*Graph, *DelayMatrix) {
+	t.Helper()
+	g := NewGraph()
+	i0 := g.MustAddNode(KindIoT, "iot-0", 0, 0)
+	i1 := g.MustAddNode(KindIoT, "iot-1", 0, 1)
+	gw := g.MustAddNode(KindGateway, "gw", 1, 0)
+	e := g.MustAddNode(KindEdge, "edge-0", 2, 0)
+	g.MustAddLink(i0, gw, 2, 100)
+	g.MustAddLink(i1, gw, 2, 100)
+	g.MustAddLink(gw, e, 1, 10) // shared 10 Mbps bottleneck
+	return g, NewDelayMatrix(g, LatencyCost)
+}
+
+func TestFlowMbps(t *testing.T) {
+	f := Flow{RateHz: 10, PayloadKB: 100}
+	// 100 kB * 8 = 800 kbit; * 10 = 8000 kbit/s = 8 Mbit/s.
+	if got := f.Mbps(); math.Abs(got-8) > 1e-12 {
+		t.Fatalf("Mbps = %v, want 8", got)
+	}
+}
+
+func TestEvaluateCongestionLight(t *testing.T) {
+	g, dm := congGraph(t)
+	flows := []Flow{
+		{IoT: dm.IoT[0], RateHz: 1, PayloadKB: 1},
+		{IoT: dm.IoT[1], RateHz: 1, PayloadKB: 1},
+	}
+	res, err := EvaluateCongestion(g, dm, flows, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Light load: delay ~= base latency (3 ms) + tiny transmission.
+	for k, d := range res.DelayMs {
+		if d < 3 || d > 4 {
+			t.Fatalf("flow %d delay = %v, want ~3", k, d)
+		}
+	}
+	if len(res.Overloaded) != 0 {
+		t.Fatalf("overloaded links at light load: %v", res.Overloaded)
+	}
+	if res.MaxUtilization() <= 0 {
+		t.Fatal("no utilization recorded")
+	}
+}
+
+func TestEvaluateCongestionInflatesSharedLink(t *testing.T) {
+	g, dm := congGraph(t)
+	light := []Flow{
+		{IoT: dm.IoT[0], RateHz: 1, PayloadKB: 10},
+		{IoT: dm.IoT[1], RateHz: 1, PayloadKB: 10},
+	}
+	heavy := []Flow{
+		{IoT: dm.IoT[0], RateHz: 10, PayloadKB: 100}, // 8 Mbps
+		{IoT: dm.IoT[1], RateHz: 10, PayloadKB: 100}, // 8 Mbps -> 16 on a 10 Mbps link
+	}
+	lr, err := EvaluateCongestion(g, dm, light, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := EvaluateCongestion(g, dm, heavy, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.MeanDelayMs() <= lr.MeanDelayMs() {
+		t.Fatalf("heavy load (%v) not slower than light (%v)", hr.MeanDelayMs(), lr.MeanDelayMs())
+	}
+	if len(hr.Overloaded) != 1 {
+		t.Fatalf("want 1 overloaded link, got %v", hr.Overloaded)
+	}
+	if hr.MaxUtilization() < 1 {
+		t.Fatalf("max utilization %v, want >= 1", hr.MaxUtilization())
+	}
+	// Delays remain finite thanks to the utilization cap.
+	for _, d := range hr.DelayMs {
+		if math.IsInf(d, 0) || math.IsNaN(d) {
+			t.Fatalf("non-finite delay %v", d)
+		}
+	}
+}
+
+func TestEvaluateCongestionValidation(t *testing.T) {
+	g, dm := congGraph(t)
+	flows := []Flow{{IoT: dm.IoT[0], RateHz: 1, PayloadKB: 1}}
+	if _, err := EvaluateCongestion(g, dm, flows, []int{0, 0}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := EvaluateCongestion(g, dm, flows, []int{5}); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+}
+
+func TestCongestionAwareDelayMatrix(t *testing.T) {
+	g, dm := congGraph(t)
+	flows := []Flow{
+		{IoT: dm.IoT[0], RateHz: 10, PayloadKB: 100},
+		{IoT: dm.IoT[1], RateHz: 10, PayloadKB: 100},
+	}
+	cam, err := CongestionAwareDelayMatrix(g, dm, flows, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The congestion-aware entries must exceed the raw latency entries
+	// on the saturated shared link.
+	for i := range cam.DelayMs {
+		if cam.DelayMs[i][0] <= dm.DelayMs[i][0] {
+			t.Fatalf("row %d: congestion-aware %v not above base %v",
+				i, cam.DelayMs[i][0], dm.DelayMs[i][0])
+		}
+	}
+	if _, err := CongestionAwareDelayMatrix(g, dm, flows[:1], []int{0, 0}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestCongestionOnGeneratedTopology(t *testing.T) {
+	cfg := Config{NumIoT: 30, NumEdge: 4, NumGateways: 6, Seed: 9}
+	g, err := Hierarchical(cfg, PlaceHotspot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := NewDelayMatrix(g, LatencyCost)
+	flows := make([]Flow, 30)
+	assignment := make([]int, 30)
+	for i := range flows {
+		flows[i] = Flow{IoT: dm.IoT[i], RateHz: 5, PayloadKB: 20}
+		_, assignment[i] = dm.MinDelay(i)
+	}
+	res, err := EvaluateCongestion(g, dm, flows, assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DelayMs) != 30 {
+		t.Fatalf("got %d delays", len(res.DelayMs))
+	}
+	// Effective delay dominates the raw shortest-path delay.
+	for i := range flows {
+		if res.DelayMs[i] < dm.DelayMs[i][assignment[i]]-1e-9 {
+			t.Fatalf("flow %d effective %v below base %v",
+				i, res.DelayMs[i], dm.DelayMs[i][assignment[i]])
+		}
+	}
+}

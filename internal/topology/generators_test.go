@@ -1,0 +1,302 @@
+package topology
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func baseCfg(seed int64) Config {
+	return Config{NumIoT: 40, NumEdge: 5, NumGateways: 10, NumRouters: 4, Seed: seed}
+}
+
+// checkGenerated verifies the invariants every generator must uphold.
+func checkGenerated(t *testing.T, g *Graph, err error, cfg Config) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("generator error: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("generated graph invalid: %v", err)
+	}
+	if got := len(g.NodesOfKind(KindIoT)); got != cfg.NumIoT {
+		t.Fatalf("IoT count = %d, want %d", got, cfg.NumIoT)
+	}
+	if got := len(g.NodesOfKind(KindEdge)); got != cfg.NumEdge {
+		t.Fatalf("edge count = %d, want %d", got, cfg.NumEdge)
+	}
+	// Every IoT device reaches every edge server.
+	dm := NewDelayMatrix(g, LatencyCost)
+	for i := range dm.DelayMs {
+		for j := range dm.DelayMs[i] {
+			if math.IsInf(dm.DelayMs[i][j], 1) {
+				t.Fatalf("IoT %d cannot reach edge %d", i, j)
+			}
+			if dm.DelayMs[i][j] <= 0 {
+				t.Fatalf("non-positive delay %v at (%d,%d)", dm.DelayMs[i][j], i, j)
+			}
+		}
+	}
+	// IoT devices have exactly one (wireless) uplink.
+	for _, id := range g.NodesOfKind(KindIoT) {
+		if g.Degree(id) != 1 {
+			t.Fatalf("IoT node %d has degree %d, want 1", id, g.Degree(id))
+		}
+		nbr := g.Neighbors(id)[0]
+		if g.Node(nbr).Kind != KindGateway {
+			t.Fatalf("IoT node %d attached to %v, want gateway", id, g.Node(nbr).Kind)
+		}
+	}
+}
+
+func TestAllFamiliesGenerateValidGraphs(t *testing.T) {
+	for _, fam := range Families() {
+		fam := fam
+		t.Run(string(fam), func(t *testing.T) {
+			cfg := baseCfg(11)
+			g, err := Generate(fam, cfg, PlaceUniform)
+			checkGenerated(t, g, err, cfg)
+		})
+	}
+}
+
+func TestAllFamiliesHotspotPlacement(t *testing.T) {
+	for _, fam := range Families() {
+		fam := fam
+		t.Run(string(fam), func(t *testing.T) {
+			cfg := baseCfg(23)
+			g, err := Generate(fam, cfg, PlaceHotspot)
+			checkGenerated(t, g, err, cfg)
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, fam := range Families() {
+		cfg := baseCfg(77)
+		g1, err1 := Generate(fam, cfg, PlaceUniform)
+		g2, err2 := Generate(fam, cfg, PlaceUniform)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: %v / %v", fam, err1, err2)
+		}
+		var b1, b2 bytes.Buffer
+		if err := g1.WriteJSON(&b1); err != nil {
+			t.Fatal(err)
+		}
+		if err := g2.WriteJSON(&b2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatalf("%s: same seed produced different graphs", fam)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, err := Hierarchical(baseCfg(1), PlaceUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Hierarchical(baseCfg(2), PlaceUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ba, bb bytes.Buffer
+	if err := a.WriteJSON(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{NumIoT: 0, NumEdge: 1, NumGateways: 1},
+		{NumIoT: 1, NumEdge: 0, NumGateways: 1},
+		{NumIoT: 1, NumEdge: 1, NumGateways: 0},
+		{NumIoT: 1, NumEdge: 1, NumGateways: 1, AreaMeters: -5},
+	}
+	for i, cfg := range bad {
+		if _, err := Hierarchical(cfg, PlaceUniform); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestGeneratorParameterValidation(t *testing.T) {
+	cfg := baseCfg(1)
+	if _, err := RandomGeometric(cfg, 0, PlaceUniform); err == nil {
+		t.Error("RandomGeometric accepted radius 0")
+	}
+	if _, err := Waxman(cfg, 0, 0.5, PlaceUniform); err == nil {
+		t.Error("Waxman accepted alpha 0")
+	}
+	if _, err := Waxman(cfg, 0.5, 1.5, PlaceUniform); err == nil {
+		t.Error("Waxman accepted beta > 1")
+	}
+	if _, err := BarabasiAlbert(cfg, 0, PlaceUniform); err == nil {
+		t.Error("BarabasiAlbert accepted attach 0")
+	}
+	if _, err := BarabasiAlbert(Config{NumIoT: 1, NumEdge: 1, NumGateways: 2, Seed: 1}, 5, PlaceUniform); err == nil {
+		t.Error("BarabasiAlbert accepted attach >= gateways")
+	}
+	if _, err := Grid(cfg, 0, 3, PlaceUniform); err == nil {
+		t.Error("Grid accepted 0 rows")
+	}
+	if _, err := FatTree(cfg, 3, PlaceUniform); err == nil {
+		t.Error("FatTree accepted odd k")
+	}
+	if _, err := Ring(Config{NumIoT: 1, NumEdge: 1, NumGateways: 2, Seed: 1}, PlaceUniform); err == nil {
+		t.Error("Ring accepted 2 gateways")
+	}
+	if _, err := Generate(Family("nope"), cfg, PlaceUniform); err == nil {
+		t.Error("Generate accepted unknown family")
+	}
+}
+
+func TestGridStructure(t *testing.T) {
+	cfg := Config{NumIoT: 10, NumEdge: 2, NumGateways: 1, Seed: 3}
+	g, err := Grid(cfg, 3, 4, PlaceUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.NodesOfKind(KindGateway)); got != 12 {
+		t.Fatalf("gateway count = %d, want 12", got)
+	}
+	// Interior lattice links: 3*3 + 2*4 = 17.
+	wired := 0
+	for _, l := range g.Links() {
+		if g.Node(l.A).Kind == KindGateway && g.Node(l.B).Kind == KindGateway {
+			wired++
+		}
+	}
+	if wired != 17 {
+		t.Fatalf("lattice link count = %d, want 17", wired)
+	}
+}
+
+func TestFatTreeStructure(t *testing.T) {
+	cfg := Config{NumIoT: 10, NumEdge: 4, NumGateways: 8, Seed: 3}
+	g, err := FatTree(cfg, 4, PlaceUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=4: 4 core + 4 pods * (2 agg + 2 tor) = 20 routers.
+	if got := len(g.NodesOfKind(KindRouter)); got != 20 {
+		t.Fatalf("router count = %d, want 20", got)
+	}
+	checkGenerated(t, g, nil, cfg)
+}
+
+func TestBarabasiAlbertHubEmerges(t *testing.T) {
+	cfg := Config{NumIoT: 5, NumEdge: 2, NumGateways: 60, Seed: 13}
+	g, err := BarabasiAlbert(cfg, 2, PlaceUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDeg := 0
+	for _, gw := range g.NodesOfKind(KindGateway) {
+		deg := 0
+		for _, n := range g.Neighbors(gw) {
+			if g.Node(n).Kind == KindGateway {
+				deg++
+			}
+		}
+		if deg > maxDeg {
+			maxDeg = deg
+		}
+	}
+	// Preferential attachment should produce at least one clear hub.
+	if maxDeg < 6 {
+		t.Fatalf("max gateway degree = %d; expected a hub >= 6", maxDeg)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g, err := Hierarchical(baseCfg(21), PlaceUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumLinks() != g.NumLinks() {
+		t.Fatalf("round trip changed size: %d/%d vs %d/%d",
+			g2.NumNodes(), g2.NumLinks(), g.NumNodes(), g.NumLinks())
+	}
+	var buf2 bytes.Buffer
+	if err := g2.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	// Note: node IDs may be renumbered but names are stable, and
+	// WriteJSON orders by ID which follows file order, so re-encoding
+	// must be identical.
+	var buf3 bytes.Buffer
+	if err := g.WriteJSON(&buf3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf2.Bytes(), buf3.Bytes()) {
+		t.Fatal("round trip is not byte-stable")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      "{",
+		"unknown kind": `{"nodes":[{"kind":"alien","name":"a"}],"links":[]}`,
+		"unknown link": `{"nodes":[{"kind":"iot","name":"a"}],"links":[{"a":"a","b":"zzz","latency_ms":1}]}`,
+		"bad latency":  `{"nodes":[{"kind":"iot","name":"a"},{"kind":"edge","name":"b"}],"links":[{"a":"a","b":"b","latency_ms":-1}]}`,
+	}
+	for name, payload := range cases {
+		if _, err := ReadJSON(bytes.NewReader([]byte(payload))); err == nil {
+			t.Errorf("%s: ReadJSON accepted invalid input", name)
+		}
+	}
+}
+
+// Property: for arbitrary small configs and seeds, the hierarchical
+// generator yields valid graphs whose delay matrix is fully finite.
+func TestHierarchicalQuick(t *testing.T) {
+	f := func(seed int64, nIoT, nEdge, nGw uint8) bool {
+		cfg := Config{
+			NumIoT:      int(nIoT%30) + 1,
+			NumEdge:     int(nEdge%6) + 1,
+			NumGateways: int(nGw%8) + 1,
+			Seed:        seed,
+		}
+		g, err := Hierarchical(cfg, PlaceUniform)
+		if err != nil {
+			return false
+		}
+		dm := NewDelayMatrix(g, LatencyCost)
+		for i := range dm.DelayMs {
+			for j := range dm.DelayMs[i] {
+				if math.IsInf(dm.DelayMs[i][j], 1) || dm.DelayMs[i][j] <= 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortIDs(t *testing.T) {
+	ids := []NodeID{5, 1, 3}
+	sortIDs(ids)
+	if ids[0] != 1 || ids[1] != 3 || ids[2] != 5 {
+		t.Fatalf("sortIDs = %v", ids)
+	}
+}

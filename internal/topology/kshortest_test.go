@@ -1,0 +1,138 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// diamond builds a 4-node diamond with two distinct s->t paths of costs 3
+// and 4, plus a long direct edge of cost 10.
+//
+//	    b(1,2)
+//	  /        \
+//	s            t      s-t direct: 10
+//	  \        /
+//	    c(2,2)
+func diamond(t *testing.T) (*Graph, NodeID, NodeID) {
+	t.Helper()
+	g := NewGraph()
+	s := g.MustAddNode(KindIoT, "s", 0, 0)
+	b := g.MustAddNode(KindRouter, "b", 0, 0)
+	c := g.MustAddNode(KindRouter, "c", 0, 0)
+	tt := g.MustAddNode(KindEdge, "t", 0, 0)
+	g.MustAddLink(s, b, 1, 0)
+	g.MustAddLink(b, tt, 2, 0)
+	g.MustAddLink(s, c, 2, 0)
+	g.MustAddLink(c, tt, 2, 0)
+	g.MustAddLink(s, tt, 10, 0)
+	return g, s, tt
+}
+
+func TestKShortestDiamond(t *testing.T) {
+	g, s, dst := diamond(t)
+	paths, err := g.KShortestPaths(s, dst, 5, LatencyCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("got %d paths, want 3: %+v", len(paths), paths)
+	}
+	wantCosts := []float64{3, 4, 10}
+	for i, w := range wantCosts {
+		if math.Abs(paths[i].Cost-w) > 1e-9 {
+			t.Fatalf("path %d cost = %v, want %v", i, paths[i].Cost, w)
+		}
+	}
+	// First path goes through b.
+	if len(paths[0].Nodes) != 3 || g.Node(paths[0].Nodes[1]).Name != "b" {
+		t.Fatalf("path 0 = %v", paths[0].Nodes)
+	}
+}
+
+func TestKShortestLimitsToK(t *testing.T) {
+	g, s, dst := diamond(t)
+	paths, err := g.KShortestPaths(s, dst, 2, LatencyCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2", len(paths))
+	}
+}
+
+func TestKShortestUnreachable(t *testing.T) {
+	g := NewGraph()
+	a := g.MustAddNode(KindIoT, "a", 0, 0)
+	b := g.MustAddNode(KindEdge, "b", 0, 0)
+	paths, err := g.KShortestPaths(a, b, 3, LatencyCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paths != nil {
+		t.Fatalf("expected no paths, got %v", paths)
+	}
+}
+
+func TestKShortestValidation(t *testing.T) {
+	g, s, dst := diamond(t)
+	if _, err := g.KShortestPaths(s, 99, 2, LatencyCost); err == nil {
+		t.Error("bad endpoint accepted")
+	}
+	if _, err := g.KShortestPaths(s, dst, 0, LatencyCost); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+// Properties on generated topologies: costs are non-decreasing, paths are
+// loopless, distinct, and start/end correctly; the first path matches
+// Dijkstra.
+func TestKShortestPropertiesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := Config{NumIoT: 5, NumEdge: 2, NumGateways: 8, Seed: seed}
+		g, err := Waxman(cfg, 0.9, 0.5, PlaceUniform)
+		if err != nil {
+			return false
+		}
+		iot := g.NodesOfKind(KindIoT)[0]
+		edge := g.NodesOfKind(KindEdge)[0]
+		paths, err := g.KShortestPaths(iot, edge, 4, LatencyCost)
+		if err != nil {
+			return false
+		}
+		if len(paths) == 0 {
+			return false // generated graphs are connected
+		}
+		sp := g.Dijkstra(iot, LatencyCost)
+		if math.Abs(paths[0].Cost-sp.Dist[edge]) > 1e-9 {
+			return false
+		}
+		for i, p := range paths {
+			if p.Nodes[0] != iot || p.Nodes[len(p.Nodes)-1] != edge {
+				return false
+			}
+			if i > 0 && p.Cost < paths[i-1].Cost-1e-9 {
+				return false
+			}
+			seen := map[NodeID]bool{}
+			for _, nid := range p.Nodes {
+				if seen[nid] {
+					return false // loop
+				}
+				seen[nid] = true
+			}
+			if math.Abs(pathCost(g, p.Nodes, LatencyCost)-p.Cost) > 1e-9 {
+				return false
+			}
+			for j := 0; j < i; j++ {
+				if equalPath(paths[j].Nodes, p.Nodes) {
+					return false // duplicate
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,60 @@
+package topology
+
+import (
+	"math"
+	"testing"
+)
+
+func TestComputeMetricsLine(t *testing.T) {
+	g, _, _, _, _ := lineGraph(t)
+	m := ComputeMetrics(g)
+	if m.Nodes != 4 || m.Links != 3 {
+		t.Fatalf("nodes/links = %d/%d", m.Nodes, m.Links)
+	}
+	if m.ByKind[KindIoT] != 1 || m.ByKind[KindEdge] != 1 {
+		t.Fatalf("ByKind = %v", m.ByKind)
+	}
+	// Degrees: 1,2,2,1 -> avg 1.5, max 2.
+	if math.Abs(m.AvgDegree-1.5) > 1e-12 || m.MaxDegree != 2 {
+		t.Fatalf("degree stats: avg %v max %d", m.AvgDegree, m.MaxDegree)
+	}
+	if m.DiameterHops != 3 {
+		t.Fatalf("diameter = %d, want 3", m.DiameterHops)
+	}
+	if m.AvgIoTMinDelayMs != 3 || m.MaxIoTMinDelayMs != 3 {
+		t.Fatalf("IoT min delay = %v/%v, want 3", m.AvgIoTMinDelayMs, m.MaxIoTMinDelayMs)
+	}
+	if m.AvgIoTEdgeHops != 3 {
+		t.Fatalf("IoT hops = %v, want 3", m.AvgIoTEdgeHops)
+	}
+}
+
+func TestComputeMetricsDisconnected(t *testing.T) {
+	g := NewGraph()
+	g.MustAddNode(KindIoT, "a", 0, 0)
+	g.MustAddNode(KindEdge, "b", 0, 0)
+	m := ComputeMetrics(g)
+	if m.DiameterHops != -1 {
+		t.Fatalf("diameter of disconnected graph = %d, want -1", m.DiameterHops)
+	}
+}
+
+func TestComputeMetricsGenerated(t *testing.T) {
+	g, err := Hierarchical(baseCfg(3), PlaceUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ComputeMetrics(g)
+	if m.ByKind[KindIoT] != 40 || m.ByKind[KindEdge] != 5 {
+		t.Fatalf("ByKind = %v", m.ByKind)
+	}
+	if m.DiameterHops <= 0 {
+		t.Fatalf("diameter = %d", m.DiameterHops)
+	}
+	if m.AvgIoTMinDelayMs <= 0 || m.MaxIoTMinDelayMs < m.AvgIoTMinDelayMs {
+		t.Fatalf("delay stats: avg %v max %v", m.AvgIoTMinDelayMs, m.MaxIoTMinDelayMs)
+	}
+	if m.AvgIoTEdgeHops < 1 {
+		t.Fatalf("hops = %v", m.AvgIoTEdgeHops)
+	}
+}

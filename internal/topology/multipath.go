@@ -1,0 +1,113 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// linkKey identifies an undirected link for load accounting.
+type linkKey struct{ a, b NodeID }
+
+func normKey(a, b NodeID) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+// effectiveDelay returns a path's delay for the given payload under the
+// supplied per-link loads (Mbps): latency plus transmission inflated by
+// 1/(1-util), with utilization capped.
+func (g *Graph) effectiveDelay(path []NodeID, payloadKB float64, load map[linkKey]float64) float64 {
+	total := 0.0
+	for h := 0; h+1 < len(path); h++ {
+		l, ok := g.LinkBetween(path[h], path[h+1])
+		if !ok {
+			return math.Inf(1)
+		}
+		total += l.LatencyMs
+		if l.BandwidthMbps > 0 {
+			u := load[normKey(path[h], path[h+1])] / l.BandwidthMbps
+			if u > utilCap {
+				u = utilCap
+			}
+			bits := payloadKB * 8 * 1000
+			total += bits / (l.BandwidthMbps * 1000) / (1 - u)
+		}
+	}
+	return total
+}
+
+// EvaluateCongestionMultipath is the congestion-aware routing counterpart
+// of EvaluateCongestion: instead of pinning every flow to its single
+// shortest path, each flow (heaviest first) picks the cheapest of its k
+// shortest loopless paths *under the load already committed*, the way an
+// ECMP/segment-routed underlay would spread hotspot traffic. The
+// assignment (which edge serves which device) is unchanged — only routing
+// differs — so comparing against EvaluateCongestion isolates the value of
+// multipath routing.
+func (g *Graph) EvaluateCongestionMultipath(dm *DelayMatrix, flows []Flow, assignment []int, k int) (*CongestionResult, error) {
+	if len(flows) != len(assignment) {
+		return nil, fmt.Errorf("topology: %d flows but %d assignments", len(flows), len(assignment))
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("topology: k must be positive, got %d", k)
+	}
+	for _, col := range assignment {
+		if col < 0 || col >= len(dm.Edge) {
+			return nil, fmt.Errorf("topology: assignment column %d out of range", col)
+		}
+	}
+	// Heaviest flows route first: they distort utilization the most, so
+	// they get first pick while links are empty.
+	order := make([]int, len(flows))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return flows[order[a]].Mbps() > flows[order[b]].Mbps() })
+
+	load := make(map[linkKey]float64)
+	chosen := make([][]NodeID, len(flows))
+	for _, fi := range order {
+		f := flows[fi]
+		paths, err := g.KShortestPaths(f.IoT, dm.Edge[assignment[fi]], k, LatencyCost)
+		if err != nil {
+			return nil, err
+		}
+		if len(paths) == 0 {
+			return nil, fmt.Errorf("topology: flow %d cannot reach edge column %d", fi, assignment[fi])
+		}
+		best, bestCost := 0, math.Inf(1)
+		for pi, p := range paths {
+			if c := g.effectiveDelay(p.Nodes, f.PayloadKB, load); c < bestCost {
+				best, bestCost = pi, c
+			}
+		}
+		chosen[fi] = paths[best].Nodes
+		mbps := f.Mbps()
+		for h := 0; h+1 < len(chosen[fi]); h++ {
+			load[normKey(chosen[fi][h], chosen[fi][h+1])] += mbps
+		}
+	}
+	// Final result under the committed loads.
+	res := &CongestionResult{DelayMs: make([]float64, len(flows))}
+	for fi, f := range flows {
+		res.DelayMs[fi] = g.effectiveDelay(chosen[fi], f.PayloadKB, load)
+	}
+	for key, mbps := range load {
+		l, ok := g.LinkBetween(key.a, key.b)
+		if !ok {
+			return nil, fmt.Errorf("topology: internal error: load on missing link %d-%d", key.a, key.b)
+		}
+		util := 0.0
+		if l.BandwidthMbps > 0 {
+			util = mbps / l.BandwidthMbps
+		}
+		res.Links = append(res.Links, LinkLoad{Link: l, Mbps: mbps, Utilization: util})
+		if l.BandwidthMbps > 0 && util >= 1 {
+			res.Overloaded = append(res.Overloaded, l)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,151 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCutVerticesLine(t *testing.T) {
+	// iot - gw - router - edge: gw and router are articulation points.
+	g, _, gw, r, _ := lineGraph(t)
+	cuts := g.CutVertices()
+	if len(cuts) != 2 || cuts[0] != gw || cuts[1] != r {
+		t.Fatalf("CutVertices = %v, want [%d %d]", cuts, gw, r)
+	}
+}
+
+func TestCutVerticesCycleHasNone(t *testing.T) {
+	g := NewGraph()
+	var ids []NodeID
+	for i := 0; i < 5; i++ {
+		ids = append(ids, g.MustAddNode(KindRouter, names5[i], 0, 0))
+	}
+	for i := 0; i < 5; i++ {
+		g.MustAddLink(ids[i], ids[(i+1)%5], 1, 0)
+	}
+	if cuts := g.CutVertices(); len(cuts) != 0 {
+		t.Fatalf("cycle has cut vertices: %v", cuts)
+	}
+}
+
+var names5 = []string{"a", "b", "c", "d", "e"}
+
+func TestCutVerticesBridgeOfTwoCycles(t *testing.T) {
+	// Two triangles joined at one shared node: the shared node cuts.
+	g := NewGraph()
+	a := g.MustAddNode(KindRouter, "a", 0, 0)
+	b := g.MustAddNode(KindRouter, "b", 0, 0)
+	c := g.MustAddNode(KindRouter, "c", 0, 0)
+	d := g.MustAddNode(KindRouter, "d", 0, 0)
+	e := g.MustAddNode(KindRouter, "e", 0, 0)
+	g.MustAddLink(a, b, 1, 0)
+	g.MustAddLink(b, c, 1, 0)
+	g.MustAddLink(c, a, 1, 0)
+	g.MustAddLink(c, d, 1, 0)
+	g.MustAddLink(d, e, 1, 0)
+	g.MustAddLink(e, c, 1, 0)
+	cuts := g.CutVertices()
+	if len(cuts) != 1 || cuts[0] != c {
+		t.Fatalf("CutVertices = %v, want [%d]", cuts, c)
+	}
+}
+
+// Property: removing a non-cut vertex never disconnects a connected graph,
+// and removing a cut vertex always does. Verified against a brute-force
+// connectivity check on generated topologies.
+func TestCutVerticesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := Config{NumIoT: 6, NumEdge: 2, NumGateways: 7, Seed: seed}
+		g, err := Waxman(cfg, 0.8, 0.5, PlaceUniform)
+		if err != nil {
+			return false
+		}
+		cutSet := map[NodeID]bool{}
+		for _, cv := range g.CutVertices() {
+			cutSet[cv] = true
+		}
+		// Brute force: a vertex is a cut vertex iff removing it leaves
+		// the remaining graph (with >= 2 nodes) disconnected.
+		for v := 0; v < g.NumNodes(); v++ {
+			if disconnectsWithout(g, NodeID(v)) != cutSet[NodeID(v)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// disconnectsWithout reports whether removing banned splits the remaining
+// nodes of a connected graph.
+func disconnectsWithout(g *Graph, banned NodeID) bool {
+	n := g.NumNodes()
+	if n <= 2 {
+		return false
+	}
+	start := NodeID(-1)
+	for v := 0; v < n; v++ {
+		if NodeID(v) != banned {
+			start = NodeID(v)
+			break
+		}
+	}
+	seen := map[NodeID]bool{start: true}
+	queue := []NodeID{start}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(u) {
+			if w == banned || seen[w] {
+				continue
+			}
+			seen[w] = true
+			queue = append(queue, w)
+		}
+	}
+	return len(seen) != n-1
+}
+
+func TestResilienceLine(t *testing.T) {
+	g, _, gw, _, _ := lineGraph(t)
+	rep := g.Resilience()
+	if len(rep.CutVertices) != 2 {
+		t.Fatalf("infra cut vertices = %v", rep.CutVertices)
+	}
+	// Losing the gateway (or router) strands the single IoT device.
+	if rep.WorstCaseStranded != 1 {
+		t.Fatalf("WorstCaseStranded = %d, want 1", rep.WorstCaseStranded)
+	}
+	if rep.WorstVertex != gw && g.Node(rep.WorstVertex).Kind != KindRouter {
+		t.Fatalf("WorstVertex = %v", rep.WorstVertex)
+	}
+}
+
+func TestResilienceRingIsRobust(t *testing.T) {
+	// Ring backbone: no single gateway failure disconnects the ring, so
+	// only devices attached to the failed gateway itself are exposed —
+	// and those are counted, since their sole uplink dies with it.
+	cfg := Config{NumIoT: 12, NumEdge: 3, NumGateways: 6, Seed: 5}
+	g, err := Ring(cfg, PlaceUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := g.Resilience()
+	// Gateways are cut vertices only w.r.t. their attached IoT leaves.
+	if rep.WorstCaseStranded > 12 {
+		t.Fatalf("stranded %d of 12", rep.WorstCaseStranded)
+	}
+	// The hierarchical tree must be strictly more exposed than the ring
+	// on the same sizing.
+	tree, err := Hierarchical(cfg, PlaceUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeRep := tree.Resilience()
+	if treeRep.WorstCaseStranded < rep.WorstCaseStranded {
+		t.Fatalf("tree (%d) less exposed than ring (%d)",
+			treeRep.WorstCaseStranded, rep.WorstCaseStranded)
+	}
+}

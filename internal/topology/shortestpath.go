@@ -1,0 +1,245 @@
+package topology
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Infinity marks unreachable pairs in distance results.
+var Infinity = math.Inf(1)
+
+// LinkCost maps a link to a non-negative traversal cost. It is the knob
+// that makes path computation payload-aware: propagation-only, or
+// propagation plus transmission for a given message size.
+type LinkCost func(l Link) float64
+
+// LatencyCost returns each link's configured latency; transmission time is
+// ignored. This is the cost used for small control messages.
+func LatencyCost(l Link) float64 { return l.LatencyMs }
+
+// PayloadCost returns a cost model combining propagation latency and the
+// transmission time of a payload of the given size (kilobytes) at the
+// link's bandwidth. Links with unspecified bandwidth contribute no
+// transmission time.
+func PayloadCost(payloadKB float64) LinkCost {
+	return func(l Link) float64 {
+		d := l.LatencyMs
+		if l.BandwidthMbps > 0 {
+			// kB -> bits = *8*1000; Mbit/s -> bits/ms = *1000.
+			bits := payloadKB * 8 * 1000
+			d += bits / (l.BandwidthMbps * 1000)
+		}
+		return d
+	}
+}
+
+// pqItem is a Dijkstra priority-queue entry.
+type pqItem struct {
+	node NodeID
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// ShortestPaths holds single-source shortest-path results.
+type ShortestPaths struct {
+	Source NodeID
+	// Dist[v] is the cost of the cheapest path from Source to v, or
+	// Infinity if unreachable.
+	Dist []float64
+	// Prev[v] is the predecessor of v on that path, or -1 for the source
+	// and unreachable nodes.
+	Prev []NodeID
+}
+
+// PathTo reconstructs the node sequence from the source to v, inclusive.
+// It returns nil if v is unreachable.
+func (sp *ShortestPaths) PathTo(v NodeID) []NodeID {
+	if int(v) >= len(sp.Dist) || math.IsInf(sp.Dist[v], 1) {
+		return nil
+	}
+	var rev []NodeID
+	for u := v; u != -1; u = sp.Prev[u] {
+		rev = append(rev, u)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Dijkstra computes single-source shortest paths from src under the given
+// cost model. Costs must be non-negative; a negative cost causes a panic.
+func (g *Graph) Dijkstra(src NodeID, cost LinkCost) *ShortestPaths {
+	if !g.valid(src) {
+		panic(fmt.Sprintf("topology: Dijkstra source %d out of range", src))
+	}
+	n := len(g.nodes)
+	dist := make([]float64, n)
+	prev := make([]NodeID, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = Infinity
+		prev[i] = -1
+	}
+	dist[src] = 0
+	q := &pq{{node: src, dist: 0}}
+	for q.Len() > 0 {
+		item := heap.Pop(q).(pqItem)
+		u := item.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, h := range g.adj[u] {
+			c := cost(Link{A: u, B: h.to, LatencyMs: h.latencyMs, BandwidthMbps: h.bwMbps})
+			if c < 0 {
+				panic(fmt.Sprintf("topology: negative link cost %v on %d-%d", c, u, h.to))
+			}
+			if nd := item.dist + c; nd < dist[h.to] {
+				dist[h.to] = nd
+				prev[h.to] = u
+				heap.Push(q, pqItem{node: h.to, dist: nd})
+			}
+		}
+	}
+	return &ShortestPaths{Source: src, Dist: dist, Prev: prev}
+}
+
+// HopCounts returns the minimum hop count from src to every node via BFS,
+// with -1 marking unreachable nodes.
+func (g *Graph) HopCounts(src NodeID) []int {
+	if !g.valid(src) {
+		panic(fmt.Sprintf("topology: HopCounts source %d out of range", src))
+	}
+	hops := make([]int, len(g.nodes))
+	for i := range hops {
+		hops[i] = -1
+	}
+	hops[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, h := range g.adj[u] {
+			if hops[h.to] == -1 {
+				hops[h.to] = hops[u] + 1
+				queue = append(queue, h.to)
+			}
+		}
+	}
+	return hops
+}
+
+// AllPairs computes the full distance matrix under cost by running Dijkstra
+// from every node. The result is row-major: m[u][v].
+func (g *Graph) AllPairs(cost LinkCost) [][]float64 {
+	n := len(g.nodes)
+	m := make([][]float64, n)
+	for u := 0; u < n; u++ {
+		m[u] = g.Dijkstra(NodeID(u), cost).Dist
+	}
+	return m
+}
+
+// FloydWarshall computes all-pairs shortest distances with the classic
+// O(n^3) recurrence. It exists as an independent oracle for testing the
+// Dijkstra implementation and for very small graphs.
+func (g *Graph) FloydWarshall(cost LinkCost) [][]float64 {
+	n := len(g.nodes)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			if i != j {
+				m[i][j] = Infinity
+			}
+		}
+	}
+	for _, l := range g.Links() {
+		c := cost(l)
+		if c < m[l.A][l.B] {
+			m[l.A][l.B] = c
+			m[l.B][l.A] = c
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if math.IsInf(m[i][k], 1) {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if d := m[i][k] + m[k][j]; d < m[i][j] {
+					m[i][j] = d
+				}
+			}
+		}
+	}
+	return m
+}
+
+// DelayMatrix is the IoT-by-edge communication-delay matrix derived from a
+// topology; it is the bridge between the network substrate and the GAP
+// formulation.
+type DelayMatrix struct {
+	// IoT and Edge list the node IDs backing each row/column.
+	IoT  []NodeID
+	Edge []NodeID
+	// DelayMs[i][j] is the delay from IoT[i] to Edge[j], Infinity if
+	// disconnected.
+	DelayMs [][]float64
+}
+
+// NewDelayMatrix computes shortest-path delays from every IoT node to every
+// edge node under the given cost model. Dijkstra runs from each edge node
+// (there are typically far fewer edges than IoT devices).
+func NewDelayMatrix(g *Graph, cost LinkCost) *DelayMatrix {
+	iot := g.NodesOfKind(KindIoT)
+	edge := g.NodesOfKind(KindEdge)
+	m := make([][]float64, len(iot))
+	for i := range m {
+		m[i] = make([]float64, len(edge))
+	}
+	for j, e := range edge {
+		sp := g.Dijkstra(e, cost)
+		for i, d := range iot {
+			m[i][j] = sp.Dist[d]
+		}
+	}
+	return &DelayMatrix{IoT: iot, Edge: edge, DelayMs: m}
+}
+
+// NumIoT returns the number of IoT rows.
+func (dm *DelayMatrix) NumIoT() int { return len(dm.IoT) }
+
+// NumEdge returns the number of edge columns.
+func (dm *DelayMatrix) NumEdge() int { return len(dm.Edge) }
+
+// MinDelay returns the smallest delay in row i and the column achieving it.
+// It panics for an out-of-range row and returns (Infinity, -1) when the row
+// is fully disconnected.
+func (dm *DelayMatrix) MinDelay(i int) (float64, int) {
+	if i < 0 || i >= len(dm.DelayMs) {
+		panic(fmt.Sprintf("topology: MinDelay row %d out of range", i))
+	}
+	best, bestJ := Infinity, -1
+	for j, d := range dm.DelayMs[i] {
+		if d < best {
+			best, bestJ = d, j
+		}
+	}
+	return best, bestJ
+}

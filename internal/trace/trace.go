@@ -1,0 +1,227 @@
+// Package trace persists and analyzes per-request traces from the cluster
+// simulator: a CSV writer that plugs into cluster.Config.Recorder, a
+// reader, an aggregate summary, and a windowed time series for
+// latency-over-time plots. Traces make simulation runs inspectable and
+// diffable offline — the record/replay counterpart to the live Result.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"taccc/internal/cluster"
+	"taccc/internal/stats"
+)
+
+// header is the CSV column layout.
+var header = []string{"device", "edge", "sent_ms", "done_ms", "latency_ms", "outcome"}
+
+// Writer streams records as CSV rows. Create with NewWriter and Flush (or
+// Close the underlying file) when done.
+type Writer struct {
+	w   *csv.Writer
+	err error
+	n   int
+}
+
+// NewWriter emits the header immediately.
+func NewWriter(w io.Writer) (*Writer, error) {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: cw}, nil
+}
+
+// Record implements cluster.Recorder. The first write error is latched and
+// reported by Flush.
+func (t *Writer) Record(r cluster.RequestRecord) {
+	if t.err != nil {
+		return
+	}
+	t.err = t.w.Write([]string{
+		strconv.Itoa(r.Device),
+		strconv.Itoa(r.Edge),
+		strconv.FormatFloat(r.SentAtMs, 'f', 3, 64),
+		strconv.FormatFloat(r.DoneAtMs, 'f', 3, 64),
+		strconv.FormatFloat(r.LatencyMs, 'f', 3, 64),
+		string(r.Outcome),
+	})
+	if t.err == nil {
+		t.n++
+	}
+}
+
+// N returns the number of records written.
+func (t *Writer) N() int { return t.n }
+
+// Flush drains buffers and returns the first error encountered.
+func (t *Writer) Flush() error {
+	t.w.Flush()
+	if t.err != nil {
+		return fmt.Errorf("trace: %w", t.err)
+	}
+	if err := t.w.Error(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+// Read parses a trace written by Writer.
+func Read(r io.Reader) ([]cluster.RequestRecord, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	if len(rows[0]) != len(header) || rows[0][0] != header[0] {
+		return nil, fmt.Errorf("trace: unrecognized header %v", rows[0])
+	}
+	out := make([]cluster.RequestRecord, 0, len(rows)-1)
+	for lineNo, row := range rows[1:] {
+		rec, err := parseRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo+2, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func parseRow(row []string) (cluster.RequestRecord, error) {
+	var rec cluster.RequestRecord
+	if len(row) != len(header) {
+		return rec, fmt.Errorf("want %d fields, got %d", len(header), len(row))
+	}
+	var err error
+	if rec.Device, err = strconv.Atoi(row[0]); err != nil {
+		return rec, fmt.Errorf("device: %w", err)
+	}
+	if rec.Edge, err = strconv.Atoi(row[1]); err != nil {
+		return rec, fmt.Errorf("edge: %w", err)
+	}
+	if rec.SentAtMs, err = strconv.ParseFloat(row[2], 64); err != nil {
+		return rec, fmt.Errorf("sent_ms: %w", err)
+	}
+	if rec.DoneAtMs, err = strconv.ParseFloat(row[3], 64); err != nil {
+		return rec, fmt.Errorf("done_ms: %w", err)
+	}
+	if rec.LatencyMs, err = strconv.ParseFloat(row[4], 64); err != nil {
+		return rec, fmt.Errorf("latency_ms: %w", err)
+	}
+	switch o := cluster.Outcome(row[5]); o {
+	case cluster.OutcomeOK, cluster.OutcomeMissed, cluster.OutcomeDropped:
+		rec.Outcome = o
+	default:
+		return rec, fmt.Errorf("unknown outcome %q", row[5])
+	}
+	return rec, nil
+}
+
+// Summary aggregates a trace.
+type Summary struct {
+	Completed int
+	Missed    int
+	Dropped   int
+	// Latency pools the completed requests' latencies.
+	Latency stats.Sample
+	// PerEdge counts completed requests per edge index.
+	PerEdge map[int]int
+}
+
+// Summarize computes aggregate statistics over records.
+func Summarize(records []cluster.RequestRecord) *Summary {
+	s := &Summary{PerEdge: make(map[int]int)}
+	for _, r := range records {
+		switch r.Outcome {
+		case cluster.OutcomeDropped:
+			s.Dropped++
+		case cluster.OutcomeMissed:
+			s.Missed++
+			s.Completed++
+			s.Latency.Add(r.LatencyMs)
+			s.PerEdge[r.Edge]++
+		default:
+			s.Completed++
+			s.Latency.Add(r.LatencyMs)
+			s.PerEdge[r.Edge]++
+		}
+	}
+	return s
+}
+
+// MissRate returns misses / completed (0 when empty).
+func (s *Summary) MissRate() float64 {
+	if s.Completed == 0 {
+		return 0
+	}
+	return float64(s.Missed) / float64(s.Completed)
+}
+
+// WindowPoint is one bucket of a latency time series.
+type WindowPoint struct {
+	// StartMs is the bucket's inclusive start time.
+	StartMs float64
+	// Completed and Dropped count requests finishing in the bucket.
+	Completed int
+	Dropped   int
+	// MeanLatencyMs and P95Ms summarize completed-request latency.
+	MeanLatencyMs float64
+	P95Ms         float64
+}
+
+// TimeSeries buckets the trace by completion time into windows of
+// windowMs, producing the "latency over time" view of a run. Records are
+// bucketed by DoneAtMs; buckets are returned in time order, empty buckets
+// omitted.
+func TimeSeries(records []cluster.RequestRecord, windowMs float64) ([]WindowPoint, error) {
+	if windowMs <= 0 {
+		return nil, fmt.Errorf("trace: window must be positive, got %v", windowMs)
+	}
+	type bucket struct {
+		completed int
+		dropped   int
+		lat       stats.Sample
+	}
+	buckets := make(map[int]*bucket)
+	for _, r := range records {
+		idx := int(r.DoneAtMs / windowMs)
+		b := buckets[idx]
+		if b == nil {
+			b = &bucket{}
+			buckets[idx] = b
+		}
+		if r.Outcome == cluster.OutcomeDropped {
+			b.dropped++
+		} else {
+			b.completed++
+			b.lat.Add(r.LatencyMs)
+		}
+	}
+	idxs := make([]int, 0, len(buckets))
+	for i := range buckets {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	out := make([]WindowPoint, 0, len(idxs))
+	for _, i := range idxs {
+		b := buckets[i]
+		wp := WindowPoint{
+			StartMs:   float64(i) * windowMs,
+			Completed: b.completed,
+			Dropped:   b.dropped,
+		}
+		if b.completed > 0 {
+			wp.MeanLatencyMs = b.lat.Mean()
+			wp.P95Ms = b.lat.P95()
+		}
+		out = append(out, wp)
+	}
+	return out, nil
+}

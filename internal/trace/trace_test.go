@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"taccc/internal/cluster"
+	"taccc/internal/workload"
+)
+
+func sampleRecords() []cluster.RequestRecord {
+	return []cluster.RequestRecord{
+		{Device: 0, Edge: 1, SentAtMs: 10, DoneAtMs: 25, LatencyMs: 15, Outcome: cluster.OutcomeOK},
+		{Device: 1, Edge: 0, SentAtMs: 12, DoneAtMs: 300, LatencyMs: 288, Outcome: cluster.OutcomeMissed},
+		{Device: 2, Edge: 1, SentAtMs: 14, DoneAtMs: 14, Outcome: cluster.OutcomeDropped},
+		{Device: 0, Edge: 1, SentAtMs: 1200, DoneAtMs: 1215, LatencyMs: 15, Outcome: cluster.OutcomeOK},
+	}
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords()
+	for _, r := range recs {
+		w.Record(r)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.N() != len(recs) {
+		t.Fatalf("N = %d, want %d", w.N(), len(recs))
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Device != recs[i].Device || got[i].Edge != recs[i].Edge ||
+			got[i].Outcome != recs[i].Outcome ||
+			math.Abs(got[i].LatencyMs-recs[i].LatencyMs) > 1e-3 {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad header":  "a,b,c\n",
+		"bad device":  "device,edge,sent_ms,done_ms,latency_ms,outcome\nx,0,1,2,3,ok\n",
+		"bad outcome": "device,edge,sent_ms,done_ms,latency_ms,outcome\n1,0,1,2,3,wat\n",
+		"short row":   "device,edge,sent_ms,done_ms,latency_ms,outcome\n1,0,1\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(sampleRecords())
+	if s.Completed != 3 || s.Missed != 1 || s.Dropped != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.MissRate()-1.0/3) > 1e-9 {
+		t.Fatalf("MissRate = %v", s.MissRate())
+	}
+	if s.PerEdge[1] != 2 || s.PerEdge[0] != 1 {
+		t.Fatalf("PerEdge = %v", s.PerEdge)
+	}
+	if s.Latency.N() != 3 {
+		t.Fatalf("latency sample N = %d", s.Latency.N())
+	}
+	empty := Summarize(nil)
+	if empty.MissRate() != 0 {
+		t.Fatal("empty MissRate != 0")
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts, err := TimeSeries(sampleRecords(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buckets: [0,1000) has 2 completed + 1 dropped; [1000,2000) has 1.
+	if len(ts) != 2 {
+		t.Fatalf("got %d windows, want 2: %+v", len(ts), ts)
+	}
+	if ts[0].StartMs != 0 || ts[0].Completed != 2 || ts[0].Dropped != 1 {
+		t.Fatalf("window 0 = %+v", ts[0])
+	}
+	if ts[1].StartMs != 1000 || ts[1].Completed != 1 {
+		t.Fatalf("window 1 = %+v", ts[1])
+	}
+	if ts[0].MeanLatencyMs <= 0 || ts[0].P95Ms <= 0 {
+		t.Fatalf("window 0 latency stats = %+v", ts[0])
+	}
+	if _, err := TimeSeries(nil, 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+// TestEndToEndWithSimulator runs a real simulation with a trace recorder
+// and checks the trace agrees with the simulator's own Result.
+func TestEndToEndWithSimulator(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cluster.Config{
+		UplinkMs: [][]float64{{5, 50}, {50, 5}},
+		Devices: []workload.Device{
+			{ID: 0, RateHz: 10, ComputeUnits: 1, DeadlineMs: 100},
+			{ID: 1, RateHz: 10, ComputeUnits: 1, DeadlineMs: 100},
+		},
+		ServiceRate: []float64{1000, 1000},
+		Assignment:  []int{0, 1},
+		Recorder:    w,
+		Seed:        3,
+	}
+	s, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(recs)
+	// No warmup configured, so the trace's completed count must equal
+	// the result's.
+	if sum.Completed != res.Completed {
+		t.Fatalf("trace completed %d, result %d", sum.Completed, res.Completed)
+	}
+	if sum.Missed != res.DeadlineMisses {
+		t.Fatalf("trace missed %d, result %d", sum.Missed, res.DeadlineMisses)
+	}
+	if sum.Dropped != res.Dropped {
+		t.Fatalf("trace dropped %d, result %d", sum.Dropped, res.Dropped)
+	}
+	if math.Abs(sum.Latency.Mean()-res.Latency.Mean()) > 1e-6 {
+		t.Fatalf("trace mean %v, result mean %v", sum.Latency.Mean(), res.Latency.Mean())
+	}
+	ts, err := TimeSeries(recs, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) < 5 {
+		t.Fatalf("expected ~10 windows, got %d", len(ts))
+	}
+}

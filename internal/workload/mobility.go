@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"taccc/internal/xrand"
+)
+
+// Position is a planar coordinate in meters.
+type Position struct {
+	X, Y float64
+}
+
+// RandomWaypoint simulates the classic random-waypoint mobility model for
+// one device: pick a destination uniformly in the area, travel at a uniform
+// speed, pause, repeat. The cluster simulator samples positions over time
+// to re-attach mobile IoT devices to their nearest gateway.
+type RandomWaypoint struct {
+	areaMeters   float64
+	minSpeedMps  float64
+	maxSpeedMps  float64
+	pauseMs      float64
+	pos          Position
+	dest         Position
+	speedMps     float64
+	pauseLeftMs  float64
+	travelLeftMs float64
+	src          *xrand.Source
+}
+
+// NewRandomWaypoint creates a walker starting at a uniform position.
+func NewRandomWaypoint(areaMeters, minSpeedMps, maxSpeedMps, pauseMs float64, src *xrand.Source) (*RandomWaypoint, error) {
+	if areaMeters <= 0 {
+		return nil, fmt.Errorf("workload: RandomWaypoint area must be positive, got %v", areaMeters)
+	}
+	if minSpeedMps <= 0 || maxSpeedMps < minSpeedMps {
+		return nil, fmt.Errorf("workload: invalid speed range [%v, %v]", minSpeedMps, maxSpeedMps)
+	}
+	if pauseMs < 0 {
+		return nil, fmt.Errorf("workload: negative pause %v", pauseMs)
+	}
+	w := &RandomWaypoint{
+		areaMeters:  areaMeters,
+		minSpeedMps: minSpeedMps,
+		maxSpeedMps: maxSpeedMps,
+		pauseMs:     pauseMs,
+		src:         src,
+		pos: Position{
+			X: src.Uniform(0, areaMeters),
+			Y: src.Uniform(0, areaMeters),
+		},
+	}
+	w.pickDestination()
+	return w, nil
+}
+
+func (w *RandomWaypoint) pickDestination() {
+	w.dest = Position{X: w.src.Uniform(0, w.areaMeters), Y: w.src.Uniform(0, w.areaMeters)}
+	w.speedMps = w.src.Uniform(w.minSpeedMps, w.maxSpeedMps)
+	dist := math.Hypot(w.dest.X-w.pos.X, w.dest.Y-w.pos.Y)
+	w.travelLeftMs = dist / w.speedMps * 1000
+	w.pauseLeftMs = 0
+}
+
+// Pos returns the current position.
+func (w *RandomWaypoint) Pos() Position { return w.pos }
+
+// Advance moves the walker forward by dtMs milliseconds and returns the new
+// position. It panics on negative dt.
+func (w *RandomWaypoint) Advance(dtMs float64) Position {
+	if dtMs < 0 {
+		panic(fmt.Sprintf("workload: Advance with negative dt %v", dtMs))
+	}
+	remaining := dtMs
+	for remaining > 0 {
+		if w.pauseLeftMs > 0 {
+			if w.pauseLeftMs >= remaining {
+				w.pauseLeftMs -= remaining
+				return w.pos
+			}
+			remaining -= w.pauseLeftMs
+			w.pauseLeftMs = 0
+			w.pickDestination()
+			continue
+		}
+		if w.travelLeftMs >= remaining {
+			frac := remaining / w.travelLeftMs
+			w.pos.X += (w.dest.X - w.pos.X) * frac
+			w.pos.Y += (w.dest.Y - w.pos.Y) * frac
+			w.travelLeftMs -= remaining
+			return w.pos
+		}
+		// Arrive at the destination and start pausing.
+		remaining -= w.travelLeftMs
+		w.travelLeftMs = 0
+		w.pos = w.dest
+		w.pauseLeftMs = w.pauseMs
+		if w.pauseMs == 0 {
+			w.pickDestination()
+		}
+	}
+	return w.pos
+}

@@ -1,0 +1,57 @@
+package workload
+
+// Named profile presets for common deployment archetypes. Examples and
+// experiments use these so scenario definitions stay comparable across the
+// repository; tune per deployment by editing the returned value.
+
+// SmartCityProfile models roadside sensing: many loop/environment sensors
+// plus camera clusters at intersections. Payloads are large and bursty on
+// the camera side; deadlines are loose (traffic analytics, not control).
+func SmartCityProfile(seed int64) Profile {
+	return Profile{
+		Classes: []Class{
+			{Name: "loop-sensor", Weight: 0.55, RateHz: 2, RateJitter: 0.5, PayloadKB: 0.5, PayloadSigma: 0.2, ComputeUnits: 0.3, DeadlineMs: 150},
+			{Name: "env-sensor", Weight: 0.15, RateHz: 0.5, RateJitter: 0.3, PayloadKB: 1, PayloadSigma: 0.2, ComputeUnits: 0.2, DeadlineMs: 500},
+			{Name: "camera", Weight: 0.3, RateHz: 8, RateJitter: 0.3, PayloadKB: 60, PayloadSigma: 0.4, ComputeUnits: 1.5, DeadlineMs: 120, BurstProb: 0.3},
+		},
+		Seed: seed,
+	}
+}
+
+// FactoryProfile models industrial control: high-rate PLC telemetry with
+// hard deadlines, vibration monitoring, and sparse vision QA bursts.
+func FactoryProfile(seed int64) Profile {
+	return Profile{
+		Classes: []Class{
+			{Name: "plc", Weight: 0.5, RateHz: 20, RateJitter: 0.1, PayloadKB: 0.2, PayloadSigma: 0.1, ComputeUnits: 0.4, DeadlineMs: 10},
+			{Name: "vibration", Weight: 0.3, RateHz: 50, RateJitter: 0.2, PayloadKB: 2, PayloadSigma: 0.3, ComputeUnits: 0.8, DeadlineMs: 20},
+			{Name: "vision-qa", Weight: 0.2, RateHz: 5, RateJitter: 0.2, PayloadKB: 80, PayloadSigma: 0.3, ComputeUnits: 3, DeadlineMs: 50, BurstProb: 0.5},
+		},
+		Seed: seed,
+	}
+}
+
+// WearablesProfile models consumer wearables and home IoT: very many tiny
+// devices, low rates, no hard deadlines, strong popularity skew (a few
+// chatty devices dominate).
+func WearablesProfile(seed int64) Profile {
+	return Profile{
+		Classes: []Class{
+			{Name: "wearable", Weight: 0.8, RateHz: 0.5, RateJitter: 0.6, PayloadKB: 0.5, PayloadSigma: 0.4, ComputeUnits: 0.1},
+			{Name: "hub", Weight: 0.2, RateHz: 4, RateJitter: 0.4, PayloadKB: 4, PayloadSigma: 0.4, ComputeUnits: 0.4, DeadlineMs: 300},
+		},
+		ZipfSkew: 1.0,
+		Seed:     seed,
+	}
+}
+
+// Profiles returns the named presets, keyed the way cmd/tacgen exposes
+// them.
+func Profiles(seed int64) map[string]Profile {
+	return map[string]Profile{
+		"default":   DefaultProfile(seed),
+		"smartcity": SmartCityProfile(seed),
+		"factory":   FactoryProfile(seed),
+		"wearables": WearablesProfile(seed),
+	}
+}

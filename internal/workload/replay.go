@@ -1,0 +1,37 @@
+package workload
+
+import "fmt"
+
+// Replay is a trace-driven arrival process: it replays a recorded sequence
+// of inter-arrival gaps, cycling when the recording is exhausted, so
+// measured device behaviour can be fed back into the simulator.
+type Replay struct {
+	gapsMs []float64
+	next   int
+}
+
+// NewReplay wraps a recorded gap sequence (milliseconds). The slice is
+// copied; it must be non-empty with positive entries.
+func NewReplay(gapsMs []float64) (*Replay, error) {
+	if len(gapsMs) == 0 {
+		return nil, fmt.Errorf("workload: replay needs at least one gap")
+	}
+	for i, g := range gapsMs {
+		if g <= 0 {
+			return nil, fmt.Errorf("workload: replay gap %d is %v, want positive", i, g)
+		}
+	}
+	out := make([]float64, len(gapsMs))
+	copy(out, gapsMs)
+	return &Replay{gapsMs: out}, nil
+}
+
+// NextGapMs implements Arrivals, cycling through the recording.
+func (r *Replay) NextGapMs() float64 {
+	g := r.gapsMs[r.next]
+	r.next = (r.next + 1) % len(r.gapsMs)
+	return g
+}
+
+// Len returns the recording length.
+func (r *Replay) Len() int { return len(r.gapsMs) }

@@ -1,0 +1,46 @@
+package workload
+
+import "testing"
+
+func TestReplayCycles(t *testing.T) {
+	r, err := NewReplay([]float64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{10, 20, 30, 10, 20, 30, 10}
+	for i, w := range want {
+		if g := r.NextGapMs(); g != w {
+			t.Fatalf("gap %d = %v, want %v", i, g, w)
+		}
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	if _, err := NewReplay(nil); err == nil {
+		t.Error("empty recording accepted")
+	}
+	if _, err := NewReplay([]float64{5, 0}); err == nil {
+		t.Error("zero gap accepted")
+	}
+	if _, err := NewReplay([]float64{-1}); err == nil {
+		t.Error("negative gap accepted")
+	}
+}
+
+func TestReplayCopiesInput(t *testing.T) {
+	gaps := []float64{5, 5}
+	r, err := NewReplay(gaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps[0] = 99
+	if g := r.NextGapMs(); g != 5 {
+		t.Fatalf("replay aliases caller slice: %v", g)
+	}
+}
+
+// Replay satisfies the Arrivals interface.
+var _ Arrivals = (*Replay)(nil)

@@ -1,0 +1,337 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"taccc/internal/xrand"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	devs, err := Generate(200, DefaultProfile(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(devs) != 200 {
+		t.Fatalf("len = %d, want 200", len(devs))
+	}
+	for i, d := range devs {
+		if d.ID != i {
+			t.Fatalf("device %d has ID %d", i, d.ID)
+		}
+		if d.RateHz <= 0 || d.PayloadKB <= 0 || d.ComputeUnits <= 0 {
+			t.Fatalf("device %d has non-positive fields: %+v", i, d)
+		}
+		if d.Load() != d.RateHz*d.ComputeUnits {
+			t.Fatalf("Load() mismatch for %+v", d)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(50, DefaultProfile(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(50, DefaultProfile(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("device %d differs between equal-seed runs", i)
+		}
+	}
+	c, err := Generate(50, DefaultProfile(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical populations")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(0, DefaultProfile(1)); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Generate(5, Profile{}); err == nil {
+		t.Error("empty profile accepted")
+	}
+	if _, err := Generate(5, Profile{Classes: []Class{{Name: "x", Weight: -1, RateHz: 1, ComputeUnits: 1}}}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := Generate(5, Profile{Classes: []Class{{Name: "x", Weight: 1, RateHz: 0, ComputeUnits: 1}}}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := Generate(5, Profile{Classes: []Class{{Name: "x", Weight: 0, RateHz: 1, ComputeUnits: 1}}}); err == nil {
+		t.Error("zero total weight accepted")
+	}
+}
+
+func TestZipfSkewConcentratesLoad(t *testing.T) {
+	flat := Profile{
+		Classes: []Class{{Name: "s", Weight: 1, RateHz: 5, ComputeUnits: 1}},
+		Seed:    7,
+	}
+	skewed := flat
+	skewed.ZipfSkew = 1.2
+	fd, err := Generate(500, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := Generate(500, skewed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coefficient of variation of load should be higher under skew.
+	cv := func(devs []Device) float64 {
+		mean, n := 0.0, float64(len(devs))
+		for _, d := range devs {
+			mean += d.Load()
+		}
+		mean /= n
+		v := 0.0
+		for _, d := range devs {
+			v += (d.Load() - mean) * (d.Load() - mean)
+		}
+		return math.Sqrt(v/n) / mean
+	}
+	if cv(sd) <= cv(fd) {
+		t.Fatalf("skewed CV %v should exceed flat CV %v", cv(sd), cv(fd))
+	}
+}
+
+func TestTotalLoad(t *testing.T) {
+	devs := []Device{{RateHz: 2, ComputeUnits: 3}, {RateHz: 1, ComputeUnits: 0.5}}
+	if got := TotalLoad(devs); got != 6.5 {
+		t.Fatalf("TotalLoad = %v, want 6.5", got)
+	}
+	if TotalLoad(nil) != 0 {
+		t.Fatal("TotalLoad(nil) != 0")
+	}
+}
+
+func TestPoissonMeanRate(t *testing.T) {
+	src := xrand.New(3)
+	p, err := NewPoisson(10, src) // 10 Hz -> mean gap 100 ms
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		g := p.NextGapMs()
+		if g < 0 {
+			t.Fatal("negative gap")
+		}
+		sum += g
+	}
+	mean := sum / n
+	if math.Abs(mean-100) > 2 {
+		t.Fatalf("mean gap = %v ms, want ~100", mean)
+	}
+}
+
+func TestPoissonRejectsBadRate(t *testing.T) {
+	if _, err := NewPoisson(0, xrand.New(1)); err == nil {
+		t.Fatal("rate 0 accepted")
+	}
+}
+
+func TestMMPPMeanRatePreserved(t *testing.T) {
+	src := xrand.New(5)
+	m, err := NewMMPP(10, 5, 0.2, 10000, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate long enough to cover many burst cycles.
+	total := 0.0
+	count := 0
+	for total < 3_600_000 { // one simulated hour
+		total += m.NextGapMs()
+		count++
+	}
+	rate := float64(count) / (total / 1000)
+	if math.Abs(rate-10) > 1 {
+		t.Fatalf("MMPP long-run rate = %v Hz, want ~10", rate)
+	}
+}
+
+func TestMMPPBurstier(t *testing.T) {
+	// Squared coefficient of variation of gaps: Poisson has ~1, MMPP > 1.
+	cv2 := func(a Arrivals, n int) float64 {
+		mean, m2 := 0.0, 0.0
+		gaps := make([]float64, n)
+		for i := range gaps {
+			gaps[i] = a.NextGapMs()
+			mean += gaps[i]
+		}
+		mean /= float64(n)
+		for _, g := range gaps {
+			m2 += (g - mean) * (g - mean)
+		}
+		return m2 / float64(n) / (mean * mean)
+	}
+	p, err := NewPoisson(10, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMMPP(10, 8, 0.1, 5000, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, mc := cv2(p, 200000), cv2(m, 200000)
+	if mc <= pc*1.2 {
+		t.Fatalf("MMPP CV^2 %v not meaningfully above Poisson %v", mc, pc)
+	}
+}
+
+func TestMMPPRejectsBadParams(t *testing.T) {
+	src := xrand.New(1)
+	cases := [][4]float64{
+		{0, 5, 0.2, 1000},  // rate
+		{10, 1, 0.2, 1000}, // factor <= 1
+		{10, 5, 0, 1000},   // duty 0
+		{10, 5, 1, 1000},   // duty 1
+		{10, 5, 0.2, 0},    // cycle
+	}
+	for i, c := range cases {
+		if _, err := NewMMPP(c[0], c[1], c[2], c[3], src); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestNewArrivalsSelectsProcess(t *testing.T) {
+	src := xrand.New(1)
+	a, err := NewArrivals(Device{RateHz: 1, Bursty: false}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.(*Poisson); !ok {
+		t.Fatalf("non-bursty device got %T", a)
+	}
+	b, err := NewArrivals(Device{RateHz: 1, Bursty: true}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.(*MMPP); !ok {
+		t.Fatalf("bursty device got %T", b)
+	}
+}
+
+func TestRandomWaypointStaysInArea(t *testing.T) {
+	w, err := NewRandomWaypoint(1000, 1, 10, 500, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		p := w.Advance(100)
+		if p.X < 0 || p.X > 1000 || p.Y < 0 || p.Y > 1000 {
+			t.Fatalf("walker escaped area: %+v", p)
+		}
+	}
+}
+
+func TestRandomWaypointMoves(t *testing.T) {
+	w, err := NewRandomWaypoint(1000, 5, 5, 0, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := w.Pos()
+	w.Advance(60_000) // one minute at 5 m/s
+	end := w.Pos()
+	if math.Hypot(end.X-start.X, end.Y-start.Y) == 0 {
+		t.Fatal("walker did not move")
+	}
+}
+
+func TestRandomWaypointSpeedBound(t *testing.T) {
+	w, err := NewRandomWaypoint(1000, 2, 4, 0, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := w.Pos()
+	for i := 0; i < 2000; i++ {
+		cur := w.Advance(50) // 50 ms steps
+		d := math.Hypot(cur.X-prev.X, cur.Y-prev.Y)
+		// Max distance in 50 ms at 4 m/s is 0.2 m (plus epsilon).
+		if d > 0.2+1e-9 {
+			t.Fatalf("step %d moved %v m in 50 ms (max 0.2)", i, d)
+		}
+		prev = cur
+	}
+}
+
+func TestRandomWaypointPauses(t *testing.T) {
+	// With an enormous pause, the walker should be stationary most of the
+	// time after reaching its first destination.
+	w, err := NewRandomWaypoint(100, 50, 50, 1e9, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Advance(10_000) // reach destination (area 100 m at 50 m/s: max ~3 s)
+	p1 := w.Advance(1000)
+	p2 := w.Advance(1000)
+	if p1 != p2 {
+		t.Fatalf("walker moved during pause: %+v -> %+v", p1, p2)
+	}
+}
+
+func TestRandomWaypointErrors(t *testing.T) {
+	src := xrand.New(1)
+	if _, err := NewRandomWaypoint(0, 1, 2, 0, src); err == nil {
+		t.Error("area 0 accepted")
+	}
+	if _, err := NewRandomWaypoint(100, 0, 2, 0, src); err == nil {
+		t.Error("min speed 0 accepted")
+	}
+	if _, err := NewRandomWaypoint(100, 3, 2, 0, src); err == nil {
+		t.Error("max < min accepted")
+	}
+	if _, err := NewRandomWaypoint(100, 1, 2, -1, src); err == nil {
+		t.Error("negative pause accepted")
+	}
+}
+
+func TestRandomWaypointNegativeAdvancePanics(t *testing.T) {
+	w, err := NewRandomWaypoint(100, 1, 2, 0, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Advance did not panic")
+		}
+	}()
+	w.Advance(-1)
+}
+
+// Property: generated devices always have positive load and respect class
+// deadline values for arbitrary seeds.
+func TestGenerateQuick(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		devs, err := Generate(n, DefaultProfile(seed))
+		if err != nil {
+			return false
+		}
+		for _, d := range devs {
+			if d.Load() <= 0 || d.DeadlineMs < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

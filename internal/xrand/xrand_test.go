@@ -1,0 +1,284 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatalf("sources with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSplitSeedStable(t *testing.T) {
+	if SplitSeed(7, "topology") != SplitSeed(7, "topology") {
+		t.Fatal("SplitSeed is not deterministic")
+	}
+	if SplitSeed(7, "topology") == SplitSeed(7, "workload") {
+		t.Fatal("SplitSeed does not separate labels")
+	}
+	if SplitSeed(7, "topology") == SplitSeed(8, "topology") {
+		t.Fatal("SplitSeed does not separate seeds")
+	}
+}
+
+func TestNewSplitIndependence(t *testing.T) {
+	a := NewSplit(1, "a")
+	b := NewSplit(1, "b")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Intn(1000) == b.Intn(1000) {
+			same++
+		}
+	}
+	if same > 20 {
+		t.Fatalf("split streams look correlated: %d/100 equal draws", same)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 10000; i++ {
+		v := s.Uniform(3, 7)
+		if v < 3 || v >= 7 {
+			t.Fatalf("Uniform(3,7) out of range: %v", v)
+		}
+	}
+}
+
+func TestUniformIntRange(t *testing.T) {
+	s := New(1)
+	seen := map[int]bool{}
+	for i := 0; i < 10000; i++ {
+		v := s.UniformInt(2, 5)
+		if v < 2 || v > 5 {
+			t.Fatalf("UniformInt(2,5) out of range: %v", v)
+		}
+		seen[v] = true
+	}
+	for v := 2; v <= 5; v++ {
+		if !seen[v] {
+			t.Errorf("UniformInt never produced %d", v)
+		}
+	}
+}
+
+func TestUniformIntPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("UniformInt(5,2) did not panic")
+		}
+	}()
+	New(1).UniformInt(5, 2)
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := New(7)
+	const rate = 2.0
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Exponential(rate)
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Fatalf("Exponential(2) mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestExponentialPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exponential(0) did not panic")
+		}
+	}()
+	New(1).Exponential(0)
+}
+
+func TestPoissonMean(t *testing.T) {
+	s := New(3)
+	for _, mean := range []float64{0.5, 4, 30, 800} {
+		sum := 0.0
+		const n = 50000
+		for i := 0; i < n; i++ {
+			sum += float64(s.Poisson(mean))
+		}
+		got := sum / n
+		if math.Abs(got-mean) > 0.05*mean+0.05 {
+			t.Errorf("Poisson(%v) sample mean = %v", mean, got)
+		}
+	}
+}
+
+func TestPoissonNonPositive(t *testing.T) {
+	if got := New(1).Poisson(0); got != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", got)
+	}
+	if got := New(1).Poisson(-3); got != 0 {
+		t.Fatalf("Poisson(-3) = %d, want 0", got)
+	}
+}
+
+func TestParetoLowerBound(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 10000; i++ {
+		if v := s.Pareto(2, 1.5); v < 2 {
+			t.Fatalf("Pareto(2, 1.5) below scale: %v", v)
+		}
+	}
+}
+
+func TestChoiceDistribution(t *testing.T) {
+	s := New(5)
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[s.Choice(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("Choice picked zero-weight index %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.2 {
+		t.Fatalf("Choice ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestChoicePanics(t *testing.T) {
+	for _, weights := range [][]float64{{}, {0, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Choice(%v) did not panic", weights)
+				}
+			}()
+			New(1).Choice(weights)
+		}()
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 1000; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(2)
+	p := s.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfUniformWhenSkewZero(t *testing.T) {
+	z := NewZipf(New(1), 4, 0)
+	for i := 0; i < 4; i++ {
+		if math.Abs(z.Prob(i)-0.25) > 1e-12 {
+			t.Fatalf("Prob(%d) = %v, want 0.25", i, z.Prob(i))
+		}
+	}
+}
+
+func TestZipfSkewFavorsLowRanks(t *testing.T) {
+	z := NewZipf(New(1), 100, 1.0)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[z.Sample()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("rank 0 (%d) should dominate rank 50 (%d)", counts[0], counts[50])
+	}
+}
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	z := NewZipf(New(1), 37, 0.8)
+	sum := 0.0
+	for i := 0; i < z.N(); i++ {
+		sum += z.Prob(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("Zipf probabilities sum to %v", sum)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		s float64
+	}{{0, 1}, {-1, 1}, {5, -0.1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%d, %v) did not panic", tc.n, tc.s)
+				}
+			}()
+			NewZipf(New(1), tc.n, tc.s)
+		}()
+	}
+}
+
+// Property: Zipf samples are always within range for arbitrary seeds/sizes.
+func TestZipfSampleInRangeQuick(t *testing.T) {
+	f := func(seed int64, n uint8, skewCenti uint16) bool {
+		size := int(n%64) + 1
+		skew := float64(skewCenti%300) / 100
+		z := NewZipf(New(seed), size, skew)
+		for i := 0; i < 50; i++ {
+			v := z.Sample()
+			if v < 0 || v >= size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Choice always returns an in-range index with positive weight.
+func TestChoiceInRangeQuick(t *testing.T) {
+	f := func(seed int64, raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		weights := make([]float64, len(raw))
+		total := 0.0
+		for i, r := range raw {
+			weights[i] = float64(r)
+			total += weights[i]
+		}
+		if total == 0 {
+			return true
+		}
+		s := New(seed)
+		for i := 0; i < 20; i++ {
+			idx := s.Choice(weights)
+			if idx < 0 || idx >= len(weights) || weights[idx] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,488 @@
+package taccc
+
+import (
+	"io"
+
+	"taccc/internal/assign"
+	"taccc/internal/cluster"
+	"taccc/internal/experiment"
+	"taccc/internal/gap"
+	"taccc/internal/online"
+	"taccc/internal/topology"
+	"taccc/internal/trace"
+	"taccc/internal/workload"
+	"taccc/internal/xrand"
+)
+
+// The facade re-exports the library's stable surface: problem modeling
+// (Instance, Assignment), the topology substrate, workload generation, the
+// assignment algorithms, the cluster simulator and the experiment harness.
+// Aliases keep a single authoritative implementation in internal/ while
+// giving downstream users one import.
+
+// Problem modeling (internal/gap).
+type (
+	// Instance is a Generalized Assignment Problem instance: delays,
+	// per-device loads, per-edge capacities.
+	Instance = gap.Instance
+	// Assignment maps each device index to its serving edge index.
+	Assignment = gap.Assignment
+	// Violation describes one overloaded edge.
+	Violation = gap.Violation
+	// BnBOptions tunes the exact solver.
+	BnBOptions = gap.BnBOptions
+	// BnBResult is the exact solver's outcome.
+	BnBResult = gap.BnBResult
+	// SyntheticKind selects a synthetic instance family.
+	SyntheticKind = gap.SyntheticKind
+)
+
+// Synthetic instance families (classic OR benchmark classes).
+const (
+	SyntheticUniform    = gap.SyntheticUniform
+	SyntheticCorrelated = gap.SyntheticCorrelated
+)
+
+// ErrInfeasible is returned when no overload-free assignment exists (exact
+// solvers) or none was found (heuristics).
+var ErrInfeasible = gap.ErrInfeasible
+
+// NewInstance validates and wraps delay, weight and capacity matrices.
+func NewInstance(costMs, weight [][]float64, capacity []float64) (*Instance, error) {
+	return gap.NewInstance(costMs, weight, capacity)
+}
+
+// NewAssignment validates a device-to-edge mapping against an instance.
+func NewAssignment(in *Instance, of []int) (*Assignment, error) {
+	return gap.NewAssignment(in, of)
+}
+
+// ReadInstance parses an instance JSON written by Instance.WriteJSON.
+func ReadInstance(r io.Reader) (*Instance, error) { return gap.ReadJSON(r) }
+
+// ReadAssignment parses and validates an assignment JSON against in.
+func ReadAssignment(r io.Reader, in *Instance) (*Assignment, error) {
+	return gap.ReadAssignmentJSON(r, in)
+}
+
+// ReadTopology parses a topology JSON written by Graph.WriteJSON.
+func ReadTopology(r io.Reader) (*Graph, error) { return topology.ReadJSON(r) }
+
+// SyntheticInstance generates a random benchmark instance.
+func SyntheticInstance(kind SyntheticKind, n, m int, rho float64, seed int64) (*Instance, error) {
+	return gap.Synthetic(kind, n, m, rho, seed)
+}
+
+// BranchAndBound solves an instance exactly (small instances only).
+func BranchAndBound(in *Instance, opts BnBOptions) (*BnBResult, error) {
+	return gap.BranchAndBound(in, opts)
+}
+
+// LowerBound returns the best available lower bound on the optimal total
+// delay (max of capacity-relaxed and Lagrangian bounds).
+func LowerBound(in *Instance) float64 { return gap.LowerBound(in) }
+
+// LPBound returns the LP-relaxation lower bound (the tightest bound this
+// library computes), or -Inf when the LP could not be solved.
+func LPBound(in *Instance) float64 { return gap.LPBound(in) }
+
+// Reduction is the outcome of Preprocess: forced placements plus a smaller
+// residual instance.
+type Reduction = gap.Reduction
+
+// Preprocess fixes forced device placements and shrinks the instance; see
+// Reduction.Expand to lift residual solutions back.
+func Preprocess(in *Instance) (*Reduction, error) { return gap.Preprocess(in) }
+
+// Topology substrate (internal/topology).
+type (
+	// Graph is the network topology.
+	Graph = topology.Graph
+	// Node and NodeID identify topology vertices.
+	Node   = topology.Node
+	NodeID = topology.NodeID
+	// NodeKind classifies nodes (IoT, gateway, router, edge, cloud).
+	NodeKind = topology.NodeKind
+	// Link is a network link with latency and bandwidth.
+	Link = topology.Link
+	// TopologyConfig sizes generated deployments.
+	TopologyConfig = topology.Config
+	// LinkParams controls generated link latencies and bandwidths.
+	LinkParams = topology.LinkParams
+	// Family names a topology generator.
+	Family = topology.Family
+	// Placement selects IoT placement (uniform or hotspot).
+	Placement = topology.Placement
+	// DelayMatrix is the IoT-by-edge shortest-path delay matrix.
+	DelayMatrix = topology.DelayMatrix
+	// LinkCost maps a link to a traversal cost.
+	LinkCost = topology.LinkCost
+	// Path is a node sequence with total cost (see Graph.KShortestPaths).
+	Path = topology.Path
+)
+
+// Node kinds.
+const (
+	KindIoT     = topology.KindIoT
+	KindGateway = topology.KindGateway
+	KindRouter  = topology.KindRouter
+	KindEdge    = topology.KindEdge
+	KindCloud   = topology.KindCloud
+)
+
+// IoT placement strategies.
+const (
+	PlaceUniform = topology.PlaceUniform
+	PlaceHotspot = topology.PlaceHotspot
+)
+
+// Topology families.
+const (
+	FamilyHierarchical = topology.FamilyHierarchical
+	FamilyGeometric    = topology.FamilyGeometric
+	FamilyWaxman       = topology.FamilyWaxman
+	FamilyBA           = topology.FamilyBA
+	FamilyGrid         = topology.FamilyGrid
+	FamilyFatTree      = topology.FamilyFatTree
+	FamilyStar         = topology.FamilyStar
+	FamilyRing         = topology.FamilyRing
+)
+
+// NewGraph returns an empty topology graph.
+func NewGraph() *Graph { return topology.NewGraph() }
+
+// TopologyMetrics summarizes a graph's shape (see tacgen -format stats).
+type TopologyMetrics = topology.Metrics
+
+// ResilienceReport quantifies exposure to single-node infrastructure
+// failures (see Graph.Resilience and Graph.CutVertices).
+type ResilienceReport = topology.ResilienceReport
+
+// ComputeTopologyMetrics walks the graph and derives degree, diameter and
+// IoT-to-edge proximity statistics.
+func ComputeTopologyMetrics(g *Graph) TopologyMetrics { return topology.ComputeMetrics(g) }
+
+// GenerateTopology builds a topology of the named family.
+func GenerateTopology(family Family, cfg TopologyConfig, place Placement) (*Graph, error) {
+	return topology.Generate(family, cfg, place)
+}
+
+// Families lists every topology family.
+func Families() []Family { return topology.Families() }
+
+// Link-level congestion (internal/topology).
+type (
+	// Flow is one device's steady-state traffic demand.
+	Flow = topology.Flow
+	// LinkLoad reports a link's offered load and utilization.
+	LinkLoad = topology.LinkLoad
+	// CongestionResult holds effective delays and link utilizations.
+	CongestionResult = topology.CongestionResult
+)
+
+// EvaluateCongestion routes flows along shortest paths and computes
+// effective delays with per-link queueing inflation.
+func EvaluateCongestion(g *Graph, dm *DelayMatrix, flows []Flow, assignment []int) (*CongestionResult, error) {
+	return topology.EvaluateCongestion(g, dm, flows, assignment)
+}
+
+// CongestionAwareDelayMatrix inflates a delay matrix with the link
+// utilizations the given assignment induces; iterate with re-assignment
+// for congestion-aware configurations.
+func CongestionAwareDelayMatrix(g *Graph, dm *DelayMatrix, flows []Flow, assignment []int) (*DelayMatrix, error) {
+	return topology.CongestionAwareDelayMatrix(g, dm, flows, assignment)
+}
+
+// NewDelayMatrix derives IoT-to-edge delays from a topology under a cost
+// model.
+func NewDelayMatrix(g *Graph, cost LinkCost) *DelayMatrix {
+	return topology.NewDelayMatrix(g, cost)
+}
+
+// LatencyCost charges each link its configured latency.
+func LatencyCost(l Link) float64 { return topology.LatencyCost(l) }
+
+// PayloadCost charges latency plus transmission time for a payload size.
+func PayloadCost(payloadKB float64) LinkCost { return topology.PayloadCost(payloadKB) }
+
+// Workload generation (internal/workload).
+type (
+	// Device is one IoT device's demand profile.
+	Device = workload.Device
+	// DeviceClass is an archetype mixed into a Profile.
+	DeviceClass = workload.Class
+	// Profile configures a generated device population.
+	Profile = workload.Profile
+)
+
+// Mobility (internal/workload) and incremental topology construction
+// (internal/topology) for dynamic scenarios.
+type (
+	// RandomWaypoint is the classic mobility model for one device.
+	RandomWaypoint = workload.RandomWaypoint
+	// Position is a planar coordinate in meters.
+	Position = workload.Position
+)
+
+// NewRandomWaypoint creates a deterministic walker over a square area.
+func NewRandomWaypoint(areaMeters, minSpeedMps, maxSpeedMps, pauseMs float64, seed int64) (*RandomWaypoint, error) {
+	return workload.NewRandomWaypoint(areaMeters, minSpeedMps, maxSpeedMps, pauseMs, xrand.New(seed))
+}
+
+// HierarchicalInfra builds a hierarchical topology without IoT devices;
+// pair with AttachIoTAt to snapshot mobile device positions epoch by
+// epoch.
+func HierarchicalInfra(cfg TopologyConfig) (*Graph, error) {
+	return topology.HierarchicalInfra(cfg)
+}
+
+// AttachIoTAt adds IoT nodes at the given coordinates, each wired to its
+// nearest gateway.
+func AttachIoTAt(g *Graph, xs, ys []float64, links LinkParams, seed int64) error {
+	return topology.AttachIoTAt(g, xs, ys, links, seed)
+}
+
+// SplitSeed derives a child seed from (seed, label); the same pair always
+// yields the same child, so derived randomness stays reproducible.
+func SplitSeed(seed int64, label string) int64 { return xrand.SplitSeed(seed, label) }
+
+// DefaultProfile models a mixed sensing deployment (sensors, trackers,
+// cameras).
+func DefaultProfile(seed int64) Profile { return workload.DefaultProfile(seed) }
+
+// GenerateDevices draws a device population from a profile.
+func GenerateDevices(n int, p Profile) ([]Device, error) { return workload.Generate(n, p) }
+
+// TotalLoad sums the steady-state load of a population.
+func TotalLoad(devices []Device) float64 { return workload.TotalLoad(devices) }
+
+// InstanceFromTopology binds a delay matrix, device population and
+// capacities into a GAP instance.
+func InstanceFromTopology(dm *DelayMatrix, devices []Device, capacity []float64) (*Instance, error) {
+	return gap.FromTopology(dm, devices, capacity)
+}
+
+// Assignment algorithms (internal/assign).
+type (
+	// Assigner is the algorithm interface.
+	Assigner = assign.Assigner
+	// AssignerFactory builds an assigner from a seed.
+	AssignerFactory = assign.Factory
+	// AlgorithmRegistry is the name-indexed algorithm table.
+	AlgorithmRegistry = assign.Registry
+	// QLearningAssigner is the paper's primary heuristic (exposes
+	// Params and the convergence Trace).
+	QLearningAssigner = assign.QLearning
+	// RLParams tunes the RL assigners.
+	RLParams = assign.RLParams
+)
+
+// NewAlgorithmRegistry returns a registry with every built-in algorithm.
+func NewAlgorithmRegistry() *AlgorithmRegistry { return assign.NewRegistry() }
+
+// NewQLearning returns the paper's Q-learning assigner.
+func NewQLearning(seed int64) *QLearningAssigner { return assign.NewQLearning(seed) }
+
+// NewGreedy returns the min-delay greedy baseline.
+func NewGreedy() Assigner { return assign.NewGreedy() }
+
+// NewLocalSearch returns the shift/swap hill-climbing baseline.
+func NewLocalSearch(seed int64) Assigner { return assign.NewLocalSearch(seed) }
+
+// NewLagrangian returns the Lagrangian-relaxation-guided baseline.
+func NewLagrangian(seed int64) Assigner { return assign.NewLagrangian(seed) }
+
+// NewPortfolio runs several assigners and keeps the best feasible result;
+// with no members it uses the default strong set.
+func NewPortfolio(seed int64, members ...Assigner) Assigner {
+	return assign.NewPortfolio(seed, members...)
+}
+
+// NewMinMax returns the min-max-fairness assigner: it minimizes the
+// worst-served device's delay via bisection, then polishes total delay
+// under that cap.
+func NewMinMax(seed int64) Assigner { return assign.NewMinMax(seed) }
+
+// WithDeadlines masks every cell whose delay exceeds the device's budget,
+// so any assigner produces deadline-respecting configurations.
+func WithDeadlines(in *Instance, budgetMs []float64) (*Instance, error) {
+	return gap.WithDeadlines(in, budgetMs)
+}
+
+// DeadlineViolations counts devices whose assigned delay exceeds their
+// budget.
+func DeadlineViolations(in *Instance, a *Assignment, budgetMs []float64) (int, error) {
+	return gap.DeadlineViolations(in, a, budgetMs)
+}
+
+// Move describes one device's placement change between two assignments.
+type Move = gap.Move
+
+// DiffAssignments lists placement changes from old to new with per-device
+// delay deltas (migration planning).
+func DiffAssignments(in *Instance, old, new *Assignment) ([]Move, error) {
+	return gap.Diff(in, old, new)
+}
+
+// MigrationGain sums a diff's delay improvement (positive = new is better).
+func MigrationGain(moves []Move) float64 { return gap.MigrationGain(moves) }
+
+// WithCloud appends a cloud tier column (unbounded capacity, fixed WAN
+// delay) so overflow devices offload instead of making the instance
+// infeasible.
+func WithCloud(in *Instance, cloudDelayMs float64) (*Instance, error) {
+	return gap.WithCloud(in, cloudDelayMs)
+}
+
+// CloudOffload counts devices a WithCloud assignment sent to the cloud.
+func CloudOffload(in *Instance, a *Assignment) (count int, fraction float64, err error) {
+	return gap.CloudOffload(in, a)
+}
+
+// NewReplayArrivals wraps a recorded inter-arrival gap sequence (ms) as an
+// arrival process for the simulator, cycling when exhausted.
+func NewReplayArrivals(gapsMs []float64) (*workload.Replay, error) {
+	return workload.NewReplay(gapsMs)
+}
+
+// Cluster simulation (internal/cluster).
+type (
+	// SimConfig configures an edge-cluster simulation run.
+	SimConfig = cluster.Config
+	// Simulator replays request streams against an assignment.
+	Simulator = cluster.Simulator
+	// SimResult aggregates a run's latencies, misses and utilization.
+	SimResult = cluster.Result
+	// Discipline selects an edge server's queueing discipline.
+	Discipline = cluster.Discipline
+)
+
+// Queueing disciplines.
+const (
+	// DisciplineFIFO serves requests one at a time in arrival order.
+	DisciplineFIFO = cluster.DisciplineFIFO
+	// DisciplinePS shares each server equally among queued requests.
+	DisciplinePS = cluster.DisciplinePS
+)
+
+// NewSimulator validates a config and builds a simulator.
+func NewSimulator(cfg SimConfig) (*Simulator, error) { return cluster.New(cfg) }
+
+// Request tracing (internal/cluster + internal/trace).
+type (
+	// RequestRecord is one request's lifecycle.
+	RequestRecord = cluster.RequestRecord
+	// Outcome classifies how a request ended (ok / missed / dropped).
+	Outcome = cluster.Outcome
+	// Recorder consumes records during simulation; set SimConfig.Recorder.
+	Recorder = cluster.Recorder
+	// TraceWriter streams records as CSV.
+	TraceWriter = trace.Writer
+	// TraceSummary aggregates a trace.
+	TraceSummary = trace.Summary
+	// TraceWindow is one bucket of a latency time series.
+	TraceWindow = trace.WindowPoint
+)
+
+// Request outcomes.
+const (
+	OutcomeOK      = cluster.OutcomeOK
+	OutcomeMissed  = cluster.OutcomeMissed
+	OutcomeDropped = cluster.OutcomeDropped
+)
+
+// NewTraceWriter starts a CSV trace on w (header written immediately).
+func NewTraceWriter(w io.Writer) (*TraceWriter, error) { return trace.NewWriter(w) }
+
+// ReadTrace parses a CSV trace written by TraceWriter.
+func ReadTrace(r io.Reader) ([]RequestRecord, error) { return trace.Read(r) }
+
+// SummarizeTrace aggregates records into counts and a latency sample.
+func SummarizeTrace(records []RequestRecord) *TraceSummary { return trace.Summarize(records) }
+
+// TraceTimeSeries buckets a trace into fixed windows for latency-over-time
+// views.
+func TraceTimeSeries(records []RequestRecord, windowMs float64) ([]TraceWindow, error) {
+	return trace.TimeSeries(records, windowMs)
+}
+
+// Online reconfiguration (internal/online).
+type (
+	// OnlineController maintains a live configuration as devices join,
+	// leave and move, with bounded-migration rebalancing.
+	OnlineController = online.Controller
+	// OnlinePolicy decides per-epoch maintenance on a controller.
+	OnlinePolicy = online.Policy
+	// PolicyJoinOnly never migrates (the configure-once strawman).
+	PolicyJoinOnly = online.JoinOnly
+	// PolicyThreshold migrates devices whose gain exceeds a bar.
+	PolicyThreshold = online.Threshold
+	// PolicyRebalance periodically re-solves under a migration budget.
+	PolicyRebalance = online.Rebalance
+)
+
+// Online controller sentinel errors.
+var (
+	// ErrNoCapacity means no edge can host the joining device.
+	ErrNoCapacity = online.ErrNoCapacity
+	// ErrUnknownDevice means the device ID is not attached.
+	ErrUnknownDevice = online.ErrUnknownDevice
+)
+
+// NewOnlineController builds a controller over the given edge capacities.
+func NewOnlineController(capacity []float64) (*OnlineController, error) {
+	return online.NewController(capacity)
+}
+
+// Experiments (internal/experiment).
+type (
+	// Scenario describes an evaluated deployment.
+	Scenario = experiment.Scenario
+	// BuiltScenario is a materialized scenario.
+	BuiltScenario = experiment.Built
+	// ExperimentOptions tunes experiment execution.
+	ExperimentOptions = experiment.Options
+	// ExperimentSpec is a runnable experiment.
+	ExperimentSpec = experiment.Spec
+	// ResultTable is a rendered experiment result.
+	ResultTable = experiment.Table
+	// AlgoStat aggregates one algorithm's behaviour over replications.
+	AlgoStat = experiment.AlgoStat
+)
+
+// Experiments returns every table/figure experiment in report order.
+func Experiments() []ExperimentSpec { return experiment.All() }
+
+// ExperimentByID finds an experiment by its DESIGN.md identifier.
+func ExperimentByID(id string) (ExperimentSpec, error) { return experiment.ByID(id) }
+
+// CompareAlgorithms runs the named algorithms over replications of a
+// scenario and aggregates delay, runtime and feasibility.
+func CompareAlgorithms(sc Scenario, algos []string, reps int) ([]AlgoStat, error) {
+	return experiment.CompareAlgorithms(sc, algos, reps)
+}
+
+// ServiceRates converts planner capacities into simulator service rates
+// with queueing headroom (see internal/experiment.ServiceRates).
+func ServiceRates(capacity []float64, headroom float64) []float64 {
+	return experiment.ServiceRates(capacity, headroom)
+}
+
+// DefaultAlgorithms is the standard comparison set, weakest baseline first.
+func DefaultAlgorithms() []string {
+	out := make([]string, len(experiment.DefaultAlgorithms))
+	copy(out, experiment.DefaultAlgorithms)
+	return out
+}
+
+// WorkloadProfiles returns the named device-profile presets (default,
+// smartcity, factory, wearables), each seeded with seed.
+func WorkloadProfiles(seed int64) map[string]Profile { return workload.Profiles(seed) }
+
+// WriteDevicesJSON serializes a device population.
+func WriteDevicesJSON(w io.Writer, devices []Device) error {
+	return workload.WriteDevicesJSON(w, devices)
+}
+
+// ReadDevicesJSON parses a device population written by WriteDevicesJSON.
+func ReadDevicesJSON(r io.Reader) ([]Device, error) { return workload.ReadDevicesJSON(r) }
