@@ -1,0 +1,33 @@
+# Developer and CI entry points. `make ci` is what a pipeline should run:
+# vet + tests + the race detector over the whole tree (the concurrent
+# packages — internal/par, internal/experiment, internal/topology,
+# internal/assign — get their interleavings exercised under -race by the
+# determinism tests).
+
+GO ?= go
+
+.PHONY: all build test race bench vet ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the full tree. The parallel layer's tests (workers=1 vs
+# workers=8 determinism, parallel portfolio, experiment suite runner) are
+# the interesting part; everything else rides along for free.
+race:
+	$(GO) test -race ./...
+
+# Benchmark the parallel kernels at workers=1 vs workers=GOMAXPROCS plus
+# the pre-existing hot-path micro-benchmarks.
+bench:
+	$(GO) test -bench 'Workers|ParallelPortfolio' -benchtime 2x -run '^$$' .
+
+vet:
+	$(GO) vet ./...
+
+ci: vet build test race

@@ -7,6 +7,7 @@ package taccc_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	taccc "taccc"
@@ -157,6 +158,83 @@ func BenchmarkLowerBound(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = taccc.LowerBound(built.Instance)
+	}
+}
+
+// --- Parallel execution layer: workers=1 vs workers=GOMAXPROCS ---
+//
+// Compare sub-benchmarks to see the speedup, e.g.:
+//
+//	go test -bench 'Workers' -benchtime 2x .
+
+func benchWorkerCounts(b *testing.B, run func(b *testing.B, workers int)) {
+	b.Helper()
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			run(b, workers)
+		})
+	}
+}
+
+func BenchmarkCompareAlgorithmsWorkers(b *testing.B) {
+	sc := taccc.Scenario{NumIoT: 100, NumEdge: 10, Seed: 1}
+	algos := []string{"greedy", "local-search", "tabu", "lagrangian", "qlearning"}
+	benchWorkerCounts(b, func(b *testing.B, workers int) {
+		for i := 0; i < b.N; i++ {
+			if _, err := taccc.CompareAlgorithmsWorkers(sc, algos, 4, workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkAllPairsWorkers(b *testing.B) {
+	g, err := taccc.GenerateTopology(taccc.FamilyHierarchical, taccc.TopologyConfig{
+		NumIoT: 400, NumEdge: 40, NumGateways: 80, Seed: 1,
+	}, taccc.PlaceUniform)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchWorkerCounts(b, func(b *testing.B, workers int) {
+		for i := 0; i < b.N; i++ {
+			g.AllPairsWorkers(taccc.LatencyCost, workers)
+		}
+	})
+}
+
+func BenchmarkDelayMatrixWorkers(b *testing.B) {
+	g, err := taccc.GenerateTopology(taccc.FamilyHierarchical, taccc.TopologyConfig{
+		NumIoT: 400, NumEdge: 40, NumGateways: 80, Seed: 1,
+	}, taccc.PlaceUniform)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchWorkerCounts(b, func(b *testing.B, workers int) {
+		for i := 0; i < b.N; i++ {
+			taccc.NewDelayMatrixWorkers(g, taccc.LatencyCost, workers)
+		}
+	})
+}
+
+func BenchmarkParallelPortfolio(b *testing.B) {
+	built := buildBench(b, 100, 10)
+	for _, mk := range []struct {
+		name string
+		mk   func(seed int64) taccc.Assigner
+	}{
+		{"sequential", func(seed int64) taccc.Assigner { return taccc.NewPortfolio(seed) }},
+		{"parallel", func(seed int64) taccc.Assigner { return taccc.NewParallelPortfolio(seed) }},
+	} {
+		mk := mk
+		b.Run(mk.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mk.mk(int64(i)).Assign(built.Instance); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

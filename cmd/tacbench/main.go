@@ -7,6 +7,11 @@
 //	tacbench -exp T1
 //	tacbench -exp all -quick
 //	tacbench -exp F3 -reps 10 -csv
+//	tacbench -exp all -workers 1   # sequential; same tables, slower
+//
+// Experiments and their replication cells run concurrently (bounded by
+// -workers, default all cores). Every cell is independently seeded from
+// -seed, so output is identical at any worker count.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	taccc "taccc"
@@ -28,13 +34,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tacbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp    = fs.String("exp", "all", "experiment ID (T1..T4, F1..F16) or 'all'")
-		reps   = fs.Int("reps", 0, "replications per data point (0 = default)")
-		quick  = fs.Bool("quick", false, "smaller instances and horizons")
-		csv    = fs.Bool("csv", false, "emit CSV instead of aligned tables")
-		outdir = fs.String("outdir", "", "also write each table as CSV into this directory")
-		seed   = fs.Int64("seed", 1, "root seed")
-		list   = fs.Bool("list", false, "list experiments and exit")
+		exp     = fs.String("exp", "all", "experiment ID (T1..T4, F1..F16) or 'all'")
+		reps    = fs.Int("reps", 0, "replications per data point (0 = default)")
+		quick   = fs.Bool("quick", false, "smaller instances and horizons")
+		csv     = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		outdir  = fs.String("outdir", "", "also write each table as CSV into this directory")
+		seed    = fs.Int64("seed", 1, "root seed")
+		list    = fs.Bool("list", false, "list experiments and exit")
+		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "parallelism across experiments and replication cells (1 = sequential); results are identical at any setting")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -62,15 +69,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
-	opts := taccc.ExperimentOptions{Reps: *reps, Quick: *quick, Seed: *seed}
-	for _, s := range specs {
-		start := time.Now()
-		tables, err := s.Run(opts)
-		if err != nil {
-			fmt.Fprintf(stderr, "tacbench: %s: %v\n", s.ID, err)
+	opts := taccc.ExperimentOptions{Reps: *reps, Quick: *quick, Seed: *seed, Workers: *workers}
+	// The suite runner executes independent experiments concurrently;
+	// results come back in spec order, so the report reads the same at any
+	// worker count.
+	for _, res := range taccc.RunExperiments(specs, opts) {
+		if res.Err != nil {
+			fmt.Fprintf(stderr, "tacbench: %s: %v\n", res.Spec.ID, res.Err)
 			return 1
 		}
-		for _, t := range tables {
+		for _, t := range res.Tables {
 			if *csv {
 				fmt.Fprintf(stdout, "# %s: %s\n%s\n", t.ID, t.Title, t.CSV())
 			} else {
@@ -84,7 +92,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				}
 			}
 		}
-		fmt.Fprintf(stdout, "(%s completed in %s)\n\n", s.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "(%s completed in %s)\n\n", res.Spec.ID, res.Elapsed.Round(time.Millisecond))
 	}
 	return 0
 }

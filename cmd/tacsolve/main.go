@@ -6,6 +6,7 @@
 //	tacsolve -instance inst.json -algo qlearning
 //	tacsolve -instance inst.json -algo exact            # branch-and-bound
 //	tacsolve -instance inst.json -algo greedy -o a.json # save assignment
+//	tacsolve -instance inst.json -algo all -workers 4   # compare, 4 solvers at a time
 package main
 
 import (
@@ -13,7 +14,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	taccc "taccc"
@@ -32,6 +35,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed     = fs.Int64("seed", 1, "algorithm seed")
 		out      = fs.String("o", "", "write the assignment JSON here")
 		list     = fs.Bool("list", false, "list available algorithms and exit")
+		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "parallelism for -algo all (1 = sequential); the portfolio algorithm always runs its members concurrently")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -58,7 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *algo == "all" {
-		return compareAll(in, reg, *seed, stdout)
+		return compareAll(in, reg, *seed, *workers, stdout)
 	}
 
 	start := time.Now()
@@ -116,25 +120,49 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// compareAll solves the instance with every registered algorithm and
-// prints a comparison table in registry order.
-func compareAll(in *taccc.Instance, reg *taccc.AlgorithmRegistry, seed int64, stdout io.Writer) int {
-	fmt.Fprintf(stdout, "%-18s %12s %12s %10s %12s\n", "algorithm", "mean ms", "max ms", "feasible", "time")
-	fmt.Fprintf(stdout, "%-18s %12s %12s %10s %12s\n", "---------", "-------", "------", "--------", "----")
-	for _, name := range reg.Names() {
+// compareAll solves the instance with every registered algorithm — up to
+// workers at a time — and prints a comparison table in registry order. Each
+// algorithm owns one row slot, so the table is identical at any parallelism.
+func compareAll(in *taccc.Instance, reg *taccc.AlgorithmRegistry, seed int64, workers int, stdout io.Writer) int {
+	type row struct {
+		got     *taccc.Assignment
+		err     error
+		elapsed time.Duration
+	}
+	names := reg.Names()
+	rows := make([]row, len(names))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, name := range names {
 		a, err := reg.New(name, seed)
 		if err != nil {
+			rows[i].err = err
 			continue
 		}
-		start := time.Now()
-		got, err := a.Assign(in)
-		elapsed := time.Since(start).Round(time.Microsecond)
-		if err != nil {
-			fmt.Fprintf(stdout, "%-18s %12s %12s %10s %12s\n", name, "-", "-", "no", elapsed)
+		wg.Add(1)
+		go func(i int, a taccc.Assigner) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			rows[i].got, rows[i].err = a.Assign(in)
+			rows[i].elapsed = time.Since(start).Round(time.Microsecond)
+		}(i, a)
+	}
+	wg.Wait()
+	fmt.Fprintf(stdout, "%-18s %12s %12s %10s %12s\n", "algorithm", "mean ms", "max ms", "feasible", "time")
+	fmt.Fprintf(stdout, "%-18s %12s %12s %10s %12s\n", "---------", "-------", "------", "--------", "----")
+	for i, name := range names {
+		r := rows[i]
+		if r.err != nil {
+			fmt.Fprintf(stdout, "%-18s %12s %12s %10s %12s\n", name, "-", "-", "no", r.elapsed)
 			continue
 		}
 		fmt.Fprintf(stdout, "%-18s %12.3f %12.3f %10v %12s\n",
-			name, in.MeanCost(got), in.MaxCost(got), in.Feasible(got), elapsed)
+			name, in.MeanCost(r.got), in.MaxCost(r.got), in.Feasible(r.got), r.elapsed)
 	}
 	fmt.Fprintf(stdout, "lower bound (mean): %.3f ms\n", taccc.LowerBound(in)/float64(in.N()))
 	return 0

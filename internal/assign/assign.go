@@ -125,7 +125,7 @@ func NewRegistry() *Registry {
 	r.Register("double-qlearning", func(seed int64) Assigner { return NewDoubleQLearning(seed) })
 	r.Register("nstep-qlearning", func(seed int64) Assigner { return NewNStepQLearning(seed) })
 	r.Register("qlearning", func(seed int64) Assigner { return NewQLearning(seed) })
-	r.Register("portfolio", func(seed int64) Assigner { return NewPortfolio(seed) })
+	r.Register("portfolio", func(seed int64) Assigner { return NewParallelPortfolio(seed) })
 	r.Register("minmax", func(seed int64) Assigner { return NewMinMax(seed) })
 	return r
 }

@@ -2,6 +2,7 @@ package assign
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 
 	"taccc/internal/gap"
@@ -74,6 +75,29 @@ func TestLNSNeverWorseThanStart(t *testing.T) {
 		if in.TotalCost(got) > in.TotalCost(start)+1e-9 {
 			t.Fatalf("seed %d: LNS (%v) worse than start (%v)",
 				seed, in.TotalCost(got), in.TotalCost(start))
+		}
+	}
+}
+
+func TestLNSDeterministic(t *testing.T) {
+	// Regression: regretReinsert used to pick the max-regret device by
+	// iterating a map, so regret ties broke in random map order and LNS
+	// returned different assignments run-to-run for the same seed.
+	for seed := int64(0); seed < 6; seed++ {
+		in := mustSynthetic(t, gap.SyntheticUniform, 40, 5, 0.85, seed)
+		first, err := NewLNS(seed).Assign(in)
+		if err != nil {
+			continue
+		}
+		for run := 0; run < 3; run++ {
+			again, err := NewLNS(seed).Assign(in)
+			if err != nil {
+				t.Fatalf("seed %d run %d: %v", seed, run, err)
+			}
+			if !reflect.DeepEqual(first.Of, again.Of) {
+				t.Fatalf("seed %d run %d: LNS not deterministic:\n%v\n%v",
+					seed, run, first.Of, again.Of)
+			}
 		}
 	}
 }

@@ -23,9 +23,9 @@ type Portfolio struct {
 	members []Assigner
 }
 
-// NewPortfolio builds a portfolio over the given members; with no members
-// it uses the default set (regret-greedy, local-search, lagrangian,
-// qlearning) seeded from seed.
+// NewPortfolio builds a sequential portfolio over the given members; with
+// no members it uses the default set (regret-greedy, local-search,
+// lagrangian, qlearning) seeded from seed.
 func NewPortfolio(seed int64, members ...Assigner) *Portfolio {
 	if len(members) == 0 {
 		members = []Assigner{
@@ -36,6 +36,18 @@ func NewPortfolio(seed int64, members ...Assigner) *Portfolio {
 		}
 	}
 	return &Portfolio{members: members}
+}
+
+// NewParallelPortfolio is NewPortfolio with members running concurrently —
+// the production configuration, since the portfolio's solve time is its
+// slowest member rather than the sum. The result is identical to the
+// sequential portfolio: members never contend (instances are read-only for
+// assigners) and the winner is picked afterwards in member order, so ties
+// break the same way regardless of which member finished first.
+func NewParallelPortfolio(seed int64, members ...Assigner) *Portfolio {
+	p := NewPortfolio(seed, members...)
+	p.Parallel = true
+	return p
 }
 
 // Name implements Assigner.

@@ -53,6 +53,53 @@ func TestPortfolioParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+func TestNewParallelPortfolioMatchesSequential(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		in := mustSynthetic(t, gap.SyntheticCorrelated, 24, 4, 0.85, seed)
+		p := NewParallelPortfolio(seed)
+		if !p.Parallel {
+			t.Fatal("NewParallelPortfolio did not enable the concurrent path")
+		}
+		got, err := p.Assign(in)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want, err := NewPortfolio(seed).Assign(in)
+		if err != nil {
+			t.Fatalf("seed %d: sequential twin failed: %v", seed, err)
+		}
+		if in.TotalCost(got) != in.TotalCost(want) {
+			t.Fatalf("seed %d: parallel cost %v != sequential %v",
+				seed, in.TotalCost(got), in.TotalCost(want))
+		}
+	}
+}
+
+// TestRegistryPortfolioIsParallel pins the registry's "portfolio" entry to
+// the concurrent configuration so the parallel path is reachable from every
+// public surface (facade, tacsolve, experiments).
+func TestRegistryPortfolioIsParallel(t *testing.T) {
+	a, err := NewRegistry().New("portfolio", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := a.(*Portfolio)
+	if !ok {
+		t.Fatalf("registry portfolio is %T", a)
+	}
+	if !p.Parallel {
+		t.Fatal("registry portfolio is sequential; parallel path is dead code again")
+	}
+	in := mustSynthetic(t, gap.SyntheticUniform, 20, 4, 0.8, 2)
+	got, err := p.Assign(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Feasible(got) {
+		t.Fatal("infeasible result")
+	}
+}
+
 func TestPortfolioAllInfeasible(t *testing.T) {
 	in := infeasibleInstance(t)
 	if _, err := NewPortfolio(1).Assign(in); !errors.Is(err, gap.ErrInfeasible) {

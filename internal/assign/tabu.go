@@ -168,16 +168,17 @@ func (l *LNS) Assign(in *gap.Instance) (*gap.Assignment, error) {
 }
 
 // regretReinsert places the removed devices back (largest regret first);
-// reports success.
+// reports success. Pending devices are scanned in removal order — never a
+// map — so regret ties break the same way on every run and LNS stays
+// deterministic for a fixed seed.
 func regretReinsert(in *gap.Instance, of []int, residual []float64, removed []int) bool {
-	pending := make(map[int]bool, len(removed))
-	for _, i := range removed {
-		pending[i] = true
-	}
+	pending := make([]int, len(removed))
+	copy(pending, removed)
 	for len(pending) > 0 {
 		bestDev, bestEdge := -1, -1
+		bestAt := -1
 		bestRegret := math.Inf(-1)
-		for i := range pending {
+		for at, i := range pending {
 			first, second, firstJ := math.Inf(1), math.Inf(1), -1
 			for j := 0; j < in.M(); j++ {
 				if !fits(in, residual, i, j) {
@@ -199,12 +200,12 @@ func regretReinsert(in *gap.Instance, of []int, residual []float64, removed []in
 				regret = math.Inf(1)
 			}
 			if regret > bestRegret {
-				bestRegret, bestDev, bestEdge = regret, i, firstJ
+				bestRegret, bestDev, bestEdge, bestAt = regret, i, firstJ, at
 			}
 		}
 		of[bestDev] = bestEdge
 		residual[bestEdge] -= in.Weight[bestDev][bestEdge]
-		delete(pending, bestDev)
+		pending = append(pending[:bestAt], pending[bestAt+1:]...)
 	}
 	return true
 }

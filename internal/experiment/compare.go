@@ -7,6 +7,7 @@ import (
 
 	"taccc/internal/assign"
 	"taccc/internal/gap"
+	"taccc/internal/par"
 	"taccc/internal/stats"
 	"taccc/internal/xrand"
 )
@@ -34,70 +35,158 @@ type AlgoStat struct {
 	MaxCost float64
 	// Imbalance is the mean max/mean edge-utilization ratio.
 	Imbalance float64
-	// MeanRuntimeMs is the mean wall-clock solve time.
+	// MeanRuntimeMs is the mean wall-clock solve time over ALL attempted
+	// replications — feasible, infeasible and errored alike — so it
+	// reflects what a caller actually pays per solve. Compare against
+	// FeasibleRuntimeMs, which averages over the same population as the
+	// cost fields.
 	MeanRuntimeMs float64
+	// FeasibleRuntimeMs is the mean wall-clock solve time over feasible
+	// replications only (0 when none were feasible). MeanCost, CostCI95,
+	// MaxCost and Imbalance average over this same population, so runtime
+	// and quality columns built from it are directly comparable.
+	FeasibleRuntimeMs float64
 	// FeasibleRate is the fraction of replications with a feasible
 	// result.
 	FeasibleRate float64
 	// Reps is the number of replications attempted.
 	Reps int
+	// Errors counts replications that failed with an unexpected error
+	// (anything other than gap.ErrInfeasible). Errored replications count
+	// toward MeanRuntimeMs and Reps but not toward FeasibleRate or the
+	// cost fields.
+	Errors int
+}
+
+// cell is one (algorithm, replication) solve result. Cells are computed
+// independently — possibly concurrently — and folded sequentially, so
+// aggregate statistics never depend on execution order.
+type cell struct {
+	runtimeMs float64
+	cost      float64
+	maxCost   float64
+	imbalance float64
+	feasible  bool
+	err       error
 }
 
 // CompareAlgorithms runs each named algorithm on reps independently seeded
-// replications of the scenario and aggregates. Scenario seeds are derived
-// from sc.Seed, so the same call is fully reproducible.
+// replications of the scenario and aggregates, using every core. Scenario
+// seeds are derived from sc.Seed, so the same call is fully reproducible at
+// any parallelism. Use CompareAlgorithmsWorkers to bound the worker count.
 func CompareAlgorithms(sc Scenario, algos []string, reps int) ([]AlgoStat, error) {
+	return CompareAlgorithmsWorkers(sc, algos, reps, 0)
+}
+
+// CompareAlgorithmsWorkers is CompareAlgorithms with an explicit worker
+// count (<= 0 means all cores, 1 restores fully sequential execution).
+//
+// Each (algorithm, replication) cell is an independent unit of work: its
+// assigner is constructed from xrand.SplitSeed(sc.Seed, "<algo>-<rep>")
+// exactly as the sequential loop always did, it writes its result into the
+// slot it owns, and aggregation folds the pre-sized cell slice in a fixed
+// order afterwards. Output is therefore bit-identical for every worker
+// count; only wall-clock time changes.
+//
+// An algorithm failing a replication with an unexpected error (anything
+// other than gap.ErrInfeasible) no longer aborts the whole comparison: the
+// failure is counted in that algorithm's AlgoStat.Errors and the remaining
+// cells still run. Unknown algorithm names and scenario build failures
+// still error out the call.
+func CompareAlgorithmsWorkers(sc Scenario, algos []string, reps, workers int) ([]AlgoStat, error) {
+	return compareWithRegistry(assign.NewRegistry(), sc, algos, reps, workers)
+}
+
+// compareWithRegistry is the engine behind CompareAlgorithmsWorkers,
+// parameterized by registry so tests can inject failing assigners.
+func compareWithRegistry(reg *assign.Registry, sc Scenario, algos []string, reps, workers int) ([]AlgoStat, error) {
 	if reps <= 0 {
 		return nil, fmt.Errorf("experiment: reps must be positive, got %d", reps)
 	}
-	reg := assign.NewRegistry()
+	// Reject unknown algorithm names before any cell runs; a typo should
+	// fail fast, not surface as reps*len(algos) errored cells.
+	for _, name := range algos {
+		if _, err := reg.New(name, 0); err != nil {
+			return nil, err
+		}
+	}
+	w := par.Workers(workers)
 	// Pre-build the instances once; all algorithms see identical inputs.
+	// Builds are independent per replication, so they fan out too.
 	builds := make([]*Built, reps)
-	for r := 0; r < reps; r++ {
+	err := par.ForErr(w, reps, func(r int) error {
 		s := sc
 		s.Seed = xrand.SplitSeed(sc.Seed, fmt.Sprintf("rep-%d", r))
 		b, err := s.Build()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		builds[r] = b
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	// Solve every (algorithm, replication) cell into its own slot.
+	// Instances are read-only for assigners (see assign.Assigner), so
+	// cells sharing a replication's instance never contend.
+	cells := make([]cell, len(algos)*reps)
+	par.For(w, len(cells), func(k int) {
+		name, r := algos[k/reps], k%reps
+		a, err := reg.New(name, xrand.SplitSeed(sc.Seed, fmt.Sprintf("%s-%d", name, r)))
+		if err != nil {
+			cells[k] = cell{err: err}
+			return
+		}
+		in := builds[r].Instance
+		start := time.Now()
+		got, err := a.Assign(in)
+		c := cell{runtimeMs: float64(time.Since(start).Nanoseconds()) / 1e6}
+		if err != nil {
+			c.err = err
+		} else {
+			c.feasible = true
+			c.cost = in.MeanCost(got)
+			c.maxCost = in.MaxCost(got)
+			c.imbalance = in.Imbalance(got)
+		}
+		cells[k] = c
+	})
+	// Sequential fold in (algorithm, replication) order: identical
+	// accumulation order — and therefore identical floating-point results —
+	// at any worker count.
 	out := make([]AlgoStat, 0, len(algos))
-	for _, name := range algos {
-		var cost, maxCost, imb, runtime stats.Welford
-		feasible := 0
+	for ai, name := range algos {
+		var cost, maxCost, imb, runtime, feasRuntime stats.Welford
+		feasible, errored := 0, 0
 		for r := 0; r < reps; r++ {
-			a, err := reg.New(name, xrand.SplitSeed(sc.Seed, fmt.Sprintf("%s-%d", name, r)))
-			if err != nil {
-				return nil, err
-			}
-			in := builds[r].Instance
-			start := time.Now()
-			got, err := a.Assign(in)
-			elapsed := time.Since(start)
-			runtime.Add(float64(elapsed.Nanoseconds()) / 1e6)
-			if err != nil {
-				if errors.Is(err, gap.ErrInfeasible) {
-					continue
+			c := cells[ai*reps+r]
+			runtime.Add(c.runtimeMs)
+			if c.err != nil {
+				if !errors.Is(c.err, gap.ErrInfeasible) {
+					errored++
 				}
-				return nil, fmt.Errorf("experiment: %s rep %d: %w", name, r, err)
+				continue
 			}
 			feasible++
-			cost.Add(in.MeanCost(got))
-			maxCost.Add(in.MaxCost(got))
-			imb.Add(in.Imbalance(got))
+			feasRuntime.Add(c.runtimeMs)
+			cost.Add(c.cost)
+			maxCost.Add(c.maxCost)
+			imb.Add(c.imbalance)
 		}
 		st := AlgoStat{
 			Name:          name,
 			MeanRuntimeMs: runtime.Mean(),
 			FeasibleRate:  float64(feasible) / float64(reps),
 			Reps:          reps,
+			Errors:        errored,
 		}
 		if feasible > 0 {
 			st.MeanCost = cost.Mean()
 			st.CostCI95 = cost.CI95()
 			st.MaxCost = maxCost.Mean()
 			st.Imbalance = imb.Mean()
+			st.FeasibleRuntimeMs = feasRuntime.Mean()
 		}
 		out = append(out, st)
 	}

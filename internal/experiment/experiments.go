@@ -9,13 +9,14 @@ import (
 	"taccc/internal/assign"
 	"taccc/internal/cluster"
 	"taccc/internal/gap"
+	"taccc/internal/par"
 	"taccc/internal/stats"
 	"taccc/internal/topology"
 	"taccc/internal/xrand"
 )
 
 // Options tunes experiment execution. The zero value means full fidelity
-// with 5 replications and seed 1.
+// with 5 replications, seed 1 and all cores.
 type Options struct {
 	// Reps is the number of replications per data point (default 5).
 	Reps int
@@ -23,6 +24,11 @@ type Options struct {
 	Quick bool
 	// Seed is the root seed (default 1).
 	Seed int64
+	// Workers bounds the parallelism of replication cells and of RunAll:
+	// <= 0 means all cores (runtime.GOMAXPROCS(0)), 1 restores fully
+	// sequential execution. Results are identical at every setting; only
+	// wall-clock time changes.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -84,6 +90,33 @@ func ByID(id string) (Spec, error) {
 	return Spec{}, fmt.Errorf("experiment: unknown id %q", id)
 }
 
+// Result is one spec's outcome from RunAll.
+type Result struct {
+	Spec   Spec
+	Tables []*Table
+	// Elapsed is the spec's own wall-clock time; under a parallel RunAll
+	// the sum of Elapsed values exceeds the batch's wall-clock time.
+	Elapsed time.Duration
+	// Err is the spec's failure, if any; other specs still run.
+	Err error
+}
+
+// RunAll executes the given specs — the suite runner behind `tacbench -exp
+// all` — with up to o.Workers specs in flight at once (<= 0 means all
+// cores, 1 runs the suite sequentially). Every spec derives its randomness
+// from o.Seed alone, so results are identical at any parallelism; specs
+// additionally parallelize their own replication cells with the same
+// o.Workers bound. Results are returned in spec order, one per spec, with
+// per-spec failures recorded in Result.Err rather than aborting the batch.
+func RunAll(specs []Spec, o Options) []Result {
+	w := par.Workers(o.Workers)
+	return par.Map(w, len(specs), func(i int) Result {
+		start := time.Now()
+		tables, err := specs[i].Run(o)
+		return Result{Spec: specs[i], Tables: tables, Elapsed: time.Since(start), Err: err}
+	})
+}
+
 // sizesFor returns the IoT-count sweep for size-scaling experiments.
 func sizesFor(o Options) []int {
 	if o.Quick {
@@ -106,7 +139,7 @@ func T1(o Options) ([]*Table, error) {
 	cols := make(map[string][]string)
 	for _, n := range sizes {
 		sc := Scenario{NumIoT: n, NumEdge: maxInt(n/10, 2), Seed: xrand.SplitSeed(o.Seed, fmt.Sprintf("T1-%d", n))}
-		res, err := CompareAlgorithms(sc, DefaultAlgorithms, o.Reps)
+		res, err := CompareAlgorithmsWorkers(sc, DefaultAlgorithms, o.Reps, o.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -138,7 +171,7 @@ func T2(o Options) ([]*Table, error) {
 	cols := make(map[string][]string)
 	for _, n := range sizes {
 		sc := Scenario{NumIoT: n, NumEdge: maxInt(n/10, 2), Seed: xrand.SplitSeed(o.Seed, fmt.Sprintf("T2-%d", n))}
-		res, err := CompareAlgorithms(sc, DefaultAlgorithms, o.Reps)
+		res, err := CompareAlgorithmsWorkers(sc, DefaultAlgorithms, o.Reps, o.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -249,7 +282,7 @@ func F1(o Options) ([]*Table, error) {
 	}
 	for _, n := range ns {
 		sc := Scenario{NumIoT: n, NumEdge: m, Seed: xrand.SplitSeed(o.Seed, fmt.Sprintf("F1-%d", n))}
-		res, err := CompareAlgorithms(sc, algos, o.Reps)
+		res, err := CompareAlgorithmsWorkers(sc, algos, o.Reps, o.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -280,7 +313,7 @@ func F2(o Options) ([]*Table, error) {
 	}
 	for _, m := range ms {
 		sc := Scenario{NumIoT: n, NumEdge: m, Seed: xrand.SplitSeed(o.Seed, fmt.Sprintf("F2-%d", m))}
-		res, err := CompareAlgorithms(sc, algos, o.Reps)
+		res, err := CompareAlgorithmsWorkers(sc, algos, o.Reps, o.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -316,7 +349,7 @@ func F3(o Options) ([]*Table, error) {
 	}
 	for _, rho := range rhos {
 		sc := Scenario{NumIoT: n, NumEdge: m, Rho: rho, Seed: xrand.SplitSeed(o.Seed, fmt.Sprintf("F3-%v", rho))}
-		res, err := CompareAlgorithms(sc, algos, o.Reps)
+		res, err := CompareAlgorithmsWorkers(sc, algos, o.Reps, o.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -479,7 +512,7 @@ func F6(o Options) ([]*Table, error) {
 			Family: fam, NumIoT: n, NumEdge: m,
 			Seed: xrand.SplitSeed(o.Seed, "F6-"+string(fam)),
 		}
-		res, err := CompareAlgorithms(sc, algos, o.Reps)
+		res, err := CompareAlgorithmsWorkers(sc, algos, o.Reps, o.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -604,7 +637,7 @@ func F10(o Options) ([]*Table, error) {
 			NumIoT: n, NumEdge: m, NumGateways: gw,
 			Seed: xrand.SplitSeed(o.Seed, fmt.Sprintf("F10-%d", gw)),
 		}
-		res, err := CompareAlgorithms(sc, algos, o.Reps)
+		res, err := CompareAlgorithmsWorkers(sc, algos, o.Reps, o.Workers)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,112 @@
+// Package par is the repository's shared worker-pool utility: a bounded
+// parallel-for over an index space, built for deterministic fan-out.
+//
+// Every concurrent hot path in this codebase (experiment replication cells,
+// Dijkstra sources in the topology kernels, portfolio members) follows the
+// same discipline: the work is split into independent index-addressed cells,
+// each worker writes only to the cell it owns (a pre-sized slice element),
+// and all aggregation happens sequentially after the pool drains. Under that
+// discipline parallelism changes wall-clock time only, never output, so a
+// run at workers=N is bit-identical to workers=1.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: any value <= 0 means "use every
+// core" (runtime.GOMAXPROCS(0)); positive values pass through. 1 requests
+// fully sequential execution.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// For runs fn(i) for every i in [0, n) on at most workers goroutines and
+// returns when all calls have completed. workers <= 1 (or n <= 1) executes
+// sequentially on the calling goroutine with no synchronization overhead.
+//
+// Determinism contract: fn must write only to state owned by index i
+// (e.g. out[i]); it must not append to shared slices, fold into shared
+// accumulators, or depend on the order other indices run in.
+func For(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForErr is For over a fallible body. Every cell runs regardless of other
+// cells' failures (no cancellation, so partial results land in their slots),
+// and the returned error is the one from the lowest failing index — the same
+// error a sequential loop that collected all failures would report — keeping
+// error output independent of goroutine scheduling.
+func ForErr(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	For(workers, n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map applies fn to every index in [0, n) on at most workers goroutines and
+// returns the results in index order. It is For with the pre-sized output
+// slice managed for the caller.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	For(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapErr is Map over a fallible body, with ForErr's lowest-index error
+// semantics. The result slice is returned even on error; slots whose cells
+// failed hold the zero value (or whatever fn returned alongside its error).
+func MapErr[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	err := ForErr(workers, n, func(i int) error {
+		v, err := fn(i)
+		out[i] = v
+		return err
+	})
+	return out, err
+}

@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"taccc/internal/par"
 )
 
 // Infinity marks unreachable pairs in distance results.
@@ -145,13 +147,23 @@ func (g *Graph) HopCounts(src NodeID) []int {
 }
 
 // AllPairs computes the full distance matrix under cost by running Dijkstra
-// from every node. The result is row-major: m[u][v].
+// from every node, fanning sources out across all cores. The result is
+// row-major: m[u][v]. Use AllPairsWorkers to bound the parallelism.
 func (g *Graph) AllPairs(cost LinkCost) [][]float64 {
+	return g.AllPairsWorkers(cost, 0)
+}
+
+// AllPairsWorkers is AllPairs with an explicit worker count (<= 0 means all
+// cores, 1 is fully sequential). Sources are independent — each goroutine
+// runs Dijkstra from its own node and writes only its own row — so the
+// matrix is identical for every worker count; cost must be safe for
+// concurrent calls (the package's cost models are pure functions).
+func (g *Graph) AllPairsWorkers(cost LinkCost, workers int) [][]float64 {
 	n := len(g.nodes)
 	m := make([][]float64, n)
-	for u := 0; u < n; u++ {
+	par.For(par.Workers(workers), n, func(u int) {
 		m[u] = g.Dijkstra(NodeID(u), cost).Dist
-	}
+	})
 	return m
 }
 
@@ -205,20 +217,30 @@ type DelayMatrix struct {
 
 // NewDelayMatrix computes shortest-path delays from every IoT node to every
 // edge node under the given cost model. Dijkstra runs from each edge node
-// (there are typically far fewer edges than IoT devices).
+// (there are typically far fewer edges than IoT devices), with sources
+// fanned out across all cores. Use NewDelayMatrixWorkers to bound the
+// parallelism.
 func NewDelayMatrix(g *Graph, cost LinkCost) *DelayMatrix {
+	return NewDelayMatrixWorkers(g, cost, 0)
+}
+
+// NewDelayMatrixWorkers is NewDelayMatrix with an explicit worker count
+// (<= 0 means all cores, 1 is fully sequential). Each goroutine owns one
+// edge source and writes only column j of the pre-sized matrix, so the
+// result is identical for every worker count.
+func NewDelayMatrixWorkers(g *Graph, cost LinkCost, workers int) *DelayMatrix {
 	iot := g.NodesOfKind(KindIoT)
 	edge := g.NodesOfKind(KindEdge)
 	m := make([][]float64, len(iot))
 	for i := range m {
 		m[i] = make([]float64, len(edge))
 	}
-	for j, e := range edge {
-		sp := g.Dijkstra(e, cost)
+	par.For(par.Workers(workers), len(edge), func(j int) {
+		sp := g.Dijkstra(edge[j], cost)
 		for i, d := range iot {
 			m[i][j] = sp.Dist[d]
 		}
-	}
+	})
 	return &DelayMatrix{IoT: iot, Edge: edge, DelayMs: m}
 }
 

@@ -194,9 +194,16 @@ func CongestionAwareDelayMatrix(g *Graph, dm *DelayMatrix, flows []Flow, assignm
 }
 
 // NewDelayMatrix derives IoT-to-edge delays from a topology under a cost
-// model.
+// model, fanning Dijkstra sources out across all cores. The result is
+// identical to a sequential computation.
 func NewDelayMatrix(g *Graph, cost LinkCost) *DelayMatrix {
 	return topology.NewDelayMatrix(g, cost)
+}
+
+// NewDelayMatrixWorkers is NewDelayMatrix with an explicit worker count
+// (<= 0 means all cores, 1 is fully sequential).
+func NewDelayMatrixWorkers(g *Graph, cost LinkCost, workers int) *DelayMatrix {
+	return topology.NewDelayMatrixWorkers(g, cost, workers)
 }
 
 // LatencyCost charges each link its configured latency.
@@ -292,10 +299,18 @@ func NewLocalSearch(seed int64) Assigner { return assign.NewLocalSearch(seed) }
 // NewLagrangian returns the Lagrangian-relaxation-guided baseline.
 func NewLagrangian(seed int64) Assigner { return assign.NewLagrangian(seed) }
 
-// NewPortfolio runs several assigners and keeps the best feasible result;
-// with no members it uses the default strong set.
+// NewPortfolio runs several assigners sequentially and keeps the best
+// feasible result; with no members it uses the default strong set.
 func NewPortfolio(seed int64, members ...Assigner) Assigner {
 	return assign.NewPortfolio(seed, members...)
+}
+
+// NewParallelPortfolio is NewPortfolio with members solving concurrently:
+// same result (best cost, ties broken by member order), wall-clock time of
+// the slowest member instead of the sum. This is also the configuration the
+// algorithm registry serves under the name "portfolio".
+func NewParallelPortfolio(seed int64, members ...Assigner) Assigner {
+	return assign.NewParallelPortfolio(seed, members...)
 }
 
 // NewMinMax returns the min-max-fairness assigner: it minimizes the
@@ -448,6 +463,8 @@ type (
 	ResultTable = experiment.Table
 	// AlgoStat aggregates one algorithm's behaviour over replications.
 	AlgoStat = experiment.AlgoStat
+	// ExperimentResult is one spec's outcome from RunExperiments.
+	ExperimentResult = experiment.Result
 )
 
 // Experiments returns every table/figure experiment in report order.
@@ -456,10 +473,26 @@ func Experiments() []ExperimentSpec { return experiment.All() }
 // ExperimentByID finds an experiment by its DESIGN.md identifier.
 func ExperimentByID(id string) (ExperimentSpec, error) { return experiment.ByID(id) }
 
+// RunExperiments executes specs with up to opts.Workers specs in flight
+// (<= 0 means all cores, 1 is sequential), returning per-spec tables,
+// timings and failures in spec order. Results are identical at any
+// parallelism.
+func RunExperiments(specs []ExperimentSpec, opts ExperimentOptions) []ExperimentResult {
+	return experiment.RunAll(specs, opts)
+}
+
 // CompareAlgorithms runs the named algorithms over replications of a
-// scenario and aggregates delay, runtime and feasibility.
+// scenario and aggregates delay, runtime and feasibility, using every core.
+// Results are bit-identical to a sequential run; see
+// CompareAlgorithmsWorkers to bound (or disable) the parallelism.
 func CompareAlgorithms(sc Scenario, algos []string, reps int) ([]AlgoStat, error) {
 	return experiment.CompareAlgorithms(sc, algos, reps)
+}
+
+// CompareAlgorithmsWorkers is CompareAlgorithms with an explicit worker
+// count (<= 0 means all cores, 1 restores sequential execution).
+func CompareAlgorithmsWorkers(sc Scenario, algos []string, reps, workers int) ([]AlgoStat, error) {
+	return experiment.CompareAlgorithmsWorkers(sc, algos, reps, workers)
 }
 
 // ServiceRates converts planner capacities into simulator service rates
