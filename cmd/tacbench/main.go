@@ -21,9 +21,12 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sync"
 	"time"
 
 	taccc "taccc"
+	"taccc/internal/cliutil"
+	"taccc/internal/obs"
 )
 
 func main() {
@@ -42,9 +45,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed    = fs.Int64("seed", 1, "root seed")
 		list    = fs.Bool("list", false, "list experiments and exit")
 		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "parallelism across experiments and replication cells (1 = sequential); results are identical at any setting")
+		version = fs.Bool("version", false, "print version and exit")
+		md      = fs.Bool("md", false, "emit Markdown tables")
+		prog    = fs.Bool("progress", false, "report per-experiment and per-algorithm progress on stderr")
+		events  = fs.String("events", "", "stream structured run events (spec/algo/cell) to this JSONL file")
+		metrics = fs.String("metrics-out", "", "write event-count metrics JSON here on exit")
 	)
+	var profiles cliutil.Profiles
+	profiles.Flags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		cliutil.FprintVersion(stdout, "tacbench")
+		return 0
 	}
 	if *list {
 		for _, s := range taccc.Experiments() {
@@ -69,7 +83,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
-	opts := taccc.ExperimentOptions{Reps: *reps, Quick: *quick, Seed: *seed, Workers: *workers}
+	stopProfiles, err := profiles.Start(stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "tacbench: %v\n", err)
+		return 1
+	}
+	defer stopProfiles()
+
+	// Observability: sinks are strictly observational, so tables are
+	// identical whether or not any is attached.
+	var sinks []obs.Sink
+	if *prog {
+		sinks = append(sinks, &progressPrinter{w: stderr})
+	}
+	var eventSink *obs.JSONL
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			fmt.Fprintf(stderr, "tacbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		eventSink = obs.NewJSONL(f)
+		sinks = append(sinks, eventSink)
+	}
+	var metricsReg *obs.Registry
+	progressSink := obs.MultiSink(sinks...)
+	if *metrics != "" {
+		metricsReg = obs.NewRegistry()
+		progressSink = obs.CountEvents(metricsReg, progressSink)
+	}
+
+	opts := taccc.ExperimentOptions{Reps: *reps, Quick: *quick, Seed: *seed, Workers: *workers, Progress: progressSink}
 	// The suite runner executes independent experiments concurrently;
 	// results come back in spec order, so the report reads the same at any
 	// worker count.
@@ -79,9 +124,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		for _, t := range res.Tables {
-			if *csv {
+			switch {
+			case *csv:
 				fmt.Fprintf(stdout, "# %s: %s\n%s\n", t.ID, t.Title, t.CSV())
-			} else {
+			case *md:
+				fmt.Fprintln(stdout, t.Markdown())
+			default:
 				fmt.Fprintln(stdout, t.Render())
 			}
 			if *outdir != "" {
@@ -94,5 +142,54 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "(%s completed in %s)\n\n", res.Spec.ID, res.Elapsed.Round(time.Millisecond))
 	}
+	if eventSink != nil {
+		if err := eventSink.Flush(); err != nil {
+			fmt.Fprintf(stderr, "tacbench: events: %v\n", err)
+			return 1
+		}
+	}
+	if metricsReg != nil {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fmt.Fprintf(stderr, "tacbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := metricsReg.WriteJSON(f); err != nil {
+			fmt.Fprintf(stderr, "tacbench: metrics: %v\n", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// progressPrinter renders the coarse-grained run events (spec and
+// algorithm boundaries) as human-readable stderr lines; per-cell events
+// are too chatty for a terminal and are left to -events.
+type progressPrinter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (p *progressPrinter) Emit(ev taccc.ObsEvent) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch ev.Kind {
+	case "spec-start":
+		fmt.Fprintf(p.w, "%v: running (%v)\n", ev.Fields["id"], ev.Fields["title"])
+	case "spec-done":
+		if ok, _ := ev.Fields["ok"].(bool); !ok {
+			fmt.Fprintf(p.w, "%v: FAILED: %v\n", ev.Fields["id"], ev.Fields["error"])
+			return
+		}
+		if ms, isF := ev.Fields["elapsed_ms"].(float64); isF {
+			fmt.Fprintf(p.w, "%v: done in %.0f ms\n", ev.Fields["id"], ms)
+		}
+	case "algo-done":
+		if cost, isF := ev.Fields["mean_cost_ms"].(float64); isF {
+			fmt.Fprintf(p.w, "  %v: mean %.3f ms\n", ev.Fields["algo"], cost)
+		} else {
+			fmt.Fprintf(p.w, "  %v: no feasible replication\n", ev.Fields["algo"])
+		}
+	}
 }

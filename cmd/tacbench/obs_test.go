@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestVersionFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-version"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.HasPrefix(out.String(), "tacbench ") {
+		t.Fatalf("version banner %q", out.String())
+	}
+}
+
+func TestProgressAndEvents(t *testing.T) {
+	eventsPath := filepath.Join(t.TempDir(), "bench.jsonl")
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-exp", "F1", "-quick", "-reps", "1", "-progress", "-events", eventsPath}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	prog := errBuf.String()
+	if !strings.Contains(prog, "F1: running") || !strings.Contains(prog, "F1: done") {
+		t.Fatalf("-progress missing spec lines:\n%s", prog)
+	}
+	if !strings.Contains(prog, "qlearning: mean") {
+		t.Fatalf("-progress missing algo lines:\n%s", prog)
+	}
+	f, err := os.Open(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	kinds := map[string]int{}
+	scan := bufio.NewScanner(f)
+	for scan.Scan() {
+		var ev struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(scan.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line: %v: %s", err, scan.Text())
+		}
+		kinds[ev.Kind]++
+	}
+	if kinds["spec-start"] != 1 || kinds["spec-done"] != 1 {
+		t.Fatalf("spec events missing: %v", kinds)
+	}
+	if kinds["cell"] == 0 || kinds["algo-done"] == 0 {
+		t.Fatalf("comparison events missing: %v", kinds)
+	}
+}
+
+func TestMetricsOutCountsEvents(t *testing.T) {
+	metricsPath := filepath.Join(t.TempDir(), "bench-metrics.json")
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-exp", "F1", "-quick", "-reps", "1", "-metrics-out", metricsPath}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+	if snap.Counters["events.cell"] == 0 || snap.Counters["events.spec-done"] != 1 {
+		t.Fatalf("event counters missing: %s", data)
+	}
+}
+
+func TestMarkdownOutput(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-exp", "F1", "-quick", "-reps", "1", "-md"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "### F1:") || !strings.Contains(s, "| --- |") {
+		t.Fatalf("-md did not render a Markdown table:\n%s", s)
+	}
+}

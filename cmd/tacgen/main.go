@@ -17,6 +17,7 @@ import (
 	"os"
 
 	taccc "taccc"
+	"taccc/internal/cliutil"
 )
 
 func main() {
@@ -42,9 +43,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		profile = fs.String("profile", "default", "device profile for -kind devices (default, smartcity, factory, wearables)")
 		seed    = fs.Int64("seed", 1, "random seed")
 		out     = fs.String("o", "", "output file (default stdout)")
+		version = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		cliutil.FprintVersion(stdout, "tacgen")
+		return 0
 	}
 	w := stdout
 	if *out != "" {

@@ -107,3 +107,13 @@ func TestGenerateDevices(t *testing.T) {
 		t.Fatal("bogus profile accepted")
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-version"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.HasPrefix(out.String(), "tacgen ") {
+		t.Fatalf("version banner %q", out.String())
+	}
+}

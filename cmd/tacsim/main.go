@@ -16,6 +16,7 @@ import (
 	"os"
 
 	taccc "taccc"
+	"taccc/internal/cliutil"
 )
 
 func main() {
@@ -41,10 +42,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tracePath  = fs.String("trace", "", "write a per-request CSV trace to this file")
 		jitter     = fs.Float64("jitter", 0, "lognormal network jitter sigma (0 = deterministic delays)")
 		seed       = fs.Int64("seed", 1, "random seed")
+		version    = fs.Bool("version", false, "print version and exit")
+		progress   = fs.Bool("progress", false, "print solver improvements to stderr while assigning")
+		events     = fs.String("events", "", "stream per-iteration solver events to this JSONL file")
+		metricsOut = fs.String("metrics-out", "", "write the simulator's metrics-registry snapshot JSON here (request counters, queue gauges, latency histogram)")
 	)
+	var profiles cliutil.Profiles
+	profiles.Flags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *version {
+		cliutil.FprintVersion(stdout, "tacsim")
+		return 0
+	}
+	stopProfiles, err := profiles.Start(stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "tacsim: %v\n", err)
+		return 1
+	}
+	defer stopProfiles()
 	built, err := taccc.Scenario{
 		Family: taccc.Family(*family),
 		NumIoT: *iot, NumEdge: *edge, Rho: *rho, PayloadKB: *payload, Seed: *seed,
@@ -53,11 +70,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "tacsim: %v\n", err)
 		return 1
 	}
+	var sinks []taccc.ProgressSink
+	if *progress {
+		sinks = append(sinks, taccc.NewProgressWriter(stderr))
+	}
+	var eventSink *taccc.JSONLSink
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			fmt.Fprintf(stderr, "tacsim: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		eventSink = taccc.NewJSONLSink(f)
+		sinks = append(sinks, taccc.EventProgress(eventSink))
+	}
+	var metricsReg *taccc.MetricsRegistry
+	if *metricsOut != "" {
+		metricsReg = taccc.NewMetricsRegistry()
+		sinks = append(sinks, taccc.MetricsProgress(metricsReg))
+	}
+
 	reg := taccc.NewAlgorithmRegistry()
 	a, err := reg.New(*algo, *seed)
 	if err != nil {
 		fmt.Fprintf(stderr, "tacsim: %v\n", err)
 		return 2
+	}
+	if sink := taccc.MultiProgress(sinks...); sink != nil {
+		taccc.WithProgress(a, sink)
 	}
 	got, err := a.Assign(built.Instance)
 	if err != nil {
@@ -105,6 +146,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Discipline:  disc,
 		MaxQueue:    *maxQueue,
 		Recorder:    recorder,
+		Metrics:     metricsReg,
 		JitterSigma: *jitter,
 		Seed:        *seed,
 	})
@@ -139,6 +181,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "trace:      %d records -> %s\n", traceWriter.N(), *tracePath)
+	}
+	if eventSink != nil {
+		if err := eventSink.Flush(); err != nil {
+			fmt.Fprintf(stderr, "tacsim: events: %v\n", err)
+			return 1
+		}
+	}
+	if metricsReg != nil {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "tacsim: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := metricsReg.WriteJSON(f); err != nil {
+			fmt.Fprintf(stderr, "tacsim: metrics: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "metrics:    registry snapshot -> %s\n", *metricsOut)
 	}
 	return 0
 }

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestVersionFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-version"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.HasPrefix(out.String(), "tacsim ") {
+		t.Fatalf("version banner %q", out.String())
+	}
+}
+
+// TestMetricsOutSnapshot covers the acceptance criterion: tacsim
+// -metrics-out m.json emits a registry snapshot with request counters
+// and a latency histogram.
+func TestMetricsOutSnapshot(t *testing.T) {
+	metricsPath := filepath.Join(t.TempDir(), "m.json")
+	var out, errBuf bytes.Buffer
+	code := run([]string{
+		"-iot", "20", "-edge", "4", "-algo", "greedy",
+		"-duration", "5", "-warmup", "1", "-metrics-out", metricsPath,
+	}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters   map[string]int64 `json:"counters"`
+		Histograms map[string]struct {
+			Count  int64     `json:"count"`
+			Bounds []float64 `json:"bounds"`
+			Counts []int64   `json:"counts"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot is not JSON: %v\n%s", err, data)
+	}
+	sent := snap.Counters["cluster.requests_sent"]
+	okC := snap.Counters["cluster.requests_ok"]
+	if sent == 0 || okC == 0 {
+		t.Fatalf("request counters missing or zero: %s", data)
+	}
+	hist, isSet := snap.Histograms["cluster.latency_ms"]
+	if !isSet || hist.Count == 0 {
+		t.Fatalf("latency histogram missing or empty: %s", data)
+	}
+	if len(hist.Counts) != len(hist.Bounds)+1 {
+		t.Fatalf("histogram has %d counts for %d bounds", len(hist.Counts), len(hist.Bounds))
+	}
+	if !strings.Contains(out.String(), "metrics:") {
+		t.Fatalf("stdout does not mention the metrics file:\n%s", out.String())
+	}
+}
+
+func TestSolverEventsFromSim(t *testing.T) {
+	eventsPath := filepath.Join(t.TempDir(), "sim.jsonl")
+	var out, errBuf bytes.Buffer
+	code := run([]string{
+		"-iot", "20", "-edge", "4", "-algo", "qlearning",
+		"-duration", "2", "-warmup", "0.5", "-events", eventsPath,
+	}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	data, err := os.ReadFile(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"kind":"iter"`)) || !bytes.Contains(data, []byte(`"algo":"qlearning"`)) {
+		t.Fatalf("events file has no qlearning iter events: %.200s", data)
+	}
+}
+
+// TestMetricsDoNotChangeSimOutput compares the full stdout of a run with
+// and without -metrics-out (minus the metrics line itself): instrumenting
+// the simulator must not alter any reported number.
+func TestMetricsDoNotChangeSimOutput(t *testing.T) {
+	base := []string{"-iot", "20", "-edge", "4", "-algo", "greedy", "-duration", "5", "-warmup", "1"}
+	var plain, plainErr bytes.Buffer
+	if code := run(base, &plain, &plainErr); code != 0 {
+		t.Fatalf("exit %d: %s", code, plainErr.String())
+	}
+	metricsPath := filepath.Join(t.TempDir(), "m.json")
+	var metered, meteredErr bytes.Buffer
+	if code := run(append(base, "-metrics-out", metricsPath), &metered, &meteredErr); code != 0 {
+		t.Fatalf("exit %d: %s", code, meteredErr.String())
+	}
+	got := strings.Split(metered.String(), "\n")
+	var kept []string
+	for _, line := range got {
+		if strings.HasPrefix(line, "metrics:") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	if strings.Join(kept, "\n") != plain.String() {
+		t.Fatalf("-metrics-out changed the simulation output:\n%s\nvs\n%s", metered.String(), plain.String())
+	}
+}

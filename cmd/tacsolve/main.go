@@ -20,6 +20,7 @@ import (
 	"time"
 
 	taccc "taccc"
+	"taccc/internal/cliutil"
 )
 
 func main() {
@@ -36,10 +37,71 @@ func run(args []string, stdout, stderr io.Writer) int {
 		out      = fs.String("o", "", "write the assignment JSON here")
 		list     = fs.Bool("list", false, "list available algorithms and exit")
 		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "parallelism for -algo all (1 = sequential); the portfolio algorithm always runs its members concurrently")
+		version  = fs.Bool("version", false, "print version and exit")
+		progress = fs.Bool("progress", false, "print solver improvements to stderr as they happen")
+		events   = fs.String("events", "", "stream per-iteration solver events to this JSONL file")
+		metrics  = fs.String("metrics-out", "", "write a metrics-registry snapshot JSON here on exit")
 	)
+	var profiles cliutil.Profiles
+	profiles.Flags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *version {
+		cliutil.FprintVersion(stdout, "tacsolve")
+		return 0
+	}
+	stopProfiles, err := profiles.Start(stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "tacsolve: %v\n", err)
+		return 1
+	}
+	defer stopProfiles()
+
+	// Observability hooks: all optional, none changes solver results.
+	var sinks []taccc.ProgressSink
+	if *progress {
+		sinks = append(sinks, taccc.NewProgressWriter(stderr))
+	}
+	var eventSink *taccc.JSONLSink
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			fmt.Fprintf(stderr, "tacsolve: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		eventSink = taccc.NewJSONLSink(f)
+		sinks = append(sinks, taccc.EventProgress(eventSink))
+	}
+	var metricsReg *taccc.MetricsRegistry
+	if *metrics != "" {
+		metricsReg = taccc.NewMetricsRegistry()
+		sinks = append(sinks, taccc.MetricsProgress(metricsReg))
+	}
+	sink := taccc.MultiProgress(sinks...)
+	finishObs := func() int {
+		if eventSink != nil {
+			if err := eventSink.Flush(); err != nil {
+				fmt.Fprintf(stderr, "tacsolve: events: %v\n", err)
+				return 1
+			}
+		}
+		if metricsReg != nil {
+			f, err := os.Create(*metrics)
+			if err != nil {
+				fmt.Fprintf(stderr, "tacsolve: %v\n", err)
+				return 1
+			}
+			defer f.Close()
+			if err := metricsReg.WriteJSON(f); err != nil {
+				fmt.Fprintf(stderr, "tacsolve: metrics: %v\n", err)
+				return 1
+			}
+		}
+		return 0
+	}
+
 	reg := taccc.NewAlgorithmRegistry()
 	if *list {
 		fmt.Fprintln(stdout, strings.Join(append(reg.Names(), "exact"), "\n"))
@@ -62,7 +124,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *algo == "all" {
-		return compareAll(in, reg, *seed, *workers, stdout)
+		if code := compareAll(in, reg, *seed, *workers, sink, stdout); code != 0 {
+			return code
+		}
+		return finishObs()
 	}
 
 	start := time.Now()
@@ -80,6 +145,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			fmt.Fprintf(stderr, "tacsolve: %v\n", err)
 			return 2
+		}
+		if sink != nil && !taccc.WithProgress(a, sink) {
+			fmt.Fprintf(stderr, "tacsolve: note: %s does not report iteration progress\n", *algo)
 		}
 		got, err = a.Assign(in)
 		if err != nil {
@@ -117,13 +185,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
-	return 0
+	return finishObs()
 }
 
 // compareAll solves the instance with every registered algorithm — up to
 // workers at a time — and prints a comparison table in registry order. Each
 // algorithm owns one row slot, so the table is identical at any parallelism.
-func compareAll(in *taccc.Instance, reg *taccc.AlgorithmRegistry, seed int64, workers int, stdout io.Writer) int {
+// The progress sink, when non-nil, is attached to every supporting
+// algorithm; events from concurrent solvers interleave but each carries
+// its algorithm name.
+func compareAll(in *taccc.Instance, reg *taccc.AlgorithmRegistry, seed int64, workers int, sink taccc.ProgressSink, stdout io.Writer) int {
 	type row struct {
 		got     *taccc.Assignment
 		err     error
@@ -141,6 +212,9 @@ func compareAll(in *taccc.Instance, reg *taccc.AlgorithmRegistry, seed int64, wo
 		if err != nil {
 			rows[i].err = err
 			continue
+		}
+		if sink != nil {
+			taccc.WithProgress(a, sink)
 		}
 		wg.Add(1)
 		go func(i int, a taccc.Assigner) {

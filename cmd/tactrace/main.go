@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	taccc "taccc"
+	"taccc/internal/cliutil"
 )
 
 func main() {
@@ -27,11 +28,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tactrace", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		in     = fs.String("in", "", "trace CSV file (required)")
-		window = fs.Float64("window", 10_000, "time-series bucket width in ms")
+		in      = fs.String("in", "", "trace CSV file (required)")
+		window  = fs.Float64("window", 10_000, "time-series bucket width in ms")
+		version = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		cliutil.FprintVersion(stdout, "tactrace")
+		return 0
 	}
 	if *in == "" {
 		fmt.Fprintln(stderr, "tactrace: -in is required")

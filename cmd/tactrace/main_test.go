@@ -92,3 +92,13 @@ func TestAnalyzeErrors(t *testing.T) {
 		t.Error("zero window accepted")
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-version"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.HasPrefix(out.String(), "tactrace ") {
+		t.Fatalf("version banner %q", out.String())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"taccc/internal/gap"
+	"taccc/internal/obs"
 	"taccc/internal/xrand"
 )
 
@@ -19,7 +20,12 @@ type Genetic struct {
 	MutationRate float64
 	TournamentK  int
 	seed         int64
+	progress     obs.ProgressSink
 }
+
+// SetProgress implements ProgressReporter: sink receives one event per
+// generation of subsequent Assign calls.
+func (g *Genetic) SetProgress(sink obs.ProgressSink) { g.progress = sink }
 
 // NewGenetic returns a GA assigner with default parameters.
 func NewGenetic(seed int64) *Genetic { return &Genetic{seed: seed} }
@@ -113,6 +119,7 @@ func (g *Genetic) Assign(in *gap.Instance) (*gap.Assignment, error) {
 			}
 		}
 		if !repair(in, child, src) {
+			obs.EmitIter(g.progress, "genetic", gen, bestCost, true)
 			continue // unrepairable child: discard
 		}
 		c := fitness(child)
@@ -131,6 +138,7 @@ func (g *Genetic) Assign(in *gap.Instance) (*gap.Assignment, error) {
 				copy(bestOf, child)
 			}
 		}
+		obs.EmitIter(g.progress, "genetic", gen, bestCost, true)
 	}
 	return finish(in, bestOf, "genetic")
 }

@@ -3,9 +3,11 @@ package assign
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"taccc/internal/gap"
+	"taccc/internal/obs"
 )
 
 // Portfolio runs a set of assigners and returns the best feasible result —
@@ -20,8 +22,15 @@ type Portfolio struct {
 	// Parallel runs members on separate goroutines.
 	Parallel bool
 
-	members []Assigner
+	members  []Assigner
+	progress obs.ProgressSink
 }
+
+// SetProgress implements ProgressReporter: sink receives one event per
+// member arm (Iter is the arm index, Algo the member's name) after the
+// arms finish. Events are emitted sequentially in member order, so the
+// stream is identical for sequential and parallel portfolios.
+func (p *Portfolio) SetProgress(sink obs.ProgressSink) { p.progress = sink }
 
 // NewPortfolio builds a sequential portfolio over the given members; with
 // no members it uses the default set (regret-greedy, local-search,
@@ -78,6 +87,13 @@ func (p *Portfolio) Assign(in *gap.Instance) (*gap.Assignment, error) {
 	bestCost := 0.0
 	var firstErr error
 	for idx := range p.members {
+		if p.progress != nil {
+			cost, feasible := math.Inf(1), false
+			if errs[idx] == nil {
+				cost, feasible = in.TotalCost(results[idx]), true
+			}
+			obs.EmitIter(p.progress, p.members[idx].Name(), idx, cost, feasible)
+		}
 		if err := errs[idx]; err != nil {
 			if !errors.Is(err, gap.ErrInfeasible) && firstErr == nil {
 				firstErr = err

@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"taccc/internal/gap"
+	"taccc/internal/obs"
 	"taccc/internal/xrand"
 )
 
@@ -258,7 +259,14 @@ type QLearning struct {
 	// lastTrace records, per episode, the best total cost found so far;
 	// read it with Trace after Assign for the convergence experiment.
 	lastTrace []float64
+	// progress, when non-nil, receives one IterEvent per episode — the
+	// live counterpart of Trace. Strictly observational.
+	progress obs.ProgressSink
 }
+
+// SetProgress implements ProgressReporter: sink receives one event per
+// training episode of subsequent Assign calls.
+func (q *QLearning) SetProgress(sink obs.ProgressSink) { q.progress = sink }
 
 // NewQLearning returns a Q-learning assigner with default parameters.
 func NewQLearning(seed int64) *QLearning { return &QLearning{seed: seed} }
@@ -359,6 +367,7 @@ func (q *QLearning) Assign(in *gap.Instance) (*gap.Assignment, error) {
 		} else {
 			q.lastTrace = append(q.lastTrace, math.Inf(1))
 		}
+		obs.EmitIter(q.progress, "qlearning", ep, bestCost, found)
 		eps *= p.EpsilonDecay
 		if eps < p.EpsilonMin {
 			eps = p.EpsilonMin

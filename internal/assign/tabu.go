@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"taccc/internal/gap"
+	"taccc/internal/obs"
 	"taccc/internal/xrand"
 )
 
@@ -18,9 +19,14 @@ type TabuSearch struct {
 	Iters int
 	// Tenure is how many iterations a reversed move stays forbidden
 	// (default n/4+3, set when 0).
-	Tenure int
-	seed   int64
+	Tenure   int
+	seed     int64
+	progress obs.ProgressSink
 }
+
+// SetProgress implements ProgressReporter: sink receives one event per
+// tabu move of subsequent Assign calls.
+func (ts *TabuSearch) SetProgress(sink obs.ProgressSink) { ts.progress = sink }
 
 // NewTabuSearch returns a tabu-search assigner.
 func NewTabuSearch(seed int64) *TabuSearch { return &TabuSearch{seed: seed} }
@@ -95,6 +101,7 @@ func (ts *TabuSearch) Assign(in *gap.Instance) (*gap.Assignment, error) {
 			bestCost = cur
 			copy(bestOf, of)
 		}
+		obs.EmitIter(ts.progress, "tabu", it, bestCost, true)
 	}
 	return finish(in, bestOf, "tabu")
 }
@@ -110,7 +117,12 @@ type LNS struct {
 	// (default 0.25).
 	DestroyFrac float64
 	seed        int64
+	progress    obs.ProgressSink
 }
+
+// SetProgress implements ProgressReporter: sink receives one event per
+// destroy/repair round of subsequent Assign calls.
+func (l *LNS) SetProgress(sink obs.ProgressSink) { l.progress = sink }
 
 // NewLNS returns a large-neighborhood-search assigner.
 func NewLNS(seed int64) *LNS { return &LNS{seed: seed} }
@@ -155,14 +167,13 @@ func (l *LNS) Assign(in *gap.Instance) (*gap.Assignment, error) {
 			work[i] = -1
 		}
 		// Repair: regret-based reinsertion over the removed set.
-		if !regretReinsert(in, work, residual, removed) {
-			continue
+		if regretReinsert(in, work, residual, removed) {
+			if c := in.TotalCost(&gap.Assignment{Of: work}); c < bestCost-1e-12 {
+				bestCost = c
+				copy(bestOf, work)
+			}
 		}
-		c := in.TotalCost(&gap.Assignment{Of: work})
-		if c < bestCost-1e-12 {
-			bestCost = c
-			copy(bestOf, work)
-		}
+		obs.EmitIter(l.progress, "lns", it, bestCost, true)
 	}
 	return finish(in, bestOf, "lns")
 }

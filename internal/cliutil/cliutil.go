@@ -1,0 +1,89 @@
+// Package cliutil holds the small pieces shared by every taccc command:
+// build-info version reporting and pprof profiling flags.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"runtime/debug"
+
+	"taccc/internal/obs"
+)
+
+// Version returns a human-readable version string from the binary's
+// embedded build info: the module version when the binary was built with
+// `go install module@version`, otherwise the VCS revision (12 hex chars,
+// "+dirty" when the tree had local changes), otherwise "devel".
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	rev, dirty := "", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "devel"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+// FprintVersion writes the standard one-line version banner for tool.
+func FprintVersion(w io.Writer, tool string) {
+	fmt.Fprintf(w, "%s %s (taccc)\n", tool, Version())
+}
+
+// Profiles wires -cpuprofile/-memprofile flags into a FlagSet and manages
+// the profile lifecycle around a command run.
+type Profiles struct {
+	CPU string
+	Mem string
+}
+
+// Flags registers the profiling flags on fs.
+func (p *Profiles) Flags(fs *flag.FlagSet) {
+	fs.StringVar(&p.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.Mem, "memprofile", "", "write a heap profile to this file on exit")
+}
+
+// Start begins CPU profiling if requested and returns a stop function
+// that finishes the CPU profile and writes the heap profile. The stop
+// function reports problems to errw rather than failing the run —
+// profiles are diagnostics, not outputs.
+func (p *Profiles) Start(errw io.Writer) (stop func(), err error) {
+	var stopCPU func() error
+	if p.CPU != "" {
+		stopCPU, err = obs.StartCPUProfile(p.CPU)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return func() {
+		if stopCPU != nil {
+			if err := stopCPU(); err != nil {
+				fmt.Fprintf(errw, "cpuprofile: %v\n", err)
+			}
+		}
+		if p.Mem != "" {
+			if err := obs.WriteHeapProfile(p.Mem); err != nil {
+				fmt.Fprintf(errw, "memprofile: %v\n", err)
+			}
+		}
+	}, nil
+}

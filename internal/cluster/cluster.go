@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 
+	"taccc/internal/obs"
 	"taccc/internal/sim"
 	"taccc/internal/stats"
 	"taccc/internal/workload"
@@ -64,6 +65,13 @@ type Config struct {
 	// (completions and drops, including warmup traffic). Use
 	// internal/trace to persist and analyze.
 	Recorder Recorder
+	// Metrics, when non-nil, receives live counters as the simulation
+	// progresses: cluster.requests_sent / _ok / _missed / _dropped,
+	// per-edge cluster.edge_<j>.queue_depth gauges, and a
+	// cluster.latency_ms histogram of end-to-end latencies. Unlike
+	// Result, counters include warmup traffic (they mirror what a real
+	// deployment's metrics endpoint would report). Nil costs nothing.
+	Metrics *obs.Registry
 	// JitterSigma, when > 0, multiplies every per-request network delay
 	// (uplink and downlink) by an independent lognormal factor with the
 	// given sigma, normalized to mean 1 so average delays are preserved
@@ -243,9 +251,46 @@ type Simulator struct {
 	inFlight  []int
 	ps        []*psServer
 
+	met metricsSet
+
 	result  Result
 	horizon float64
 	ran     bool
+}
+
+// metricsSet pre-resolves the simulator's live metrics once at
+// construction. With a nil registry every handle is nil and each update
+// is a no-op method call on a nil receiver — the simulation schedule is
+// identical either way.
+type metricsSet struct {
+	sent, ok, missed, dropped *obs.Counter
+	latency                   *obs.Histogram
+	queueDepth                []*obs.Gauge
+}
+
+func newMetricsSet(r *obs.Registry, edges int) metricsSet {
+	ms := metricsSet{
+		sent:       r.Counter("cluster.requests_sent"),
+		ok:         r.Counter("cluster.requests_ok"),
+		missed:     r.Counter("cluster.requests_missed"),
+		dropped:    r.Counter("cluster.requests_dropped"),
+		latency:    r.Histogram("cluster.latency_ms", obs.DefaultLatencyBucketsMs()),
+		queueDepth: make([]*obs.Gauge, edges),
+	}
+	for j := range ms.queueDepth {
+		ms.queueDepth[j] = r.Gauge(fmt.Sprintf("cluster.edge_%d.queue_depth", j))
+	}
+	return ms
+}
+
+// observeDone records a completed request in the live metrics.
+func (ms *metricsSet) observeDone(latencyMs float64, outcome Outcome) {
+	if outcome == OutcomeMissed {
+		ms.missed.Add(1)
+	} else {
+		ms.ok.Add(1)
+	}
+	ms.latency.Observe(latencyMs)
 }
 
 // New validates the config and builds a simulator.
@@ -265,6 +310,7 @@ func New(cfg Config) (*Simulator, error) {
 		busyUntil:  make([][]float64, len(cfg.ServiceRate)),
 		inFlight:   make([]int, len(cfg.ServiceRate)),
 	}
+	s.met = newMetricsSet(cfg.Metrics, len(cfg.ServiceRate))
 	for j := range s.busyUntil {
 		s.busyUntil[j] = make([]float64, cfg.servers(j))
 	}
@@ -525,11 +571,13 @@ func (s *Simulator) arrive(e *sim.Engine, i int) {
 	now := e.Now()
 	j := s.assignment[i]
 	measured := now >= s.cfg.WarmupMs
+	s.met.sent.Add(1)
 
 	if s.failed[j] {
 		if measured {
 			s.result.Dropped++
 		}
+		s.met.dropped.Add(1)
 		s.record(RequestRecord{Device: i, Edge: j, SentAtMs: now, DoneAtMs: now, Outcome: OutcomeDropped})
 	} else {
 		uplink := s.uplink[i][j]
@@ -537,6 +585,7 @@ func (s *Simulator) arrive(e *sim.Engine, i int) {
 			if measured {
 				s.result.Dropped++
 			}
+			s.met.dropped.Add(1)
 			s.record(RequestRecord{Device: i, Edge: j, SentAtMs: now, DoneAtMs: now, Outcome: OutcomeDropped})
 		} else {
 			arriveAtEdge := now + s.jitter(uplink)
@@ -552,6 +601,7 @@ func (s *Simulator) serve(e *sim.Engine, i, j int, sentAt float64) {
 		if sentAt >= s.cfg.WarmupMs {
 			s.result.Dropped++
 		}
+		s.met.dropped.Add(1)
 		s.record(RequestRecord{Device: i, Edge: j, SentAtMs: sentAt, DoneAtMs: e.Now(), Outcome: OutcomeDropped})
 		return
 	}
@@ -559,6 +609,7 @@ func (s *Simulator) serve(e *sim.Engine, i, j int, sentAt float64) {
 		if sentAt >= s.cfg.WarmupMs {
 			s.result.Dropped++
 		}
+		s.met.dropped.Add(1)
 		s.record(RequestRecord{Device: i, Edge: j, SentAtMs: sentAt, DoneAtMs: e.Now(), Outcome: OutcomeDropped})
 		return
 	}
@@ -584,6 +635,7 @@ func (s *Simulator) serve(e *sim.Engine, i, j int, sentAt float64) {
 	finish := start + serviceMs
 	s.busyUntil[j][srv] = finish
 	s.inFlight[j]++
+	s.met.queueDepth[j].Set(float64(s.inFlight[j]))
 	if s.inFlight[j] > s.result.PeakQueue[j] {
 		s.result.PeakQueue[j] = s.inFlight[j]
 	}
@@ -592,6 +644,7 @@ func (s *Simulator) serve(e *sim.Engine, i, j int, sentAt float64) {
 	}
 	e.Schedule(finish, func(e *sim.Engine) {
 		s.inFlight[j]--
+		s.met.queueDepth[j].Set(float64(s.inFlight[j]))
 		latency := e.Now() + s.downlinkDelay(i, j) - sentAt
 		outcome := OutcomeOK
 		if d.DeadlineMs > 0 && latency > d.DeadlineMs {
@@ -604,6 +657,7 @@ func (s *Simulator) serve(e *sim.Engine, i, j int, sentAt float64) {
 				s.result.DeadlineMisses++
 			}
 		}
+		s.met.observeDone(latency, outcome)
 		s.record(RequestRecord{Device: i, Edge: j, SentAtMs: sentAt, DoneAtMs: sentAt + latency, LatencyMs: latency, Outcome: outcome})
 	})
 }
@@ -618,6 +672,7 @@ func (s *Simulator) servePS(e *sim.Engine, i, j int, sentAt float64) {
 	p.nextID++
 	p.jobs[id] = &psJob{remaining: s.cfg.Devices[i].ComputeUnits, devIdx: i, sentAt: sentAt}
 	s.inFlight[j]++
+	s.met.queueDepth[j].Set(float64(s.inFlight[j]))
 	if s.inFlight[j] > s.result.PeakQueue[j] {
 		s.result.PeakQueue[j] = s.inFlight[j]
 	}
@@ -657,6 +712,7 @@ func (s *Simulator) completePS(e *sim.Engine, j int) {
 		}
 		delete(p.jobs, id)
 		s.inFlight[j]--
+		s.met.queueDepth[j].Set(float64(s.inFlight[j]))
 		latency := now + s.downlinkDelay(job.devIdx, j) - job.sentAt
 		outcome := OutcomeOK
 		if dl := s.cfg.Devices[job.devIdx].DeadlineMs; dl > 0 && latency > dl {
@@ -669,6 +725,7 @@ func (s *Simulator) completePS(e *sim.Engine, j int) {
 				s.result.DeadlineMisses++
 			}
 		}
+		s.met.observeDone(latency, outcome)
 		s.record(RequestRecord{Device: job.devIdx, Edge: j, SentAtMs: job.sentAt, DoneAtMs: job.sentAt + latency, LatencyMs: latency, Outcome: outcome})
 	}
 	s.reschedulePS(e, j)

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"taccc/internal/obs"
+)
+
+// runPair runs the same config twice — once bare, once with a metrics
+// registry attached — and returns both results plus the registry snapshot.
+func runPair(t *testing.T, mk func() Config, durationMs float64) (bare, metered *Result, snap obs.Snapshot) {
+	t.Helper()
+	s1, err := New(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err = s1.Run(durationMs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	cfg := mk()
+	cfg.Metrics = reg
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metered, err = s2.Run(durationMs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bare, metered, reg.Snapshot()
+}
+
+func TestMetricsMatchResultCounts(t *testing.T) {
+	// WarmupMs = 0 so Result and the live counters measure the same
+	// traffic; MaxQueue forces some drops so every counter is exercised.
+	mk := func() Config {
+		cfg := simpleConfig()
+		cfg.Devices[0].RateHz = 200
+		cfg.Devices[1].RateHz = 200
+		cfg.Devices[0].DeadlineMs = 12
+		cfg.Devices[1].DeadlineMs = 12
+		cfg.MaxQueue = 3
+		return cfg
+	}
+	_, res, snap := runPair(t, mk, 10_000)
+
+	if got := snap.Counters["cluster.requests_ok"] + snap.Counters["cluster.requests_missed"]; got != int64(res.Completed) {
+		t.Errorf("ok+missed = %d, Result.Completed = %d", got, res.Completed)
+	}
+	if got := snap.Counters["cluster.requests_missed"]; got != int64(res.DeadlineMisses) {
+		t.Errorf("requests_missed = %d, Result.DeadlineMisses = %d", got, res.DeadlineMisses)
+	}
+	if got := snap.Counters["cluster.requests_dropped"]; got != int64(res.Dropped) {
+		t.Errorf("requests_dropped = %d, Result.Dropped = %d", got, res.Dropped)
+	}
+	if res.Dropped == 0 {
+		t.Error("config should force drops (MaxQueue) so the dropped counter is exercised")
+	}
+	if res.DeadlineMisses == 0 {
+		t.Error("config should force deadline misses so the missed counter is exercised")
+	}
+	// Sent splits into completions, drops, and requests still in flight
+	// when the horizon ended.
+	sent := snap.Counters["cluster.requests_sent"]
+	if inFlight := sent - int64(res.Completed) - int64(res.Dropped); inFlight < 0 {
+		t.Errorf("sent = %d < completed %d + dropped %d", sent, res.Completed, res.Dropped)
+	}
+
+	hist, okHist := snap.Histograms["cluster.latency_ms"]
+	if !okHist {
+		t.Fatal("no cluster.latency_ms histogram in snapshot")
+	}
+	if hist.Count != int64(res.Completed) {
+		t.Errorf("latency histogram count = %d, want %d completions", hist.Count, res.Completed)
+	}
+	if res.Completed > 0 {
+		lo, hi := res.Latency.Quantile(0), res.Latency.Quantile(1)
+		if hist.Mean < lo || hist.Mean > hi {
+			t.Errorf("histogram mean %v outside observed latency range [%v, %v]", hist.Mean, lo, hi)
+		}
+	}
+	for j := 0; j < 2; j++ {
+		name := []string{"cluster.edge_0.queue_depth", "cluster.edge_1.queue_depth"}[j]
+		depth, okG := snap.Gauges[name]
+		if !okG {
+			t.Fatalf("no %s gauge in snapshot", name)
+		}
+		if depth < 0 || depth > float64(res.PeakQueue[j]) {
+			t.Errorf("%s = %v, want within [0, peak %d]", name, depth, res.PeakQueue[j])
+		}
+	}
+}
+
+func TestMetricsDoNotPerturbSimulation(t *testing.T) {
+	for name, mutate := range map[string]func(*Config){
+		"fifo":   func(*Config) {},
+		"ps":     func(c *Config) { c.Discipline = DisciplinePS },
+		"jitter": func(c *Config) { c.JitterSigma = 0.3 },
+	} {
+		mk := func() Config {
+			cfg := simpleConfig()
+			cfg.Devices[0].RateHz = 100
+			cfg.Devices[1].RateHz = 100
+			cfg.WarmupMs = 500
+			mutate(&cfg)
+			return cfg
+		}
+		bare, metered, _ := runPair(t, mk, 5_000)
+		if !reflect.DeepEqual(bare, metered) {
+			t.Errorf("%s: attaching a metrics registry changed the Result:\n%+v\nvs\n%+v", name, bare, metered)
+		}
+	}
+}
+
+func TestMetricsCountWarmupTraffic(t *testing.T) {
+	mk := func() Config {
+		cfg := simpleConfig()
+		cfg.Devices[0].RateHz = 100
+		cfg.Devices[1].RateHz = 100
+		cfg.WarmupMs = 2_000
+		return cfg
+	}
+	_, res, snap := runPair(t, mk, 4_000)
+	// ~200 req/s over 4 s total vs a 2 s measured window: the live
+	// counters see roughly twice what Result reports.
+	done := snap.Counters["cluster.requests_ok"] + snap.Counters["cluster.requests_missed"]
+	if done <= int64(res.Completed) {
+		t.Errorf("live counters (%d done) should include warmup traffic beyond Result.Completed = %d", done, res.Completed)
+	}
+}

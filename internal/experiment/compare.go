@@ -7,6 +7,7 @@ import (
 
 	"taccc/internal/assign"
 	"taccc/internal/gap"
+	"taccc/internal/obs"
 	"taccc/internal/par"
 	"taccc/internal/stats"
 	"taccc/internal/xrand"
@@ -94,12 +95,27 @@ func CompareAlgorithms(sc Scenario, algos []string, reps int) ([]AlgoStat, error
 // cells still run. Unknown algorithm names and scenario build failures
 // still error out the call.
 func CompareAlgorithmsWorkers(sc Scenario, algos []string, reps, workers int) ([]AlgoStat, error) {
-	return compareWithRegistry(assign.NewRegistry(), sc, algos, reps, workers)
+	return compareWithRegistry(assign.NewRegistry(), sc, algos, reps, workers, nil)
+}
+
+// CompareAlgorithmsObserved is CompareAlgorithmsWorkers with a progress
+// sink. The sink receives one "cell" event as each (algorithm,
+// replication) solve finishes — fields: algo, rep, runtime_ms, feasible,
+// cost_ms when feasible, error when the solve failed unexpectedly — and
+// one "algo-done" event per algorithm after the sequential fold, carrying
+// the aggregate (mean_cost_ms, feasible_rate, errors). Cell events are
+// emitted from worker goroutines, so their interleaving across algorithms
+// depends on scheduling; the fields identify each cell unambiguously and
+// the aggregates are computed from the owned slots, never from the event
+// stream, so results stay bit-identical at any worker count. A nil sink
+// is free.
+func CompareAlgorithmsObserved(sc Scenario, algos []string, reps, workers int, progress obs.Sink) ([]AlgoStat, error) {
+	return compareWithRegistry(assign.NewRegistry(), sc, algos, reps, workers, progress)
 }
 
 // compareWithRegistry is the engine behind CompareAlgorithmsWorkers,
 // parameterized by registry so tests can inject failing assigners.
-func compareWithRegistry(reg *assign.Registry, sc Scenario, algos []string, reps, workers int) ([]AlgoStat, error) {
+func compareWithRegistry(reg *assign.Registry, sc Scenario, algos []string, reps, workers int, progress obs.Sink) ([]AlgoStat, error) {
 	if reps <= 0 {
 		return nil, fmt.Errorf("experiment: reps must be positive, got %d", reps)
 	}
@@ -151,6 +167,17 @@ func compareWithRegistry(reg *assign.Registry, sc Scenario, algos []string, reps
 			c.imbalance = in.Imbalance(got)
 		}
 		cells[k] = c
+		if progress != nil {
+			fields := map[string]interface{}{
+				"algo": name, "rep": r, "runtime_ms": c.runtimeMs, "feasible": c.feasible,
+			}
+			if c.feasible {
+				fields["cost_ms"] = c.cost
+			} else if c.err != nil && !errors.Is(c.err, gap.ErrInfeasible) {
+				fields["error"] = c.err.Error()
+			}
+			obs.Emit(progress, "cell", fields)
+		}
 	})
 	// Sequential fold in (algorithm, replication) order: identical
 	// accumulation order — and therefore identical floating-point results —
@@ -187,6 +214,15 @@ func compareWithRegistry(reg *assign.Registry, sc Scenario, algos []string, reps
 			st.MaxCost = maxCost.Mean()
 			st.Imbalance = imb.Mean()
 			st.FeasibleRuntimeMs = feasRuntime.Mean()
+		}
+		if progress != nil {
+			fields := map[string]interface{}{
+				"algo": name, "feasible_rate": st.FeasibleRate, "errors": st.Errors, "reps": reps,
+			}
+			if feasible > 0 {
+				fields["mean_cost_ms"] = st.MeanCost
+			}
+			obs.Emit(progress, "algo-done", fields)
 		}
 		out = append(out, st)
 	}

@@ -9,6 +9,7 @@ import (
 	"taccc/internal/assign"
 	"taccc/internal/cluster"
 	"taccc/internal/gap"
+	"taccc/internal/obs"
 	"taccc/internal/par"
 	"taccc/internal/stats"
 	"taccc/internal/topology"
@@ -29,6 +30,35 @@ type Options struct {
 	// sequential execution. Results are identical at every setting; only
 	// wall-clock time changes.
 	Workers int
+	// Progress, when non-nil, receives structured events as experiments
+	// run: one "cell" per (algorithm, replication) solve, one "algo-done"
+	// per aggregated algorithm, and "spec-start"/"spec-done" from RunAll.
+	// Strictly observational — results are bit-identical with or without
+	// a sink (see CompareAlgorithmsObserved for the ordering caveat).
+	Progress obs.Sink
+}
+
+// compare runs the standard algorithm comparison with this Options'
+// worker bound and progress sink.
+func (o Options) compare(sc Scenario, algos []string) ([]AlgoStat, error) {
+	return CompareAlgorithmsObserved(sc, algos, o.Reps, o.Workers, o.Progress)
+}
+
+// statCell formats an algorithm's mean cost for a comparison table,
+// annotating partial feasibility and unexpected solver errors so neither
+// is silently averaged away.
+func statCell(st AlgoStat) string {
+	cell := formatFloat(st.MeanCost)
+	if st.FeasibleRate <= 0 {
+		cell = "-"
+	}
+	if st.FeasibleRate < 1 {
+		cell = fmt.Sprintf("%s (%.0f%% feas)", cell, 100*st.FeasibleRate)
+	}
+	if st.Errors > 0 {
+		cell = fmt.Sprintf("%s [%d err]", cell, st.Errors)
+	}
+	return cell
 }
 
 func (o Options) withDefaults() Options {
@@ -111,8 +141,16 @@ type Result struct {
 func RunAll(specs []Spec, o Options) []Result {
 	w := par.Workers(o.Workers)
 	return par.Map(w, len(specs), func(i int) Result {
+		obs.Emit(o.Progress, "spec-start", map[string]interface{}{"id": specs[i].ID, "title": specs[i].Title})
 		start := time.Now()
 		tables, err := specs[i].Run(o)
+		done := map[string]interface{}{
+			"id": specs[i].ID, "elapsed_ms": float64(time.Since(start).Nanoseconds()) / 1e6, "ok": err == nil,
+		}
+		if err != nil {
+			done["error"] = err.Error()
+		}
+		obs.Emit(o.Progress, "spec-done", done)
 		return Result{Spec: specs[i], Tables: tables, Elapsed: time.Since(start), Err: err}
 	})
 }
@@ -139,16 +177,12 @@ func T1(o Options) ([]*Table, error) {
 	cols := make(map[string][]string)
 	for _, n := range sizes {
 		sc := Scenario{NumIoT: n, NumEdge: maxInt(n/10, 2), Seed: xrand.SplitSeed(o.Seed, fmt.Sprintf("T1-%d", n))}
-		res, err := CompareAlgorithmsWorkers(sc, DefaultAlgorithms, o.Reps, o.Workers)
+		res, err := o.compare(sc, DefaultAlgorithms)
 		if err != nil {
 			return nil, err
 		}
 		for _, st := range res {
-			cell := formatFloat(st.MeanCost)
-			if st.FeasibleRate < 1 {
-				cell = fmt.Sprintf("%s (%.0f%% feas)", cell, 100*st.FeasibleRate)
-			}
-			cols[st.Name] = append(cols[st.Name], cell)
+			cols[st.Name] = append(cols[st.Name], statCell(st))
 		}
 	}
 	for _, name := range DefaultAlgorithms {
@@ -171,7 +205,7 @@ func T2(o Options) ([]*Table, error) {
 	cols := make(map[string][]string)
 	for _, n := range sizes {
 		sc := Scenario{NumIoT: n, NumEdge: maxInt(n/10, 2), Seed: xrand.SplitSeed(o.Seed, fmt.Sprintf("T2-%d", n))}
-		res, err := CompareAlgorithmsWorkers(sc, DefaultAlgorithms, o.Reps, o.Workers)
+		res, err := o.compare(sc, DefaultAlgorithms)
 		if err != nil {
 			return nil, err
 		}
@@ -282,13 +316,13 @@ func F1(o Options) ([]*Table, error) {
 	}
 	for _, n := range ns {
 		sc := Scenario{NumIoT: n, NumEdge: m, Seed: xrand.SplitSeed(o.Seed, fmt.Sprintf("F1-%d", n))}
-		res, err := CompareAlgorithmsWorkers(sc, algos, o.Reps, o.Workers)
+		res, err := o.compare(sc, algos)
 		if err != nil {
 			return nil, err
 		}
 		cells := []interface{}{n}
 		for _, st := range res {
-			cells = append(cells, st.MeanCost)
+			cells = append(cells, statCell(st))
 		}
 		tab.AddRow(cells...)
 	}
@@ -313,13 +347,13 @@ func F2(o Options) ([]*Table, error) {
 	}
 	for _, m := range ms {
 		sc := Scenario{NumIoT: n, NumEdge: m, Seed: xrand.SplitSeed(o.Seed, fmt.Sprintf("F2-%d", m))}
-		res, err := CompareAlgorithmsWorkers(sc, algos, o.Reps, o.Workers)
+		res, err := o.compare(sc, algos)
 		if err != nil {
 			return nil, err
 		}
 		cells := []interface{}{m}
 		for _, st := range res {
-			cells = append(cells, st.MeanCost)
+			cells = append(cells, statCell(st))
 		}
 		tab.AddRow(cells...)
 	}
@@ -349,7 +383,7 @@ func F3(o Options) ([]*Table, error) {
 	}
 	for _, rho := range rhos {
 		sc := Scenario{NumIoT: n, NumEdge: m, Rho: rho, Seed: xrand.SplitSeed(o.Seed, fmt.Sprintf("F3-%v", rho))}
-		res, err := CompareAlgorithmsWorkers(sc, algos, o.Reps, o.Workers)
+		res, err := o.compare(sc, algos)
 		if err != nil {
 			return nil, err
 		}
@@ -512,13 +546,13 @@ func F6(o Options) ([]*Table, error) {
 			Family: fam, NumIoT: n, NumEdge: m,
 			Seed: xrand.SplitSeed(o.Seed, "F6-"+string(fam)),
 		}
-		res, err := CompareAlgorithmsWorkers(sc, algos, o.Reps, o.Workers)
+		res, err := o.compare(sc, algos)
 		if err != nil {
 			return nil, err
 		}
 		cells := []interface{}{string(fam)}
 		for _, st := range res {
-			cells = append(cells, st.MeanCost)
+			cells = append(cells, statCell(st))
 		}
 		tab.AddRow(cells...)
 	}
@@ -637,7 +671,7 @@ func F10(o Options) ([]*Table, error) {
 			NumIoT: n, NumEdge: m, NumGateways: gw,
 			Seed: xrand.SplitSeed(o.Seed, fmt.Sprintf("F10-%d", gw)),
 		}
-		res, err := CompareAlgorithmsWorkers(sc, algos, o.Reps, o.Workers)
+		res, err := o.compare(sc, algos)
 		if err != nil {
 			return nil, err
 		}

@@ -77,7 +77,7 @@ func TestCompareAlgorithmsRecordsErrorsAndContinues(t *testing.T) {
 	sc := Scenario{NumIoT: 20, NumEdge: 4, Seed: 5}
 	const reps = 4
 	for _, workers := range []int{1, 8} {
-		res, err := compareWithRegistry(reg, sc, []string{"broken", "greedy", "flaky"}, reps, workers)
+		res, err := compareWithRegistry(reg, sc, []string{"broken", "greedy", "flaky"}, reps, workers, nil)
 		if err != nil {
 			t.Fatalf("workers=%d: errored replications aborted the comparison: %v", workers, err)
 		}
@@ -106,7 +106,7 @@ func TestCompareAlgorithmsRuntimePopulations(t *testing.T) {
 	reg := assign.NewRegistry()
 	reg.Register("flaky", func(seed int64) assign.Assigner { return flakyAssigner{seed: seed} })
 	sc := Scenario{NumIoT: 20, NumEdge: 4, Seed: 5}
-	res, err := compareWithRegistry(reg, sc, []string{"greedy", "flaky"}, 4, 1)
+	res, err := compareWithRegistry(reg, sc, []string{"greedy", "flaky"}, 4, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -95,6 +95,23 @@ func (t *Table) Render() string {
 	return b.String()
 }
 
+// Markdown returns a GitHub-flavored Markdown rendering: the ID and
+// title as a heading, the table, and the note as a trailing emphasis
+// line.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s: %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat(" --- |", len(t.Header)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "\n_%s_\n", t.Note)
+	}
+	return b.String()
+}
+
 // CSV returns an RFC-4180-ish comma-separated rendering (cells are simple
 // numbers and identifiers; no quoting needed).
 func (t *Table) CSV() string {

@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"taccc/internal/par"
+)
+
+func TestCounterGaugeNilSafety(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter should read 0")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge should read 0")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram should read 0")
+	}
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.Histogram("z", nil).Observe(1)
+	if s := r.Snapshot(); s.Counters != nil || s.Gauges != nil || s.Histograms != nil {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestRegistryConcurrentUnderPar(t *testing.T) {
+	r := NewRegistry()
+	const n = 1000
+	par.For(8, n, func(i int) {
+		r.Counter("hits").Inc()
+		r.Gauge("depth").Add(1)
+		r.Histogram("lat", DefaultLatencyBucketsMs()).Observe(float64(i % 300))
+	})
+	if got := r.Counter("hits").Value(); got != n {
+		t.Fatalf("counter = %d, want %d", got, n)
+	}
+	if got := r.Gauge("depth").Value(); got != n {
+		t.Fatalf("gauge = %v, want %d", got, n)
+	}
+	h := r.Histogram("lat", nil)
+	if h.Count() != n {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), n)
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	want := []int64{2, 1, 1, 1} // <=1: {0.5, 1}; <=10: {5}; <=100: {50}; overflow: {500}
+	for i, c := range want {
+		if s.Counts[i] != c {
+			t.Fatalf("bucket %d = %d, want %d (%+v)", i, s.Counts[i], c, s)
+		}
+	}
+	if s.Count != 5 || s.Sum != 556.5 {
+		t.Fatalf("count/sum = %d/%v", s.Count, s.Sum)
+	}
+	if q := s.Quantile(0.5); q != 10 {
+		t.Fatalf("p50 = %v, want 10", q)
+	}
+	if q := s.Quantile(1); !math.IsInf(q, 1) {
+		t.Fatalf("p100 = %v, want +Inf (overflow bucket)", q)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.5); !math.IsNaN(q) {
+		t.Fatalf("empty quantile = %v, want NaN", q)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests.sent").Add(7)
+	r.Gauge("edge_0_queue_depth").Set(3)
+	r.Histogram("latency_ms", []float64{10, 100}).Observe(42)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("snapshot not parseable: %v\n%s", err, buf.String())
+	}
+	if s.Counters["requests.sent"] != 7 {
+		t.Fatalf("counter lost: %+v", s)
+	}
+	if s.Gauges["edge_0_queue_depth"] != 3 {
+		t.Fatalf("gauge lost: %+v", s)
+	}
+	h := s.Histograms["latency_ms"]
+	if h.Count != 1 || h.Sum != 42 || h.Mean != 42 {
+		t.Fatalf("histogram lost: %+v", h)
+	}
+}
+
+func TestJSONLSinkConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONL(&buf)
+	const n = 200
+	par.For(8, n, func(i int) {
+		Emit(s, "iter", map[string]interface{}{"iter": i, "algo": "qlearning"})
+	})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != n || s.N() != n {
+		t.Fatalf("got %d lines / N=%d, want %d", len(lines), s.N(), n)
+	}
+	seen := make(map[float64]bool)
+	for _, line := range lines {
+		var m map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("unparseable line %q: %v", line, err)
+		}
+		if m["kind"] != "iter" || m["algo"] != "qlearning" {
+			t.Fatalf("bad line: %q", line)
+		}
+		seen[m["iter"].(float64)] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("expected %d distinct iters, got %d", n, len(seen))
+	}
+}
+
+func TestNilSinksAreNoOps(t *testing.T) {
+	Emit(nil, "x", nil)    // must not panic
+	EmitIter(nil, "a", 0, 1, true)
+	if MultiSink() != nil || MultiSink(nil, nil) != nil {
+		t.Fatal("empty MultiSink should be nil")
+	}
+	if MultiProgress() != nil || MultiProgress(nil) != nil {
+		t.Fatal("empty MultiProgress should be nil")
+	}
+	if EventProgress(nil) != nil || MetricsProgress(nil) != nil {
+		t.Fatal("adapters over nil should be nil")
+	}
+}
+
+func TestEventProgressSkipsInfiniteCost(t *testing.T) {
+	var events []Event
+	var mu sync.Mutex
+	sink := SinkFunc(func(e Event) {
+		mu.Lock()
+		events = append(events, e)
+		mu.Unlock()
+	})
+	p := EventProgress(sink)
+	EmitIter(p, "qlearning", 0, math.Inf(1), false)
+	EmitIter(p, "qlearning", 1, 42.5, true)
+	if len(events) != 2 {
+		t.Fatalf("got %d events", len(events))
+	}
+	if _, ok := events[0].Fields["best_cost_ms"]; ok {
+		t.Fatal("infeasible event should omit best_cost_ms")
+	}
+	if events[1].Fields["best_cost_ms"] != 42.5 {
+		t.Fatalf("best_cost_ms lost: %+v", events[1])
+	}
+	// The JSONL encoding of both events must succeed (no Inf leaks).
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	for _, e := range events {
+		j.Emit(e)
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountEvents(t *testing.T) {
+	r := NewRegistry()
+	var forwarded int
+	s := CountEvents(r, SinkFunc(func(Event) { forwarded++ }))
+	s.Emit(Event{Kind: "cell"})
+	s.Emit(Event{Kind: "cell"})
+	s.Emit(Event{Kind: "spec-done"})
+	if got := r.Counter("events.cell").Value(); got != 2 {
+		t.Fatalf("events.cell = %d", got)
+	}
+	if got := r.Counter("events.spec-done").Value(); got != 1 {
+		t.Fatalf("events.spec-done = %d", got)
+	}
+	if forwarded != 3 {
+		t.Fatalf("forwarded = %d", forwarded)
+	}
+}
+
+func TestProgressWriterPrintsImprovementsOnly(t *testing.T) {
+	var buf bytes.Buffer
+	p := ProgressWriter(&buf)
+	EmitIter(p, "tabu", 0, 100, true)
+	EmitIter(p, "tabu", 1, 100, true) // no improvement: silent
+	EmitIter(p, "tabu", 2, 90, true)
+	out := buf.String()
+	if strings.Count(out, "\n") != 2 {
+		t.Fatalf("want 2 lines, got:\n%s", out)
+	}
+	if !strings.Contains(out, "iter 0") || !strings.Contains(out, "iter 2") {
+		t.Fatalf("unexpected lines:\n%s", out)
+	}
+}
+
+func TestProfileHelpers(t *testing.T) {
+	dir := t.TempDir()
+	stop, err := StartCPUProfile(dir + "/cpu.prof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteHeapProfile(dir + "/heap.prof"); err != nil {
+		t.Fatal(err)
+	}
+}

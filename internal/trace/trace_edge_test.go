@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"taccc/internal/cluster"
+)
+
+// TestHeaderOnlyTrace covers a run that produced no requests: the file
+// holds just the CSV header and every analysis degrades gracefully.
+func TestHeaderOnlyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.N() != 0 {
+		t.Fatalf("N() = %d for an empty trace", w.N())
+	}
+	records, err := Read(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("header-only trace should read cleanly: %v", err)
+	}
+	if len(records) != 0 {
+		t.Fatalf("%d records from a header-only trace", len(records))
+	}
+	s := Summarize(records)
+	if s.Completed != 0 || s.Missed != 0 || s.Dropped != 0 || s.Latency.N() != 0 {
+		t.Fatalf("non-zero summary from empty trace: %+v", s)
+	}
+	if s.MissRate() != 0 {
+		t.Fatalf("MissRate() = %v on empty trace", s.MissRate())
+	}
+	ts, err := TimeSeries(records, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 0 {
+		t.Fatalf("%d windows from empty trace", len(ts))
+	}
+}
+
+func TestSingleRecordWindow(t *testing.T) {
+	rec := cluster.RequestRecord{
+		Device: 3, Edge: 1, SentAtMs: 1200, DoneAtMs: 1212,
+		LatencyMs: 12, Outcome: cluster.OutcomeOK,
+	}
+	ts, err := TimeSeries([]cluster.RequestRecord{rec}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 {
+		t.Fatalf("%d windows for a single record, want 1", len(ts))
+	}
+	wp := ts[0]
+	if wp.StartMs != 1000 {
+		t.Errorf("window starts at %v, want 1000 (bucket of DoneAtMs)", wp.StartMs)
+	}
+	if wp.Completed != 1 || wp.Dropped != 0 {
+		t.Errorf("window counts = %+v, want 1 completed", wp)
+	}
+	// With one sample, mean and P95 both collapse to the single latency.
+	if wp.MeanLatencyMs != 12 || wp.P95Ms != 12 {
+		t.Errorf("single-sample stats = mean %v p95 %v, want 12/12", wp.MeanLatencyMs, wp.P95Ms)
+	}
+}
+
+// TestWindowWiderThanSpan puts every record into one bucket when the
+// window dwarfs the trace's time span.
+func TestWindowWiderThanSpan(t *testing.T) {
+	records := []cluster.RequestRecord{
+		{Device: 0, Edge: 0, SentAtMs: 10, DoneAtMs: 20, LatencyMs: 10, Outcome: cluster.OutcomeOK},
+		{Device: 1, Edge: 0, SentAtMs: 500, DoneAtMs: 530, LatencyMs: 30, Outcome: cluster.OutcomeMissed},
+		{Device: 2, Edge: 1, SentAtMs: 900, DoneAtMs: 900, LatencyMs: 0, Outcome: cluster.OutcomeDropped},
+	}
+	ts, err := TimeSeries(records, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 {
+		t.Fatalf("%d windows, want 1 when the window exceeds the span", len(ts))
+	}
+	wp := ts[0]
+	if wp.StartMs != 0 {
+		t.Errorf("bucket starts at %v, want 0", wp.StartMs)
+	}
+	if wp.Completed != 2 || wp.Dropped != 1 {
+		t.Errorf("bucket counts = %+v, want 2 completed 1 dropped", wp)
+	}
+	if wp.MeanLatencyMs != 20 {
+		t.Errorf("mean latency %v, want 20 (drops excluded)", wp.MeanLatencyMs)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"taccc/internal/cluster"
 	"taccc/internal/experiment"
 	"taccc/internal/gap"
+	"taccc/internal/obs"
 	"taccc/internal/online"
 	"taccc/internal/topology"
 	"taccc/internal/trace"
@@ -506,6 +507,68 @@ func DefaultAlgorithms() []string {
 	out := make([]string, len(experiment.DefaultAlgorithms))
 	copy(out, experiment.DefaultAlgorithms)
 	return out
+}
+
+// Observability (internal/obs). Every hook is optional and nil-safe:
+// with no sink or registry attached the instrumented code paths are
+// no-ops and results are bit-identical.
+type (
+	// ObsEvent is one structured observability event.
+	ObsEvent = obs.Event
+	// ObsSink consumes structured events (see NewJSONLSink).
+	ObsSink = obs.Sink
+	// JSONLSink streams events as JSON lines.
+	JSONLSink = obs.JSONL
+	// MetricsRegistry is a concurrency-safe named-metric table.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time registry export (JSON-friendly).
+	MetricsSnapshot = obs.Snapshot
+	// IterEvent is one solver iteration's progress (algo, iter, best
+	// cost, feasibility).
+	IterEvent = obs.IterEvent
+	// ProgressSink consumes solver iteration events.
+	ProgressSink = obs.ProgressSink
+)
+
+// NewMetricsRegistry returns an empty metrics registry; set it as
+// SimConfig.Metrics for live simulator counters, or feed it solver
+// progress via MetricsProgress.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewJSONLSink streams events to w as one JSON object per line.
+func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONL(w) }
+
+// EventProgress adapts an event sink into a solver progress sink (one
+// "iter" event per solver iteration).
+func EventProgress(s ObsSink) ProgressSink { return obs.EventProgress(s) }
+
+// MetricsProgress exposes solver progress as registry metrics
+// (solver.<algo>.iters counters, solver.<algo>.best_cost_ms gauges).
+func MetricsProgress(r *MetricsRegistry) ProgressSink { return obs.MetricsProgress(r) }
+
+// MultiProgress fans iteration events out to several sinks.
+func MultiProgress(sinks ...ProgressSink) ProgressSink { return obs.MultiProgress(sinks...) }
+
+// NewProgressWriter prints a human-readable line to w each time a solver
+// improves its incumbent.
+func NewProgressWriter(w io.Writer) ProgressSink { return obs.ProgressWriter(w) }
+
+// WithProgress attaches a progress sink to an assigner if it supports
+// iteration reporting (q-learning episodes, tabu/LNS/genetic iterations,
+// portfolio arms); reports whether it does. Attaching a sink never
+// changes an assigner's result.
+func WithProgress(a Assigner, sink ProgressSink) bool { return assign.WithProgress(a, sink) }
+
+// DefaultLatencyBucketsMs returns the standard latency histogram bucket
+// bounds (0.5 ms .. 10 s).
+func DefaultLatencyBucketsMs() []float64 { return obs.DefaultLatencyBucketsMs() }
+
+// CompareAlgorithmsObserved is CompareAlgorithmsWorkers with a progress
+// sink receiving one "cell" event per (algorithm, replication) solve and
+// one "algo-done" aggregate per algorithm. Results are bit-identical
+// with or without a sink.
+func CompareAlgorithmsObserved(sc Scenario, algos []string, reps, workers int, progress ObsSink) ([]AlgoStat, error) {
+	return experiment.CompareAlgorithmsObserved(sc, algos, reps, workers, progress)
 }
 
 // WorkloadProfiles returns the named device-profile presets (default,
