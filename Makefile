@@ -22,10 +22,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Benchmark the parallel kernels at workers=1 vs workers=GOMAXPROCS plus
-# the pre-existing hot-path micro-benchmarks.
+# Benchmark the parallel kernels at workers=1 vs workers=GOMAXPROCS, the
+# cluster simulator with span tracing off/on, plus the pre-existing
+# hot-path micro-benchmarks. Override BENCHTIME (e.g. 1x in CI smoke).
+BENCHTIME ?= 2x
+
 bench:
-	$(GO) test -bench 'Workers|ParallelPortfolio' -benchtime 2x -run '^$$' .
+	$(GO) test -bench 'Workers|ParallelPortfolio|ClusterSim' -benchtime $(BENCHTIME) -run '^$$' .
 
 vet:
 	$(GO) vet ./...

@@ -7,6 +7,7 @@ package taccc_test
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"testing"
 
@@ -142,6 +143,52 @@ func BenchmarkClusterSim(b *testing.B) {
 		if _, err := sim.Run(10_000); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkClusterSimSpans measures span emission against the nil-sink
+// path: "off" must match BenchmarkClusterSim (tracing disabled is free),
+// "on" prices full tracing through a JSONL encoder, and "sampled" the
+// 10% operating point.
+func BenchmarkClusterSimSpans(b *testing.B) {
+	built := buildBench(b, 100, 10)
+	a, err := taccc.NewGreedy().Assign(built.Instance)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name   string
+		spans  bool
+		sample float64
+	}{
+		{"off", false, 0},
+		{"on", true, 0},
+		{"sampled-10pct", true, 0.1},
+	} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := taccc.SimConfig{
+					UplinkMs:    built.Delay.DelayMs,
+					Devices:     built.Devices,
+					ServiceRate: taccc.ServiceRates(built.Capacity, 0.7),
+					Assignment:  a.Of,
+					Seed:        int64(i),
+				}
+				if mode.spans {
+					cfg.Spans = taccc.NewJSONLSink(io.Discard)
+					cfg.TraceSampleRate = mode.sample
+				}
+				sim, err := taccc.NewSimulator(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sim.Run(10_000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

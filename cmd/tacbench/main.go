@@ -1,5 +1,5 @@
 // Command tacbench regenerates the evaluation tables and figures
-// (T1..T4, F1..F16; see DESIGN.md and EXPERIMENTS.md).
+// (T1..T4, F1..F17; see DESIGN.md and EXPERIMENTS.md).
 //
 // Usage:
 //
@@ -37,7 +37,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tacbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp     = fs.String("exp", "all", "experiment ID (T1..T4, F1..F16) or 'all'")
+		exp     = fs.String("exp", "all", "experiment ID (T1..T4, F1..F17) or 'all'")
 		reps    = fs.Int("reps", 0, "replications per data point (0 = default)")
 		quick   = fs.Bool("quick", false, "smaller instances and horizons")
 		csv     = fs.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -53,6 +53,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	)
 	var profiles cliutil.Profiles
 	profiles.Flags(fs)
+	var telemetry cliutil.Telemetry
+	telemetry.Flags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -96,23 +98,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *prog {
 		sinks = append(sinks, &progressPrinter{w: stderr})
 	}
-	var eventSink *obs.JSONL
+	var eventStream *cliutil.Events
 	if *events != "" {
-		f, err := os.Create(*events)
+		eventStream, err = cliutil.CreateEvents(*events)
 		if err != nil {
 			fmt.Fprintf(stderr, "tacbench: %v\n", err)
 			return 1
 		}
-		defer f.Close()
-		eventSink = obs.NewJSONL(f)
-		sinks = append(sinks, eventSink)
+		defer eventStream.Close()
+		sinks = append(sinks, eventStream.Sink())
 	}
 	var metricsReg *obs.Registry
 	progressSink := obs.MultiSink(sinks...)
-	if *metrics != "" {
+	if *metrics != "" || telemetry.Enabled() {
 		metricsReg = obs.NewRegistry()
 		progressSink = obs.CountEvents(metricsReg, progressSink)
 	}
+	stopTelemetry, err := telemetry.Start(metricsReg, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "tacbench: %v\n", err)
+		return 1
+	}
+	defer stopTelemetry()
 
 	opts := taccc.ExperimentOptions{Reps: *reps, Quick: *quick, Seed: *seed, Workers: *workers, Progress: progressSink}
 	// The suite runner executes independent experiments concurrently;
@@ -142,13 +149,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "(%s completed in %s)\n\n", res.Spec.ID, res.Elapsed.Round(time.Millisecond))
 	}
-	if eventSink != nil {
-		if err := eventSink.Flush(); err != nil {
-			fmt.Fprintf(stderr, "tacbench: events: %v\n", err)
-			return 1
-		}
+	if err := eventStream.Close(); err != nil {
+		fmt.Fprintf(stderr, "tacbench: events: %v\n", err)
+		return 1
 	}
-	if metricsReg != nil {
+	if *metrics != "" {
 		f, err := os.Create(*metrics)
 		if err != nil {
 			fmt.Fprintf(stderr, "tacbench: %v\n", err)

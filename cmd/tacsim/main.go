@@ -7,6 +7,8 @@
 //
 //	tacsim -iot 100 -edge 10 -algo qlearning -duration 60
 //	tacsim -iot 100 -edge 10 -algo greedy -fail-edge 0 -fail-at 20
+//	tacsim -listen :9477 -linger 30s        # scrape /metrics while it runs
+//	tacsim -events run.jsonl -trace-sample 0.1
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	taccc "taccc"
 	"taccc/internal/cliutil"
@@ -27,28 +30,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tacsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		iot        = fs.Int("iot", 100, "number of IoT devices")
-		edge       = fs.Int("edge", 10, "number of edge servers")
-		family     = fs.String("family", "hierarchical", "topology family")
-		algo       = fs.String("algo", "qlearning", "assignment algorithm")
-		rho        = fs.Float64("rho", 0.7, "capacity tightness in (0,1]")
-		payload    = fs.Float64("payload", 4, "request payload KB (payload-aware delays)")
-		duration   = fs.Float64("duration", 60, "simulated seconds")
-		warmup     = fs.Float64("warmup", 5, "warmup seconds excluded from stats")
-		failEdge   = fs.Int("fail-edge", -1, "edge index to fail mid-run (-1 = none)")
-		failAt     = fs.Float64("fail-at", 30, "failure time in seconds")
-		discipline = fs.String("discipline", "fifo", "edge queueing: fifo | ps")
-		maxQueue   = fs.Int("max-queue", 0, "per-edge queue cap (0 = unlimited)")
-		tracePath  = fs.String("trace", "", "write a per-request CSV trace to this file")
-		jitter     = fs.Float64("jitter", 0, "lognormal network jitter sigma (0 = deterministic delays)")
-		seed       = fs.Int64("seed", 1, "random seed")
-		version    = fs.Bool("version", false, "print version and exit")
-		progress   = fs.Bool("progress", false, "print solver improvements to stderr while assigning")
-		events     = fs.String("events", "", "stream per-iteration solver events to this JSONL file")
-		metricsOut = fs.String("metrics-out", "", "write the simulator's metrics-registry snapshot JSON here (request counters, queue gauges, latency histogram)")
+		iot         = fs.Int("iot", 100, "number of IoT devices")
+		edge        = fs.Int("edge", 10, "number of edge servers")
+		family      = fs.String("family", "hierarchical", "topology family")
+		algo        = fs.String("algo", "qlearning", "assignment algorithm")
+		rho         = fs.Float64("rho", 0.7, "capacity tightness in (0,1]")
+		payload     = fs.Float64("payload", 4, "request payload KB (payload-aware delays)")
+		duration    = fs.Float64("duration", 60, "simulated seconds")
+		warmup      = fs.Float64("warmup", 5, "warmup seconds excluded from stats")
+		failEdge    = fs.Int("fail-edge", -1, "edge index to fail mid-run (-1 = none)")
+		failAt      = fs.Float64("fail-at", 30, "failure time in seconds")
+		discipline  = fs.String("discipline", "fifo", "edge queueing: fifo | ps")
+		maxQueue    = fs.Int("max-queue", 0, "per-edge queue cap (0 = unlimited)")
+		tracePath   = fs.String("trace", "", "write a per-request CSV trace to this file")
+		jitter      = fs.Float64("jitter", 0, "lognormal network jitter sigma (0 = deterministic delays)")
+		seed        = fs.Int64("seed", 1, "random seed")
+		workers     = fs.Int("workers", 0, "parallelism for delay-matrix construction (<= 0 = all cores, 1 = sequential); output is identical at any setting")
+		version     = fs.Bool("version", false, "print version and exit")
+		progress    = fs.Bool("progress", false, "print solver improvements to stderr while assigning")
+		events      = fs.String("events", "", "stream solver iteration and per-request span events to this JSONL file")
+		traceSample = fs.Float64("trace-sample", 0, "fraction of requests emitted as spans with -events, in [0,1] (0 = all)")
+		metricsOut  = fs.String("metrics-out", "", "write the simulator's metrics-registry snapshot JSON here (request counters, queue gauges, latency and per-phase delay histograms)")
+		linger      = fs.Duration("linger", 0, "keep the -listen telemetry server up this long after the run finishes")
 	)
 	var profiles cliutil.Profiles
 	profiles.Flags(fs)
+	var telemetry cliutil.Telemetry
+	telemetry.Flags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -65,6 +73,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	built, err := taccc.Scenario{
 		Family: taccc.Family(*family),
 		NumIoT: *iot, NumEdge: *edge, Rho: *rho, PayloadKB: *payload, Seed: *seed,
+		Workers: *workers,
 	}.Build()
 	if err != nil {
 		fmt.Fprintf(stderr, "tacsim: %v\n", err)
@@ -74,22 +83,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *progress {
 		sinks = append(sinks, taccc.NewProgressWriter(stderr))
 	}
-	var eventSink *taccc.JSONLSink
+	var eventStream *cliutil.Events
 	if *events != "" {
-		f, err := os.Create(*events)
+		eventStream, err = cliutil.CreateEvents(*events)
 		if err != nil {
 			fmt.Fprintf(stderr, "tacsim: %v\n", err)
 			return 1
 		}
-		defer f.Close()
-		eventSink = taccc.NewJSONLSink(f)
-		sinks = append(sinks, taccc.EventProgress(eventSink))
+		defer eventStream.Close()
+		sinks = append(sinks, taccc.EventProgress(eventStream.Sink()))
 	}
 	var metricsReg *taccc.MetricsRegistry
-	if *metricsOut != "" {
+	if *metricsOut != "" || telemetry.Enabled() {
 		metricsReg = taccc.NewMetricsRegistry()
 		sinks = append(sinks, taccc.MetricsProgress(metricsReg))
 	}
+	stopTelemetry, err := telemetry.Start(metricsReg, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "tacsim: %v\n", err)
+		return 1
+	}
+	defer stopTelemetry()
 
 	reg := taccc.NewAlgorithmRegistry()
 	a, err := reg.New(*algo, *seed)
@@ -135,8 +149,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		recorder = traceWriter
 	}
 
-	down := taccc.NewDelayMatrix(built.Graph, taccc.LatencyCost)
-	sim, err := taccc.NewSimulator(taccc.SimConfig{
+	down := taccc.NewDelayMatrixWorkers(built.Graph, taccc.LatencyCost, *workers)
+	cfg := taccc.SimConfig{
 		UplinkMs:    built.Delay.DelayMs,
 		DownlinkMs:  down.DelayMs,
 		Devices:     built.Devices,
@@ -149,7 +163,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Metrics:     metricsReg,
 		JitterSigma: *jitter,
 		Seed:        *seed,
-	})
+	}
+	if eventStream != nil {
+		cfg.Spans = eventStream.Sink()
+		cfg.TraceSampleRate = *traceSample
+	}
+	sim, err := taccc.NewSimulator(cfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "tacsim: %v\n", err)
 		return 1
@@ -182,13 +201,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "trace:      %d records -> %s\n", traceWriter.N(), *tracePath)
 	}
-	if eventSink != nil {
-		if err := eventSink.Flush(); err != nil {
+	if eventStream != nil {
+		if err := eventStream.Close(); err != nil {
 			fmt.Fprintf(stderr, "tacsim: events: %v\n", err)
 			return 1
 		}
 	}
-	if metricsReg != nil {
+	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)
 		if err != nil {
 			fmt.Fprintf(stderr, "tacsim: %v\n", err)
@@ -200,6 +219,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "metrics:    registry snapshot -> %s\n", *metricsOut)
+	}
+	if telemetry.Enabled() && *linger > 0 {
+		fmt.Fprintf(stderr, "telemetry: lingering %s for scrapes\n", *linger)
+		time.Sleep(*linger)
 	}
 	return 0
 }

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a concurrency-safe stderr capture: the command goroutine
+// writes while the test polls for the telemetry announcement.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func newSyncBuffer() (*syncBuffer, io.Writer) {
+	b := &syncBuffer{}
+	return b, b
+}
+
+// waitForAddr blocks until tacsim announces it is lingering (so the run
+// is complete and every metric is final) and returns the telemetry
+// address parsed from the announcement line.
+func waitForAddr(t *testing.T, stderr *syncBuffer, done <-chan int) string {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		select {
+		case code := <-done:
+			t.Fatalf("tacsim exited early with %d:\n%s", code, stderr.String())
+		default:
+		}
+		out := stderr.String()
+		if strings.Contains(out, "telemetry: lingering") {
+			i := strings.Index(out, "http://")
+			if i < 0 {
+				t.Fatalf("lingering without an announced address:\n%s", out)
+			}
+			addr := out[i+len("http://"):]
+			if j := strings.IndexAny(addr, " \n"); j >= 0 {
+				addr = addr[:j]
+			}
+			return addr
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("tacsim never reached the linger phase:\n%s", stderr.String())
+	return ""
+}
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}

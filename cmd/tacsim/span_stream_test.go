@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSpanStreamDeterministicAcrossWorkers is the acceptance criterion
+// that the span JSONL a tacsim run emits is byte-identical at -workers 1
+// and -workers 8, with sampling enabled: worker count only parallelizes
+// delay-matrix construction, and trace sampling draws from its own seeded
+// stream, so the event file must not move by a byte.
+func TestSpanStreamDeterministicAcrossWorkers(t *testing.T) {
+	dir := t.TempDir()
+	runWorkers := func(workers string) []byte {
+		path := filepath.Join(dir, "events-w"+workers+".jsonl")
+		var out, errBuf bytes.Buffer
+		code := run([]string{
+			"-iot", "20", "-edge", "4", "-algo", "greedy",
+			"-duration", "5", "-warmup", "1", "-jitter", "0.2",
+			"-events", path, "-trace-sample", "0.5",
+			"-workers", workers,
+		}, &out, &errBuf)
+		if code != 0 {
+			t.Fatalf("workers=%s: exit %d: %s", workers, code, errBuf.String())
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	one := runWorkers("1")
+	eight := runWorkers("8")
+	if !bytes.Contains(one, []byte(`"kind":"span"`)) {
+		t.Fatalf("no span events in stream: %.200s", one)
+	}
+	if !bytes.Equal(one, eight) {
+		t.Fatal("span stream differs between -workers 1 and -workers 8")
+	}
+	// Sampling must actually thin the stream relative to trace-everything.
+	fullPath := filepath.Join(dir, "events-full.jsonl")
+	var out, errBuf bytes.Buffer
+	code := run([]string{
+		"-iot", "20", "-edge", "4", "-algo", "greedy",
+		"-duration", "5", "-warmup", "1", "-jitter", "0.2",
+		"-events", fullPath,
+	}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	full, err := os.ReadFile(fullPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nSampled, nFull := bytes.Count(one, []byte(`"kind":"span"`)), bytes.Count(full, []byte(`"kind":"span"`)); nSampled >= nFull {
+		t.Fatalf("sampling did not thin spans: %d sampled vs %d full", nSampled, nFull)
+	}
+}
+
+// TestEventsFlushErrorFailsRun writes the event stream to /dev/full, so
+// the buffered JSONL flush hits ENOSPC: the run must exit nonzero and
+// name the events stream, not silently truncate it.
+func TestEventsFlushErrorFailsRun(t *testing.T) {
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full not available")
+	}
+	var out, errBuf bytes.Buffer
+	code := run([]string{
+		"-iot", "10", "-edge", "2", "-algo", "greedy",
+		"-duration", "2", "-warmup", "0.5",
+		"-events", "/dev/full",
+	}, &out, &errBuf)
+	if code == 0 {
+		t.Fatalf("run succeeded despite an unwritable events stream:\n%s", errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "events") {
+		t.Fatalf("error does not name the events stream: %q", errBuf.String())
+	}
+}
+
+// TestListenServesDuringLinger starts tacsim with -listen on an ephemeral
+// port and a short -linger, scrapes /metrics and /healthz while it
+// lingers, and verifies the exposition carries the simulator's counters.
+func TestListenServesDuringLinger(t *testing.T) {
+	var out bytes.Buffer
+	errR, errW := newSyncBuffer()
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{
+			"-iot", "10", "-edge", "2", "-algo", "greedy",
+			"-duration", "2", "-warmup", "0.5",
+			"-listen", "127.0.0.1:0", "-linger", "5s",
+		}, &out, errW)
+	}()
+	addr := waitForAddr(t, errR, done)
+	body := scrape(t, "http://"+addr+"/metrics")
+	if !strings.Contains(body, "cluster_requests_sent") {
+		t.Fatalf("metrics missing simulator counters:\n%s", body)
+	}
+	if got := scrape(t, "http://"+addr+"/healthz"); got != "ok\n" {
+		t.Fatalf("/healthz = %q", got)
+	}
+}

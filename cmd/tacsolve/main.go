@@ -44,6 +44,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	)
 	var profiles cliutil.Profiles
 	profiles.Flags(fs)
+	var telemetry cliutil.Telemetry
+	telemetry.Flags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -63,31 +65,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *progress {
 		sinks = append(sinks, taccc.NewProgressWriter(stderr))
 	}
-	var eventSink *taccc.JSONLSink
+	var eventStream *cliutil.Events
 	if *events != "" {
-		f, err := os.Create(*events)
+		eventStream, err = cliutil.CreateEvents(*events)
 		if err != nil {
 			fmt.Fprintf(stderr, "tacsolve: %v\n", err)
 			return 1
 		}
-		defer f.Close()
-		eventSink = taccc.NewJSONLSink(f)
-		sinks = append(sinks, taccc.EventProgress(eventSink))
+		defer eventStream.Close()
+		sinks = append(sinks, taccc.EventProgress(eventStream.Sink()))
 	}
 	var metricsReg *taccc.MetricsRegistry
-	if *metrics != "" {
+	if *metrics != "" || telemetry.Enabled() {
 		metricsReg = taccc.NewMetricsRegistry()
 		sinks = append(sinks, taccc.MetricsProgress(metricsReg))
 	}
+	stopTelemetry, err := telemetry.Start(metricsReg, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "tacsolve: %v\n", err)
+		return 1
+	}
+	defer stopTelemetry()
 	sink := taccc.MultiProgress(sinks...)
 	finishObs := func() int {
-		if eventSink != nil {
-			if err := eventSink.Flush(); err != nil {
-				fmt.Fprintf(stderr, "tacsolve: events: %v\n", err)
-				return 1
-			}
+		if err := eventStream.Close(); err != nil {
+			fmt.Fprintf(stderr, "tacsolve: events: %v\n", err)
+			return 1
 		}
-		if metricsReg != nil {
+		if *metrics != "" {
 			f, err := os.Create(*metrics)
 			if err != nil {
 				fmt.Fprintf(stderr, "tacsolve: %v\n", err)

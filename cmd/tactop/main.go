@@ -1,0 +1,138 @@
+// Command tactop is a live text view over a running taccc telemetry
+// server (tacsim/tacsolve/tacbench with -listen): it polls /metrics,
+// reassembles the request counters and per-phase delay histograms, and
+// renders a top-style summary — request totals and miss rate, p50/p95/p99
+// per delay phase, and one line per edge with its queue depth.
+//
+// Usage:
+//
+//	tacsim -listen :9477 -linger 1m &
+//	tactop -addr 127.0.0.1:9477
+//	tactop -addr 127.0.0.1:9477 -n 1          # one snapshot, then exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"time"
+
+	"taccc/internal/cliutil"
+	"taccc/internal/obs/httpserv"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tactop", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:9477", "telemetry server address (host:port)")
+		interval = fs.Duration("interval", 2*time.Second, "poll interval")
+		n        = fs.Int("n", 0, "number of polls before exiting (0 = poll forever)")
+		version  = fs.Bool("version", false, "print version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		cliutil.FprintVersion(stdout, "tactop")
+		return 0
+	}
+	url := "http://" + *addr + "/metrics"
+	for i := 0; *n == 0 || i < *n; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		samples, err := fetch(url)
+		if err != nil {
+			fmt.Fprintf(stderr, "tactop: %v\n", err)
+			return 1
+		}
+		render(stdout, *addr, samples)
+	}
+	return 0
+}
+
+func fetch(url string) ([]httpserv.Sample, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return httpserv.ParseText(resp.Body)
+}
+
+var edgeDepthRe = regexp.MustCompile(`^cluster_edge_(\d+)_queue_depth$`)
+
+// render writes one refresh of the live view from a parsed scrape.
+func render(w io.Writer, addr string, samples []httpserv.Sample) {
+	scalar := make(map[string]float64)
+	for _, s := range samples {
+		if len(s.Labels) == 0 {
+			scalar[s.Name] = s.Value
+		}
+	}
+	sent := scalar["cluster_requests_sent"]
+	ok := scalar["cluster_requests_ok"]
+	missed := scalar["cluster_requests_missed"]
+	dropped := scalar["cluster_requests_dropped"]
+	missPct := 0.0
+	if finished := ok + missed; finished > 0 {
+		missPct = 100 * missed / finished
+	}
+	fmt.Fprintf(w, "taccc @ %s  sent %.0f  ok %.0f  missed %.0f  dropped %.0f  miss %.2f%%\n",
+		addr, sent, ok, missed, dropped, missPct)
+
+	fmt.Fprintf(w, "%-10s %10s %10s %10s %10s\n", "phase", "p50 ms", "p95 ms", "p99 ms", "mean ms")
+	phases := []struct{ label, metric string }{
+		{"uplink", "cluster_delay_uplink_ms"},
+		{"queue", "cluster_delay_queue_ms"},
+		{"service", "cluster_delay_service_ms"},
+		{"downlink", "cluster_delay_downlink_ms"},
+		{"e2e", "cluster_latency_ms"},
+	}
+	for _, p := range phases {
+		h, found := httpserv.HistogramFrom(samples, p.metric)
+		if !found || h.Count == 0 {
+			fmt.Fprintf(w, "%-10s %10s %10s %10s %10s\n", p.label, "-", "-", "-", "-")
+			continue
+		}
+		fmt.Fprintf(w, "%-10s %10s %10s %10s %10.2f\n", p.label,
+			quantStr(h.Quantile(0.5)), quantStr(h.Quantile(0.95)), quantStr(h.Quantile(0.99)), h.Mean)
+	}
+
+	type edge struct {
+		idx   int
+		depth float64
+	}
+	var edges []edge
+	for name, v := range scalar {
+		if m := edgeDepthRe.FindStringSubmatch(name); m != nil {
+			idx, _ := strconv.Atoi(m[1])
+			edges = append(edges, edge{idx: idx, depth: v})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].idx < edges[j].idx })
+	for _, e := range edges {
+		fmt.Fprintf(w, "edge %3d  queue %.0f\n", e.idx, e.depth)
+	}
+	fmt.Fprintln(w)
+}
+
+func quantStr(v float64) string {
+	if v != v || v > 1e18 { // NaN or +Inf upper bound: beyond the last bucket
+		return ">10000"
+	}
+	return strconv.FormatFloat(v, 'f', 2, 64)
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"taccc/internal/obs"
+	"taccc/internal/obs/httpserv"
+)
+
+func simRegistry() *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.Counter("cluster.requests_sent").Add(1000)
+	reg.Counter("cluster.requests_ok").Add(940)
+	reg.Counter("cluster.requests_missed").Add(50)
+	reg.Counter("cluster.requests_dropped").Add(10)
+	reg.Gauge("cluster.edge_0.queue_depth").Set(4)
+	reg.Gauge("cluster.edge_1.queue_depth").Set(0)
+	for _, name := range []string{
+		"cluster.latency_ms",
+		"cluster.delay.uplink_ms",
+		"cluster.delay.queue_ms",
+		"cluster.delay.service_ms",
+		"cluster.delay.downlink_ms",
+	} {
+		h := reg.Histogram(name, obs.DefaultLatencyBucketsMs())
+		for _, v := range []float64{1, 4, 9, 45, 180} {
+			h.Observe(v)
+		}
+	}
+	return reg
+}
+
+func TestRunRendersOneSnapshot(t *testing.T) {
+	srv, err := httpserv.Start("127.0.0.1:0", simRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-addr", srv.Addr(), "-n", "1"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "sent 1000") || !strings.Contains(out, "miss 5.05%") {
+		t.Fatalf("header wrong:\n%s", out)
+	}
+	for _, phase := range []string{"uplink", "queue", "service", "downlink", "e2e"} {
+		if !strings.Contains(out, phase) {
+			t.Fatalf("missing phase row %q:\n%s", phase, out)
+		}
+	}
+	if !strings.Contains(out, "edge   0  queue 4") || !strings.Contains(out, "edge   1  queue 0") {
+		t.Fatalf("edge lines wrong:\n%s", out)
+	}
+	// p50 over {1,4,9,45,180} with default buckets: target 3rd of 5 -> bucket bound 10.
+	if !strings.Contains(out, "10.00") {
+		t.Fatalf("phase quantiles missing:\n%s", out)
+	}
+}
+
+func TestRunHandlesEmptyRegistry(t *testing.T) {
+	srv, err := httpserv.Start("127.0.0.1:0", obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-addr", srv.Addr(), "-n", "1"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "uplink") {
+		t.Fatalf("phase table should still render with dashes:\n%s", stdout.String())
+	}
+}
+
+func TestRunReportsUnreachableServer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-addr", "127.0.0.1:1", "-n", "1"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("run = %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "tactop:") {
+		t.Fatalf("no error reported: %q", stderr.String())
+	}
+}
+
+func TestRunVersion(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-version"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d", code)
+	}
+	if !strings.Contains(stdout.String(), "tactop") {
+		t.Fatalf("version banner missing: %q", stdout.String())
+	}
+}

@@ -1,0 +1,123 @@
+package cliutil
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+
+	"taccc/internal/obs"
+)
+
+type failWriter struct{ err error }
+
+func (f failWriter) Write([]byte) (int, error) { return 0, f.err }
+
+type failCloser struct{ err error }
+
+func (f failCloser) Close() error { return f.err }
+
+func TestEventsReportsWriteErrors(t *testing.T) {
+	wantErr := errors.New("disk full")
+	e := NewEvents(failWriter{err: wantErr}, nil)
+	obs.Emit(e.Sink(), "span", map[string]interface{}{"trace": 1})
+	if err := e.Close(); !errors.Is(err, wantErr) {
+		t.Fatalf("Close() = %v, want %v", err, wantErr)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("second Close() = %v, want nil (idempotent)", err)
+	}
+}
+
+func TestEventsReportsCloseErrors(t *testing.T) {
+	wantErr := errors.New("close failed")
+	var buf bytes.Buffer
+	e := NewEvents(&buf, failCloser{err: wantErr})
+	obs.Emit(e.Sink(), "iter", nil)
+	if err := e.Close(); !errors.Is(err, wantErr) {
+		t.Fatalf("Close() = %v, want %v", err, wantErr)
+	}
+	if !strings.Contains(buf.String(), `"kind":"iter"`) {
+		t.Fatalf("event not flushed before close: %q", buf.String())
+	}
+}
+
+func TestEventsNilSafe(t *testing.T) {
+	var e *Events
+	if e.Sink() != nil {
+		t.Fatal("nil Events should yield a nil sink")
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("nil Close() = %v", err)
+	}
+}
+
+func TestCreateEventsRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/events.jsonl"
+	e, err := CreateEvents(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs.Emit(e.Sink(), "span", map[string]interface{}{"trace": 7})
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"trace":7`) {
+		t.Fatalf("event lost: %q", data)
+	}
+}
+
+func TestTelemetryDisabledIsNoOp(t *testing.T) {
+	var tel Telemetry
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	tel.Flags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if tel.Enabled() {
+		t.Fatal("no -listen should mean disabled")
+	}
+	stop, err := tel.Start(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+}
+
+func TestTelemetryServesMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("cluster.requests.sent").Add(42)
+	tel := Telemetry{Listen: "127.0.0.1:0"}
+	var log bytes.Buffer
+	stop, err := tel.Start(reg, &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	announced := log.String()
+	i := strings.Index(announced, "http://")
+	if i < 0 {
+		t.Fatalf("no address announced: %q", announced)
+	}
+	addr := strings.TrimSpace(announced[i:])
+	resp, err := http.Get(addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "cluster_requests_sent 42") {
+		t.Fatalf("metrics not served: %q", body)
+	}
+}

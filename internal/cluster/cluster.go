@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"taccc/internal/obs"
 	"taccc/internal/sim"
@@ -67,11 +68,29 @@ type Config struct {
 	Recorder Recorder
 	// Metrics, when non-nil, receives live counters as the simulation
 	// progresses: cluster.requests_sent / _ok / _missed / _dropped,
-	// per-edge cluster.edge_<j>.queue_depth gauges, and a
-	// cluster.latency_ms histogram of end-to-end latencies. Unlike
-	// Result, counters include warmup traffic (they mirror what a real
+	// per-edge cluster.edge_<j>.queue_depth gauges, a cluster.latency_ms
+	// histogram of end-to-end latencies, and per-phase delay histograms
+	// cluster.delay.{uplink,queue,service,downlink}_ms whose per-request
+	// contributions sum to the end-to-end latency. Unlike Result,
+	// counters include warmup traffic (they mirror what a real
 	// deployment's metrics endpoint would report). Nil costs nothing.
 	Metrics *obs.Registry
+	// Spans, when non-nil, receives one trace per sampled request as
+	// "span" events (see internal/obs.Span): a root "request" span plus
+	// child spans for uplink, queue wait, service (which under processor
+	// sharing absorbs the PS-server reschedules) and downlink. Traces
+	// cover requests that enter the network; arrivals dropped at the
+	// device (failed or unreachable edge) are never uplinked and are not
+	// traced. Nil costs nothing.
+	Spans obs.Sink
+	// TraceSampleRate is the fraction of requests traced when Spans is
+	// set, in [0, 1]. 0 means trace everything, so a config that only
+	// sets Spans gets full traces. Sampling decisions come from a
+	// dedicated RNG stream derived from Seed — never from the
+	// simulation's own randomness — so attaching, detaching or sampling
+	// spans cannot perturb the schedule, and the emitted span stream is
+	// identical run-to-run at any worker count.
+	TraceSampleRate float64
 	// JitterSigma, when > 0, multiplies every per-request network delay
 	// (uplink and downlink) by an independent lognormal factor with the
 	// given sigma, normalized to mean 1 so average delays are preserved
@@ -168,6 +187,9 @@ func (c Config) validate() error {
 	if c.JitterSigma < 0 || math.IsNaN(c.JitterSigma) {
 		return fmt.Errorf("cluster: invalid JitterSigma %v", c.JitterSigma)
 	}
+	if c.TraceSampleRate < 0 || c.TraceSampleRate > 1 || math.IsNaN(c.TraceSampleRate) {
+		return fmt.Errorf("cluster: TraceSampleRate %v outside [0,1]", c.TraceSampleRate)
+	}
 	if c.ServersPerEdge != nil {
 		if len(c.ServersPerEdge) != m {
 			return fmt.Errorf("cluster: %d server counts for %d edges", len(c.ServersPerEdge), m)
@@ -253,6 +275,13 @@ type Simulator struct {
 
 	met metricsSet
 
+	// spanSrc draws trace-sampling decisions (nil when spans are off);
+	// it is split from the config seed under its own label so it never
+	// touches the simulation's random streams. nextTrace counts accepted
+	// requests so sampled traces keep stable, gap-free-ordered IDs.
+	spanSrc   *xrand.Source
+	nextTrace uint64
+
 	result  Result
 	horizon float64
 	ran     bool
@@ -265,17 +294,24 @@ type Simulator struct {
 type metricsSet struct {
 	sent, ok, missed, dropped *obs.Counter
 	latency                   *obs.Histogram
-	queueDepth                []*obs.Gauge
+	// Per-phase delay histograms; one observation per completed request
+	// each, so their sums add up to the latency histogram's sum.
+	phaseUplink, phaseQueue, phaseService, phaseDownlink *obs.Histogram
+	queueDepth                                           []*obs.Gauge
 }
 
 func newMetricsSet(r *obs.Registry, edges int) metricsSet {
 	ms := metricsSet{
-		sent:       r.Counter("cluster.requests_sent"),
-		ok:         r.Counter("cluster.requests_ok"),
-		missed:     r.Counter("cluster.requests_missed"),
-		dropped:    r.Counter("cluster.requests_dropped"),
-		latency:    r.Histogram("cluster.latency_ms", obs.DefaultLatencyBucketsMs()),
-		queueDepth: make([]*obs.Gauge, edges),
+		sent:          r.Counter("cluster.requests_sent"),
+		ok:            r.Counter("cluster.requests_ok"),
+		missed:        r.Counter("cluster.requests_missed"),
+		dropped:       r.Counter("cluster.requests_dropped"),
+		latency:       r.Histogram("cluster.latency_ms", obs.DefaultLatencyBucketsMs()),
+		phaseUplink:   r.Histogram("cluster.delay.uplink_ms", obs.DefaultLatencyBucketsMs()),
+		phaseQueue:    r.Histogram("cluster.delay.queue_ms", obs.DefaultLatencyBucketsMs()),
+		phaseService:  r.Histogram("cluster.delay.service_ms", obs.DefaultLatencyBucketsMs()),
+		phaseDownlink: r.Histogram("cluster.delay.downlink_ms", obs.DefaultLatencyBucketsMs()),
+		queueDepth:    make([]*obs.Gauge, edges),
 	}
 	for j := range ms.queueDepth {
 		ms.queueDepth[j] = r.Gauge(fmt.Sprintf("cluster.edge_%d.queue_depth", j))
@@ -291,6 +327,14 @@ func (ms *metricsSet) observeDone(latencyMs float64, outcome Outcome) {
 		ms.ok.Add(1)
 	}
 	ms.latency.Observe(latencyMs)
+}
+
+// observePhases attributes one completed request's latency to its phases.
+func (ms *metricsSet) observePhases(uplinkMs, queueMs, serviceMs, downlinkMs float64) {
+	ms.phaseUplink.Observe(uplinkMs)
+	ms.phaseQueue.Observe(queueMs)
+	ms.phaseService.Observe(serviceMs)
+	ms.phaseDownlink.Observe(downlinkMs)
 }
 
 // New validates the config and builds a simulator.
@@ -311,6 +355,9 @@ func New(cfg Config) (*Simulator, error) {
 		inFlight:   make([]int, len(cfg.ServiceRate)),
 	}
 	s.met = newMetricsSet(cfg.Metrics, len(cfg.ServiceRate))
+	if cfg.Spans != nil {
+		s.spanSrc = xrand.NewSplit(cfg.Seed, "trace-sample")
+	}
 	for j := range s.busyUntil {
 		s.busyUntil[j] = make([]float64, cfg.servers(j))
 	}
@@ -345,6 +392,8 @@ type psJob struct {
 	remaining float64 // compute units left
 	devIdx    int
 	sentAt    float64
+	arriveAt  float64     // when the request reached the edge
+	trace     obs.TraceID // 0 = untraced
 }
 
 // psServer shares its rate equally among active jobs. Remaining work is
@@ -395,6 +444,79 @@ func (s *Simulator) record(rec RequestRecord) {
 	if s.cfg.Recorder != nil {
 		s.cfg.Recorder.Record(rec)
 	}
+}
+
+// Span IDs within a trace are fixed — the root request span is 1 and each
+// phase child has a stable ID — so readers join phases without any
+// per-trace bookkeeping.
+const (
+	spanRoot     obs.SpanID = 1
+	spanUplink   obs.SpanID = 2
+	spanQueue    obs.SpanID = 3
+	spanService  obs.SpanID = 4
+	spanDownlink obs.SpanID = 5
+)
+
+// sampleTrace decides whether the next accepted request is traced and
+// returns its trace ID (0 = untraced). IDs count accepted requests, so a
+// sampled subset keeps stable identities under any sample rate.
+func (s *Simulator) sampleTrace() obs.TraceID {
+	if s.cfg.Spans == nil {
+		return 0
+	}
+	s.nextTrace++
+	if r := s.cfg.TraceSampleRate; r > 0 && r < 1 && s.spanSrc.Float64() >= r {
+		return 0
+	}
+	return obs.TraceID(s.nextTrace)
+}
+
+// childSpan emits one phase span of trace tid.
+func (s *Simulator) childSpan(tid obs.TraceID, id obs.SpanID, name string, startMs, endMs float64) {
+	obs.EmitSpan(s.cfg.Spans, obs.Span{
+		Trace: tid, ID: id, Parent: spanRoot,
+		Name: name, StartMs: startMs, EndMs: endMs,
+	})
+}
+
+// rootSpan emits trace tid's root request span, after its children so a
+// streaming reader sees a trace complete when the root arrives.
+func (s *Simulator) rootSpan(tid obs.TraceID, dev, edge int, startMs, endMs float64, outcome Outcome) {
+	obs.EmitSpan(s.cfg.Spans, obs.Span{
+		Trace: tid, ID: spanRoot, Name: "request",
+		StartMs: startMs, EndMs: endMs,
+		Attrs: map[string]interface{}{
+			"device":  dev,
+			"edge":    edge,
+			"outcome": string(outcome),
+		},
+	})
+}
+
+// emitTrace writes one completed request's trace: the four phase children
+// (uplink, queue wait, service, downlink) followed by the root. The child
+// durations partition the root exactly: uplink+queue+service+downlink ==
+// end-to-end latency.
+func (s *Simulator) emitTrace(tid obs.TraceID, dev, edge int, sentAt, edgeAt, startSvc, finish, downMs float64, outcome Outcome) {
+	if tid == 0 {
+		return
+	}
+	end := finish + downMs
+	s.childSpan(tid, spanUplink, "uplink", sentAt, edgeAt)
+	s.childSpan(tid, spanQueue, "queue", edgeAt, startSvc)
+	s.childSpan(tid, spanService, "service", startSvc, finish)
+	s.childSpan(tid, spanDownlink, "downlink", finish, end)
+	s.rootSpan(tid, dev, edge, sentAt, end, outcome)
+}
+
+// emitDropTrace writes the trace of a request dropped on arrival at the
+// edge: the uplink child it spent, then the root marked dropped.
+func (s *Simulator) emitDropTrace(tid obs.TraceID, dev, edge int, sentAt, dropAt float64) {
+	if tid == 0 {
+		return
+	}
+	s.childSpan(tid, spanUplink, "uplink", sentAt, dropAt)
+	s.rootSpan(tid, dev, edge, sentAt, dropAt, OutcomeDropped)
 }
 
 // downlinkDelay returns the response delay for (device, edge).
@@ -589,19 +711,21 @@ func (s *Simulator) arrive(e *sim.Engine, i int) {
 			s.record(RequestRecord{Device: i, Edge: j, SentAtMs: now, DoneAtMs: now, Outcome: OutcomeDropped})
 		} else {
 			arriveAtEdge := now + s.jitter(uplink)
-			e.Schedule(arriveAtEdge, func(e *sim.Engine) { s.serve(e, i, j, now) })
+			tid := s.sampleTrace()
+			e.Schedule(arriveAtEdge, func(e *sim.Engine) { s.serve(e, i, j, now, tid) })
 		}
 	}
 	s.scheduleNextArrival(e, i)
 }
 
 // serve enqueues the request at edge j under the configured discipline.
-func (s *Simulator) serve(e *sim.Engine, i, j int, sentAt float64) {
+func (s *Simulator) serve(e *sim.Engine, i, j int, sentAt float64, tid obs.TraceID) {
 	if s.failed[j] {
 		if sentAt >= s.cfg.WarmupMs {
 			s.result.Dropped++
 		}
 		s.met.dropped.Add(1)
+		s.emitDropTrace(tid, i, j, sentAt, e.Now())
 		s.record(RequestRecord{Device: i, Edge: j, SentAtMs: sentAt, DoneAtMs: e.Now(), Outcome: OutcomeDropped})
 		return
 	}
@@ -610,14 +734,16 @@ func (s *Simulator) serve(e *sim.Engine, i, j int, sentAt float64) {
 			s.result.Dropped++
 		}
 		s.met.dropped.Add(1)
+		s.emitDropTrace(tid, i, j, sentAt, e.Now())
 		s.record(RequestRecord{Device: i, Edge: j, SentAtMs: sentAt, DoneAtMs: e.Now(), Outcome: OutcomeDropped})
 		return
 	}
 	if s.cfg.Discipline == DisciplinePS {
-		s.servePS(e, i, j, sentAt)
+		s.servePS(e, i, j, sentAt, tid)
 		return
 	}
 	now := e.Now()
+	edgeAt := now // uplink ends here; queue wait starts
 	d := s.cfg.Devices[i]
 	serviceMs := d.ComputeUnits / s.cfg.ServiceRate[j] * 1000
 	// FIFO with c parallel servers: the request takes the server that
@@ -645,7 +771,8 @@ func (s *Simulator) serve(e *sim.Engine, i, j int, sentAt float64) {
 	e.Schedule(finish, func(e *sim.Engine) {
 		s.inFlight[j]--
 		s.met.queueDepth[j].Set(float64(s.inFlight[j]))
-		latency := e.Now() + s.downlinkDelay(i, j) - sentAt
+		down := s.downlinkDelay(i, j)
+		latency := e.Now() + down - sentAt
 		outcome := OutcomeOK
 		if d.DeadlineMs > 0 && latency > d.DeadlineMs {
 			outcome = OutcomeMissed
@@ -658,19 +785,21 @@ func (s *Simulator) serve(e *sim.Engine, i, j int, sentAt float64) {
 			}
 		}
 		s.met.observeDone(latency, outcome)
+		s.met.observePhases(edgeAt-sentAt, start-edgeAt, serviceMs, down)
+		s.emitTrace(tid, i, j, sentAt, edgeAt, start, finish, down, outcome)
 		s.record(RequestRecord{Device: i, Edge: j, SentAtMs: sentAt, DoneAtMs: sentAt + latency, LatencyMs: latency, Outcome: outcome})
 	})
 }
 
 // servePS admits the request into the edge's processor-sharing pool and
 // (re)schedules the next completion.
-func (s *Simulator) servePS(e *sim.Engine, i, j int, sentAt float64) {
+func (s *Simulator) servePS(e *sim.Engine, i, j int, sentAt float64, tid obs.TraceID) {
 	p := s.ps[j]
 	now := e.Now()
 	p.advance(now)
 	id := p.nextID
 	p.nextID++
-	p.jobs[id] = &psJob{remaining: s.cfg.Devices[i].ComputeUnits, devIdx: i, sentAt: sentAt}
+	p.jobs[id] = &psJob{remaining: s.cfg.Devices[i].ComputeUnits, devIdx: i, sentAt: sentAt, arriveAt: now, trace: tid}
 	s.inFlight[j]++
 	s.met.queueDepth[j].Set(float64(s.inFlight[j]))
 	if s.inFlight[j] > s.result.PeakQueue[j] {
@@ -699,21 +828,29 @@ func (s *Simulator) reschedulePS(e *sim.Engine, j int) {
 	p.wake = e.Schedule(at, func(e *sim.Engine) { s.completePS(e, j) })
 }
 
-// completePS finishes every job whose remaining work has drained.
+// completePS finishes every job whose remaining work has drained. Jobs
+// drain in admission (id) order, not map order, so record, metric and
+// span streams are deterministic even when several jobs tie.
 func (s *Simulator) completePS(e *sim.Engine, j int) {
 	p := s.ps[j]
 	now := e.Now()
 	p.wake = nil
 	p.advance(now)
 	const drained = 1e-9
+	var done []int64
 	for id, job := range p.jobs {
-		if job.remaining > drained {
-			continue
+		if job.remaining <= drained {
+			done = append(done, id)
 		}
+	}
+	sort.Slice(done, func(a, b int) bool { return done[a] < done[b] })
+	for _, id := range done {
+		job := p.jobs[id]
 		delete(p.jobs, id)
 		s.inFlight[j]--
 		s.met.queueDepth[j].Set(float64(s.inFlight[j]))
-		latency := now + s.downlinkDelay(job.devIdx, j) - job.sentAt
+		down := s.downlinkDelay(job.devIdx, j)
+		latency := now + down - job.sentAt
 		outcome := OutcomeOK
 		if dl := s.cfg.Devices[job.devIdx].DeadlineMs; dl > 0 && latency > dl {
 			outcome = OutcomeMissed
@@ -726,6 +863,10 @@ func (s *Simulator) completePS(e *sim.Engine, j int) {
 			}
 		}
 		s.met.observeDone(latency, outcome)
+		// Under PS a job is in service from arrival, so its queue-wait
+		// phase is empty and service absorbs the sharing slowdown.
+		s.met.observePhases(job.arriveAt-job.sentAt, 0, now-job.arriveAt, down)
+		s.emitTrace(job.trace, job.devIdx, j, job.sentAt, job.arriveAt, job.arriveAt, now, down, outcome)
 		s.record(RequestRecord{Device: job.devIdx, Edge: j, SentAtMs: job.sentAt, DoneAtMs: job.sentAt + latency, LatencyMs: latency, Outcome: outcome})
 	}
 	s.reschedulePS(e, j)

@@ -1,0 +1,105 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+
+	"taccc/internal/assign"
+	"taccc/internal/cluster"
+	"taccc/internal/gap"
+	"taccc/internal/obs"
+	"taccc/internal/stats"
+	"taccc/internal/topology"
+	"taccc/internal/xrand"
+)
+
+// F17 attributes end-to-end latency to its phases — uplink, queue wait,
+// service, downlink — as capacity tightens. It drives the cluster
+// simulator with a metrics registry attached and reads the per-phase
+// delay histograms the telemetry plane exports: at loose rho the network
+// (uplink + downlink) dominates and topology-aware placement is the whole
+// game; as rho approaches 1, queueing takes over and the assignment's
+// load-balancing quality matters more than its delay matrix.
+func F17(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	n, m, horizon := 100, 10, 60_000.0
+	if o.Quick {
+		n, m, horizon = 30, 5, 10_000.0
+	}
+	rhos := []float64{0.5, 0.7, 0.85, 0.95}
+	phases := []string{"uplink", "queue", "service", "downlink"}
+
+	tab := &Table{
+		ID:     "F17",
+		Title:  fmt.Sprintf("delay attribution by phase vs capacity tightness, n=%d m=%d, qlearning assignment", n, m),
+		Header: []string{"rho", "uplink ms", "queue ms", "service ms", "downlink ms", "e2e ms", "queue share %"},
+		Note:   fmt.Sprintf("%d replications; phase means from the telemetry plane's cluster.delay.* histograms; queue share = queue / e2e", o.Reps),
+	}
+	for _, rho := range rhos {
+		means := make(map[string]*stats.Welford, len(phases))
+		for _, p := range phases {
+			means[p] = &stats.Welford{}
+		}
+		var e2e, share stats.Welford
+		for r := 0; r < o.Reps; r++ {
+			seed := xrand.SplitSeed(o.Seed, fmt.Sprintf("F17-%g-%d", rho, r))
+			sc := Scenario{NumIoT: n, NumEdge: m, PayloadKB: 4, Rho: rho, Seed: seed}
+			b, err := sc.Build()
+			if err != nil {
+				return nil, err
+			}
+			q := assign.NewQLearning(xrand.SplitSeed(seed, "q"))
+			got, err := q.Assign(b.Instance)
+			if err != nil {
+				if errors.Is(err, gap.ErrInfeasible) {
+					continue
+				}
+				return nil, err
+			}
+			down := topology.NewDelayMatrixWorkers(b.Graph, topology.LatencyCost, o.Workers)
+			reg := obs.NewRegistry()
+			s, err := cluster.New(cluster.Config{
+				UplinkMs:   b.Delay.DelayMs,
+				DownlinkMs: down.DelayMs,
+				Devices:    b.Devices,
+				// Capacity already scales with rho via the scenario, so
+				// a fixed headroom lets tightness flow straight into
+				// queue occupancy — the sweep's whole point.
+				ServiceRate: ServiceRates(b.Capacity, 0.55),
+				Assignment:  got.Of,
+				WarmupMs:    horizon / 10,
+				Metrics:     reg,
+				Seed:        xrand.SplitSeed(seed, "sim"),
+			})
+			if err != nil {
+				return nil, err
+			}
+			if _, err := s.Run(horizon); err != nil {
+				return nil, err
+			}
+			snap := reg.Snapshot()
+			total := 0.0
+			for _, p := range phases {
+				h := snap.Histograms["cluster.delay."+p+"_ms"]
+				if h.Count == 0 {
+					continue
+				}
+				means[p].Add(h.Mean)
+				total += h.Mean
+			}
+			if total > 0 {
+				e2e.Add(total)
+				share.Add(100 * snap.Histograms["cluster.delay.queue_ms"].Mean / total)
+			}
+		}
+		if e2e.N() == 0 {
+			tab.AddRow(rho, "-", "-", "-", "-", "-", "-")
+			continue
+		}
+		tab.AddRow(rho,
+			means["uplink"].Mean(), means["queue"].Mean(),
+			means["service"].Mean(), means["downlink"].Mean(),
+			e2e.Mean(), share.Mean())
+	}
+	return []*Table{tab}, nil
+}

@@ -107,6 +107,7 @@ func All() []Spec {
 		{ID: "F14", Title: "Single-failure resilience by topology family", Run: F14},
 		{ID: "F15", Title: "Reconfiguration frequency trade-off under mobility", Run: F15},
 		{ID: "F16", Title: "Cloud offload vs capacity tightness", Run: F16},
+		{ID: "F17", Title: "Delay attribution by phase vs capacity tightness", Run: F17},
 	}
 }
 

@@ -39,6 +39,10 @@ type Scenario struct {
 	// alternate edges get per*(1+skew) and per*(1-skew) capacity while
 	// the total stays fixed. 0 means uniform.
 	CapacitySkew float64
+	// Workers bounds the parallelism of delay-matrix construction
+	// (<= 0 means all cores, 1 is sequential). The built scenario is
+	// identical at any setting.
+	Workers int
 	// Seed drives every random choice.
 	Seed int64
 }
@@ -134,7 +138,7 @@ func (s Scenario) Build() (*Built, error) {
 	if s.PayloadKB > 0 {
 		cost = topology.PayloadCost(s.PayloadKB)
 	}
-	dm := topology.NewDelayMatrix(g, cost)
+	dm := topology.NewDelayMatrixWorkers(g, cost, s.Workers)
 	profileName := s.Workload
 	if profileName == "" {
 		profileName = "default"

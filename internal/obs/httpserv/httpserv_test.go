@@ -1,0 +1,219 @@
+package httpserv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"taccc/internal/obs"
+)
+
+func demoRegistry() *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.Counter("cluster.requests.sent").Add(100)
+	reg.Counter("cluster.requests.completed").Add(97)
+	reg.Gauge("cluster.edge.0.queue_depth").Set(3)
+	h := reg.Histogram("cluster.latency_ms", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+func TestMetricName(t *testing.T) {
+	cases := map[string]string{
+		"cluster.latency_ms":     "cluster_latency_ms",
+		"cluster.delay.queue_ms": "cluster_delay_queue_ms",
+		"edge-0 depth":           "edge_0_depth",
+		"0starts_with_digit":     "_0starts_with_digit",
+		"already_fine:ok":        "already_fine:ok",
+	}
+	for in, want := range cases {
+		if got := MetricName(in); got != want {
+			t.Errorf("MetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWriteMetricsParses is the acceptance check that /metrics output is
+// valid exposition text: write a snapshot, parse it back with the strict
+// parser, and verify every family survives the round trip.
+func TestWriteMetricsParses(t *testing.T) {
+	reg := demoRegistry()
+	var sb strings.Builder
+	if err := WriteMetrics(&sb, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	samples, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, text)
+	}
+	byName := map[string]float64{}
+	for _, s := range samples {
+		if s.Labels == nil {
+			byName[s.Name] = s.Value
+		}
+	}
+	if byName["cluster_requests_sent"] != 100 || byName["cluster_requests_completed"] != 97 {
+		t.Fatalf("counters lost:\n%s", text)
+	}
+	if byName["cluster_edge_0_queue_depth"] != 3 {
+		t.Fatalf("gauge lost:\n%s", text)
+	}
+	if byName["cluster_latency_ms_sum"] != 555.5 || byName["cluster_latency_ms_count"] != 4 {
+		t.Fatalf("histogram sum/count lost:\n%s", text)
+	}
+
+	// Buckets must be cumulative and end at +Inf == count.
+	var inf float64 = -1
+	cums := map[float64]float64{}
+	for _, s := range samples {
+		if s.Name != "cluster_latency_ms_bucket" {
+			continue
+		}
+		le := s.Labels["le"]
+		if le == "+Inf" {
+			inf = s.Value
+			continue
+		}
+		var b float64
+		fmt.Sscanf(le, "%g", &b)
+		cums[b] = s.Value
+	}
+	if inf != 4 {
+		t.Fatalf("+Inf bucket = %v, want 4\n%s", inf, text)
+	}
+	if cums[1] != 1 || cums[10] != 2 || cums[100] != 3 {
+		t.Fatalf("cumulative buckets wrong: %v\n%s", cums, text)
+	}
+
+	// Reassembly recovers the original snapshot.
+	snap, ok := HistogramFrom(samples, "cluster_latency_ms")
+	if !ok {
+		t.Fatal("HistogramFrom failed")
+	}
+	orig := reg.Snapshot().Histograms["cluster.latency_ms"]
+	if snap.Count != orig.Count || snap.Sum != orig.Sum {
+		t.Fatalf("reassembled %+v vs original %+v", snap, orig)
+	}
+	for i, c := range orig.Counts {
+		if snap.Counts[i] != c {
+			t.Fatalf("bucket %d: reassembled %d, original %d", i, snap.Counts[i], c)
+		}
+	}
+	if q := snap.Quantile(0.5); q != orig.Quantile(0.5) {
+		t.Fatalf("p50 drifted through the round trip: %v vs %v", q, orig.Quantile(0.5))
+	}
+}
+
+func TestWriteMetricsEmptyAndNil(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteMetrics(&sb, (*obs.Registry)(nil).Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseText(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("empty exposition does not parse: %v", err)
+	}
+}
+
+func TestParseTextRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"no_value_here",
+		"metric{le=\"unterminated value\n",
+		"metric{le=unquoted} 1",
+		"metric not_a_number",
+	} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseText accepted %q", bad)
+		}
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := demoRegistry()
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/metrics")
+	if ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	if _, err := ParseText(strings.NewReader(body)); err != nil {
+		t.Fatalf("/metrics does not parse: %v", err)
+	}
+
+	body, _ = get("/healthz")
+	if body != "ok\n" {
+		t.Fatalf("/healthz = %q", body)
+	}
+
+	body, ct = get("/snapshot")
+	if ct != "application/json" {
+		t.Fatalf("/snapshot Content-Type = %q", ct)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/snapshot not JSON: %v", err)
+	}
+	if snap.Counters["cluster.requests.sent"] != 100 {
+		t.Fatalf("/snapshot lost counters: %+v", snap)
+	}
+
+	body, _ = get("/debug/pprof/cmdline")
+	if body == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}
+
+func TestStartServesAndCloses(t *testing.T) {
+	reg := demoRegistry()
+	s, err := Start("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %s", resp.Status)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/healthz"); err == nil {
+		t.Fatal("server still reachable after Close")
+	}
+}
+
+func TestPromFloatSpecials(t *testing.T) {
+	if promFloat(math.Inf(1)) != "+Inf" || promFloat(math.Inf(-1)) != "-Inf" || promFloat(math.NaN()) != "NaN" {
+		t.Fatal("special float rendering broken")
+	}
+	if promFloat(2.5) != "2.5" {
+		t.Fatalf("promFloat(2.5) = %q", promFloat(2.5))
+	}
+}

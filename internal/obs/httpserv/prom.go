@@ -1,0 +1,102 @@
+package httpserv
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"taccc/internal/obs"
+)
+
+// MetricName sanitizes a registry metric name into a legal Prometheus
+// metric name: dots and any other character outside [a-zA-Z0-9_:] become
+// underscores, and a leading digit gets an underscore prefix.
+func MetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteMetrics renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4). Counters become counters, gauges
+// gauges, and histograms the standard cumulative-bucket form with
+// `le`-labelled buckets, a terminal `+Inf` bucket, `_sum` and `_count`
+// series. Metric families are emitted in sorted name order so the output
+// is deterministic for a given snapshot.
+func WriteMetrics(w io.Writer, snap obs.Snapshot) error {
+	bw := bufio.NewWriter(w)
+
+	counterNames := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		counterNames = append(counterNames, name)
+	}
+	sort.Strings(counterNames)
+	for _, name := range counterNames {
+		pn := MetricName(name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n", pn)
+		fmt.Fprintf(bw, "%s %d\n", pn, snap.Counters[name])
+	}
+
+	gaugeNames := make([]string, 0, len(snap.Gauges))
+	for name := range snap.Gauges {
+		gaugeNames = append(gaugeNames, name)
+	}
+	sort.Strings(gaugeNames)
+	for _, name := range gaugeNames {
+		pn := MetricName(name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", pn)
+		fmt.Fprintf(bw, "%s %s\n", pn, promFloat(snap.Gauges[name]))
+	}
+
+	histNames := make([]string, 0, len(snap.Histograms))
+	for name := range snap.Histograms {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		h := snap.Histograms[name]
+		pn := MetricName(name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", pn)
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", pn, promFloat(bound), cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		fmt.Fprintf(bw, "%s_sum %s\n", pn, promFloat(h.Sum))
+		fmt.Fprintf(bw, "%s_count %d\n", pn, h.Count)
+	}
+
+	return bw.Flush()
+}

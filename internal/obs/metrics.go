@@ -153,12 +153,21 @@ type HistogramSnapshot struct {
 	Counts []int64   `json:"counts"`
 }
 
-// Quantile returns an upper-bound estimate of quantile q in [0, 1]: the
-// smallest bucket bound whose cumulative count covers q, +Inf when the
-// overflow bucket is needed, and NaN when empty.
+// Quantile returns an upper-bound estimate of quantile q: the smallest
+// bucket bound whose cumulative count covers q, or +Inf when only the
+// overflow bucket does. The result is never NaN: an empty histogram
+// reports 0 (there is nothing to attribute, and 0 renders sanely in
+// dashboards where NaN poisons aggregation), and q is clamped into
+// [0, 1] — q <= 0 (or NaN) means the first occupied bucket, q >= 1 the
+// last.
 func (s HistogramSnapshot) Quantile(q float64) float64 {
 	if s.Count == 0 {
-		return math.NaN()
+		return 0
+	}
+	if math.IsNaN(q) || q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
 	}
 	target := int64(math.Ceil(q * float64(s.Count)))
 	if target < 1 {

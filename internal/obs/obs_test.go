@@ -79,8 +79,8 @@ func TestHistogramBucketsAndQuantile(t *testing.T) {
 	if q := s.Quantile(1); !math.IsInf(q, 1) {
 		t.Fatalf("p100 = %v, want +Inf (overflow bucket)", q)
 	}
-	if q := (HistogramSnapshot{}).Quantile(0.5); !math.IsNaN(q) {
-		t.Fatalf("empty quantile = %v, want NaN", q)
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
 	}
 }
 
@@ -140,7 +140,7 @@ func TestJSONLSinkConcurrent(t *testing.T) {
 }
 
 func TestNilSinksAreNoOps(t *testing.T) {
-	Emit(nil, "x", nil)    // must not panic
+	Emit(nil, "x", nil) // must not panic
 	EmitIter(nil, "a", 0, 1, true)
 	if MultiSink() != nil || MultiSink(nil, nil) != nil {
 		t.Fatal("empty MultiSink should be nil")

@@ -1,0 +1,63 @@
+package obs
+
+// Span is one timed phase of a traced operation, in simulated or wall
+// time (the emitter decides; this repository's cluster simulator uses
+// virtual milliseconds). A trace is a root span (Parent == 0) plus child
+// spans sharing its Trace ID — the cluster simulator emits one trace per
+// sampled request with children for uplink, queue wait, service and
+// downlink, so every request's latency is attributable phase by phase.
+type Span struct {
+	// Trace groups the spans of one traced operation.
+	Trace TraceID
+	// ID identifies this span within its trace.
+	ID SpanID
+	// Parent is the enclosing span's ID; 0 marks the root span.
+	Parent SpanID
+	// Name labels the phase ("request", "uplink", "queue", ...).
+	Name string
+	// StartMs and EndMs bound the span (EndMs >= StartMs).
+	StartMs float64
+	EndMs   float64
+	// Attrs carries typed span attributes; values must be
+	// JSON-serializable (strings, bools, finite numbers).
+	Attrs map[string]interface{}
+}
+
+// TraceID identifies one trace (one traced request).
+type TraceID uint64
+
+// SpanID identifies a span within a trace.
+type SpanID uint64
+
+// DurationMs returns the span's length.
+func (sp Span) DurationMs() float64 { return sp.EndMs - sp.StartMs }
+
+// Event renders the span as a Sink event of kind "span": trace, span,
+// parent (omitted for roots), name, start_ms/end_ms/dur_ms, and each
+// attribute under an "attr."-prefixed key. The field set is fixed and
+// JSONL encoding sorts keys, so a deterministic span sequence serializes
+// byte-identically.
+func (sp Span) Event() Event {
+	fields := make(map[string]interface{}, 6+len(sp.Attrs))
+	fields["trace"] = uint64(sp.Trace)
+	fields["span"] = uint64(sp.ID)
+	fields["name"] = sp.Name
+	fields["start_ms"] = sp.StartMs
+	fields["end_ms"] = sp.EndMs
+	fields["dur_ms"] = sp.EndMs - sp.StartMs
+	if sp.Parent != 0 {
+		fields["parent"] = uint64(sp.Parent)
+	}
+	for k, v := range sp.Attrs {
+		fields["attr."+k] = v
+	}
+	return Event{Kind: "span", Fields: fields}
+}
+
+// EmitSpan sends sp into s, tolerating a nil sink.
+func EmitSpan(s Sink, sp Span) {
+	if s == nil {
+		return
+	}
+	s.Emit(sp.Event())
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"taccc/internal/par"
+)
+
+func TestSpanEventFields(t *testing.T) {
+	sp := Span{
+		Trace: 7, ID: 3, Parent: 1, Name: "service",
+		StartMs: 10, EndMs: 14.5,
+		Attrs: map[string]interface{}{"edge": 2, "outcome": "ok"},
+	}
+	e := sp.Event()
+	if e.Kind != "span" {
+		t.Fatalf("kind = %q", e.Kind)
+	}
+	if e.Fields["trace"] != uint64(7) || e.Fields["span"] != uint64(3) || e.Fields["parent"] != uint64(1) {
+		t.Fatalf("ids lost: %+v", e.Fields)
+	}
+	if e.Fields["dur_ms"] != 4.5 || e.Fields["name"] != "service" {
+		t.Fatalf("timing lost: %+v", e.Fields)
+	}
+	if e.Fields["attr.edge"] != 2 || e.Fields["attr.outcome"] != "ok" {
+		t.Fatalf("attrs lost: %+v", e.Fields)
+	}
+	if sp.DurationMs() != 4.5 {
+		t.Fatalf("DurationMs = %v", sp.DurationMs())
+	}
+
+	root := Span{Trace: 7, ID: 1, Name: "request", StartMs: 0, EndMs: 20}
+	if _, hasParent := root.Event().Fields["parent"]; hasParent {
+		t.Fatal("root span must omit the parent field")
+	}
+}
+
+func TestEmitSpanThroughJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONL(&buf)
+	EmitSpan(nil, Span{Trace: 1, ID: 1, Name: "request"}) // nil sink: no-op
+	EmitSpan(s, Span{Trace: 1, ID: 2, Parent: 1, Name: "uplink", StartMs: 0, EndMs: 3})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("span line not JSON: %v\n%s", err, buf.String())
+	}
+	if m["kind"] != "span" || m["name"] != "uplink" || m["dur_ms"] != 3.0 {
+		t.Fatalf("bad span line: %q", buf.String())
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	one := NewHistogram([]float64{10}) // one bound, one overflow bucket
+	one.Observe(5)
+	oneSnap := one.snapshot()
+
+	multi := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		multi.Observe(v)
+	}
+	multiSnap := multi.snapshot()
+
+	cases := []struct {
+		name string
+		snap HistogramSnapshot
+		q    float64
+		want float64
+	}{
+		{"empty p50", HistogramSnapshot{}, 0.5, 0},
+		{"empty p0", HistogramSnapshot{}, 0, 0},
+		{"empty q>1", HistogramSnapshot{}, 2, 0},
+		{"one-bucket p50", oneSnap, 0.5, 10},
+		{"one-bucket p100", oneSnap, 1, 10},
+		{"q below 0 clamps", multiSnap, -3, 1},
+		{"q above 1 clamps", multiSnap, 7, math.Inf(1)},
+		{"NaN q clamps to 0", multiSnap, math.NaN(), 1},
+		{"p25", multiSnap, 0.25, 1},
+		{"p75", multiSnap, 0.75, 100},
+	}
+	for _, tc := range cases {
+		got := tc.snap.Quantile(tc.q)
+		if math.IsNaN(got) {
+			t.Errorf("%s: Quantile returned NaN", tc.name)
+			continue
+		}
+		if got != tc.want && !(math.IsInf(tc.want, 1) && math.IsInf(got, 1)) {
+			t.Errorf("%s: Quantile(%v) = %v, want %v", tc.name, tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestMultiSinkCountEventsConcurrent hammers one fan-out pipeline from many
+// goroutines under -race: CountEvents in front of a MultiSink over a JSONL
+// sink plus a plain functional sink.
+func TestMultiSinkCountEventsConcurrent(t *testing.T) {
+	const n = 4000
+	reg := NewRegistry()
+	var buf bytes.Buffer
+	jsonl := NewJSONL(&buf)
+	var forwarded atomic.Int64
+	sink := CountEvents(reg, MultiSink(jsonl, SinkFunc(func(Event) { forwarded.Add(1) }), NullSink{}))
+	kinds := []string{"span", "iter", "cell"}
+	par.For(16, n, func(i int) {
+		Emit(sink, kinds[i%len(kinds)], map[string]interface{}{"i": i})
+	})
+	if err := jsonl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var counted int64
+	for _, k := range kinds {
+		c := reg.Counter("events." + k).Value()
+		if c == 0 {
+			t.Errorf("no events.%s counted", k)
+		}
+		counted += c
+	}
+	if counted != n {
+		t.Fatalf("counted %d events, want %d", counted, n)
+	}
+	if forwarded.Load() != n {
+		t.Fatalf("forwarded %d events, want %d", forwarded.Load(), n)
+	}
+	if got := len(strings.Split(strings.TrimSpace(buf.String()), "\n")); got != n {
+		t.Fatalf("JSONL wrote %d lines, want %d", got, n)
+	}
+}

@@ -2,12 +2,14 @@ package taccc
 
 import (
 	"io"
+	"net/http"
 
 	"taccc/internal/assign"
 	"taccc/internal/cluster"
 	"taccc/internal/experiment"
 	"taccc/internal/gap"
 	"taccc/internal/obs"
+	"taccc/internal/obs/httpserv"
 	"taccc/internal/online"
 	"taccc/internal/topology"
 	"taccc/internal/trace"
@@ -528,6 +530,15 @@ type (
 	IterEvent = obs.IterEvent
 	// ProgressSink consumes solver iteration events.
 	ProgressSink = obs.ProgressSink
+	// Span is one timed phase of a traced request (see SimConfig.Spans).
+	Span = obs.Span
+	// TraceID groups the spans of one traced request.
+	TraceID = obs.TraceID
+	// SpanID identifies a span within its trace.
+	SpanID = obs.SpanID
+	// HistogramSnapshot is a point-in-time histogram export with bucket
+	// counts and quantile estimation.
+	HistogramSnapshot = obs.HistogramSnapshot
 )
 
 // NewMetricsRegistry returns an empty metrics registry; set it as
@@ -562,6 +573,16 @@ func WithProgress(a Assigner, sink ProgressSink) bool { return assign.WithProgre
 // DefaultLatencyBucketsMs returns the standard latency histogram bucket
 // bounds (0.5 ms .. 10 s).
 func DefaultLatencyBucketsMs() []float64 { return obs.DefaultLatencyBucketsMs() }
+
+// EmitSpan sends a span into a sink (nil-safe); the cluster simulator
+// emits spans automatically when SimConfig.Spans is set.
+func EmitSpan(s ObsSink, sp Span) { obs.EmitSpan(s, sp) }
+
+// TelemetryHandler serves a metrics registry over HTTP: /metrics
+// (Prometheus text exposition), /healthz, /snapshot (JSON) and
+// /debug/pprof. The tacsim/tacsolve/tacbench -listen flag mounts this
+// handler; embedders can mount it on their own server.
+func TelemetryHandler(reg *MetricsRegistry) http.Handler { return httpserv.Handler(reg) }
 
 // CompareAlgorithmsObserved is CompareAlgorithmsWorkers with a progress
 // sink receiving one "cell" event per (algorithm, replication) solve and

@@ -126,8 +126,8 @@ func TestPublicTopologyFlow(t *testing.T) {
 
 func TestPublicExperiments(t *testing.T) {
 	specs := taccc.Experiments()
-	if len(specs) != 20 {
-		t.Fatalf("have %d experiments, want 20", len(specs))
+	if len(specs) != 21 {
+		t.Fatalf("have %d experiments, want 21", len(specs))
 	}
 	spec, err := taccc.ExperimentByID("F5")
 	if err != nil {
