@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet ci
+.PHONY: all build test race bench vet ci bench-json perf-gate baseline
 
 all: build test
 
@@ -34,3 +34,24 @@ vet:
 	$(GO) vet ./...
 
 ci: vet build test race
+
+# Perf gate: run the fixed bench suite to JSON and diff it against the
+# committed baseline with tacreport. Verdicts subtract the propagated
+# 95% CI half-widths, so only a confident slowdown beyond GATE_PCT fails
+# (tacreport exits 3). The Markdown report lands in BENCH_report.md
+# whether the gate passes or not.
+GATE_PCT ?= 20
+BENCH_REPS ?= 5
+
+bench-json:
+	$(GO) run ./cmd/tacbench -json BENCH_results.json -quick -reps $(BENCH_REPS)
+
+perf-gate: bench-json
+	$(GO) run ./cmd/tacreport BENCH_baseline.json BENCH_results.json \
+	  -fail-on-regression $(GATE_PCT) -o BENCH_report.md
+	@echo "perf gate passed (threshold $(GATE_PCT)%); report in BENCH_report.md"
+
+# Refresh the committed baseline. Run on the reference machine, then
+# commit BENCH_baseline.json alongside the change that moved it.
+baseline:
+	$(GO) run ./cmd/tacbench -json BENCH_baseline.json -quick -reps $(BENCH_REPS)

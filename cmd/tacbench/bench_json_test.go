@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"taccc/internal/experiment"
+	"taccc/internal/obs/runlog"
+)
+
+// TestBenchJSONWritesResults covers the perf-gate producer: -json runs
+// the fixed bench suite and writes a BENCH_results.json that the reader
+// round-trips.
+func TestBenchJSONWritesResults(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_results.json")
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-json", path, "-quick", "-reps", "2", "-seed", "3"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "scenarios") {
+		t.Fatalf("no bench summary line on stdout:\n%s", out.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	res, err := experiment.ReadBenchResults(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tool != "tacbench" || res.Seed != 3 || res.Reps != 2 || !res.Quick {
+		t.Fatalf("results header: %+v", res)
+	}
+	if len(res.Scenarios) != 2 {
+		t.Fatalf("%d scenarios, want 2", len(res.Scenarios))
+	}
+	for _, sc := range res.Scenarios {
+		if len(sc.Algos) == 0 {
+			t.Fatalf("scenario %s has no algorithms", sc.ID)
+		}
+		for _, a := range sc.Algos {
+			if a.Reps != 2 {
+				t.Fatalf("%s/%s ran %d reps, want 2", sc.ID, a.Name, a.Reps)
+			}
+			if a.FeasibleRate > 0 && a.FeasibleRuntimeMs <= 0 {
+				t.Fatalf("%s/%s feasible but no runtime recorded: %+v", sc.ID, a.Name, a)
+			}
+		}
+	}
+}
+
+// TestBenchJSONWithArchive checks the suite also archives cleanly: the
+// run directory carries per-cell events and the bench summary.
+func TestBenchJSONWithArchive(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "bench.json")
+	arDir := filepath.Join(dir, "run")
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-json", jsonPath, "-quick", "-reps", "1", "-archive", arDir}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	ar, err := runlog.Load(arDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.Manifest.Tool != "tacbench" {
+		t.Fatalf("manifest tool %q", ar.Manifest.Tool)
+	}
+	cells := 0
+	for _, e := range ar.Events {
+		if e.Kind == "cell" {
+			cells++
+		}
+	}
+	if cells == 0 {
+		t.Fatal("no cell events in bench archive")
+	}
+	if _, ok := ar.Summary["bench.scenarios"]; !ok {
+		t.Fatalf("summary missing bench.scenarios: %v", ar.Summary)
+	}
+}

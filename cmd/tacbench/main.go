@@ -8,10 +8,17 @@
 //	tacbench -exp all -quick
 //	tacbench -exp F3 -reps 10 -csv
 //	tacbench -exp all -workers 1   # sequential; same tables, slower
+//	tacbench -json BENCH_results.json -quick -reps 5   # perf-gate bench
 //
 // Experiments and their replication cells run concurrently (bounded by
 // -workers, default all cores). Every cell is independently seeded from
 // -seed, so output is identical at any worker count.
+//
+// With -json, tacbench runs the fixed perf-tracking bench suite instead
+// of the report experiments and writes machine-readable per-algorithm
+// statistics (feasible-runtime and objective, with 95% CIs) to the named
+// file; `tacreport old.json new.json -fail-on-regression <pct>` diffs two
+// such files, which is how CI gates on BENCH_baseline.json.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	taccc "taccc"
 	"taccc/internal/cliutil"
 	"taccc/internal/obs"
+	"taccc/internal/obs/runlog"
 )
 
 func main() {
@@ -45,16 +53,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed    = fs.Int64("seed", 1, "root seed")
 		list    = fs.Bool("list", false, "list experiments and exit")
 		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "parallelism across experiments and replication cells (1 = sequential); results are identical at any setting")
-		version = fs.Bool("version", false, "print version and exit")
 		md      = fs.Bool("md", false, "emit Markdown tables")
 		prog    = fs.Bool("progress", false, "report per-experiment and per-algorithm progress on stderr")
-		events  = fs.String("events", "", "stream structured run events (spec/algo/cell) to this JSONL file")
 		metrics = fs.String("metrics-out", "", "write event-count metrics JSON here on exit")
+		jsonOut = fs.String("json", "", "run the perf-tracking bench suite instead of -exp and write per-algorithm runtime/objective statistics to this JSON file (see tacreport)")
 	)
+	version := cliutil.VersionFlag(fs)
 	var profiles cliutil.Profiles
 	profiles.Flags(fs)
 	var telemetry cliutil.Telemetry
 	telemetry.Flags(fs)
+	var eventsFlag cliutil.EventsFlag
+	eventsFlag.Flags(fs, "structured run events (spec/algo/cell)")
+	var archive cliutil.Archive
+	archive.Flags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -69,21 +81,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	var specs []taccc.ExperimentSpec
-	if *exp == "all" {
-		specs = taccc.Experiments()
-	} else {
-		s, err := taccc.ExperimentByID(*exp)
-		if err != nil {
-			fmt.Fprintf(stderr, "tacbench: %v\n", err)
-			return 2
+	if *jsonOut == "" {
+		if *exp == "all" {
+			specs = taccc.Experiments()
+		} else {
+			s, err := taccc.ExperimentByID(*exp)
+			if err != nil {
+				fmt.Fprintf(stderr, "tacbench: %v\n", err)
+				return 2
+			}
+			specs = []taccc.ExperimentSpec{s}
 		}
-		specs = []taccc.ExperimentSpec{s}
 	}
 	if *outdir != "" {
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {
 			fmt.Fprintf(stderr, "tacbench: %v\n", err)
 			return 1
 		}
+	}
+	if err := archive.Start("tacbench", fs, *seed); err != nil {
+		fmt.Fprintf(stderr, "tacbench: %v\n", err)
+		return 1
 	}
 	stopProfiles, err := profiles.Start(stderr)
 	if err != nil {
@@ -98,19 +116,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *prog {
 		sinks = append(sinks, &progressPrinter{w: stderr})
 	}
-	var eventStream *cliutil.Events
-	if *events != "" {
-		eventStream, err = cliutil.CreateEvents(*events)
-		if err != nil {
-			fmt.Fprintf(stderr, "tacbench: %v\n", err)
-			return 1
-		}
-		defer eventStream.Close()
+	eventStream, err := eventsFlag.Open()
+	if err != nil {
+		fmt.Fprintf(stderr, "tacbench: %v\n", err)
+		return 1
+	}
+	defer eventStream.Close()
+	if eventStream != nil {
 		sinks = append(sinks, eventStream.Sink())
+	}
+	if archive.Enabled() {
+		sinks = append(sinks, archive.Sink())
 	}
 	var metricsReg *obs.Registry
 	progressSink := obs.MultiSink(sinks...)
-	if *metrics != "" || telemetry.Enabled() {
+	if *metrics != "" || telemetry.Enabled() || archive.Enabled() {
 		metricsReg = obs.NewRegistry()
 		progressSink = obs.CountEvents(metricsReg, progressSink)
 	}
@@ -121,10 +141,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	defer stopTelemetry()
 
+	finish := func(summary runlog.Summary) int {
+		if err := eventStream.Close(); err != nil {
+			fmt.Fprintf(stderr, "tacbench: events: %v\n", err)
+			return 1
+		}
+		if err := archive.Finish(metricsReg, summary, stdout); err != nil {
+			fmt.Fprintf(stderr, "tacbench: %v\n", err)
+			return 1
+		}
+		if *metrics != "" {
+			f, err := os.Create(*metrics)
+			if err != nil {
+				fmt.Fprintf(stderr, "tacbench: %v\n", err)
+				return 1
+			}
+			defer f.Close()
+			if err := metricsReg.WriteJSON(f); err != nil {
+				fmt.Fprintf(stderr, "tacbench: metrics: %v\n", err)
+				return 1
+			}
+		}
+		return 0
+	}
+
 	opts := taccc.ExperimentOptions{Reps: *reps, Quick: *quick, Seed: *seed, Workers: *workers, Progress: progressSink}
+	if *jsonOut != "" {
+		return runBenchJSON(opts, *jsonOut, finish, stdout, stderr)
+	}
 	// The suite runner executes independent experiments concurrently;
 	// results come back in spec order, so the report reads the same at any
 	// worker count.
+	tables := 0
 	for _, res := range taccc.RunExperiments(specs, opts) {
 		if res.Err != nil {
 			fmt.Fprintf(stderr, "tacbench: %s: %v\n", res.Spec.ID, res.Err)
@@ -146,26 +194,50 @@ func run(args []string, stdout, stderr io.Writer) int {
 					return 1
 				}
 			}
+			tables++
 		}
 		fmt.Fprintf(stdout, "(%s completed in %s)\n\n", res.Spec.ID, res.Elapsed.Round(time.Millisecond))
 	}
-	if err := eventStream.Close(); err != nil {
-		fmt.Fprintf(stderr, "tacbench: events: %v\n", err)
+	return finish(runlog.Summary{
+		"bench.specs_ok": float64(len(specs)),
+		"bench.tables":   float64(tables),
+	})
+}
+
+// runBenchJSON executes the fixed perf-tracking bench suite and writes
+// BENCH_results-shaped JSON to path. The archive summary carries the
+// deterministic objective side of every (scenario, algorithm) pair.
+func runBenchJSON(opts taccc.ExperimentOptions, path string, finish func(runlog.Summary) int, stdout, stderr io.Writer) int {
+	res, err := taccc.RunBenchSuite(opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "tacbench: %v\n", err)
 		return 1
 	}
-	if *metrics != "" {
-		f, err := os.Create(*metrics)
-		if err != nil {
-			fmt.Fprintf(stderr, "tacbench: %v\n", err)
-			return 1
-		}
-		defer f.Close()
-		if err := metricsReg.WriteJSON(f); err != nil {
-			fmt.Fprintf(stderr, "tacbench: metrics: %v\n", err)
-			return 1
+	res.Tool, res.Version = "tacbench", cliutil.Version()
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "tacbench: %v\n", err)
+		return 1
+	}
+	err = res.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "tacbench: %v\n", err)
+		return 1
+	}
+	summary := runlog.Summary{"bench.scenarios": float64(len(res.Scenarios))}
+	algos := 0
+	for _, sc := range res.Scenarios {
+		algos = len(sc.Algos)
+		for _, a := range sc.Algos {
+			summary["bench."+sc.ID+"."+a.Name+".mean_cost_ms"] = a.MeanCostMs
+			summary["bench."+sc.ID+"."+a.Name+".feasible_rate"] = a.FeasibleRate
 		}
 	}
-	return 0
+	fmt.Fprintf(stdout, "bench:      %d scenarios x %d algorithms -> %s\n", len(res.Scenarios), algos, path)
+	return finish(summary)
 }
 
 // progressPrinter renders the coarse-grained run events (spec and

@@ -1,13 +1,14 @@
 package main
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"taccc/internal/obs"
 )
 
 func TestVersionFlag(t *testing.T) {
@@ -39,16 +40,13 @@ func TestProgressAndEvents(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
+	events, err := obs.ReadEventStream(f)
+	if err != nil {
+		t.Fatal(err)
+	}
 	kinds := map[string]int{}
-	scan := bufio.NewScanner(f)
-	for scan.Scan() {
-		var ev struct {
-			Kind string `json:"kind"`
-		}
-		if err := json.Unmarshal(scan.Bytes(), &ev); err != nil {
-			t.Fatalf("bad JSONL line: %v: %s", err, scan.Text())
-		}
-		kinds[ev.Kind]++
+	for _, e := range events {
+		kinds[e.Kind]++
 	}
 	if kinds["spec-start"] != 1 || kinds["spec-done"] != 1 {
 		t.Fatalf("spec events missing: %v", kinds)

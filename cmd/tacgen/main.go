@@ -43,8 +43,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		profile = fs.String("profile", "default", "device profile for -kind devices (default, smartcity, factory, wearables)")
 		seed    = fs.Int64("seed", 1, "random seed")
 		out     = fs.String("o", "", "output file (default stdout)")
-		version = fs.Bool("version", false, "print version and exit")
 	)
+	version := cliutil.VersionFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}

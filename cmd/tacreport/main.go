@@ -1,0 +1,131 @@
+// Command tacreport analyzes and diffs run archives (written by
+// tacsolve/tacsim/tacbench -archive) and bench results files (written by
+// tacbench -json).
+//
+// Usage:
+//
+//	tacreport runs/a                     # one source -> summary report
+//	tacreport runs/a runs/b              # two sources -> diff report
+//	tacreport BENCH_baseline.json BENCH_results.json -fail-on-regression 20
+//	tacreport runs/a runs/b -json report.json -o report.md
+//
+// A source is a run archive directory (detected by its manifest.json) or
+// a bench results JSON file; both sides of a diff must be the same kind.
+// Diff verdicts use 95% confidence intervals where the sources carry
+// them: a metric is a REGRESSION only when its delta stays beyond the
+// threshold after subtracting the propagated CI half-width, so noisy
+// runtime wobble does not fail the perf gate. With -fail-on-regression,
+// any REGRESSION makes tacreport exit 3 — the CI perf-gate contract.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"taccc/internal/cliutil"
+	"taccc/internal/report"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tacreport", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		threshold = fs.Float64("threshold", 5, "significance threshold in percent for diff verdicts")
+		failOn    = fs.Float64("fail-on-regression", -1, "exit with code 3 when any metric regresses confidently by more than this percent (overrides -threshold; < 0 disables)")
+		outMD     = fs.String("o", "", "write the Markdown report to this file instead of stdout")
+		outJSON   = fs.String("json", "", "also write the report as JSON to this file ('-' = stdout)")
+	)
+	version := cliutil.VersionFlag(fs)
+	// Collect positionals while letting flags appear before, between or
+	// after them (stdlib flag parsing stops at the first non-flag).
+	var paths []string
+	for rest := args; ; {
+		if err := fs.Parse(rest); err != nil {
+			return 2
+		}
+		if fs.NArg() == 0 {
+			break
+		}
+		paths = append(paths, fs.Arg(0))
+		rest = fs.Args()[1:]
+	}
+	if *version {
+		cliutil.FprintVersion(stdout, "tacreport")
+		return 0
+	}
+	if len(paths) < 1 || len(paths) > 2 {
+		fmt.Fprintln(stderr, "tacreport: expected one source (summary) or two sources (diff); a source is a run-archive directory or a bench results JSON file")
+		return 2
+	}
+	if *failOn >= 0 {
+		*threshold = *failOn
+	}
+
+	sources := make([]*report.Source, len(paths))
+	for i, p := range paths {
+		s, err := report.LoadSource(p)
+		if err != nil {
+			fmt.Fprintf(stderr, "tacreport: %v\n", err)
+			return 1
+		}
+		sources[i] = s
+	}
+
+	var markdown string
+	var writeJSON func(io.Writer) error
+	exit := 0
+	if len(sources) == 1 {
+		rep := report.Summarize(sources[0])
+		markdown = rep.Markdown()
+		writeJSON = rep.WriteJSON
+	} else {
+		diff, err := report.DiffSources(sources[0], sources[1], *threshold)
+		if err != nil {
+			fmt.Fprintf(stderr, "tacreport: %v\n", err)
+			return 1
+		}
+		markdown = diff.Markdown()
+		writeJSON = diff.WriteJSON
+		for _, m := range diff.Metrics {
+			if m.Verdict != report.VerdictOK {
+				fmt.Fprintln(stderr, m.VerdictLine())
+			}
+		}
+		if *failOn >= 0 && diff.Regressions > 0 {
+			fmt.Fprintf(stderr, "tacreport: %d metric(s) regressed confidently by more than %.1f%%\n", diff.Regressions, *threshold)
+			exit = 3
+		}
+	}
+
+	if *outMD != "" {
+		if err := os.WriteFile(*outMD, []byte(markdown), 0o644); err != nil {
+			fmt.Fprintf(stderr, "tacreport: %v\n", err)
+			return 1
+		}
+	} else {
+		fmt.Fprint(stdout, markdown)
+	}
+	if *outJSON != "" {
+		w := stdout
+		if *outJSON != "-" {
+			f, err := os.Create(*outJSON)
+			if err != nil {
+				fmt.Fprintf(stderr, "tacreport: %v\n", err)
+				return 1
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := writeJSON(w); err != nil {
+			fmt.Fprintf(stderr, "tacreport: %v\n", err)
+			return 1
+		}
+	}
+	return exit
+}

@@ -1,0 +1,217 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"taccc/internal/experiment"
+	"taccc/internal/obs"
+	"taccc/internal/obs/runlog"
+)
+
+// writeArchive fabricates a small run archive with a convergence curve,
+// latency histogram and scalar summary, scaled by latencyScale.
+func writeArchive(t *testing.T, dir string, latencyScale float64) {
+	t.Helper()
+	w, err := runlog.Create(dir, runlog.Manifest{Tool: "tacsim", Version: "test", Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := obs.EventProgress(w.Sink())
+	for i, c := range []float64{90, 80, 70} {
+		obs.EmitIter(prog, "qlearning", i, c*latencyScale, true)
+	}
+	reg := obs.NewRegistry()
+	for _, v := range []float64{5, 10, 20} {
+		reg.Histogram("cluster.latency_ms", obs.DefaultLatencyBucketsMs()).Observe(v * latencyScale)
+		reg.Histogram("cluster.delay.queue_ms", obs.DefaultLatencyBucketsMs()).Observe(v * latencyScale)
+	}
+	reg.Counter("cluster.requests_sent").Add(10)
+	reg.Counter("cluster.requests_missed").Add(1)
+	if err := w.Close(reg.Snapshot(), runlog.Summary{"sim.latency_p95_ms": 20 * latencyScale}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// writeBench writes a bench results file whose greedy runtime on the
+// "tight" scenario is scaled by slowdown — the injected-regression knob.
+func writeBench(t *testing.T, path string, slowdown float64) {
+	t.Helper()
+	res := &experiment.BenchResults{
+		Tool: "tacbench", Version: "test", Seed: 1, Reps: 5,
+		Scenarios: []experiment.BenchScenario{
+			{ID: "small", NumIoT: 30, NumEdge: 4, Rho: 0.7, Algos: []experiment.BenchAlgo{
+				{Name: "greedy", MeanCostMs: 20, CostCI95Ms: 0.2, FeasibleRuntimeMs: 0.5, RuntimeCI95Ms: 0.02, FeasibleRate: 1, Reps: 5},
+			}},
+			{ID: "tight", NumIoT: 40, NumEdge: 5, Rho: 0.9, Algos: []experiment.BenchAlgo{
+				{Name: "greedy", MeanCostMs: 30, CostCI95Ms: 0.3, FeasibleRuntimeMs: 1 * slowdown, RuntimeCI95Ms: 0.05, FeasibleRate: 1, Reps: 5},
+			}},
+		},
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := res.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-version"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.HasPrefix(out.String(), "tacreport ") {
+		t.Fatalf("version banner %q", out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"a", "b", "c"},
+		{"-no-such-flag"},
+	} {
+		var out, errBuf bytes.Buffer
+		if code := run(args, &out, &errBuf); code != 2 {
+			t.Errorf("args %v: exit %d, want 2 (stderr: %s)", args, code, errBuf.String())
+		}
+	}
+}
+
+func TestSummaryReport(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	writeArchive(t, dir, 1)
+	var out, errBuf bytes.Buffer
+	if code := run([]string{dir}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	md := out.String()
+	for _, want := range []string{"## Convergence", "qlearning", "## Delay attribution", "miss rate"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("summary missing %q:\n%s", want, md)
+		}
+	}
+}
+
+// TestDiffSameSeedArchivesIsClean is the acceptance criterion: diffing
+// two archives from identical runs reports zero regressions and exits 0
+// even under -fail-on-regression.
+func TestDiffSameSeedArchivesIsClean(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a"), filepath.Join(dir, "b")
+	writeArchive(t, a, 1)
+	writeArchive(t, b, 1)
+	var out, errBuf bytes.Buffer
+	if code := run([]string{a, b, "-fail-on-regression", "5"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d diffing identical archives: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "0 regression(s)") {
+		t.Fatalf("diff report does not state 0 regressions:\n%s", out.String())
+	}
+	if strings.Contains(errBuf.String(), "REGRESSION") {
+		t.Fatalf("verdicts on identical archives:\n%s", errBuf.String())
+	}
+}
+
+func TestDiffArchivesFlagsSlowdown(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a"), filepath.Join(dir, "b")
+	writeArchive(t, a, 1)
+	writeArchive(t, b, 3)
+	var out, errBuf bytes.Buffer
+	if code := run([]string{a, b, "-fail-on-regression", "20"}, &out, &errBuf); code != 3 {
+		t.Fatalf("exit %d on 3x latency, want 3: %s", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "REGRESSION sim.latency_p95_ms") {
+		t.Fatalf("stderr missing verdict line:\n%s", errBuf.String())
+	}
+}
+
+// TestPerfGateFailsOnInjectedSlowdown is the acceptance criterion for
+// the perf gate: a doctored BENCH_results.json with a 2x runtime
+// slowdown must fail the gate with exit code 3.
+func TestPerfGateFailsOnInjectedSlowdown(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "BENCH_baseline.json")
+	doctored := filepath.Join(dir, "BENCH_results.json")
+	writeBench(t, baseline, 1)
+	writeBench(t, doctored, 2)
+
+	var out, errBuf bytes.Buffer
+	if code := run([]string{baseline, doctored, "-fail-on-regression", "20"}, &out, &errBuf); code != 3 {
+		t.Fatalf("gate did not fail on injected slowdown: exit %d\n%s", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "REGRESSION tight/greedy feasible_runtime_ms") {
+		t.Fatalf("stderr missing the doctored metric's verdict:\n%s", errBuf.String())
+	}
+	// Cost metrics were untouched: they must not appear as regressions.
+	if strings.Contains(errBuf.String(), "mean_cost_ms") {
+		t.Fatalf("untouched cost metric flagged:\n%s", errBuf.String())
+	}
+
+	// The same pair passes when results match the baseline.
+	writeBench(t, doctored, 1)
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{baseline, doctored, "-fail-on-regression", "20"}, &out, &errBuf); code != 0 {
+		t.Fatalf("gate failed on identical bench results: exit %d\n%s", code, errBuf.String())
+	}
+}
+
+func TestOutputFiles(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a"), filepath.Join(dir, "b")
+	writeArchive(t, a, 1)
+	writeArchive(t, b, 1)
+	mdPath := filepath.Join(dir, "report.md")
+	jsonPath := filepath.Join(dir, "report.json")
+	var out, errBuf bytes.Buffer
+	if code := run([]string{a, b, "-o", mdPath, "-json", jsonPath}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("-o should silence stdout, got:\n%s", out.String())
+	}
+	md, err := os.ReadFile(mdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(md), "# tacreport diff") {
+		t.Fatalf("markdown file content:\n%s", md)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diff struct {
+		Metrics []struct {
+			Name    string `json:"name"`
+			Verdict string `json:"verdict"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &diff); err != nil {
+		t.Fatalf("JSON report does not parse: %v", err)
+	}
+	if len(diff.Metrics) == 0 {
+		t.Fatal("JSON report has no metrics")
+	}
+}
+
+func TestMixedSourceKindsRejected(t *testing.T) {
+	dir := t.TempDir()
+	ar := filepath.Join(dir, "run")
+	writeArchive(t, ar, 1)
+	bench := filepath.Join(dir, "bench.json")
+	writeBench(t, bench, 1)
+	var out, errBuf bytes.Buffer
+	if code := run([]string{ar, bench}, &out, &errBuf); code != 1 {
+		t.Fatalf("archive-vs-bench diff: exit %d, want 1 (stderr: %s)", code, errBuf.String())
+	}
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"taccc/internal/obs/runlog"
+)
+
+func runArchived(t *testing.T, dir string, workers int) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := run([]string{
+		"-iot", "30", "-edge", "4", "-algo", "greedy", "-duration", "5",
+		"-warmup", "1", "-seed", "11", "-workers", strconv.Itoa(workers),
+		"-archive", dir,
+	}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("workers=%d: exit %d: %s", workers, code, errBuf.String())
+	}
+}
+
+// TestArchiveRoundTrip runs tacsim with -archive and validates the
+// directory through the runlog reader.
+func TestArchiveRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	runArchived(t, dir, 1)
+	ar, err := runlog.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.Manifest.Tool != "tacsim" || ar.Manifest.Seed != 11 {
+		t.Fatalf("manifest: %+v", ar.Manifest)
+	}
+	if ar.Manifest.Config["algo"] != "greedy" || ar.Manifest.Config["iot"] != "30" {
+		t.Fatalf("config not captured: %v", ar.Manifest.Config)
+	}
+	// Execution-only flags must not leak into the archived config.
+	for _, k := range []string{"archive", "workers"} {
+		if _, ok := ar.Manifest.Config[k]; ok {
+			t.Fatalf("execution-only flag %q archived: %v", k, ar.Manifest.Config)
+		}
+	}
+	if len(ar.Events) == 0 {
+		t.Fatal("no events archived")
+	}
+	if ar.Metrics.Counters["cluster.requests_sent"] == 0 {
+		t.Fatalf("metrics snapshot missing request counters: %+v", ar.Metrics.Counters)
+	}
+	for _, k := range []string{"sim.miss_rate", "sim.latency_p95_ms", "assignment.mean_delay_ms"} {
+		if _, ok := ar.Summary[k]; !ok {
+			t.Fatalf("summary missing %q: %v", k, ar.Summary)
+		}
+	}
+}
+
+// TestArchiveDeterministicAcrossWorkers is the acceptance criterion:
+// archiving the same seeded run at -workers 1 and -workers 8 produces
+// byte-identical events, metrics and summary. Only the manifest's
+// wall-clock fields may differ.
+func TestArchiveDeterministicAcrossWorkers(t *testing.T) {
+	base := t.TempDir()
+	a, b := filepath.Join(base, "w1"), filepath.Join(base, "w8")
+	runArchived(t, a, 1)
+	runArchived(t, b, 8)
+
+	for _, name := range []string{runlog.EventsFile, runlog.MetricsFile, runlog.SummaryFile} {
+		da, err := os.ReadFile(filepath.Join(a, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := os.ReadFile(filepath.Join(b, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(da, db) {
+			t.Errorf("%s differs between workers=1 and workers=8", name)
+		}
+	}
+
+	// Manifests match after dropping wall-clock and the workers flag is
+	// already excluded from config, so only timing may differ.
+	norm := func(path string) map[string]any {
+		data, err := os.ReadFile(filepath.Join(path, runlog.ManifestFile))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatal(err)
+		}
+		delete(m, "start_unix_ms")
+		delete(m, "elapsed_ms")
+		return m
+	}
+	ma, mb := norm(a), norm(b)
+	ja, _ := json.Marshal(ma)
+	jb, _ := json.Marshal(mb)
+	if !bytes.Equal(ja, jb) {
+		t.Errorf("manifests differ beyond wall-clock:\n%s\nvs\n%s", ja, jb)
+	}
+}
+
+// TestArchiveCorruptionDetected truncates the metrics file and checks
+// the reader rejects the archive.
+func TestArchiveCorruptionDetected(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	runArchived(t, dir, 1)
+	if err := os.WriteFile(filepath.Join(dir, runlog.MetricsFile), []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runlog.Load(dir); err == nil {
+		t.Fatal("corrupted metrics.json accepted")
+	}
+}

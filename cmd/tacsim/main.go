@@ -9,6 +9,7 @@
 //	tacsim -iot 100 -edge 10 -algo greedy -fail-edge 0 -fail-at 20
 //	tacsim -listen :9477 -linger 30s        # scrape /metrics while it runs
 //	tacsim -events run.jsonl -trace-sample 0.1
+//	tacsim -archive runs/a                  # self-contained run archive
 package main
 
 import (
@@ -20,6 +21,8 @@ import (
 
 	taccc "taccc"
 	"taccc/internal/cliutil"
+	"taccc/internal/obs"
+	"taccc/internal/obs/runlog"
 )
 
 func main() {
@@ -46,23 +49,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jitter      = fs.Float64("jitter", 0, "lognormal network jitter sigma (0 = deterministic delays)")
 		seed        = fs.Int64("seed", 1, "random seed")
 		workers     = fs.Int("workers", 0, "parallelism for delay-matrix construction (<= 0 = all cores, 1 = sequential); output is identical at any setting")
-		version     = fs.Bool("version", false, "print version and exit")
 		progress    = fs.Bool("progress", false, "print solver improvements to stderr while assigning")
-		events      = fs.String("events", "", "stream solver iteration and per-request span events to this JSONL file")
-		traceSample = fs.Float64("trace-sample", 0, "fraction of requests emitted as spans with -events, in [0,1] (0 = all)")
+		traceSample = fs.Float64("trace-sample", 0, "fraction of requests emitted as spans with -events/-archive, in [0,1] (0 = all)")
 		metricsOut  = fs.String("metrics-out", "", "write the simulator's metrics-registry snapshot JSON here (request counters, queue gauges, latency and per-phase delay histograms)")
 		linger      = fs.Duration("linger", 0, "keep the -listen telemetry server up this long after the run finishes")
 	)
+	version := cliutil.VersionFlag(fs)
 	var profiles cliutil.Profiles
 	profiles.Flags(fs)
 	var telemetry cliutil.Telemetry
 	telemetry.Flags(fs)
+	var eventsFlag cliutil.EventsFlag
+	eventsFlag.Flags(fs, "solver iteration and per-request span events")
+	var archive cliutil.Archive
+	archive.Flags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *version {
 		cliutil.FprintVersion(stdout, "tacsim")
 		return 0
+	}
+	if err := archive.Start("tacsim", fs, *seed); err != nil {
+		fmt.Fprintf(stderr, "tacsim: %v\n", err)
+		return 1
 	}
 	stopProfiles, err := profiles.Start(stderr)
 	if err != nil {
@@ -83,18 +93,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *progress {
 		sinks = append(sinks, taccc.NewProgressWriter(stderr))
 	}
-	var eventStream *cliutil.Events
-	if *events != "" {
-		eventStream, err = cliutil.CreateEvents(*events)
-		if err != nil {
-			fmt.Fprintf(stderr, "tacsim: %v\n", err)
-			return 1
-		}
-		defer eventStream.Close()
-		sinks = append(sinks, taccc.EventProgress(eventStream.Sink()))
+	eventStream, err := eventsFlag.Open()
+	if err != nil {
+		fmt.Fprintf(stderr, "tacsim: %v\n", err)
+		return 1
+	}
+	defer eventStream.Close()
+	// Iteration events and request spans flow to the -events file and the
+	// -archive event stream alike.
+	var evSinks []obs.Sink
+	if eventStream != nil {
+		evSinks = append(evSinks, eventStream.Sink())
+	}
+	if archive.Enabled() {
+		evSinks = append(evSinks, archive.Sink())
+	}
+	eventSink := obs.MultiSink(evSinks...)
+	if eventSink != nil {
+		sinks = append(sinks, taccc.EventProgress(eventSink))
 	}
 	var metricsReg *taccc.MetricsRegistry
-	if *metricsOut != "" || telemetry.Enabled() {
+	if *metricsOut != "" || telemetry.Enabled() || archive.Enabled() {
 		metricsReg = taccc.NewMetricsRegistry()
 		sinks = append(sinks, taccc.MetricsProgress(metricsReg))
 	}
@@ -164,8 +183,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		JitterSigma: *jitter,
 		Seed:        *seed,
 	}
-	if eventStream != nil {
-		cfg.Spans = eventStream.Sink()
+	if eventSink != nil {
+		cfg.Spans = eventSink
 		cfg.TraceSampleRate = *traceSample
 	}
 	sim, err := taccc.NewSimulator(cfg)
@@ -201,11 +220,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "trace:      %d records -> %s\n", traceWriter.N(), *tracePath)
 	}
-	if eventStream != nil {
-		if err := eventStream.Close(); err != nil {
-			fmt.Fprintf(stderr, "tacsim: events: %v\n", err)
-			return 1
-		}
+	if err := eventStream.Close(); err != nil {
+		fmt.Fprintf(stderr, "tacsim: events: %v\n", err)
+		return 1
+	}
+	summary := runlog.Summary{
+		"assignment.mean_delay_ms": built.Instance.MeanCost(got),
+		"assignment.max_delay_ms":  built.Instance.MaxCost(got),
+		"assignment.imbalance":     built.Instance.Imbalance(got),
+		"sim.completed":            float64(res.Completed),
+		"sim.dropped":              float64(res.Dropped),
+		"sim.deadline_misses":      float64(res.DeadlineMisses),
+		"sim.miss_rate":            res.MissRate(),
+		"sim.latency_p50_ms":       res.Latency.Median(),
+		"sim.latency_p95_ms":       res.Latency.P95(),
+		"sim.latency_p99_ms":       res.Latency.P99(),
+		"sim.latency_max_ms":       res.Latency.Quantile(1),
+	}
+	if err := archive.Finish(metricsReg, summary, stdout); err != nil {
+		fmt.Fprintf(stderr, "tacsim: %v\n", err)
+		return 1
 	}
 	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)

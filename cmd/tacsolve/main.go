@@ -7,6 +7,7 @@
 //	tacsolve -instance inst.json -algo exact            # branch-and-bound
 //	tacsolve -instance inst.json -algo greedy -o a.json # save assignment
 //	tacsolve -instance inst.json -algo all -workers 4   # compare, 4 solvers at a time
+//	tacsolve -instance inst.json -archive runs/a        # self-contained run archive
 package main
 
 import (
@@ -21,6 +22,8 @@ import (
 
 	taccc "taccc"
 	"taccc/internal/cliutil"
+	"taccc/internal/obs"
+	"taccc/internal/obs/runlog"
 )
 
 func main() {
@@ -37,21 +40,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		out      = fs.String("o", "", "write the assignment JSON here")
 		list     = fs.Bool("list", false, "list available algorithms and exit")
 		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "parallelism for -algo all (1 = sequential); the portfolio algorithm always runs its members concurrently")
-		version  = fs.Bool("version", false, "print version and exit")
 		progress = fs.Bool("progress", false, "print solver improvements to stderr as they happen")
-		events   = fs.String("events", "", "stream per-iteration solver events to this JSONL file")
 		metrics  = fs.String("metrics-out", "", "write a metrics-registry snapshot JSON here on exit")
 	)
+	version := cliutil.VersionFlag(fs)
 	var profiles cliutil.Profiles
 	profiles.Flags(fs)
 	var telemetry cliutil.Telemetry
 	telemetry.Flags(fs)
+	var eventsFlag cliutil.EventsFlag
+	eventsFlag.Flags(fs, "per-iteration solver events")
+	var archive cliutil.Archive
+	archive.Flags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *version {
 		cliutil.FprintVersion(stdout, "tacsolve")
 		return 0
+	}
+	if err := archive.Start("tacsolve", fs, *seed); err != nil {
+		fmt.Fprintf(stderr, "tacsolve: %v\n", err)
+		return 1
 	}
 	stopProfiles, err := profiles.Start(stderr)
 	if err != nil {
@@ -65,18 +75,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *progress {
 		sinks = append(sinks, taccc.NewProgressWriter(stderr))
 	}
-	var eventStream *cliutil.Events
-	if *events != "" {
-		eventStream, err = cliutil.CreateEvents(*events)
-		if err != nil {
-			fmt.Fprintf(stderr, "tacsolve: %v\n", err)
-			return 1
-		}
-		defer eventStream.Close()
-		sinks = append(sinks, taccc.EventProgress(eventStream.Sink()))
+	eventStream, err := eventsFlag.Open()
+	if err != nil {
+		fmt.Fprintf(stderr, "tacsolve: %v\n", err)
+		return 1
+	}
+	defer eventStream.Close()
+	// Solver iteration events flow to the -events file and the -archive
+	// event stream alike.
+	var evSinks []obs.Sink
+	if eventStream != nil {
+		evSinks = append(evSinks, eventStream.Sink())
+	}
+	if archive.Enabled() {
+		evSinks = append(evSinks, archive.Sink())
+	}
+	if eventSink := obs.MultiSink(evSinks...); eventSink != nil {
+		sinks = append(sinks, taccc.EventProgress(eventSink))
 	}
 	var metricsReg *taccc.MetricsRegistry
-	if *metrics != "" || telemetry.Enabled() {
+	if *metrics != "" || telemetry.Enabled() || archive.Enabled() {
 		metricsReg = taccc.NewMetricsRegistry()
 		sinks = append(sinks, taccc.MetricsProgress(metricsReg))
 	}
@@ -87,9 +105,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	defer stopTelemetry()
 	sink := taccc.MultiProgress(sinks...)
-	finishObs := func() int {
+	finishObs := func(summary runlog.Summary) int {
 		if err := eventStream.Close(); err != nil {
 			fmt.Fprintf(stderr, "tacsolve: events: %v\n", err)
+			return 1
+		}
+		if err := archive.Finish(metricsReg, summary, stdout); err != nil {
+			fmt.Fprintf(stderr, "tacsolve: %v\n", err)
 			return 1
 		}
 		if *metrics != "" {
@@ -129,10 +151,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *algo == "all" {
-		if code := compareAll(in, reg, *seed, *workers, sink, stdout); code != 0 {
+		summary, code := compareAll(in, reg, *seed, *workers, sink, stdout)
+		if code != 0 {
 			return code
 		}
-		return finishObs()
+		return finishObs(summary)
 	}
 
 	start := time.Now()
@@ -190,16 +213,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
-	return finishObs()
+	feasible := 0.0
+	if in.Feasible(got) {
+		feasible = 1
+	}
+	return finishObs(runlog.Summary{
+		"instance.devices":     float64(in.N()),
+		"instance.edges":       float64(in.M()),
+		"solve.total_delay_ms": in.TotalCost(got),
+		"solve.mean_delay_ms":  in.MeanCost(got),
+		"solve.max_delay_ms":   in.MaxCost(got),
+		"solve.lower_bound_ms": taccc.LowerBound(in),
+		"solve.imbalance":      in.Imbalance(got),
+		"solve.feasible":       feasible,
+	})
 }
 
 // compareAll solves the instance with every registered algorithm — up to
 // workers at a time — and prints a comparison table in registry order. Each
-// algorithm owns one row slot, so the table is identical at any parallelism.
-// The progress sink, when non-nil, is attached to every supporting
-// algorithm; events from concurrent solvers interleave but each carries
-// its algorithm name.
-func compareAll(in *taccc.Instance, reg *taccc.AlgorithmRegistry, seed int64, workers int, sink taccc.ProgressSink, stdout io.Writer) int {
+// algorithm owns one row slot, so the table — and the returned archive
+// summary (algo.<name>.mean_delay_ms / .max_delay_ms / .feasible) — is
+// identical at any parallelism. The progress sink, when non-nil, is
+// attached to every supporting algorithm; events from concurrent solvers
+// interleave but each carries its algorithm name.
+func compareAll(in *taccc.Instance, reg *taccc.AlgorithmRegistry, seed int64, workers int, sink taccc.ProgressSink, stdout io.Writer) (runlog.Summary, int) {
 	type row struct {
 		got     *taccc.Assignment
 		err     error
@@ -232,17 +269,30 @@ func compareAll(in *taccc.Instance, reg *taccc.AlgorithmRegistry, seed int64, wo
 		}(i, a)
 	}
 	wg.Wait()
+	summary := runlog.Summary{
+		"instance.devices":     float64(in.N()),
+		"instance.edges":       float64(in.M()),
+		"solve.lower_bound_ms": taccc.LowerBound(in),
+	}
 	fmt.Fprintf(stdout, "%-18s %12s %12s %10s %12s\n", "algorithm", "mean ms", "max ms", "feasible", "time")
 	fmt.Fprintf(stdout, "%-18s %12s %12s %10s %12s\n", "---------", "-------", "------", "--------", "----")
 	for i, name := range names {
 		r := rows[i]
 		if r.err != nil {
 			fmt.Fprintf(stdout, "%-18s %12s %12s %10s %12s\n", name, "-", "-", "no", r.elapsed)
+			summary["algo."+name+".feasible"] = 0
 			continue
 		}
 		fmt.Fprintf(stdout, "%-18s %12.3f %12.3f %10v %12s\n",
 			name, in.MeanCost(r.got), in.MaxCost(r.got), in.Feasible(r.got), r.elapsed)
+		summary["algo."+name+".mean_delay_ms"] = in.MeanCost(r.got)
+		summary["algo."+name+".max_delay_ms"] = in.MaxCost(r.got)
+		feasible := 0.0
+		if in.Feasible(r.got) {
+			feasible = 1
+		}
+		summary["algo."+name+".feasible"] = feasible
 	}
 	fmt.Fprintf(stdout, "lower bound (mean): %.3f ms\n", taccc.LowerBound(in)/float64(in.N()))
-	return 0
+	return summary, 0
 }

@@ -1,13 +1,14 @@
 package main
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"taccc/internal/obs"
 )
 
 func TestVersionFlag(t *testing.T) {
@@ -36,34 +37,25 @@ func TestEventsStreamIsParseableConvergenceCurve(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	type iterLine struct {
-		Kind     string  `json:"kind"`
-		Algo     string  `json:"algo"`
-		Iter     int     `json:"iter"`
-		BestCost float64 `json:"best_cost_ms"`
-		Feasible bool    `json:"feasible"`
+	events, err := obs.ReadEventStream(f)
+	if err != nil {
+		t.Fatal(err)
 	}
-	var lines int
 	prevBest := 0.0
-	scan := bufio.NewScanner(f)
-	for scan.Scan() {
-		var ev iterLine
-		if err := json.Unmarshal(scan.Bytes(), &ev); err != nil {
-			t.Fatalf("line %d is not JSON: %v: %s", lines, err, scan.Text())
+	for i, e := range events {
+		it, ok := e.Iter()
+		if !ok || it.Algo != "qlearning" || it.Iter != i {
+			t.Fatalf("event %d unexpected: %+v", i, e)
 		}
-		if ev.Kind != "iter" || ev.Algo != "qlearning" || ev.Iter != lines {
-			t.Fatalf("line %d unexpected: %+v", lines, ev)
-		}
-		if ev.Feasible {
-			if prevBest > 0 && ev.BestCost > prevBest+1e-9 {
-				t.Fatalf("best cost regressed at iter %d: %v -> %v", ev.Iter, prevBest, ev.BestCost)
+		if it.Feasible {
+			if prevBest > 0 && it.BestCost > prevBest+1e-9 {
+				t.Fatalf("best cost regressed at iter %d: %v -> %v", it.Iter, prevBest, it.BestCost)
 			}
-			prevBest = ev.BestCost
+			prevBest = it.BestCost
 		}
-		lines++
 	}
-	if lines < 100 {
-		t.Fatalf("only %d iteration events; expected one per episode", lines)
+	if len(events) < 100 {
+		t.Fatalf("only %d iteration events; expected one per episode", len(events))
 	}
 	if prevBest == 0 {
 		t.Fatal("no feasible iteration in the stream")
@@ -121,16 +113,15 @@ func TestCompareAllWithEvents(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	events, err := obs.ReadEventStream(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
 	algos := map[string]bool{}
-	scan := bufio.NewScanner(bytes.NewReader(data))
-	for scan.Scan() {
-		var ev struct {
-			Algo string `json:"algo"`
+	for _, e := range events {
+		if algo, ok := e.Str("algo"); ok {
+			algos[algo] = true
 		}
-		if err := json.Unmarshal(scan.Bytes(), &ev); err != nil {
-			t.Fatalf("bad JSONL line: %v", err)
-		}
-		algos[ev.Algo] = true
 	}
 	for _, want := range []string{"qlearning", "tabu", "lns", "genetic"} {
 		if !algos[want] {

@@ -37,8 +37,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		addr     = fs.String("addr", "127.0.0.1:9477", "telemetry server address (host:port)")
 		interval = fs.Duration("interval", 2*time.Second, "poll interval")
 		n        = fs.Int("n", 0, "number of polls before exiting (0 = poll forever)")
-		version  = fs.Bool("version", false, "print version and exit")
 	)
+	version := cliutil.VersionFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}

@@ -28,10 +28,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tactrace", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		in      = fs.String("in", "", "trace CSV file (required)")
-		window  = fs.Float64("window", 10_000, "time-series bucket width in ms")
-		version = fs.Bool("version", false, "print version and exit")
+		in     = fs.String("in", "", "trace CSV file (required)")
+		window = fs.Float64("window", 10_000, "time-series bucket width in ms")
 	)
+	version := cliutil.VersionFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}

@@ -1,0 +1,106 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"taccc/internal/obs"
+	"taccc/internal/obs/runlog"
+)
+
+// executionOnlyFlags are flags that never change a run's results — they
+// tune parallelism, profiling, telemetry or pick output destinations.
+// They are excluded from the archived config so that archives of the
+// same logical run are identical regardless of how it was executed:
+// `-workers 1` and `-workers 8` runs of the same seed and scenario
+// produce byte-identical archives (the manifest's wall-clock fields
+// aside), which is what makes run-diffing trustworthy.
+var executionOnlyFlags = map[string]bool{
+	"archive":     true,
+	"cpuprofile":  true,
+	"memprofile":  true,
+	"events":      true,
+	"linger":      true,
+	"listen":      true,
+	"metrics-out": true,
+	"o":           true,
+	"outdir":      true,
+	"progress":    true,
+	"trace":       true,
+	"workers":     true,
+	"json":        true,
+	"csv":         true,
+	"md":          true,
+}
+
+// Archive wires the shared -archive flag into a FlagSet and manages the
+// run-archive lifecycle: Start after flag parsing, Sink while running,
+// Finish on the way out. All methods are nil-safe when archiving is off.
+type Archive struct {
+	Dir string
+	w   *runlog.Writer
+}
+
+// Flags registers the archive flag on fs.
+func (a *Archive) Flags(fs *flag.FlagSet) {
+	fs.StringVar(&a.Dir, "archive", "", "write a self-contained run archive (manifest, event stream, metrics snapshot, result summary) into this directory")
+}
+
+// Enabled reports whether an archive directory was requested.
+func (a *Archive) Enabled() bool { return a != nil && a.Dir != "" }
+
+// Start creates the archive when -archive was given. The manifest
+// records the tool name, build version, seed, and the tool's full
+// semantic configuration — every parsed flag's final value except the
+// execution-only set (workers, profiling, telemetry, output paths),
+// which cannot change results and would break run-to-run comparability.
+func (a *Archive) Start(tool string, fs *flag.FlagSet, seed int64) error {
+	if !a.Enabled() {
+		return nil
+	}
+	config := make(map[string]string)
+	fs.VisitAll(func(f *flag.Flag) {
+		if !executionOnlyFlags[f.Name] && f.Name != "version" {
+			config[f.Name] = f.Value.String()
+		}
+	})
+	w, err := runlog.Create(a.Dir, runlog.Manifest{
+		Tool: tool, Version: Version(), Seed: seed, Config: config,
+	})
+	if err != nil {
+		return err
+	}
+	a.w = w
+	return nil
+}
+
+// Sink returns the archive's event stream (nil when archiving is off),
+// ready to feed MultiSink/EventProgress unconditionally.
+func (a *Archive) Sink() *obs.JSONL {
+	if a == nil {
+		return nil
+	}
+	return a.w.Sink()
+}
+
+// Finish seals the archive with the final metrics snapshot and result
+// summary, announcing the archive location on logw. Safe to call when
+// archiving is off; the first archive-write error is returned so
+// callers fail the run rather than ship a truncated archive.
+func (a *Archive) Finish(reg *obs.Registry, summary runlog.Summary, logw io.Writer) error {
+	if !a.Enabled() || a.w == nil {
+		return nil
+	}
+	if err := a.w.Close(reg.Snapshot(), summary); err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "archive:    run archive -> %s\n", a.Dir)
+	return nil
+}
+
+// VersionFlag registers the standard -version flag on fs; every taccc
+// tool exposes it and prints the shared FprintVersion banner.
+func VersionFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("version", false, "print version and exit")
+}

@@ -1,0 +1,65 @@
+package cliutil
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// binaries is the full CLI surface; every tool must answer -version with
+// the shared banner so scripts can probe any of them uniformly.
+var binaries = []string{
+	"tacbench",
+	"tacgen",
+	"tacreport",
+	"tacsim",
+	"tacsolve",
+	"tactop",
+	"tactrace",
+}
+
+// moduleRoot locates the repository root (the directory holding go.mod)
+// so the test can build the cmd/ packages regardless of the test cwd.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("go list -m: %v", err)
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// TestAllBinariesAnswerVersion builds every tool and shells each with
+// -version, asserting the uniform "<tool> <version> (taccc)" banner.
+func TestAllBinariesAnswerVersion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds all binaries; skipped in -short")
+	}
+	root := moduleRoot(t)
+	binDir := t.TempDir()
+	build := exec.Command("go", "build", "-o", binDir, "./cmd/...")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/...: %v\n%s", err, out)
+	}
+	for _, tool := range binaries {
+		tool := tool
+		t.Run(tool, func(t *testing.T) {
+			bin := filepath.Join(binDir, tool)
+			if _, err := os.Stat(bin); err != nil {
+				t.Fatalf("binary not built: %v", err)
+			}
+			out, err := exec.Command(bin, "-version").CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s -version: %v\n%s", tool, err, out)
+			}
+			want := regexp.MustCompile(`^` + tool + ` \S+ \(taccc\)\n$`)
+			if !want.Match(out) {
+				t.Fatalf("%s -version banner %q does not match %s", tool, out, want)
+			}
+		})
+	}
+}

@@ -40,6 +40,31 @@ func (t *Telemetry) Start(reg *obs.Registry, logw io.Writer) (stop func(), err e
 	return func() { _ = srv.Close() }, nil
 }
 
+// EventsFlag wires the shared -events flag into a FlagSet; the help
+// text names what the tool streams so the flag reads the same across
+// tacsolve, tacsim and tacbench while staying accurate per tool.
+type EventsFlag struct {
+	Path string
+}
+
+// Flags registers the events flag on fs; what describes the stream's
+// contents (e.g. "solver iteration and per-request span events").
+func (e *EventsFlag) Flags(fs *flag.FlagSet, what string) {
+	fs.StringVar(&e.Path, "events", "", "stream "+what+" to this JSONL file")
+}
+
+// Enabled reports whether an events path was requested.
+func (e *EventsFlag) Enabled() bool { return e != nil && e.Path != "" }
+
+// Open creates the event stream when -events was given; (nil, nil)
+// otherwise — a nil *Events is safe everywhere downstream.
+func (e *EventsFlag) Open() (*Events, error) {
+	if !e.Enabled() {
+		return nil, nil
+	}
+	return CreateEvents(e.Path)
+}
+
 // Events owns a JSONL event stream backed by a file (or any writer) and
 // guarantees that flush and close errors surface instead of silently
 // truncating the stream — a command that wrote -events must fail loudly

@@ -1,0 +1,131 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"taccc/internal/xrand"
+)
+
+// The bench suite is the repository's machine-readable performance
+// trajectory: a fixed set of scenarios solved by every standard
+// algorithm, summarized per algorithm as feasible-runtime and objective
+// statistics with 95% confidence intervals. `tacbench -json` writes a
+// BenchResults file (BENCH_results.json); `tacreport old.json new.json
+// -fail-on-regression <pct>` diffs two of them and gates CI on the
+// committed BENCH_baseline.json. Objective fields are bit-identical
+// across machines (they derive from seeds alone); runtime fields carry
+// their CIs so the gate can tell drift from noise.
+
+// BenchAlgo is one algorithm's aggregated bench statistics on one
+// scenario — the unit the perf gate compares across runs.
+type BenchAlgo struct {
+	Name string `json:"name"`
+	// MeanCostMs / CostCI95Ms summarize mean per-device delay over
+	// feasible replications (deterministic given the scenario seed).
+	MeanCostMs float64 `json:"mean_cost_ms"`
+	CostCI95Ms float64 `json:"cost_ci95_ms"`
+	// FeasibleRuntimeMs / RuntimeCI95Ms summarize wall-clock solve time
+	// over feasible replications (machine-dependent).
+	FeasibleRuntimeMs float64 `json:"feasible_runtime_ms"`
+	RuntimeCI95Ms     float64 `json:"runtime_ci95_ms"`
+	FeasibleRate      float64 `json:"feasible_rate"`
+	Errors            int     `json:"errors,omitempty"`
+	Reps              int     `json:"reps"`
+}
+
+// BenchScenario is one scenario's results.
+type BenchScenario struct {
+	ID      string      `json:"id"`
+	NumIoT  int         `json:"iot"`
+	NumEdge int         `json:"edge"`
+	Rho     float64     `json:"rho"`
+	Algos   []BenchAlgo `json:"algorithms"`
+}
+
+// BenchResults is the on-disk shape of BENCH_results.json /
+// BENCH_baseline.json.
+type BenchResults struct {
+	Tool      string          `json:"tool"`
+	Version   string          `json:"version"`
+	Seed      int64           `json:"seed"`
+	Quick     bool            `json:"quick"`
+	Reps      int             `json:"reps"`
+	Scenarios []BenchScenario `json:"scenarios"`
+}
+
+// benchScenarios returns the fixed suite: a comfortably provisioned
+// mid-size instance and a capacity-tight one, shrunk under -quick.
+func benchScenarios(quick bool) []BenchScenario {
+	if quick {
+		return []BenchScenario{
+			{ID: "small", NumIoT: 30, NumEdge: 4, Rho: 0.7},
+			{ID: "tight", NumIoT: 40, NumEdge: 5, Rho: 0.9},
+		}
+	}
+	return []BenchScenario{
+		{ID: "small", NumIoT: 60, NumEdge: 6, Rho: 0.7},
+		{ID: "tight", NumIoT: 100, NumEdge: 10, Rho: 0.9},
+	}
+}
+
+// RunBench executes the bench suite with the standard algorithm set and
+// returns per-scenario, per-algorithm statistics. Objective statistics
+// are reproducible from o.Seed at any o.Workers setting; runtime
+// statistics reflect this machine. Tool and Version are left for the
+// caller to stamp.
+func RunBench(o Options) (*BenchResults, error) {
+	o = o.withDefaults()
+	out := &BenchResults{Seed: o.Seed, Quick: o.Quick, Reps: o.Reps}
+	for _, bs := range benchScenarios(o.Quick) {
+		sc := Scenario{
+			NumIoT: bs.NumIoT, NumEdge: bs.NumEdge, Rho: bs.Rho,
+			Seed: xrand.SplitSeed(o.Seed, "bench-"+bs.ID),
+		}
+		stats, err := o.compare(sc, DefaultAlgorithms)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", bs.ID, err)
+		}
+		for _, st := range stats {
+			bs.Algos = append(bs.Algos, BenchAlgo{
+				Name:              st.Name,
+				MeanCostMs:        st.MeanCost,
+				CostCI95Ms:        st.CostCI95,
+				FeasibleRuntimeMs: st.FeasibleRuntimeMs,
+				RuntimeCI95Ms:     st.FeasibleRuntimeCI95,
+				FeasibleRate:      st.FeasibleRate,
+				Errors:            st.Errors,
+				Reps:              st.Reps,
+			})
+		}
+		out.Scenarios = append(out.Scenarios, bs)
+	}
+	return out, nil
+}
+
+// WriteJSON writes the results as indented JSON.
+func (b *BenchResults) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadBenchResults parses a BENCH_results.json / BENCH_baseline.json
+// file, validating just enough that a truncated or foreign file is
+// reported descriptively rather than diffed as an empty bench.
+func ReadBenchResults(r io.Reader) (*BenchResults, error) {
+	var b BenchResults
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("bench results: invalid or truncated JSON: %w", err)
+	}
+	if len(b.Scenarios) == 0 {
+		return nil, fmt.Errorf("bench results: no scenarios (not a bench file?)")
+	}
+	for _, sc := range b.Scenarios {
+		if sc.ID == "" || len(sc.Algos) == 0 {
+			return nil, fmt.Errorf("bench results: scenario %q has no algorithm stats", sc.ID)
+		}
+	}
+	return &b, nil
+}

@@ -1,0 +1,78 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunBenchDeterministicObjective: the objective side of the bench
+// (costs, feasibility) must be bit-identical across runs and worker
+// counts — that is what makes a committed baseline comparable across
+// machines.
+func TestRunBenchDeterministicObjective(t *testing.T) {
+	a, err := RunBench(Options{Quick: true, Reps: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBench(Options{Quick: true, Reps: 2, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Scenarios) != len(b.Scenarios) || len(a.Scenarios) == 0 {
+		t.Fatalf("scenario counts differ: %d vs %d", len(a.Scenarios), len(b.Scenarios))
+	}
+	for i := range a.Scenarios {
+		sa, sb := a.Scenarios[i], b.Scenarios[i]
+		if sa.ID != sb.ID || len(sa.Algos) != len(sb.Algos) {
+			t.Fatalf("scenario %d shape differs: %+v vs %+v", i, sa, sb)
+		}
+		for j := range sa.Algos {
+			x, y := sa.Algos[j], sb.Algos[j]
+			if x.Name != y.Name || x.MeanCostMs != y.MeanCostMs || x.CostCI95Ms != y.CostCI95Ms ||
+				x.FeasibleRate != y.FeasibleRate || x.Errors != y.Errors {
+				t.Errorf("%s/%s objective stats differ across workers: %+v vs %+v", sa.ID, x.Name, x, y)
+			}
+		}
+	}
+	// Every standard algorithm appears on every scenario.
+	for _, sc := range a.Scenarios {
+		if len(sc.Algos) != len(DefaultAlgorithms) {
+			t.Fatalf("scenario %s has %d algos, want %d", sc.ID, len(sc.Algos), len(DefaultAlgorithms))
+		}
+	}
+}
+
+func TestBenchResultsJSONRoundTrip(t *testing.T) {
+	res, err := RunBench(Options{Quick: true, Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Tool, res.Version = "tacbench", "v0.0.0-test"
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchResults(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tool != "tacbench" || got.Version != "v0.0.0-test" || len(got.Scenarios) != len(res.Scenarios) {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+	if got.Scenarios[0].Algos[0] != res.Scenarios[0].Algos[0] {
+		t.Fatalf("algo stats changed: %+v vs %+v", got.Scenarios[0].Algos[0], res.Scenarios[0].Algos[0])
+	}
+}
+
+func TestReadBenchResultsRejectsGarbage(t *testing.T) {
+	for name, input := range map[string]string{
+		"truncated":    `{"scenarios": [`,
+		"empty object": `{}`,
+		"no algos":     `{"scenarios":[{"id":"small"}]}`,
+	} {
+		if _, err := ReadBenchResults(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: ReadBenchResults accepted %q", name, input)
+		}
+	}
+}

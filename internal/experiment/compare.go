@@ -42,11 +42,17 @@ type AlgoStat struct {
 	// FeasibleRuntimeMs, which averages over the same population as the
 	// cost fields.
 	MeanRuntimeMs float64
+	// RuntimeCI95 is the 95% confidence half-width of MeanRuntimeMs.
+	RuntimeCI95 float64
 	// FeasibleRuntimeMs is the mean wall-clock solve time over feasible
 	// replications only (0 when none were feasible). MeanCost, CostCI95,
 	// MaxCost and Imbalance average over this same population, so runtime
 	// and quality columns built from it are directly comparable.
 	FeasibleRuntimeMs float64
+	// FeasibleRuntimeCI95 is the 95% confidence half-width of
+	// FeasibleRuntimeMs — the uncertainty the perf-regression gate uses
+	// when judging whether a runtime delta is significant.
+	FeasibleRuntimeCI95 float64
 	// FeasibleRate is the fraction of replications with a feasible
 	// result.
 	FeasibleRate float64
@@ -204,6 +210,7 @@ func compareWithRegistry(reg *assign.Registry, sc Scenario, algos []string, reps
 		st := AlgoStat{
 			Name:          name,
 			MeanRuntimeMs: runtime.Mean(),
+			RuntimeCI95:   runtime.CI95(),
 			FeasibleRate:  float64(feasible) / float64(reps),
 			Reps:          reps,
 			Errors:        errored,
@@ -214,6 +221,7 @@ func compareWithRegistry(reg *assign.Registry, sc Scenario, algos []string, reps
 			st.MaxCost = maxCost.Mean()
 			st.Imbalance = imb.Mean()
 			st.FeasibleRuntimeMs = feasRuntime.Mean()
+			st.FeasibleRuntimeCI95 = feasRuntime.CI95()
 		}
 		if progress != nil {
 			fields := map[string]interface{}{

@@ -1,9 +1,7 @@
 package experiment
 
 import (
-	"bufio"
 	"bytes"
-	"encoding/json"
 	"reflect"
 	"strings"
 	"sync"
@@ -129,7 +127,8 @@ func TestRunAllEmitsSpecEvents(t *testing.T) {
 }
 
 // TestCellEventsStreamAsJSONL wires the real JSONL sink under the
-// comparison — the tacbench -events path — and checks every line parses.
+// comparison — the tacbench -events path — and checks the stream decodes
+// through the shared reader.
 func TestCellEventsStreamAsJSONL(t *testing.T) {
 	var buf bytes.Buffer
 	sink := obs.NewJSONL(&buf)
@@ -140,20 +139,17 @@ func TestCellEventsStreamAsJSONL(t *testing.T) {
 	if err := sink.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	lines := 0
-	scan := bufio.NewScanner(&buf)
-	for scan.Scan() {
-		var m map[string]interface{}
-		if err := json.Unmarshal(scan.Bytes(), &m); err != nil {
-			t.Fatalf("line %d is not JSON: %v", lines, err)
-		}
-		if _, ok := m["kind"]; !ok {
-			t.Fatalf("line %d has no kind: %s", lines, scan.Text())
-		}
-		lines++
+	events, err := obs.ReadEventStream(&buf)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if lines != 4 { // 3 cells + 1 algo-done
-		t.Fatalf("%d JSONL lines, want 4", lines)
+	if len(events) != 4 { // 3 cells + 1 algo-done
+		t.Fatalf("%d events, want 4", len(events))
+	}
+	for i, e := range events {
+		if e.Kind == "" {
+			t.Fatalf("event %d has no kind: %+v", i, e)
+		}
 	}
 }
 

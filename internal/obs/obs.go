@@ -19,7 +19,6 @@ package obs
 
 import (
 	"bufio"
-	"encoding/json"
 	"io"
 	"sync"
 )
@@ -113,40 +112,46 @@ func NewJSONL(w io.Writer) *JSONL {
 	return &JSONL{w: bufio.NewWriter(w)}
 }
 
-// Emit implements Sink.
+// Emit implements Sink. A nil *JSONL discards the event, so disabled
+// streams can flow through MultiSink as typed nils without harm.
 func (s *JSONL) Emit(e Event) {
-	line := make(map[string]interface{}, len(e.Fields)+1)
-	for k, v := range e.Fields {
-		line[k] = v
+	if s == nil {
+		return
 	}
-	line["kind"] = e.Kind
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.err != nil {
 		return
 	}
-	// encoding/json sorts map keys, so lines are deterministic per event.
-	buf, err := json.Marshal(line)
+	// encodeLine sorts object keys, so lines are deterministic per event.
+	buf, err := encodeLine(e)
 	if err != nil {
 		s.err = err
 		return
 	}
-	if _, err := s.w.Write(append(buf, '\n')); err != nil {
+	if _, err := s.w.Write(buf); err != nil {
 		s.err = err
 		return
 	}
 	s.n++
 }
 
-// N returns the number of events written so far.
+// N returns the number of events written so far (0 on a nil receiver).
 func (s *JSONL) N() int {
+	if s == nil {
+		return 0
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.n
 }
 
 // Flush drains the buffer and returns the first error encountered.
+// Nil-safe, like Emit.
 func (s *JSONL) Flush() error {
+	if s == nil {
+		return nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.err != nil {

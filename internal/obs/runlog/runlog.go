@@ -1,0 +1,280 @@
+// Package runlog writes and reads self-contained run archives: one
+// directory per run holding everything needed to analyze or diff the
+// run offline, long after the process that produced it is gone.
+//
+// Layout (format version 1):
+//
+//	<dir>/manifest.json  — tool, version, seed, config, wall-clock
+//	<dir>/events.jsonl   — the JSONL event/span stream (may be empty)
+//	<dir>/metrics.json   — final metrics-registry snapshot
+//	<dir>/summary.json   — named scalar results (latency quantiles, ...)
+//
+// Every file is written canonically (sorted JSON object keys, fixed
+// indentation), so loading an archive and rewriting it reproduces the
+// original bytes exactly, and two runs of the same tool with the same
+// seed and config produce byte-identical archives — except the
+// manifest's wall-clock fields (start_unix_ms, elapsed_ms), which are
+// the only nondeterministic bytes in an archive by design. cmd/tacreport
+// consumes archives; tacsolve, tacsim and tacbench produce them behind
+// the shared -archive flag (internal/cliutil).
+package runlog
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"taccc/internal/obs"
+)
+
+// FormatVersion identifies the archive layout; Load rejects archives
+// written by a future incompatible format.
+const FormatVersion = 1
+
+// File names inside an archive directory.
+const (
+	ManifestFile = "manifest.json"
+	EventsFile   = "events.jsonl"
+	MetricsFile  = "metrics.json"
+	SummaryFile  = "summary.json"
+)
+
+// Manifest identifies a run: which tool produced it, at which version,
+// from which seed and configuration, and when. Config holds the tool's
+// semantic flag settings as strings (execution-only flags — parallelism,
+// profiling, telemetry, output paths — are excluded by the cliutil
+// helper so that re-runs of the same logical experiment archive
+// identically). StartUnixMs and ElapsedMs are the archive's only
+// nondeterministic fields.
+type Manifest struct {
+	Format      int               `json:"format"`
+	Tool        string            `json:"tool"`
+	Version     string            `json:"version"`
+	Seed        int64             `json:"seed"`
+	Config      map[string]string `json:"config,omitempty"`
+	StartUnixMs int64             `json:"start_unix_ms"`
+	ElapsedMs   float64           `json:"elapsed_ms"`
+}
+
+// Summary is a run's named scalar results (deterministic by contract:
+// wall-clock readings belong in the manifest, not here).
+type Summary map[string]float64
+
+// Writer streams one run into an archive directory: events go to
+// events.jsonl as they happen; manifest, metrics and summary are
+// written by Close.
+type Writer struct {
+	dir    string
+	man    Manifest
+	file   *os.File
+	sink   *obs.JSONL
+	start  time.Time
+	closed bool
+}
+
+// Create initializes an archive directory (making it if needed) and
+// opens the event stream. The manifest's Format and StartUnixMs are
+// stamped here; ElapsedMs at Close.
+func Create(dir string, man Manifest) (*Writer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runlog: %w", err)
+	}
+	f, err := os.Create(filepath.Join(dir, EventsFile))
+	if err != nil {
+		return nil, fmt.Errorf("runlog: %w", err)
+	}
+	now := time.Now()
+	man.Format = FormatVersion
+	man.StartUnixMs = now.UnixMilli()
+	return &Writer{dir: dir, man: man, file: f, sink: obs.NewJSONL(f), start: now}, nil
+}
+
+// Sink returns the archive's event sink (nil on a nil receiver, so it
+// can feed MultiSink unconditionally).
+func (w *Writer) Sink() *obs.JSONL {
+	if w == nil {
+		return nil
+	}
+	return w.sink
+}
+
+// Close flushes the event stream and writes metrics.json, summary.json
+// and manifest.json. It is idempotent; the first error anywhere in the
+// archive's lifetime (including latched event-write errors) is
+// returned — an archive that did not fully reach disk must fail the
+// run loudly. A nil snapshot or summary writes as empty, keeping the
+// archive self-contained either way.
+func (w *Writer) Close(snap obs.Snapshot, summary Summary) error {
+	if w == nil || w.closed {
+		return nil
+	}
+	w.closed = true
+	err := w.sink.Flush()
+	if cerr := w.file.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("runlog: events: %w", err)
+	}
+	if err := writeJSONFile(filepath.Join(w.dir, MetricsFile), snap); err != nil {
+		return err
+	}
+	if summary == nil {
+		summary = Summary{}
+	}
+	if err := writeJSONFile(filepath.Join(w.dir, SummaryFile), summary); err != nil {
+		return err
+	}
+	w.man.ElapsedMs = float64(time.Since(w.start).Nanoseconds()) / 1e6
+	return writeJSONFile(filepath.Join(w.dir, ManifestFile), w.man)
+}
+
+// Dir returns the archive directory ("" on a nil receiver).
+func (w *Writer) Dir() string {
+	if w == nil {
+		return ""
+	}
+	return w.dir
+}
+
+// writeJSONFile writes v as canonical indented JSON (sorted keys via
+// encoding/json's map ordering, two-space indent, trailing newline).
+func writeJSONFile(path string, v interface{}) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("runlog: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(v)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("runlog: %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// Archive is a fully loaded run archive.
+type Archive struct {
+	// Dir is where the archive was loaded from ("" for synthesized
+	// archives).
+	Dir      string
+	Manifest Manifest
+	Metrics  obs.Snapshot
+	// Events is the decoded event stream in emission order. Numeric
+	// fields are json.Number (use the obs.Event typed accessors), which
+	// is what makes Write reproduce events.jsonl byte-for-byte.
+	Events  []obs.Event
+	Summary Summary
+}
+
+// IsArchiveDir reports whether dir looks like a run archive (has a
+// manifest file) without loading it.
+func IsArchiveDir(dir string) bool {
+	st, err := os.Stat(filepath.Join(dir, ManifestFile))
+	return err == nil && st.Mode().IsRegular()
+}
+
+// Load reads and validates an archive. Errors are descriptive — they
+// name the archive directory, the offending file and, for the event
+// stream, the record index — and a truncated or corrupted file is
+// reported rather than panicking downstream.
+func Load(dir string) (*Archive, error) {
+	a := &Archive{Dir: dir}
+	if err := loadJSONFile(dir, ManifestFile, &a.Manifest); err != nil {
+		return nil, err
+	}
+	if a.Manifest.Format != FormatVersion {
+		return nil, fmt.Errorf("runlog: %s: unsupported archive format %d (this build reads format %d)",
+			dir, a.Manifest.Format, FormatVersion)
+	}
+	if a.Manifest.Tool == "" {
+		return nil, fmt.Errorf("runlog: %s: manifest has no tool name", dir)
+	}
+	if err := loadJSONFile(dir, MetricsFile, &a.Metrics); err != nil {
+		return nil, err
+	}
+	if err := loadJSONFile(dir, SummaryFile, &a.Summary); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(filepath.Join(dir, EventsFile))
+	if err != nil {
+		return nil, fmt.Errorf("runlog: %s: %w", dir, err)
+	}
+	events, err := obs.ReadEventStream(f)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("runlog: %s: %s: %w", dir, EventsFile, err)
+	}
+	a.Events = events
+	return a, nil
+}
+
+func loadJSONFile(dir, name string, v interface{}) error {
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		return fmt.Errorf("runlog: %s: %w", dir, err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("runlog: %s: %s: invalid or truncated JSON: %w", dir, name, err)
+	}
+	return nil
+}
+
+// Write re-serializes the archive into dir using the same canonical
+// encodings as the Writer, so Load(dir₁) → Write(dir₂) reproduces every
+// file byte-for-byte. Useful for filtering or migrating archives.
+func (a *Archive) Write(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("runlog: %w", err)
+	}
+	f, err := os.Create(filepath.Join(dir, EventsFile))
+	if err != nil {
+		return fmt.Errorf("runlog: %w", err)
+	}
+	werr := func() error {
+		for i, e := range a.Events {
+			line, err := obs.EncodeEventLine(e)
+			if err != nil {
+				return fmt.Errorf("runlog: %s: record %d: %w", EventsFile, i+1, err)
+			}
+			if _, err := f.Write(line); err != nil {
+				return fmt.Errorf("runlog: %s: %w", EventsFile, err)
+			}
+		}
+		return nil
+	}()
+	if cerr := f.Close(); werr == nil && cerr != nil {
+		werr = fmt.Errorf("runlog: %s: %w", EventsFile, cerr)
+	}
+	if werr != nil {
+		return werr
+	}
+	if err := writeJSONFile(filepath.Join(dir, MetricsFile), a.Metrics); err != nil {
+		return err
+	}
+	summary := a.Summary
+	if summary == nil {
+		summary = Summary{}
+	}
+	if err := writeJSONFile(filepath.Join(dir, SummaryFile), summary); err != nil {
+		return err
+	}
+	return writeJSONFile(filepath.Join(dir, ManifestFile), a.Manifest)
+}
+
+// IterEvents decodes the archive's solver-convergence stream: every
+// kind "iter" event, in emission order.
+func (a *Archive) IterEvents() []obs.IterEvent {
+	var out []obs.IterEvent
+	for _, e := range a.Events {
+		if it, ok := e.Iter(); ok {
+			out = append(out, it)
+		}
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+package runlog
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"taccc/internal/obs"
+)
+
+// writeSample produces a representative archive: iter events, a span
+// event, counters, gauges, a histogram and a summary.
+func writeSample(t *testing.T, dir string) {
+	t.Helper()
+	w, err := Create(dir, Manifest{
+		Tool: "tactest", Version: "v1.2.3", Seed: 42,
+		Config: map[string]string{"algo": "tabu", "iot": "20"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := w.Sink()
+	obs.Emit(sink, "iter", map[string]interface{}{"algo": "tabu", "iter": 0, "feasible": false})
+	obs.Emit(sink, "iter", map[string]interface{}{"algo": "tabu", "iter": 1, "feasible": true, "best_cost_ms": 18.75})
+	obs.EmitSpan(sink, obs.Span{Trace: 7, ID: 1, Name: "request", StartMs: 0, EndMs: 3.5})
+
+	reg := obs.NewRegistry()
+	reg.Counter("cluster.requests_ok").Add(10)
+	reg.Gauge("cluster.edge_0.queue_depth").Set(2)
+	reg.Histogram("cluster.latency_ms", obs.DefaultLatencyBucketsMs()).Observe(3.1)
+	if err := w.Close(reg.Snapshot(), Summary{"latency_p50_ms": 3.1, "miss_rate": 0}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readArchiveFiles(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	for _, name := range []string{ManifestFile, EventsFile, MetricsFile, SummaryFile} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = data
+	}
+	return out
+}
+
+// TestRoundTripByteIdentical is the archive acceptance criterion:
+// write → load → re-write reproduces every file byte for byte.
+func TestRoundTripByteIdentical(t *testing.T) {
+	src := filepath.Join(t.TempDir(), "run")
+	writeSample(t, src)
+	a, err := Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(t.TempDir(), "rewrite")
+	if err := a.Write(dst); err != nil {
+		t.Fatal(err)
+	}
+	want, got := readArchiveFiles(t, src), readArchiveFiles(t, dst)
+	for name := range want {
+		if !bytes.Equal(want[name], got[name]) {
+			t.Errorf("%s differs after round trip:\noriginal: %s\nrewrite:  %s", name, want[name], got[name])
+		}
+	}
+}
+
+func TestLoadedArchiveContents(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	writeSample(t, dir)
+	a, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := a.Manifest
+	if m.Tool != "tactest" || m.Version != "v1.2.3" || m.Seed != 42 || m.Format != FormatVersion {
+		t.Fatalf("manifest = %+v", m)
+	}
+	if m.Config["algo"] != "tabu" {
+		t.Fatalf("config = %v", m.Config)
+	}
+	if m.StartUnixMs == 0 {
+		t.Fatal("manifest has no start timestamp")
+	}
+	if len(a.Events) != 3 {
+		t.Fatalf("decoded %d events, want 3", len(a.Events))
+	}
+	iters := a.IterEvents()
+	if len(iters) != 2 || iters[1].BestCost != 18.75 || !iters[1].Feasible {
+		t.Fatalf("iter events = %+v", iters)
+	}
+	if a.Metrics.Counters["cluster.requests_ok"] != 10 {
+		t.Fatalf("metrics counters = %v", a.Metrics.Counters)
+	}
+	if h, ok := a.Metrics.Histograms["cluster.latency_ms"]; !ok || h.Count != 1 {
+		t.Fatalf("latency histogram = %+v (ok=%v)", h, ok)
+	}
+	if a.Summary["latency_p50_ms"] != 3.1 {
+		t.Fatalf("summary = %v", a.Summary)
+	}
+	if !IsArchiveDir(dir) {
+		t.Fatal("IsArchiveDir = false for a real archive")
+	}
+	if IsArchiveDir(t.TempDir()) {
+		t.Fatal("IsArchiveDir = true for an empty dir")
+	}
+}
+
+// TestLoadCorruptionErrors covers every corruption class: the error
+// must be descriptive (naming the archive and the offending file), not
+// a panic and not a silent partial load.
+func TestLoadCorruptionErrors(t *testing.T) {
+	newSample := func() string {
+		dir := filepath.Join(t.TempDir(), "run")
+		writeSample(t, dir)
+		return dir
+	}
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, dir string)
+		want    []string
+	}{
+		{
+			name:    "missing archive",
+			corrupt: func(t *testing.T, dir string) { os.RemoveAll(dir) },
+			want:    []string{"manifest.json"},
+		},
+		{
+			name: "truncated manifest",
+			corrupt: func(t *testing.T, dir string) {
+				truncateFile(t, filepath.Join(dir, ManifestFile), 10)
+			},
+			want: []string{ManifestFile, "truncated"},
+		},
+		{
+			name: "corrupted events stream",
+			corrupt: func(t *testing.T, dir string) {
+				appendFile(t, filepath.Join(dir, EventsFile), "{\"kind\": \"iter\", ga")
+			},
+			want: []string{EventsFile, "record 4"},
+		},
+		{
+			name: "event record without kind",
+			corrupt: func(t *testing.T, dir string) {
+				appendFile(t, filepath.Join(dir, EventsFile), "{\"iter\":9}\n")
+			},
+			want: []string{EventsFile, "kind"},
+		},
+		{
+			name: "future format version",
+			corrupt: func(t *testing.T, dir string) {
+				data, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+				if err != nil {
+					t.Fatal(err)
+				}
+				data = bytes.Replace(data, []byte(`"format": 1`), []byte(`"format": 99`), 1)
+				if err := os.WriteFile(filepath.Join(dir, ManifestFile), data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			want: []string{"unsupported archive format 99"},
+		},
+		{
+			name: "missing metrics",
+			corrupt: func(t *testing.T, dir string) {
+				if err := os.Remove(filepath.Join(dir, MetricsFile)); err != nil {
+					t.Fatal(err)
+				}
+			},
+			want: []string{MetricsFile},
+		},
+		{
+			name: "truncated summary",
+			corrupt: func(t *testing.T, dir string) {
+				truncateFile(t, filepath.Join(dir, SummaryFile), 5)
+			},
+			want: []string{SummaryFile},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := newSample()
+			tc.corrupt(t, dir)
+			_, err := Load(dir)
+			if err == nil {
+				t.Fatal("Load succeeded on a corrupted archive")
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q does not mention %q", err, want)
+				}
+			}
+			if !strings.Contains(err.Error(), dir) && tc.name != "missing archive" {
+				t.Errorf("error %q does not name the archive directory", err)
+			}
+		})
+	}
+}
+
+// TestEmptyEventStream: a run that emitted nothing still archives and
+// loads cleanly (events.jsonl exists but is empty).
+func TestEmptyEventStream(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	w, err := Create(dir, Manifest{Tool: "tactest", Version: "devel", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(obs.Snapshot{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != 0 || len(a.Summary) != 0 {
+		t.Fatalf("empty run loaded as %d events, summary %v", len(a.Events), a.Summary)
+	}
+}
+
+// TestCloseIdempotentAndNilSafe: a nil writer no-ops everywhere so CLI
+// code can defer Close unconditionally.
+func TestCloseIdempotentAndNilSafe(t *testing.T) {
+	var w *Writer
+	if w.Sink() != nil {
+		t.Fatal("nil writer returned a sink")
+	}
+	if err := w.Close(obs.Snapshot{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if w.Dir() != "" {
+		t.Fatal("nil writer has a dir")
+	}
+	dir := filepath.Join(t.TempDir(), "run")
+	writeSample(t, dir)
+}
+
+func truncateFile(t *testing.T, path string, n int64) {
+	t.Helper()
+	if err := os.Truncate(path, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func appendFile(t *testing.T, path, s string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteString(s); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// encodeLine renders one event as its canonical JSONL line (trailing
+// newline included): the event's fields plus the kind under "kind",
+// marshaled as a JSON object. encoding/json sorts object keys, so the
+// encoding is deterministic per event — the JSONL sink writes through
+// this function and the runlog archive rewriter reproduces stored
+// streams byte-for-byte with it.
+func encodeLine(e Event) ([]byte, error) {
+	line := make(map[string]interface{}, len(e.Fields)+1)
+	for k, v := range e.Fields {
+		line[k] = v
+	}
+	line["kind"] = e.Kind
+	buf, err := json.Marshal(line)
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// EncodeEventLine is the exported form of the canonical JSONL encoding;
+// consumers that re-serialize decoded streams (run archives, filters)
+// use it to stay byte-compatible with the JSONL sink.
+func EncodeEventLine(e Event) ([]byte, error) { return encodeLine(e) }
+
+// StreamReader decodes a JSONL event stream as written by the JSONL
+// sink: one JSON object per line with the event kind under "kind" and
+// every other member as a field. It is the one event-stream ingestion
+// path in the repository — runlog archives, tacreport and the CLI tests
+// all read through it instead of hand-rolling json.Decoder loops.
+//
+// Numbers decode as json.Number so that re-encoding a stream reproduces
+// the stored bytes exactly; use Event.Num/Event.Int for arithmetic.
+// The first malformed record latches an error (with its 1-based record
+// index) and stops the stream; Err reports it after Next returns false.
+type StreamReader struct {
+	dec *json.Decoder
+	err error
+	n   int
+}
+
+// NewStreamReader wraps r in a streaming event decoder.
+func NewStreamReader(r io.Reader) *StreamReader {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	return &StreamReader{dec: dec}
+}
+
+// Next decodes the next event. It returns false at end of stream or on
+// the first malformed record; check Err to distinguish the two.
+func (s *StreamReader) Next() (Event, bool) {
+	if s.err != nil {
+		return Event{}, false
+	}
+	var line map[string]interface{}
+	if err := s.dec.Decode(&line); err != nil {
+		if !errors.Is(err, io.EOF) {
+			s.err = fmt.Errorf("event stream: record %d: %w", s.n+1, err)
+		}
+		return Event{}, false
+	}
+	s.n++
+	kind, ok := line["kind"].(string)
+	if !ok {
+		s.err = fmt.Errorf("event stream: record %d: missing or non-string \"kind\"", s.n)
+		return Event{}, false
+	}
+	delete(line, "kind")
+	return Event{Kind: kind, Fields: line}, true
+}
+
+// Err returns the latched first error (nil after a clean end of stream).
+func (s *StreamReader) Err() error { return s.err }
+
+// N returns the number of events decoded so far.
+func (s *StreamReader) N() int { return s.n }
+
+// ReadEventStream decodes an entire JSONL event stream, returning every
+// event plus the first decode error (the events before it are returned
+// either way).
+func ReadEventStream(r io.Reader) ([]Event, error) {
+	sr := NewStreamReader(r)
+	var out []Event
+	for {
+		e, ok := sr.Next()
+		if !ok {
+			return out, sr.Err()
+		}
+		out = append(out, e)
+	}
+}
+
+// Str returns the named field as a string.
+func (e Event) Str(key string) (string, bool) {
+	v, ok := e.Fields[key].(string)
+	return v, ok
+}
+
+// Num returns the named field as a float64, converting json.Number
+// (decoded streams) and every native numeric type (live events).
+func (e Event) Num(key string) (float64, bool) {
+	switch v := e.Fields[key].(type) {
+	case float64:
+		return v, true
+	case json.Number:
+		f, err := v.Float64()
+		return f, err == nil
+	case int:
+		return float64(v), true
+	case int64:
+		return float64(v), true
+	case uint64:
+		return float64(v), true
+	case float32:
+		return float64(v), true
+	}
+	return 0, false
+}
+
+// Int returns the named field as an int64 (truncating a float field
+// only when it is integral).
+func (e Event) Int(key string) (int64, bool) {
+	switch v := e.Fields[key].(type) {
+	case int:
+		return int64(v), true
+	case int64:
+		return v, true
+	case uint64:
+		return int64(v), true
+	case json.Number:
+		if i, err := v.Int64(); err == nil {
+			return i, true
+		}
+		return 0, false
+	case float64:
+		if v == math.Trunc(v) {
+			return int64(v), true
+		}
+	}
+	return 0, false
+}
+
+// Bool returns the named field as a bool.
+func (e Event) Bool(key string) (bool, bool) {
+	v, ok := e.Fields[key].(bool)
+	return v, ok
+}
+
+// Iter decodes an event of kind "iter" (as written by EventProgress)
+// back into an IterEvent; ok is false for any other kind. A missing
+// best_cost_ms field means no feasible incumbent existed yet, mirrored
+// as +Inf exactly as the emitter saw it.
+func (e Event) Iter() (IterEvent, bool) {
+	if e.Kind != "iter" {
+		return IterEvent{}, false
+	}
+	var ev IterEvent
+	ev.Algo, _ = e.Str("algo")
+	if i, ok := e.Int("iter"); ok {
+		ev.Iter = int(i)
+	}
+	ev.Feasible, _ = e.Bool("feasible")
+	if c, ok := e.Num("best_cost_ms"); ok {
+		ev.BestCost = c
+	} else {
+		ev.BestCost = math.Inf(1)
+	}
+	return ev, true
+}

@@ -1,0 +1,206 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Verdict values for a diffed metric.
+const (
+	VerdictRegression  = "REGRESSION"
+	VerdictImprovement = "IMPROVEMENT"
+	VerdictOK          = "OK"
+)
+
+// deltaPctCap bounds the reported relative delta so that a metric
+// growing from (near-)zero stays JSON-serializable and still reads as
+// the gross regression it is.
+const deltaPctCap = 1e4
+
+// MetricDelta is one metric's old-vs-new comparison with its
+// significance verdict.
+type MetricDelta struct {
+	Name string  `json:"name"`
+	Old  float64 `json:"old"`
+	New  float64 `json:"new"`
+	// CIOld / CINew are the sides' 95% confidence half-widths (0 when
+	// the source carries none).
+	CIOld float64 `json:"ci_old,omitempty"`
+	CINew float64 `json:"ci_new,omitempty"`
+	// DeltaPct is 100*(new-old)/|old|, capped at ±deltaPctCap.
+	DeltaPct float64 `json:"delta_pct"`
+	// HalfWidthPct is the propagated CI half-width of DeltaPct:
+	// 100*sqrt(ciOld²+ciNew²)/|old|. Zero means threshold-only judging.
+	HalfWidthPct   float64 `json:"half_width_pct,omitempty"`
+	HigherIsBetter bool    `json:"higher_is_better,omitempty"`
+	Verdict        string  `json:"verdict"`
+}
+
+// Diff is a full two-source comparison.
+type Diff struct {
+	OldPath string `json:"old"`
+	NewPath string `json:"new"`
+	// Kind is the compared sources' kind ("archive" or "bench").
+	Kind string `json:"kind"`
+	// ThresholdPct is the significance threshold the verdicts used.
+	ThresholdPct float64       `json:"threshold_pct"`
+	Metrics      []MetricDelta `json:"metrics"`
+	// OnlyOld / OnlyNew name metrics present on one side only — surfaced
+	// instead of silently dropped, since a vanished metric usually means
+	// the runs are not comparable.
+	OnlyOld      []string `json:"only_old,omitempty"`
+	OnlyNew      []string `json:"only_new,omitempty"`
+	Regressions  int      `json:"regressions"`
+	Improvements int      `json:"improvements"`
+}
+
+// judge applies the gate's significance rule. The relative delta is
+// normalized so that positive means "worse"; a move is only a
+// REGRESSION when even the CI-optimistic reading (delta minus the
+// propagated half-width) clears the threshold, and only an IMPROVEMENT
+// when the CI-pessimistic reading does. Metrics without CIs degrade to
+// plain threshold comparison.
+func judge(d *MetricDelta, thresholdPct float64) {
+	denom := math.Abs(d.Old)
+	switch {
+	case denom == 0 && d.New == d.Old:
+		// Nothing moved; nothing to judge.
+	case denom == 0:
+		d.DeltaPct = math.Copysign(deltaPctCap, d.New-d.Old)
+	default:
+		d.DeltaPct = 100 * (d.New - d.Old) / denom
+		if math.Abs(d.DeltaPct) > deltaPctCap {
+			d.DeltaPct = math.Copysign(deltaPctCap, d.DeltaPct)
+		}
+		d.HalfWidthPct = 100 * math.Sqrt(d.CIOld*d.CIOld+d.CINew*d.CINew) / denom
+	}
+	worse := d.DeltaPct
+	if d.HigherIsBetter {
+		worse = -worse
+	}
+	switch {
+	case worse-d.HalfWidthPct > thresholdPct:
+		d.Verdict = VerdictRegression
+	case worse+d.HalfWidthPct < -thresholdPct:
+		d.Verdict = VerdictImprovement
+	default:
+		d.Verdict = VerdictOK
+	}
+}
+
+// DiffSources compares two like-kind sources metric by metric.
+// thresholdPct is the significance threshold in percent (e.g. 5 means a
+// metric must be confidently more than 5% worse to be a REGRESSION).
+func DiffSources(oldSrc, newSrc *Source, thresholdPct float64) (*Diff, error) {
+	if oldSrc.Kind != newSrc.Kind {
+		return nil, fmt.Errorf("report: cannot diff %s %s against %s %s",
+			oldSrc.Kind, oldSrc.Path, newSrc.Kind, newSrc.Path)
+	}
+	d := &Diff{OldPath: oldSrc.Path, NewPath: newSrc.Path, Kind: oldSrc.Kind, ThresholdPct: thresholdPct}
+	oldM := map[string]Metric{}
+	for _, m := range oldSrc.Metrics() {
+		oldM[m.Name] = m
+	}
+	newM := map[string]Metric{}
+	for _, m := range newSrc.Metrics() {
+		newM[m.Name] = m
+	}
+	for name, om := range oldM {
+		nm, ok := newM[name]
+		if !ok {
+			d.OnlyOld = append(d.OnlyOld, name)
+			continue
+		}
+		md := MetricDelta{
+			Name: name, Old: om.Value, New: nm.Value,
+			CIOld: om.CI95, CINew: nm.CI95,
+			HigherIsBetter: om.HigherIsBetter,
+		}
+		judge(&md, thresholdPct)
+		d.Metrics = append(d.Metrics, md)
+		switch md.Verdict {
+		case VerdictRegression:
+			d.Regressions++
+		case VerdictImprovement:
+			d.Improvements++
+		}
+	}
+	for name := range newM {
+		if _, ok := oldM[name]; !ok {
+			d.OnlyNew = append(d.OnlyNew, name)
+		}
+	}
+	// Regressions first (worst delta leading), then improvements, then OK,
+	// alphabetical within each band — the report reads most-urgent-first.
+	rank := map[string]int{VerdictRegression: 0, VerdictImprovement: 1, VerdictOK: 2}
+	sort.Slice(d.Metrics, func(i, j int) bool {
+		a, b := d.Metrics[i], d.Metrics[j]
+		if rank[a.Verdict] != rank[b.Verdict] {
+			return rank[a.Verdict] < rank[b.Verdict]
+		}
+		return a.Name < b.Name
+	})
+	sort.Strings(d.OnlyOld)
+	sort.Strings(d.OnlyNew)
+	return d, nil
+}
+
+// VerdictLine renders one metric's single-line verdict, e.g.
+//
+//	REGRESSION cluster.latency_ms p99 +12.4% [CI ±3.1%] (20.000 -> 22.480)
+func (m MetricDelta) VerdictLine() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s %+.1f%%", m.Verdict, m.Name, m.DeltaPct)
+	if m.HalfWidthPct > 0 {
+		fmt.Fprintf(&b, " [CI ±%.1f%%]", m.HalfWidthPct)
+	}
+	fmt.Fprintf(&b, " (%.3f -> %.3f)", m.Old, m.New)
+	return b.String()
+}
+
+// Markdown renders the diff as a Markdown report.
+func (d *Diff) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# tacreport diff\n\n")
+	fmt.Fprintf(&b, "- old: `%s`\n- new: `%s`\n- kind: %s\n- threshold: %.1f%%\n", d.OldPath, d.NewPath, d.Kind, d.ThresholdPct)
+	fmt.Fprintf(&b, "- verdict: **%d regression(s), %d improvement(s), %d metric(s) compared**\n\n",
+		d.Regressions, d.Improvements, len(d.Metrics))
+	if d.Regressions > 0 || d.Improvements > 0 {
+		fmt.Fprintf(&b, "## Verdicts\n\n```\n")
+		for _, m := range d.Metrics {
+			if m.Verdict != VerdictOK {
+				fmt.Fprintln(&b, m.VerdictLine())
+			}
+		}
+		fmt.Fprintf(&b, "```\n\n")
+	}
+	fmt.Fprintf(&b, "## All metrics\n\n")
+	fmt.Fprintf(&b, "| metric | old | new | Δ%% | CI ±%% | verdict |\n")
+	fmt.Fprintf(&b, "|---|---:|---:|---:|---:|---|\n")
+	for _, m := range d.Metrics {
+		ci := "-"
+		if m.HalfWidthPct > 0 {
+			ci = fmt.Sprintf("%.1f", m.HalfWidthPct)
+		}
+		fmt.Fprintf(&b, "| %s | %.3f | %.3f | %+.1f | %s | %s |\n",
+			m.Name, m.Old, m.New, m.DeltaPct, ci, m.Verdict)
+	}
+	if len(d.OnlyOld) > 0 {
+		fmt.Fprintf(&b, "\nOnly in old: %s\n", strings.Join(d.OnlyOld, ", "))
+	}
+	if len(d.OnlyNew) > 0 {
+		fmt.Fprintf(&b, "\nOnly in new: %s\n", strings.Join(d.OnlyNew, ", "))
+	}
+	return b.String()
+}
+
+// WriteJSON writes the diff as indented JSON.
+func (d *Diff) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

@@ -1,0 +1,237 @@
+// Package report turns run archives (internal/obs/runlog) and bench
+// results files (internal/experiment.BenchResults) into offline analysis
+// reports: a single-source summary (convergence, per-phase delay
+// attribution, miss rate, hot edges) and a two-source diff with
+// per-metric deltas, 95% confidence intervals and regression verdicts.
+// cmd/tacreport is a thin CLI over this package; the verdict rule here is
+// what the CI perf gate enforces.
+package report
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"taccc/internal/experiment"
+	"taccc/internal/obs"
+	"taccc/internal/obs/runlog"
+	"taccc/internal/stats"
+)
+
+// Source is one loaded tacreport input: a run archive directory or a
+// bench results JSON file, auto-detected by Load.
+type Source struct {
+	// Kind is "archive" or "bench".
+	Kind    string
+	Path    string
+	Archive *runlog.Archive
+	Bench   *experiment.BenchResults
+}
+
+// LoadSource opens path as a run archive (a directory containing a
+// manifest) or a bench results file (anything else), validating either.
+func LoadSource(path string) (*Source, error) {
+	if runlog.IsArchiveDir(path) {
+		a, err := runlog.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return &Source{Kind: "archive", Path: path, Archive: a}, nil
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	if st.IsDir() {
+		return nil, fmt.Errorf("report: %s: directory is not a run archive (no %s)", path, runlog.ManifestFile)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	defer f.Close()
+	b, err := experiment.ReadBenchResults(f)
+	if err != nil {
+		return nil, fmt.Errorf("report: %s: %w", path, err)
+	}
+	return &Source{Kind: "bench", Path: path, Bench: b}, nil
+}
+
+// Metric is one named scalar extracted from a source for diffing. CI95
+// is the 95% confidence half-width when the source carries one (0
+// otherwise: single-run histogram quantiles and summary scalars get
+// threshold-only comparison).
+type Metric struct {
+	Name           string  `json:"name"`
+	Value          float64 `json:"value"`
+	CI95           float64 `json:"ci95,omitempty"`
+	HigherIsBetter bool    `json:"higher_is_better,omitempty"`
+}
+
+// ConvergenceStat summarizes one algorithm's solver-convergence stream
+// from an archive's "iter" events.
+type ConvergenceStat struct {
+	Algo string `json:"algo"`
+	// Iters is the total number of iteration events.
+	Iters int `json:"iters"`
+	// Improvements counts strict incumbent improvements.
+	Improvements int `json:"improvements"`
+	// FirstFeasibleIter is the iteration index at which a feasible
+	// incumbent first existed (-1 when never).
+	FirstFeasibleIter int `json:"first_feasible_iter"`
+	// BestCostMs is the final incumbent cost, or -1 when no feasible
+	// incumbent was ever found (kept finite so reports marshal to JSON).
+	BestCostMs float64 `json:"best_cost_ms"`
+	// ItersToBest is the iteration index where the final best was first
+	// reached — the convergence-speed number diffs compare.
+	ItersToBest int `json:"iters_to_best"`
+}
+
+// convergence folds an archive's iter events into per-algorithm stats,
+// sorted by algorithm name.
+func convergence(events []obs.IterEvent) []ConvergenceStat {
+	byAlgo := map[string]*ConvergenceStat{}
+	for _, ev := range events {
+		st, ok := byAlgo[ev.Algo]
+		if !ok {
+			st = &ConvergenceStat{Algo: ev.Algo, FirstFeasibleIter: -1, BestCostMs: math.Inf(1)}
+			byAlgo[ev.Algo] = st
+		}
+		st.Iters++
+		if ev.Feasible && st.FirstFeasibleIter < 0 {
+			st.FirstFeasibleIter = ev.Iter
+		}
+		if ev.Feasible && ev.BestCost < st.BestCostMs-1e-12 {
+			st.BestCostMs = ev.BestCost
+			st.ItersToBest = ev.Iter
+			st.Improvements++
+		}
+	}
+	out := make([]ConvergenceStat, 0, len(byAlgo))
+	for _, st := range byAlgo {
+		if math.IsInf(st.BestCostMs, 0) {
+			st.BestCostMs = -1
+		}
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Algo < out[j].Algo })
+	return out
+}
+
+// cellStats aggregates an archive's "cell" events (one per algorithm ×
+// replication solve, as emitted by experiment comparisons) into
+// per-algorithm runtime and cost populations — the diffable metrics that
+// carry real confidence intervals.
+type cellStat struct {
+	algo              string
+	runtime, cost     stats.Welford
+	feasible, errored int
+	total             int
+}
+
+func cellStats(events []obs.Event) []cellStat {
+	byAlgo := map[string]*cellStat{}
+	for _, e := range events {
+		if e.Kind != "cell" {
+			continue
+		}
+		algo, ok := e.Str("algo")
+		if !ok {
+			continue
+		}
+		st, seen := byAlgo[algo]
+		if !seen {
+			st = &cellStat{algo: algo}
+			byAlgo[algo] = st
+		}
+		st.total++
+		if rt, ok := e.Num("runtime_ms"); ok {
+			st.runtime.Add(rt)
+		}
+		if feas, _ := e.Bool("feasible"); feas {
+			st.feasible++
+			if c, ok := e.Num("cost_ms"); ok {
+				st.cost.Add(c)
+			}
+		}
+		if _, hasErr := e.Str("error"); hasErr {
+			st.errored++
+		}
+	}
+	out := make([]cellStat, 0, len(byAlgo))
+	for _, st := range byAlgo {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].algo < out[j].algo })
+	return out
+}
+
+// higherIsBetter classifies a summary key's direction: throughput-like
+// quantities improve upward, everything else (delays, misses, drops,
+// imbalance) improves downward. Structural keys (instance sizes) never
+// move between comparable runs, so their direction is immaterial.
+func higherIsBetter(name string) bool {
+	for _, marker := range []string{"feasible", "completed", "requests_ok", "specs_ok"} {
+		if strings.Contains(name, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// diffQuantiles are the histogram quantiles extracted for diffing.
+var diffQuantiles = []struct {
+	label string
+	q     float64
+}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}}
+
+// Metrics flattens a source into its diffable named scalars, sorted by
+// name. Both sides of a diff extract with the same rules, so metric
+// names line up whenever the runs are comparable.
+func (s *Source) Metrics() []Metric {
+	var out []Metric
+	switch s.Kind {
+	case "bench":
+		for _, sc := range s.Bench.Scenarios {
+			for _, a := range sc.Algos {
+				prefix := sc.ID + "/" + a.Name + " "
+				out = append(out,
+					Metric{Name: prefix + "feasible_runtime_ms", Value: a.FeasibleRuntimeMs, CI95: a.RuntimeCI95Ms},
+					Metric{Name: prefix + "mean_cost_ms", Value: a.MeanCostMs, CI95: a.CostCI95Ms},
+					Metric{Name: prefix + "feasible_rate", Value: a.FeasibleRate, HigherIsBetter: true},
+				)
+			}
+		}
+	case "archive":
+		for name, v := range s.Archive.Summary {
+			out = append(out, Metric{Name: name, Value: v, HigherIsBetter: higherIsBetter(name)})
+		}
+		for name, h := range s.Archive.Metrics.Histograms {
+			for _, dq := range diffQuantiles {
+				if v := h.Quantile(dq.q); !math.IsInf(v, 0) {
+					out = append(out, Metric{Name: name + " " + dq.label, Value: v})
+				}
+			}
+			out = append(out, Metric{Name: name + " mean", Value: h.Mean})
+		}
+		for name, v := range s.Archive.Metrics.Counters {
+			out = append(out, Metric{Name: name, Value: float64(v), HigherIsBetter: higherIsBetter(name)})
+		}
+		for _, st := range cellStats(s.Archive.Events) {
+			out = append(out, Metric{Name: "cells/" + st.algo + " runtime_ms", Value: st.runtime.Mean(), CI95: st.runtime.CI95()})
+			if st.feasible > 0 {
+				out = append(out, Metric{Name: "cells/" + st.algo + " cost_ms", Value: st.cost.Mean(), CI95: st.cost.CI95()})
+			}
+		}
+		for _, cs := range convergence(s.Archive.IterEvents()) {
+			if cs.BestCostMs >= 0 {
+				out = append(out, Metric{Name: "convergence/" + cs.Algo + " best_cost_ms", Value: cs.BestCostMs})
+				out = append(out, Metric{Name: "convergence/" + cs.Algo + " iters_to_best", Value: float64(cs.ItersToBest)})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

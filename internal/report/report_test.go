@@ -1,0 +1,267 @@
+package report
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"taccc/internal/experiment"
+	"taccc/internal/obs"
+	"taccc/internal/obs/runlog"
+)
+
+// writeArchive synthesizes a tacsim-shaped archive: solver convergence,
+// per-phase delay histograms, request counters, queue-depth gauges and a
+// scalar summary. latencyScale stretches the simulated delays so tests
+// can fabricate regressions.
+func writeArchive(t *testing.T, dir string, latencyScale float64) {
+	t.Helper()
+	w, err := runlog.Create(dir, runlog.Manifest{Tool: "tacsim", Version: "test", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := w.Sink()
+	prog := obs.EventProgress(sink)
+	costs := []float64{90, 80, 80, 70, 70}
+	for i, c := range costs {
+		obs.EmitIter(prog, "qlearning", i, c*latencyScale, true)
+	}
+	reg := obs.NewRegistry()
+	for _, v := range []float64{5, 10, 20, 40} {
+		reg.Histogram("cluster.latency_ms", obs.DefaultLatencyBucketsMs()).Observe(v * latencyScale)
+		reg.Histogram("cluster.delay.queue_ms", obs.DefaultLatencyBucketsMs()).Observe(v * latencyScale * 0.5)
+		reg.Histogram("cluster.delay.service_ms", obs.DefaultLatencyBucketsMs()).Observe(v * latencyScale * 0.5)
+	}
+	reg.Counter("cluster.requests_sent").Add(100)
+	reg.Counter("cluster.requests_missed").Add(int64(10 * latencyScale))
+	reg.Gauge("cluster.edge_0.queue_depth").Set(3)
+	reg.Gauge("cluster.edge_1.queue_depth").Set(9)
+	if err := w.Close(reg.Snapshot(), runlog.Summary{
+		"sim.latency_p50_ms": 10 * latencyScale,
+		"sim.completed":      100,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadSourceAutoDetect(t *testing.T) {
+	dir := t.TempDir()
+	arDir := filepath.Join(dir, "run")
+	writeArchive(t, arDir, 1)
+	s, err := LoadSource(arDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != "archive" || s.Archive == nil {
+		t.Fatalf("archive not detected: %+v", s)
+	}
+
+	benchPath := filepath.Join(dir, "bench.json")
+	res := &experiment.BenchResults{
+		Tool: "tacbench", Version: "test", Reps: 2,
+		Scenarios: []experiment.BenchScenario{{
+			ID: "small", NumIoT: 10, NumEdge: 2,
+			Algos: []experiment.BenchAlgo{{Name: "greedy", MeanCostMs: 5, FeasibleRuntimeMs: 1, FeasibleRate: 1, Reps: 2}},
+		}},
+	}
+	f, err := os.Create(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	s, err = LoadSource(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != "bench" || s.Bench == nil {
+		t.Fatalf("bench not detected: %+v", s)
+	}
+
+	if _, err := LoadSource(filepath.Join(dir, "nope")); err == nil {
+		t.Fatal("missing path accepted")
+	}
+	if _, err := LoadSource(dir); err == nil {
+		t.Fatal("plain directory accepted as archive")
+	}
+}
+
+func TestSummarizeArchive(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	writeArchive(t, dir, 1)
+	s, err := LoadSource(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Summarize(s)
+	if len(r.Convergence) != 1 {
+		t.Fatalf("convergence: %+v", r.Convergence)
+	}
+	c := r.Convergence[0]
+	if c.Algo != "qlearning" || c.Iters != 5 || c.Improvements != 3 || c.BestCostMs != 70 || c.ItersToBest != 3 {
+		t.Fatalf("convergence stats wrong: %+v", c)
+	}
+	if len(r.Phases) != 2 {
+		t.Fatalf("phases: %+v", r.Phases)
+	}
+	total := 0.0
+	for _, p := range r.Phases {
+		total += p.SharePct
+	}
+	if math.Abs(total-100) > 1e-9 {
+		t.Fatalf("phase shares sum to %.3f, want 100", total)
+	}
+	if math.Abs(r.MissRate-0.1) > 1e-12 {
+		t.Fatalf("miss rate %v, want 0.1", r.MissRate)
+	}
+	if len(r.TopEdges) != 2 || r.TopEdges[0].Edge != "edge_1" {
+		t.Fatalf("top edges not sorted by depth: %+v", r.TopEdges)
+	}
+	md := r.Markdown()
+	for _, want := range []string{"## Convergence", "## Delay attribution", "qlearning", "edge_1", "miss rate"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	var buf strings.Builder
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("report does not marshal: %v", err)
+	}
+}
+
+func TestDiffIdenticalArchivesIsClean(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a"), filepath.Join(dir, "b")
+	writeArchive(t, a, 1)
+	writeArchive(t, b, 1)
+	sa, err := LoadSource(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := LoadSource(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DiffSources(sa, sb, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressions != 0 || d.Improvements != 0 {
+		t.Fatalf("identical archives diffed dirty: %+v", d.Metrics)
+	}
+	if len(d.Metrics) == 0 || len(d.OnlyOld) != 0 || len(d.OnlyNew) != 0 {
+		t.Fatalf("metric matching broken: %d metrics, onlyOld=%v onlyNew=%v", len(d.Metrics), d.OnlyOld, d.OnlyNew)
+	}
+}
+
+func TestDiffDetectsLatencyRegression(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a"), filepath.Join(dir, "b")
+	writeArchive(t, a, 1)
+	writeArchive(t, b, 2) // everything latency-ish doubles
+	sa, _ := LoadSource(a)
+	sb, _ := LoadSource(b)
+	d, err := DiffSources(sa, sb, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressions == 0 {
+		t.Fatalf("doubled latency not flagged: %+v", d.Metrics)
+	}
+	byName := map[string]MetricDelta{}
+	for _, m := range d.Metrics {
+		byName[m.Name] = m
+	}
+	if m := byName["sim.latency_p50_ms"]; m.Verdict != VerdictRegression || math.Abs(m.DeltaPct-100) > 1e-9 {
+		t.Fatalf("sim.latency_p50_ms verdict: %+v", m)
+	}
+	// Unchanged throughput stays OK.
+	if m := byName["sim.completed"]; m.Verdict != VerdictOK {
+		t.Fatalf("sim.completed verdict: %+v", m)
+	}
+	// The convergence comparison sees the doubled best cost too.
+	if m := byName["convergence/qlearning best_cost_ms"]; m.Verdict != VerdictRegression {
+		t.Fatalf("convergence best cost verdict: %+v", m)
+	}
+	md := d.Markdown()
+	if !strings.Contains(md, "REGRESSION sim.latency_p50_ms +100.0%") {
+		t.Fatalf("verdict line missing:\n%s", md)
+	}
+}
+
+func TestDiffKindMismatchErrors(t *testing.T) {
+	dir := t.TempDir()
+	arDir := filepath.Join(dir, "run")
+	writeArchive(t, arDir, 1)
+	sa, _ := LoadSource(arDir)
+	sb := &Source{Kind: "bench", Path: "x", Bench: &experiment.BenchResults{}}
+	if _, err := DiffSources(sa, sb, 5); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+}
+
+func TestJudgeSignificanceRule(t *testing.T) {
+	cases := []struct {
+		name                   string
+		old, new, ciOld, ciNew float64
+		higherBetter           bool
+		threshold              float64
+		want                   string
+	}{
+		// 20% worse, tight CIs: clearly a regression at 5%.
+		{"confident regression", 100, 120, 1, 1, false, 5, VerdictRegression},
+		// 20% worse but CIs are so wide the delta is not significant.
+		{"noisy move is OK", 100, 120, 15, 15, false, 5, VerdictOK},
+		// 20% better with tight CIs.
+		{"confident improvement", 100, 80, 1, 1, false, 5, VerdictImprovement},
+		// Higher-is-better metrics flip direction: a drop is a regression.
+		{"throughput drop", 1.0, 0.5, 0, 0, true, 5, VerdictRegression},
+		{"throughput gain", 0.5, 1.0, 0, 0, true, 5, VerdictImprovement},
+		// Growth from zero is a (capped) regression, not a crash.
+		{"zero to nonzero", 0, 5, 0, 0, false, 5, VerdictRegression},
+		{"zero to zero", 0, 0, 0, 0, false, 5, VerdictOK},
+		// Within threshold: no verdict either way.
+		{"small move", 100, 103, 0, 0, false, 5, VerdictOK},
+	}
+	for _, tc := range cases {
+		d := MetricDelta{Old: tc.old, New: tc.new, CIOld: tc.ciOld, CINew: tc.ciNew, HigherIsBetter: tc.higherBetter}
+		judge(&d, tc.threshold)
+		if d.Verdict != tc.want {
+			t.Errorf("%s: verdict %s (delta %+.1f%% hw %.1f%%), want %s", tc.name, d.Verdict, d.DeltaPct, d.HalfWidthPct, tc.want)
+		}
+		if math.IsInf(d.DeltaPct, 0) || math.IsNaN(d.DeltaPct) {
+			t.Errorf("%s: non-finite delta %v", tc.name, d.DeltaPct)
+		}
+	}
+}
+
+func TestDiffBenchRuntimeRegressionRespectsCI(t *testing.T) {
+	mk := func(runtime, ci float64) *Source {
+		return &Source{Kind: "bench", Path: "p", Bench: &experiment.BenchResults{
+			Scenarios: []experiment.BenchScenario{{ID: "s", Algos: []experiment.BenchAlgo{{
+				Name: "greedy", MeanCostMs: 10, CostCI95Ms: 0.1,
+				FeasibleRuntimeMs: runtime, RuntimeCI95Ms: ci, FeasibleRate: 1, Reps: 5,
+			}}}},
+		}}
+	}
+	// 2x slower with tight CIs: gate fires.
+	d, err := DiffSources(mk(1, 0.05), mk(2, 0.05), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressions != 1 {
+		t.Fatalf("confident 2x slowdown not flagged: %+v", d.Metrics)
+	}
+	// Same 2x but the CI half-widths swamp the delta: no verdict.
+	d, err = DiffSources(mk(1, 1.5), mk(2, 1.5), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressions != 0 {
+		t.Fatalf("noisy slowdown failed the gate: %+v", d.Metrics)
+	}
+}

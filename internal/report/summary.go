@@ -1,0 +1,218 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"taccc/internal/experiment"
+	"taccc/internal/obs/runlog"
+)
+
+// PhaseStat attributes delay to one request phase (uplink, queue,
+// service, downlink) from the archive's cluster.delay.* histograms.
+type PhaseStat struct {
+	Phase    string  `json:"phase"`
+	MeanMs   float64 `json:"mean_ms"`
+	SharePct float64 `json:"share_pct"`
+	Count    int64   `json:"count"`
+}
+
+// EdgeStat is one edge's final queue depth (from the
+// cluster.edge_<i>.queue_depth gauges).
+type EdgeStat struct {
+	Edge       string  `json:"edge"`
+	QueueDepth float64 `json:"queue_depth"`
+}
+
+// QuantileStat is one latency histogram quantile.
+type QuantileStat struct {
+	Label string  `json:"label"`
+	Ms    float64 `json:"ms"`
+}
+
+// Report is the offline analysis of a single source.
+type Report struct {
+	Path string `json:"path"`
+	Kind string `json:"kind"`
+
+	// Archive fields.
+	Manifest    *runlog.Manifest  `json:"manifest,omitempty"`
+	Convergence []ConvergenceStat `json:"convergence,omitempty"`
+	Phases      []PhaseStat       `json:"phases,omitempty"`
+	Latency     []QuantileStat    `json:"latency,omitempty"`
+	// MissRate is cluster.requests_missed / cluster.requests_sent
+	// (-1 when the archive carries no request counters).
+	MissRate float64        `json:"miss_rate"`
+	TopEdges []EdgeStat     `json:"top_edges,omitempty"`
+	Summary  runlog.Summary `json:"summary,omitempty"`
+	Events   int            `json:"events,omitempty"`
+
+	// Bench fields.
+	Bench *experiment.BenchResults `json:"bench,omitempty"`
+}
+
+// delayPhases are the simulator's per-phase delay histograms in
+// pipeline order.
+var delayPhases = []string{"uplink", "queue", "service", "downlink"}
+
+// Summarize builds the offline analysis report for one source.
+func Summarize(s *Source) *Report {
+	r := &Report{Path: s.Path, Kind: s.Kind, MissRate: -1}
+	if s.Kind == "bench" {
+		r.Bench = s.Bench
+		return r
+	}
+	a := s.Archive
+	man := a.Manifest
+	r.Manifest = &man
+	r.Convergence = convergence(a.IterEvents())
+	r.Summary = a.Summary
+	r.Events = len(a.Events)
+
+	// Per-phase delay attribution: each phase's mean and its share of
+	// the summed phase means.
+	total := 0.0
+	for _, phase := range delayPhases {
+		if h, ok := a.Metrics.Histograms["cluster.delay."+phase+"_ms"]; ok && h.Count > 0 {
+			r.Phases = append(r.Phases, PhaseStat{Phase: phase, MeanMs: h.Mean, Count: h.Count})
+			total += h.Mean
+		}
+	}
+	for i := range r.Phases {
+		if total > 0 {
+			r.Phases[i].SharePct = 100 * r.Phases[i].MeanMs / total
+		}
+	}
+
+	if h, ok := a.Metrics.Histograms["cluster.latency_ms"]; ok && h.Count > 0 {
+		for _, dq := range diffQuantiles {
+			if v := h.Quantile(dq.q); !math.IsInf(v, 0) {
+				r.Latency = append(r.Latency, QuantileStat{Label: dq.label, Ms: v})
+			}
+		}
+	}
+
+	if sent, ok := a.Metrics.Counters["cluster.requests_sent"]; ok && sent > 0 {
+		r.MissRate = float64(a.Metrics.Counters["cluster.requests_missed"]) / float64(sent)
+	}
+
+	// Top edges by final queue depth.
+	for name, v := range a.Metrics.Gauges {
+		if strings.HasPrefix(name, "cluster.edge_") && strings.HasSuffix(name, ".queue_depth") {
+			edge := strings.TrimSuffix(strings.TrimPrefix(name, "cluster."), ".queue_depth")
+			r.TopEdges = append(r.TopEdges, EdgeStat{Edge: edge, QueueDepth: v})
+		}
+	}
+	sort.Slice(r.TopEdges, func(i, j int) bool {
+		if r.TopEdges[i].QueueDepth != r.TopEdges[j].QueueDepth {
+			return r.TopEdges[i].QueueDepth > r.TopEdges[j].QueueDepth
+		}
+		return r.TopEdges[i].Edge < r.TopEdges[j].Edge
+	})
+	if len(r.TopEdges) > 5 {
+		r.TopEdges = r.TopEdges[:5]
+	}
+	return r
+}
+
+// Markdown renders the report.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# tacreport summary\n\n")
+	if r.Kind == "bench" {
+		fmt.Fprintf(&b, "- source: `%s` (bench results)\n- tool: %s %s, seed %d, reps %d, quick %v\n\n",
+			r.Path, r.Bench.Tool, r.Bench.Version, r.Bench.Seed, r.Bench.Reps, r.Bench.Quick)
+		for _, sc := range r.Bench.Scenarios {
+			fmt.Fprintf(&b, "## Scenario %s (iot=%d edge=%d rho=%.2f)\n\n", sc.ID, sc.NumIoT, sc.NumEdge, sc.Rho)
+			fmt.Fprintf(&b, "| algorithm | mean cost ms | ±CI | feasible runtime ms | ±CI | feasible rate | errors |\n")
+			fmt.Fprintf(&b, "|---|---:|---:|---:|---:|---:|---:|\n")
+			for _, a := range sc.Algos {
+				fmt.Fprintf(&b, "| %s | %.3f | %.3f | %.3f | %.3f | %.2f | %d |\n",
+					a.Name, a.MeanCostMs, a.CostCI95Ms, a.FeasibleRuntimeMs, a.RuntimeCI95Ms, a.FeasibleRate, a.Errors)
+			}
+			fmt.Fprintln(&b)
+		}
+		return b.String()
+	}
+	m := r.Manifest
+	fmt.Fprintf(&b, "- source: `%s` (run archive, format %d)\n", r.Path, m.Format)
+	fmt.Fprintf(&b, "- tool: %s %s, seed %d\n", m.Tool, m.Version, m.Seed)
+	fmt.Fprintf(&b, "- started: unix %d ms, elapsed %.1f ms, %d event(s)\n", m.StartUnixMs, m.ElapsedMs, r.Events)
+	if len(m.Config) > 0 {
+		keys := make([]string, 0, len(m.Config))
+		for k := range m.Config {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, k+"="+m.Config[k])
+		}
+		fmt.Fprintf(&b, "- config: %s\n", strings.Join(parts, " "))
+	}
+	fmt.Fprintln(&b)
+
+	if len(r.Convergence) > 0 {
+		fmt.Fprintf(&b, "## Convergence\n\n")
+		fmt.Fprintf(&b, "| algorithm | iters | improvements | first feasible | best cost ms | iters to best |\n")
+		fmt.Fprintf(&b, "|---|---:|---:|---:|---:|---:|\n")
+		for _, c := range r.Convergence {
+			best := "-"
+			if c.BestCostMs >= 0 {
+				best = fmt.Sprintf("%.3f", c.BestCostMs)
+			}
+			fmt.Fprintf(&b, "| %s | %d | %d | %d | %s | %d |\n",
+				c.Algo, c.Iters, c.Improvements, c.FirstFeasibleIter, best, c.ItersToBest)
+		}
+		fmt.Fprintln(&b)
+	}
+	if len(r.Phases) > 0 {
+		fmt.Fprintf(&b, "## Delay attribution\n\n")
+		fmt.Fprintf(&b, "| phase | mean ms | share | observations |\n|---|---:|---:|---:|\n")
+		for _, p := range r.Phases {
+			fmt.Fprintf(&b, "| %s | %.3f | %.1f%% | %d |\n", p.Phase, p.MeanMs, p.SharePct, p.Count)
+		}
+		fmt.Fprintln(&b)
+	}
+	if len(r.Latency) > 0 || r.MissRate >= 0 {
+		fmt.Fprintf(&b, "## Requests\n\n")
+		for _, q := range r.Latency {
+			fmt.Fprintf(&b, "- latency %s ≤ %.3f ms\n", q.Label, q.Ms)
+		}
+		if r.MissRate >= 0 {
+			fmt.Fprintf(&b, "- deadline miss rate: %.2f%%\n", 100*r.MissRate)
+		}
+		fmt.Fprintln(&b)
+	}
+	if len(r.TopEdges) > 0 {
+		fmt.Fprintf(&b, "## Top edges by queue depth\n\n")
+		for _, e := range r.TopEdges {
+			fmt.Fprintf(&b, "- %s: %.0f\n", e.Edge, e.QueueDepth)
+		}
+		fmt.Fprintln(&b)
+	}
+	if len(r.Summary) > 0 {
+		keys := make([]string, 0, len(r.Summary))
+		for k := range r.Summary {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(&b, "## Result summary\n\n| key | value |\n|---|---:|\n")
+		for _, k := range keys {
+			fmt.Fprintf(&b, "| %s | %g |\n", k, r.Summary[k])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

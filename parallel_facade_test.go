@@ -45,7 +45,9 @@ func TestCompareAlgorithmsWorkersFacadeDeterminism(t *testing.T) {
 	}
 	for i := range seq {
 		seq[i].MeanRuntimeMs, con[i].MeanRuntimeMs = 0, 0
+		seq[i].RuntimeCI95, con[i].RuntimeCI95 = 0, 0
 		seq[i].FeasibleRuntimeMs, con[i].FeasibleRuntimeMs = 0, 0
+		seq[i].FeasibleRuntimeCI95, con[i].FeasibleRuntimeCI95 = 0, 0
 	}
 	if !reflect.DeepEqual(seq, con) {
 		t.Fatalf("workers=8 diverged:\n%+v\nvs\n%+v", con, seq)

@@ -511,6 +511,31 @@ func DefaultAlgorithms() []string {
 	return out
 }
 
+// Bench suite (internal/experiment): the fixed performance-tracking
+// scenarios behind `tacbench -json` and the tacreport perf gate.
+type (
+	// BenchResults is the on-disk shape of BENCH_results.json.
+	BenchResults = experiment.BenchResults
+	// BenchScenario is one bench scenario's per-algorithm statistics.
+	BenchScenario = experiment.BenchScenario
+	// BenchAlgo is one algorithm's aggregated bench statistics.
+	BenchAlgo = experiment.BenchAlgo
+)
+
+// RunBenchSuite executes the fixed bench scenarios with the standard
+// algorithm set. Objective statistics are reproducible from opts.Seed at
+// any opts.Workers; runtime statistics reflect this machine. Tool and
+// Version are left for the caller to stamp.
+func RunBenchSuite(opts ExperimentOptions) (*BenchResults, error) {
+	return experiment.RunBench(opts)
+}
+
+// ReadBenchResults parses a BENCH_results.json / BENCH_baseline.json
+// file, rejecting truncated or foreign files descriptively.
+func ReadBenchResults(r io.Reader) (*BenchResults, error) {
+	return experiment.ReadBenchResults(r)
+}
+
 // Observability (internal/obs). Every hook is optional and nil-safe:
 // with no sink or registry attached the instrumented code paths are
 // no-ops and results are bit-identical.
