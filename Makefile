@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet ci bench-json perf-gate baseline
+.PHONY: all build test race bench vet lint ci bench-json perf-gate baseline
 
 all: build test
 
@@ -33,7 +33,17 @@ bench:
 vet:
 	$(GO) vet ./...
 
-ci: vet build test race
+# Repository-specific static analysis (see internal/lint): detrand,
+# maporder, nilrecv and sinkerr enforce the determinism and observability
+# invariants that plain `go vet` cannot see. taclint runs standalone over
+# the module — it does not use `go vet -vettool=`, because the vettool
+# protocol requires golang.org/x/tools' unitchecker and this repo is
+# deliberately dependency-free; the standalone run checks the same
+# packages with the same type information.
+lint:
+	$(GO) run ./cmd/taclint ./...
+
+ci: vet lint build test race
 
 # Perf gate: run the fixed bench suite to JSON and diff it against the
 # committed baseline with tacreport. Verdicts subtract the propagated

@@ -121,7 +121,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "tacbench: %v\n", err)
 		return 1
 	}
-	defer eventStream.Close()
+	defer eventStream.Close() //lint:allow sinkerr backstop for early returns; the success path checks Close in finishObs
 	if eventStream != nil {
 		sinks = append(sinks, eventStream.Sink())
 	}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunRepoClean is the CLI-level acceptance check: taclint over the
+// repository's own tree exits 0.
+func TestRunRepoClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", root, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("taclint ./... = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("taclint -list = %d, want 0\nstderr:\n%s", code, &stderr)
+	}
+	for _, name := range []string{"detrand", "maporder", "nilrecv", "sinkerr"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", name, &stdout)
+		}
+	}
+}
+
+func TestRunUnknownAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-only", "detrand,nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("taclint -only nope = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "nope") {
+		t.Errorf("stderr should name the unknown analyzer:\n%s", &stderr)
+	}
+}
+
+// TestRunSeededViolation builds a throwaway module named taccc with a
+// wall-clock read in internal/assign and asserts the CLI exits 1 and
+// prints the finding with its analyzer tag.
+func TestRunSeededViolation(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module taccc\n\ngo 1.22\n",
+		"internal/assign/assign.go": `package assign
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("taclint on seeded module = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
+	}
+	if !strings.Contains(stdout.String(), "[detrand]") {
+		t.Errorf("finding should carry its analyzer tag:\n%s", &stdout)
+	}
+}

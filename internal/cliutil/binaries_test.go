@@ -14,6 +14,7 @@ import (
 var binaries = []string{
 	"tacbench",
 	"tacgen",
+	"taclint",
 	"tacreport",
 	"tacsim",
 	"tacsolve",

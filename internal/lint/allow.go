@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// allowPrefix introduces an in-source suppression. The full form is
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed either at the end of the flagged line or on its own line
+// immediately above. The reason is mandatory: an allow records a reviewed,
+// intentional violation (wall-clock manifest fields, a deferred Close
+// backstop), and the reviewer of the next change needs to know why.
+const allowPrefix = "//lint:allow"
+
+// allowDirective is one parsed allow comment.
+type allowDirective struct {
+	Line     int
+	Analyzer string
+	Reason   string
+}
+
+// allowIndex holds one file's directives, keyed by line.
+type allowIndex struct {
+	byLine map[int][]allowDirective
+}
+
+// parseAllows scans every comment in files for allow directives.
+// Malformed directives — a missing analyzer, an analyzer not in known, or
+// an empty reason — are returned as diagnostics; they are never
+// suppressible, so a typo cannot silently disable a check.
+func parseAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) (allowIndex, []Diagnostic) {
+	idx := allowIndex{byLine: make(map[int][]allowDirective)}
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:allowed — not ours
+				}
+				fields := strings.Fields(rest)
+				line := fset.Position(c.Pos()).Line
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, Diagnostic{Pos: c.Pos(), Message: "malformed allow: want //lint:allow <analyzer> <reason>"})
+				case !known[fields[0]]:
+					bad = append(bad, Diagnostic{Pos: c.Pos(), Message: "allow names unknown analyzer " + strconv.Quote(fields[0])})
+				case len(fields) == 1:
+					bad = append(bad, Diagnostic{Pos: c.Pos(), Message: "allow for " + fields[0] + " has no reason; document why the violation is intentional"})
+				default:
+					idx.byLine[line] = append(idx.byLine[line], allowDirective{
+						Line:     line,
+						Analyzer: fields[0],
+						Reason:   strings.Join(fields[1:], " "),
+					})
+				}
+			}
+		}
+	}
+	return idx, bad
+}
+
+// suppresses reports whether a directive for analyzer covers line: a
+// directive on the line itself (trailing comment) or on the line directly
+// above (standalone comment).
+func (idx allowIndex) suppresses(analyzer string, line int) bool {
+	for _, l := range []int{line, line - 1} {
+		for _, d := range idx.byLine[l] {
+			if d.Analyzer == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,27 @@
+package lint_test
+
+import (
+	"testing"
+
+	"taccc/internal/lint"
+	"taccc/internal/lint/linttest"
+)
+
+// The four analyzers each run over a fixture package whose want comments
+// pin down positive cases, negative cases, and //lint:allow handling.
+
+func TestDetrandFixtures(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), lint.Detrand, "detrand")
+}
+
+func TestMaporderFixtures(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), lint.Maporder, "maporder")
+}
+
+func TestNilrecvFixtures(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), lint.Nilrecv, "nilrecv")
+}
+
+func TestSinkerrFixtures(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), lint.Sinkerr, "sinkerr")
+}

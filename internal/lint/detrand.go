@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Detrand enforces the determinism contract of the solver-side packages:
+// a (seed, configuration) pair must fully determine every result, at any
+// -workers setting. Two things break that silently:
+//
+//   - wall-clock reads: time.Now / time.Since / time.Until make any value
+//     derived from them run-dependent;
+//   - math/rand: the top-level functions share unseeded global state, and
+//     even a locally constructed rand.Rand bypasses internal/xrand's
+//     split-stream seeding, so two subsystems seeded from the same root
+//     seed would correlate or diverge across refactors.
+//
+// Any reference to math/rand (or math/rand/v2) is flagged — functions,
+// the Rand/Source types, and methods on a smuggled *rand.Rand alike —
+// because the deterministic packages are expected to hold an
+// *xrand.Source instead. Wall-clock timing that is measurement-only
+// (runtime statistics that never feed back into decisions) is annotated
+// in place with //lint:allow detrand <reason>.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid time.Now and math/rand in the deterministic packages; randomness must flow through internal/xrand",
+	Run:  runDetrand,
+}
+
+// wallClockFuncs are the time package functions that read the wall clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runDetrand(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := objectOf(p.TypesInfo, sel.Sel)
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[obj.Name()] {
+					p.Reportf(sel.Pos(), "time.%s reads the wall clock in a deterministic package; derive timing from the simulation clock or annotate measurement-only uses with //lint:allow detrand <reason>", obj.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				p.Reportf(sel.Pos(), "%s.%s bypasses the seeded split-stream layer; draw randomness from internal/xrand (or annotate with //lint:allow detrand <reason>)", obj.Pkg().Path(), obj.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Rule binds one analyzer to the set of packages it polices. Scoping
+// lives here, not in the analyzers, so each analyzer stays a pure
+// package-in/diagnostics-out function that fixtures can drive directly.
+type Rule struct {
+	Analyzer *Analyzer
+	// Match reports whether the analyzer applies to the package with the
+	// given import path.
+	Match func(pkgPath string) bool
+}
+
+// DeterministicPackages are the module packages whose results must be a
+// pure function of (seed, configuration): everything the solvers,
+// generators and simulators touch. cmd/ and the observability layer are
+// deliberately outside — commands measure wall-clock solve time, and obs
+// timestamps nothing on its own.
+var DeterministicPackages = []string{
+	"taccc/internal/assign",
+	"taccc/internal/gap",
+	"taccc/internal/topology",
+	"taccc/internal/experiment",
+	"taccc/internal/sim",
+	"taccc/internal/cluster",
+	"taccc/internal/workload",
+}
+
+// DefaultRules encodes the repository policy:
+//
+//   - detrand over the deterministic packages (internal/xrand itself is
+//     the one sanctioned math/rand consumer and is not listed);
+//   - maporder everywhere — ordered output can leak from any layer;
+//   - nilrecv over internal/obs, where the nil-safe sink/metric types
+//     live;
+//   - sinkerr over cmd/, where event streams are opened and must fail
+//     loudly.
+func DefaultRules() []Rule {
+	inDeterministic := func(path string) bool {
+		for _, p := range DeterministicPackages {
+			if path == p || strings.HasPrefix(path, p+"/") {
+				return true
+			}
+		}
+		return false
+	}
+	return []Rule{
+		{Analyzer: Detrand, Match: inDeterministic},
+		{Analyzer: Maporder, Match: func(string) bool { return true }},
+		{Analyzer: Nilrecv, Match: func(path string) bool { return path == "taccc/internal/obs" }},
+		{Analyzer: Sinkerr, Match: func(path string) bool { return strings.HasPrefix(path, "taccc/cmd/") }},
+	}
+}
+
+// Finding is one diagnostic tagged with its analyzer and resolved
+// position, ready to print.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// Run loads every package named by importPaths through l, applies each
+// rule's analyzer to the packages it matches, filters the results
+// through the //lint:allow index, and returns the surviving findings
+// sorted by file, line, column and analyzer. Malformed allow directives
+// are themselves findings (analyzer "allow") in every package, so a typo
+// cannot silently disable a check.
+func Run(l *Loader, importPaths []string, rules []Rule) ([]Finding, error) {
+	known := make(map[string]bool)
+	for _, r := range rules {
+		known[r.Analyzer.Name] = true
+	}
+	var findings []Finding
+	for _, path := range importPaths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		allows, bad := parseAllows(l.Fset, pkg.Files, known)
+		for _, d := range bad {
+			findings = append(findings, Finding{Analyzer: "allow", Pos: l.Fset.Position(d.Pos), Message: d.Message})
+		}
+		for _, r := range rules {
+			if !r.Match(path) {
+				continue
+			}
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer:  r.Analyzer,
+				Fset:      l.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := r.Analyzer.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", r.Analyzer.Name, path, err)
+			}
+			for _, d := range diags {
+				pos := l.Fset.Position(d.Pos)
+				if allows.suppresses(r.Analyzer.Name, pos.Line) {
+					continue
+				}
+				findings = append(findings, Finding{Analyzer: r.Analyzer.Name, Pos: pos, Message: d.Message})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// Print writes findings one per line in the go-vet style
+// "file:line:col: message [analyzer]", with file paths relative to dir
+// when possible.
+func Print(w io.Writer, findings []Finding, dir string) {
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if dir != "" {
+			if rel, ok := strings.CutPrefix(name, dir+"/"); ok {
+				name = rel
+			}
+		}
+		fmt.Fprintf(w, "%s:%d:%d: %s [%s]\n", name, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+	}
+}

@@ -1,0 +1,150 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"taccc/internal/lint"
+)
+
+// repoRoot resolves the module root from the test's working directory
+// (internal/lint) and sanity-checks it holds go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root %s has no go.mod: %v", root, err)
+	}
+	return root
+}
+
+// TestRepositoryCleanUnderDefaultRules is the gate the lint suite exists
+// for: the tree as committed must produce zero findings under the default
+// rules. Any regression — a wall-clock read sneaking into a solver, an
+// unsorted map iteration feeding output — fails this test before it
+// reaches CI's dedicated lint job.
+func TestRepositoryCleanUnderDefaultRules(t *testing.T) {
+	root := repoRoot(t)
+	l, modPath, err := lint.NewModuleLoader(root)
+	if err != nil {
+		t.Fatalf("NewModuleLoader: %v", err)
+	}
+	paths, err := lint.ExpandPatterns(root, modPath, []string{"./..."})
+	if err != nil {
+		t.Fatalf("ExpandPatterns: %v", err)
+	}
+	findings, err := lint.Run(l, paths, lint.DefaultRules())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s:%d:%d: %s [%s]", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+	}
+}
+
+// seedModule writes a throwaway module named taccc (so DefaultRules'
+// path-based scoping applies) with one violation per seeded file.
+func seedModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module taccc\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestSeededViolationsAreCaught proves the suite has teeth: a wall-clock
+// read in internal/assign, an emitting map-range in internal/experiment,
+// and a reason-less allow directive each surface as findings under the
+// default rules.
+func TestSeededViolationsAreCaught(t *testing.T) {
+	dir := seedModule(t, map[string]string{
+		"internal/assign/assign.go": `package assign
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+		"internal/experiment/dump.go": `package experiment
+
+import "fmt"
+
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+`,
+		"internal/gap/gap.go": `package gap
+
+import "time"
+
+//lint:allow detrand
+func Tick() time.Time { return time.Now() }
+`,
+	})
+	l, modPath, err := lint.NewModuleLoader(dir)
+	if err != nil {
+		t.Fatalf("NewModuleLoader: %v", err)
+	}
+	paths, err := lint.ExpandPatterns(dir, modPath, []string{"./..."})
+	if err != nil {
+		t.Fatalf("ExpandPatterns: %v", err)
+	}
+	findings, err := lint.Run(l, paths, lint.DefaultRules())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	byAnalyzer := make(map[string]int)
+	for _, f := range findings {
+		byAnalyzer[f.Analyzer]++
+	}
+	// The gap file contributes twice: the malformed directive itself, and
+	// the time.Now it consequently fails to suppress.
+	want := map[string]int{"detrand": 2, "maporder": 1, "allow": 1}
+	for a, n := range want {
+		if byAnalyzer[a] != n {
+			t.Errorf("analyzer %s: got %d findings, want %d (all: %v)", a, byAnalyzer[a], n, findings)
+		}
+	}
+}
+
+// TestRulesScopedByPackage checks the driver's Match scoping: the same
+// wall-clock read that detrand flags in internal/assign passes untouched
+// in cmd/, which is outside the deterministic surface.
+func TestRulesScopedByPackage(t *testing.T) {
+	dir := seedModule(t, map[string]string{
+		"cmd/tacx/main.go": `package main
+
+import "time"
+
+func main() { _ = time.Now() }
+`,
+	})
+	l, modPath, err := lint.NewModuleLoader(dir)
+	if err != nil {
+		t.Fatalf("NewModuleLoader: %v", err)
+	}
+	paths, err := lint.ExpandPatterns(dir, modPath, []string{"./..."})
+	if err != nil {
+		t.Fatalf("ExpandPatterns: %v", err)
+	}
+	findings, err := lint.Run(l, paths, lint.DefaultRules())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("cmd/ wall-clock read should be out of detrand's scope, got %v", findings)
+	}
+}

@@ -1,0 +1,109 @@
+// Package lint is the repository's static-analysis suite: four analyzers
+// that machine-enforce the determinism and zero-overhead-observability
+// invariants the rest of the codebase only documents.
+//
+//   - detrand: no wall-clock reads (time.Now/Since/Until) and no math/rand
+//     in the deterministic packages — all randomness flows through the
+//     seeded split-stream layer in internal/xrand.
+//   - maporder: no map iteration that appends to an outer slice without a
+//     later sort, emits events, or writes output — the bug class that made
+//     LNS nondeterministic per seed before PR 1 fixed it by hand.
+//   - nilrecv: exported pointer-receiver methods on the obs sink, metric
+//     and registry types must begin with a nil-receiver guard, so the
+//     "instrumentation off means nil means no-op" contract is provable.
+//   - sinkerr: commands must not drop the error from an event-sink
+//     Flush/Close — a -events or -archive stream that silently truncates
+//     is worse than no stream.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API surface
+// (Analyzer, Pass, analysistest-style "// want" fixtures) but is built
+// entirely on the standard library's go/ast, go/types and go/importer so
+// the repository stays dependency-free; swapping an analyzer onto the
+// upstream framework is a mechanical change. Intentional violations are
+// annotated in place with "//lint:allow <analyzer> <reason>" (see allow.go).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one static check. Run inspects a single type-checked package
+// and reports findings through the Pass; it must not depend on any state
+// outside the Pass so analyzers can run over packages in any order.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "//lint:allow <name> <reason>" annotations.
+	Name string
+	// Doc is the one-line description shown by taclint's usage text.
+	Doc string
+	// Run performs the check over one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset resolves token positions for every file in the package (and
+	// for any source-imported dependency).
+	Fset *token.FileSet
+	// Files are the package's parsed files, sorted by file name.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's expression types, object
+	// resolutions and method selections for Files.
+	TypesInfo *types.Info
+	// Report delivers one finding.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Analyzers lists every analyzer in the suite, in diagnostic-output order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Detrand, Maporder, Nilrecv, Sinkerr}
+}
+
+// objectOf resolves an identifier to its object via Uses or Defs.
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := objectOf(info, id).(*types.Nil)
+	return isNil
+}
+
+// mentionsObject reports whether expr references obj anywhere.
+func mentionsObject(info *types.Info, expr ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objectOf(info, id) == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

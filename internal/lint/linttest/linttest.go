@@ -1,0 +1,126 @@
+// Package linttest runs lint analyzers over fixture packages, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the repository's
+// stdlib-only framework. Fixtures live in a GOPATH-shaped tree —
+// testdata/src/<importpath>/*.go — and mark expected diagnostics with
+// trailing comments:
+//
+//	rand.Intn(3) // want `math/rand`
+//
+// Each backquoted (or double-quoted) segment after "// want" is a regular
+// expression that must match one diagnostic reported on that line; every
+// diagnostic must be matched by exactly one want and vice versa.
+// //lint:allow directives are honored exactly as the taclint driver
+// honors them, so fixtures exercise the suppression path too.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"taccc/internal/lint"
+)
+
+// TestData returns the absolute path of the calling test's testdata/src
+// fixture root.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// Run loads the fixture package at importPath under srcRoot, applies the
+// analyzer, filters through //lint:allow, and checks the diagnostics
+// against the fixture's want comments.
+func Run(t *testing.T, srcRoot string, a *lint.Analyzer, importPath string) {
+	t.Helper()
+	l := lint.NewSourceLoader(srcRoot)
+	findings, err := lint.Run(l, []string{importPath}, []lint.Rule{
+		{Analyzer: a, Match: func(string) bool { return true }},
+	})
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", importPath, err)
+	}
+
+	wants, err := parseWants(filepath.Join(srcRoot, filepath.FromSlash(importPath)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched := make([]bool, len(wants))
+	for _, f := range findings {
+		if f.Analyzer == "allow" {
+			t.Errorf("%s:%d: malformed allow in fixture: %s", f.Pos.Filename, f.Pos.Line, f.Message)
+			continue
+		}
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != filepath.Base(f.Pos.Filename) || w.line != f.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s:%d:%d: unexpected diagnostic: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRe = regexp.MustCompile("// want((?: +(?:`[^`]*`|\"[^\"]*\"))+)\\s*$")
+var wantArgRe = regexp.MustCompile("`[^`]*`|\"[^\"]*\"")
+
+// parseWants scans every non-test fixture file in dir for want comments.
+func parseWants(dir string) ([]want, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []want
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				if strings.Contains(line, "// want") {
+					return nil, fmt.Errorf("%s:%d: malformed want comment (use // want `regex`)", name, i+1)
+				}
+				continue
+			}
+			for _, arg := range wantArgRe.FindAllString(m[1], -1) {
+				re, err := regexp.Compile(arg[1 : len(arg)-1])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp: %v", name, i+1, err)
+				}
+				wants = append(wants, want{file: name, line: i + 1, re: re})
+			}
+		}
+	}
+	return wants, nil
+}

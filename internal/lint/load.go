@@ -1,0 +1,294 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the package's import path ("taccc/internal/assign").
+	Path string
+	// Dir is the directory the package was loaded from.
+	Dir string
+	// Files are the parsed non-test files, sorted by file name.
+	Files []*ast.File
+	// Types and Info are the type-checker's outputs.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages from source using only the
+// standard library. Project-internal imports are resolved from source
+// (memoized, cycle-checked); standard-library imports go through the
+// compiler's export data when available, falling back to type-checking
+// the standard library from GOROOT source. Test files (_test.go) are not
+// loaded: the invariants taclint enforces are about shipped solver and
+// command code, and tests legitimately use wall clocks for timeouts.
+type Loader struct {
+	// Fset is shared by every file the loader touches so diagnostic
+	// positions resolve uniformly.
+	Fset *token.FileSet
+
+	resolve func(importPath string) (dir string, ok bool)
+	std     types.Importer
+	pkgs    map[string]*Package
+	errs    map[string]error
+	loading map[string]bool
+}
+
+func newLoader(resolve func(string) (string, bool)) *Loader {
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:    fset,
+		resolve: resolve,
+		pkgs:    make(map[string]*Package),
+		errs:    make(map[string]error),
+		loading: make(map[string]bool),
+	}
+	// Prefer export data (fast); fall back to type-checking the standard
+	// library from source, which always works with a GOROOT present.
+	gc := importer.ForCompiler(fset, "gc", nil)
+	if _, err := gc.Import("fmt"); err == nil {
+		l.std = gc
+	} else {
+		l.std = importer.ForCompiler(fset, "source", nil)
+	}
+	return l
+}
+
+// NewModuleLoader returns a loader rooted at the Go module in dir (the
+// directory holding go.mod). Import paths under the module path resolve
+// into the module tree; everything else is treated as standard library.
+func NewModuleLoader(dir string) (*Loader, string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return nil, "", fmt.Errorf("lint: not a module root: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, "", fmt.Errorf("lint: no module directive in %s/go.mod", dir)
+	}
+	resolve := func(path string) (string, bool) {
+		if path == modPath {
+			return dir, true
+		}
+		if rest, ok := strings.CutPrefix(path, modPath+"/"); ok {
+			return filepath.Join(dir, filepath.FromSlash(rest)), true
+		}
+		return "", false
+	}
+	return newLoader(resolve), modPath, nil
+}
+
+// NewSourceLoader returns a loader that resolves every import path as a
+// directory under root, GOPATH-style — the shape analysistest uses for
+// fixture trees (testdata/src/<importpath>). Unresolvable paths fall back
+// to the standard library.
+func NewSourceLoader(root string) *Loader {
+	return newLoader(func(path string) (string, bool) {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+		return "", false
+	})
+}
+
+// Load parses and type-checks the package at importPath (memoized).
+func (l *Loader) Load(importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if err, ok := l.errs[importPath]; ok {
+		return nil, err
+	}
+	pkg, err := l.load(importPath)
+	if err != nil {
+		l.errs[importPath] = err
+		return nil, err
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+func (l *Loader) load(importPath string) (*Package, error) {
+	dir, ok := l.resolve(importPath)
+	if !ok {
+		return nil, fmt.Errorf("lint: cannot resolve import %q", importPath)
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("lint: import cycle through %q", importPath)
+	}
+	l.loading[importPath] = true
+	defer func() { l.loading[importPath] = false }()
+
+	names, err := goFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if _, ok := l.resolve(path); ok {
+				pkg, err := l.Load(path)
+				if err != nil {
+					return nil, err
+				}
+				return pkg.Types, nil
+			}
+			return l.std.Import(path)
+		}),
+		Error: func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(importPath, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		msgs := make([]string, 0, 3)
+		for i, e := range typeErrs {
+			if i == 3 {
+				msgs = append(msgs, fmt.Sprintf("... and %d more", len(typeErrs)-3))
+				break
+			}
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("lint: type errors in %s:\n\t%s", importPath, strings.Join(msgs, "\n\t"))
+	}
+	return &Package{Path: importPath, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// goFileNames lists the non-test Go files of dir, sorted.
+func goFileNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ExpandPatterns turns command-line package patterns into import paths
+// under the module rooted at dir with module path modPath. Supported
+// patterns: "./..." (every package in the module), "./x" and "x/y"
+// relative directories, and full import paths under the module. testdata,
+// hidden and underscore-prefixed directories are skipped, as the go tool
+// does.
+func ExpandPatterns(dir, modPath string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(path string) {
+		if !seen[path] {
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			paths, err := modulePackages(dir, modPath)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range paths {
+				add(p)
+			}
+		case strings.HasPrefix(pat, modPath) && (pat == modPath || strings.HasPrefix(pat, modPath+"/")):
+			add(pat)
+		default:
+			rel := filepath.ToSlash(filepath.Clean(strings.TrimPrefix(pat, "./")))
+			if rel == "." {
+				add(modPath)
+			} else {
+				add(modPath + "/" + rel)
+			}
+		}
+	}
+	return out, nil
+}
+
+// modulePackages walks the module tree collecting every directory holding
+// at least one non-test Go file.
+func modulePackages(dir, modPath string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != dir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		names, err := goFileNames(path)
+		if err != nil {
+			return err
+		}
+		if len(names) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			out = append(out, modPath)
+		} else {
+			out = append(out, modPath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

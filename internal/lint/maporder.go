@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Maporder catches the exact bug class PR 1 had to fix by hand in the LNS
+// regret-reinsertion: Go map iteration order is deliberately randomized,
+// so a `for … range m` over a map whose body feeds anything
+// order-sensitive makes output differ run to run (and workers=1 vs
+// workers=8 diverge). Two shapes are flagged:
+//
+//   - emitting bodies: the loop writes inside the iteration — fmt
+//     printing, Write/WriteString on a writer or hash, obs sink Emit /
+//     OnIter, or a channel send. The fix is to collect and sort keys
+//     first, then iterate the sorted slice.
+//   - unsorted collection: the loop appends to a slice (a variable or a
+//     struct field) declared outside the loop, and nothing after the loop
+//     in the enclosing top-level function sorts that slice (a call into
+//     sort/slices, or a Sort method, mentioning it). The collect-then-sort
+//     idiom — append inside the range, sort.Strings right after — passes
+//     untouched.
+//
+// Commutative bodies (integer counters, writes into another map by key)
+// are not flagged. Loops that intentionally hand unsorted data to a
+// caller that sorts are annotated with //lint:allow maporder <reason>.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc:  "forbid map iteration that emits output or collects into a never-sorted slice",
+	Run:  runMaporder,
+}
+
+// emitMethodNames are method names whose calls are ordered side effects.
+// Histogram.Observe and Counter.Add are deliberately absent: bucket
+// counting is commutative, so observing in map order is harmless.
+var emitMethodNames = map[string]bool{
+	"Emit": true, "OnIter": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+func runMaporder(p *Pass) error {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			var body *ast.BlockStmt
+			switch decl := d.(type) {
+			case *ast.FuncDecl:
+				body = decl.Body
+			case *ast.GenDecl:
+				// Function literals in package-level var declarations.
+				ast.Inspect(decl, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						inspectMapRanges(p, lit.Body)
+						return false
+					}
+					return true
+				})
+				continue
+			}
+			if body != nil {
+				inspectMapRanges(p, body)
+			}
+		}
+	}
+	return nil
+}
+
+func inspectMapRanges(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if ok && isMapRange(p.TypesInfo, rng) {
+			checkMapRange(p, rng, body)
+		}
+		return true
+	})
+}
+
+func isMapRange(info *types.Info, rng *ast.RangeStmt) bool {
+	t := info.TypeOf(rng.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func checkMapRange(p *Pass, rng *ast.RangeStmt, funcBody *ast.BlockStmt) {
+	// Collect the loop body's ordered side effects.
+	var appendTargets []types.Object // outer-declared slices or fields appended to
+	reported := false
+	emit := func(what string) {
+		if !reported {
+			p.Reportf(rng.For, "map iteration %s in map order; iterate sorted keys instead (or annotate with //lint:allow maporder <reason>)", what)
+			reported = true
+		}
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			emit("sends on a channel")
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(p.TypesInfo, call) || i >= len(s.Lhs) {
+					continue
+				}
+				obj := appendTarget(p.TypesInfo, s.Lhs[i])
+				if obj == nil {
+					// append into an element or a computed place: not
+					// matchable against a later sort.
+					emit("appends to a slice it cannot prove sorted")
+					continue
+				}
+				if obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+					continue // slice local to the loop body
+				}
+				appendTargets = append(appendTargets, obj)
+			}
+		case *ast.CallExpr:
+			sel, ok := s.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := objectOf(p.TypesInfo, sel.Sel)
+			if obj == nil {
+				return true
+			}
+			if pkg := obj.Pkg(); pkg != nil && pkg.Path() == "fmt" && isPrintName(obj.Name()) {
+				emit("prints with fmt." + obj.Name())
+				return true
+			}
+			if p.TypesInfo.Selections[sel] != nil && emitMethodNames[obj.Name()] {
+				emit("calls " + obj.Name() + " on a sink or writer")
+			}
+		}
+		return true
+	})
+	if reported {
+		return
+	}
+	// Pure collection loops: fine if every appended-to slice is sorted
+	// after the loop, anywhere later in the enclosing function.
+	flagged := make(map[types.Object]bool)
+	for _, obj := range appendTargets {
+		if flagged[obj] || sortedAfter(p.TypesInfo, obj, funcBody, rng.End()) {
+			continue
+		}
+		flagged[obj] = true
+		p.Reportf(rng.For, "%s collects map keys or values but is never sorted before use; sort it after the loop (or annotate with //lint:allow maporder <reason>)", obj.Name())
+	}
+}
+
+// appendTarget resolves the assignable being appended to: a plain
+// variable (`keys = append(keys, …)`) or a field selector chain rooted in
+// an identifier (`d.Metrics = append(d.Metrics, …)`), in which case the
+// field's object stands for the target. Anything else — index
+// expressions, map elements — returns nil.
+func appendTarget(info *types.Info, lhs ast.Expr) types.Object {
+	switch e := lhs.(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return nil
+		}
+		return objectOf(info, e)
+	case *ast.SelectorExpr:
+		if _, ok := e.X.(*ast.Ident); ok {
+			return objectOf(info, e.Sel)
+		}
+	}
+	return nil
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := objectOf(info, id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func isPrintName(name string) bool {
+	switch name {
+	case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+		return true
+	}
+	return false
+}
+
+// sortedAfter reports whether the enclosing function sorts obj anywhere
+// past the loop (position after): a call into package sort or slices
+// whose arguments mention obj, or a method call named Sort* on an
+// expression mentioning obj.
+func sortedAfter(info *types.Info, obj types.Object, funcBody *ast.BlockStmt, after token.Pos) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= after {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn := objectOf(info, sel.Sel)
+		if fn == nil {
+			return true
+		}
+		if pkg := fn.Pkg(); pkg != nil && (pkg.Path() == "sort" || pkg.Path() == "slices") {
+			for _, a := range call.Args {
+				if mentionsObject(info, a, obj) {
+					found = true
+					return false
+				}
+			}
+		} else if info.Selections[sel] != nil && strings.HasPrefix(fn.Name(), "Sort") &&
+			mentionsObject(info, sel.X, obj) {
+			// a Sort method on a custom collection
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Nilrecv machine-checks the zero-overhead-observability contract that
+// DESIGN.md documents: a nil *Registry hands out nil metrics whose
+// methods no-op, and a typed-nil sink can flow through MultiSink and be
+// emitted into freely. That only holds if every exported pointer-receiver
+// method on the nil-safe types starts by bailing out on a nil receiver.
+//
+// A type is under the contract when its pointer implements an interface
+// declared in the same package whose name ends in "Sink" (JSONL and
+// friends), or when it is one of the metric/registry types by name
+// (Counter, Gauge, Histogram, Registry). A method passes when its body
+//
+//   - begins with `if recv == nil { … return }` (possibly `recv == nil ||
+//     …`), or
+//   - is a single statement delegating to another method on the same
+//     receiver (Counter.Inc → c.Add(1): the nil receiver flows into a
+//     method that is itself checked), or
+//   - has no named receiver (the body cannot dereference what it cannot
+//     name).
+//
+// Methods that are nil-safe for subtler reasons carry
+// //lint:allow nilrecv <reason>.
+var Nilrecv = &Analyzer{
+	Name: "nilrecv",
+	Doc:  "exported pointer-receiver methods on obs sink/metric/registry types must begin with a nil-receiver guard",
+	Run:  runNilrecv,
+}
+
+// nilSafeTypeNames are the metric types under the nil-safety contract
+// that do not implement a *Sink interface.
+var nilSafeTypeNames = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true, "Registry": true,
+}
+
+func runNilrecv(p *Pass) error {
+	// Interfaces named *Sink declared at package scope define the
+	// sink-shaped part of the contract.
+	var sinkIfaces []*types.Interface
+	scope := p.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || !strings.HasSuffix(name, "Sink") {
+			continue
+		}
+		if iface, ok := tn.Type().Underlying().(*types.Interface); ok {
+			sinkIfaces = append(sinkIfaces, iface)
+		}
+	}
+	underContract := func(named *types.Named) bool {
+		if nilSafeTypeNames[named.Obj().Name()] {
+			return true
+		}
+		ptr := types.NewPointer(named)
+		for _, iface := range sinkIfaces {
+			if types.Implements(ptr, iface) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			ptr, ok := sig.Recv().Type().(*types.Pointer)
+			if !ok {
+				continue // value receiver: cannot be nil
+			}
+			named, ok := ptr.Elem().(*types.Named)
+			if !ok || !underContract(named) {
+				continue
+			}
+			recvObj := receiverObject(p.TypesInfo, fd)
+			if recvObj == nil {
+				continue // unnamed or blank receiver: body cannot touch it
+			}
+			if len(fd.Body.List) == 0 {
+				continue
+			}
+			if beginsWithNilGuard(p.TypesInfo, fd.Body.List[0], recvObj) {
+				continue
+			}
+			if isReceiverDelegation(p.TypesInfo, fd.Body.List, recvObj) {
+				continue
+			}
+			p.Reportf(fd.Name.Pos(), "exported method (*%s).%s is under the nil-safety contract but does not begin with a nil-receiver guard (or annotate with //lint:allow nilrecv <reason>)", named.Obj().Name(), fd.Name.Name)
+		}
+	}
+	return nil
+}
+
+// receiverObject returns the receiver's variable object, or nil when the
+// receiver is unnamed or blank.
+func receiverObject(info *types.Info, fd *ast.FuncDecl) types.Object {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	name := fd.Recv.List[0].Names[0]
+	if name.Name == "_" {
+		return nil
+	}
+	return info.Defs[name]
+}
+
+// beginsWithNilGuard reports whether stmt is `if recv == nil … { …;
+// return }` — the leftmost condition of any || chain must be the nil
+// comparison, and the guard body must end in a return.
+func beginsWithNilGuard(info *types.Info, stmt ast.Stmt, recv types.Object) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	cond := ifs.Cond
+	for {
+		bin, ok := cond.(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		if bin.Op == token.LOR {
+			cond = bin.X
+			continue
+		}
+		if bin.Op != token.EQL {
+			return false
+		}
+		nilCmp := (isRecvIdent(info, bin.X, recv) && isNilIdent(info, bin.Y)) ||
+			(isRecvIdent(info, bin.Y, recv) && isNilIdent(info, bin.X))
+		if !nilCmp {
+			return false
+		}
+		break
+	}
+	n := len(ifs.Body.List)
+	if n == 0 {
+		return false
+	}
+	_, isReturn := ifs.Body.List[n-1].(*ast.ReturnStmt)
+	return isReturn
+}
+
+func isRecvIdent(info *types.Info, e ast.Expr, recv types.Object) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && objectOf(info, id) == recv
+}
+
+// isReceiverDelegation reports whether body is exactly one statement
+// forwarding to a method on the receiver: `recv.M(…)` or
+// `return recv.M(…)`.
+func isReceiverDelegation(info *types.Info, body []ast.Stmt, recv types.Object) bool {
+	if len(body) != 1 {
+		return false
+	}
+	var call ast.Expr
+	switch s := body[0].(type) {
+	case *ast.ExprStmt:
+		call = s.X
+	case *ast.ReturnStmt:
+		if len(s.Results) != 1 {
+			return false
+		}
+		call = s.Results[0]
+	default:
+		return false
+	}
+	ce, ok := call.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ce.Fun.(*ast.SelectorExpr)
+	if !ok || info.Selections[sel] == nil {
+		return false
+	}
+	return isRecvIdent(info, sel.X, recv)
+}

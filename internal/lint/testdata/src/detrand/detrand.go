@@ -1,0 +1,42 @@
+// Package detrand is the detrand analyzer's fixture: wall-clock reads and
+// math/rand references are flagged; everything else — including other
+// time-package uses — is not.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() {
+	_ = time.Now()        // want `time.Now reads the wall clock`
+	start := time.Now()   // want `time.Now reads the wall clock`
+	_ = time.Since(start) // want `time.Since reads the wall clock`
+	_ = time.Until(start) // want `time.Until reads the wall clock`
+	f := time.Now         // want `time.Now reads the wall clock`
+	_ = f
+	_ = time.Millisecond // durations are constants, not clock reads
+	_ = time.Unix(0, 0)  // constructing a fixed time is fine
+}
+
+func globalRand() {
+	_ = rand.Intn(3)     // want `math/rand.Intn bypasses the seeded split-stream layer`
+	_ = rand.Float64()   // want `math/rand.Float64 bypasses the seeded split-stream layer`
+	rand.Shuffle(3, nil) // want `math/rand.Shuffle bypasses the seeded split-stream layer`
+}
+
+func localRand() {
+	r := rand.New(rand.NewSource(1)) // want `math/rand.New bypasses` `math/rand.NewSource bypasses`
+	_ = r.Intn(3)                    // want `math/rand.Intn bypasses`
+}
+
+type holder struct {
+	rng *rand.Rand // want `math/rand.Rand bypasses`
+}
+
+func allowed() {
+	// The measurement-only escape hatch: annotated on the line above.
+	//lint:allow detrand runtime measurement only, never feeds decisions
+	_ = time.Now()
+	_ = time.Now() //lint:allow detrand trailing-comment form works too
+}

@@ -1,0 +1,130 @@
+// Package maporder is the maporder analyzer's fixture: map-range loops
+// that emit in iteration order or collect into never-sorted slices are
+// flagged; the collect-then-sort idiom and commutative bodies are not.
+package maporder
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+type sink struct{}
+
+func (sink) Emit(string) {}
+
+func emitting(m map[string]int, s sink, buf *bytes.Buffer) {
+	for k := range m { // want `map iteration prints with fmt.Println`
+		fmt.Println(k)
+	}
+	for k, v := range m { // want `map iteration prints with fmt.Fprintf`
+		fmt.Fprintf(buf, "%s=%d\n", k, v)
+	}
+	for k := range m { // want `map iteration calls Emit on a sink or writer`
+		s.Emit(k)
+	}
+	for k := range m { // want `map iteration calls WriteString on a sink or writer`
+		buf.WriteString(k)
+	}
+}
+
+func sends(m map[string]int, ch chan string) {
+	for k := range m { // want `map iteration sends on a channel`
+		ch <- k
+	}
+}
+
+func unsortedCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `keys collects map keys or values but is never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sortedCollect(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // the canonical fix: collect, then sort
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortSliceCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func commutative(m map[string]int) (int, map[string]int) {
+	total := 0
+	double := make(map[string]int, len(m))
+	for k, v := range m { // integer sums and keyed writes commute
+		total += v
+		double[k] = 2 * v
+	}
+	return total, double
+}
+
+func localScratch(m map[string][]string) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, vs := range m {
+		var seen []string // local to the iteration: order-safe
+		seen = append(seen, vs...)
+		out[k] = len(seen)
+	}
+	return out
+}
+
+type result struct {
+	names []string
+	rows  []int
+}
+
+func fieldCollectSorted(m map[string]int) *result {
+	r := &result{}
+	for k := range m { // field appends matched against the later sort
+		r.names = append(r.names, k)
+	}
+	sort.Strings(r.names)
+	return r
+}
+
+func fieldCollectUnsorted(m map[string]int) *result {
+	r := &result{}
+	for _, v := range m { // want `rows collects map keys or values but is never sorted`
+		r.rows = append(r.rows, v)
+	}
+	return r
+}
+
+func sortAfterSwitch(m map[string]int, kind string) []string {
+	var keys []string
+	switch kind {
+	case "all":
+		for k := range m { // the sort lives after the switch: still fine
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func indexedAppend(m map[string][]string, buckets [][]string) {
+	for _, vs := range m { // want `map iteration appends to a slice it cannot prove sorted`
+		buckets[0] = append(buckets[0], vs...)
+	}
+}
+
+func allowed(m map[string]int) []string {
+	var keys []string
+	//lint:allow maporder caller sorts before rendering
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,82 @@
+// Package nilrecv is the nilrecv analyzer's fixture: a *Sink-shaped
+// interface plus metric-named types put implementations under the
+// nil-safety contract; guards, delegation and annotations satisfy it.
+package nilrecv
+
+type Event struct{ Kind string }
+
+// EventSink matches the *Sink interface-name convention.
+type EventSink interface {
+	Emit(Event)
+}
+
+// jsonl implements EventSink with a pointer receiver: under contract.
+type jsonl struct {
+	n     int
+	lines []string
+}
+
+func (s *jsonl) Emit(e Event) { // guarded: ok
+	if s == nil {
+		return
+	}
+	s.n++
+}
+
+func (s *jsonl) Flush() error { // want `\(\*jsonl\).Flush is under the nil-safety contract`
+	s.lines = nil
+	return nil
+}
+
+func (s *jsonl) N() int { // want `\(\*jsonl\).N is under the nil-safety contract`
+	return s.n
+}
+
+func (s *jsonl) Len() int { // or-chained guard with leading nil test: ok
+	if s == nil || s.n == 0 {
+		return 0
+	}
+	return len(s.lines)
+}
+
+func (s *jsonl) reset() { // unexported: outside the contract
+	s.n = 0
+}
+
+// Counter is under contract by name.
+type Counter struct{ v int64 }
+
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+func (c *Counter) Inc() { c.Add(1) } // single-statement delegation: ok
+
+func (c *Counter) Value() int64 { // want `\(\*Counter\).Value is under the nil-safety contract`
+	return c.v
+}
+
+//lint:allow nilrecv nil-safe because the body only forwards to guarded methods
+func (c *Counter) Double() { c.Add(1); c.Add(1) }
+
+// Registry is under contract by name; unnamed receivers are fine because
+// the body cannot dereference them.
+type Registry struct{}
+
+func (*Registry) Reset() {}
+
+// reader is neither metric-named nor a sink: exempt.
+type reader struct{ n int }
+
+func (r *reader) Next() int {
+	r.n++
+	return r.n
+}
+
+// valueSink has value receivers only: a value can never be nil.
+type valueSink struct{}
+
+func (valueSink) Emit(Event) {}

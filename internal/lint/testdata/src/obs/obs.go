@@ -1,0 +1,16 @@
+// Package obs is a miniature stand-in for the real event-sink layer: the
+// sinkerr fixture imports it so receiver types resolve to a package whose
+// path ends in "obs", exactly how taccc/internal/obs types do.
+package obs
+
+type Stream struct{ closed bool }
+
+func (s *Stream) Flush() error { return nil }
+
+func (s *Stream) Close() error {
+	s.closed = true
+	return nil
+}
+
+// Reset returns no error; dropping its result is fine.
+func (s *Stream) Reset() {}

@@ -1,0 +1,44 @@
+// Package sinkerr is the sinkerr analyzer's fixture: dropped errors from
+// event-sink Flush/Close calls are flagged in every shape; checked calls
+// and non-sink closers are not.
+package sinkerr
+
+import (
+	"fmt"
+	"os"
+
+	"obs"
+)
+
+func dropped(s *obs.Stream) {
+	s.Flush()           // want `error from \(\*Stream\).Flush is dropped`
+	s.Close()           // want `error from \(\*Stream\).Close is dropped`
+	defer s.Close()     // want `deferred error from \(\*Stream\).Close is dropped`
+	go s.Close()        // want `error from \(\*Stream\).Close is dropped`
+	_ = s.Close()       // want `error from \(\*Stream\).Close is dropped`
+	_, _ = 0, s.Close() // want `error from \(\*Stream\).Close is dropped`
+}
+
+func checked(s *obs.Stream) error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	err := s.Close()
+	return err
+}
+
+func nonSink(f *os.File) {
+	f.Close()       // os.File is not an event sink
+	defer f.Close() // ditto
+	s := &obs.Stream{}
+	s.Reset() // no error to drop
+	fmt.Println("done")
+}
+
+func allowed(s *obs.Stream) error {
+	defer s.Close() //lint:allow sinkerr backstop for early returns; success path checks Close below
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	return s.Close()
+}

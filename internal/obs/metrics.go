@@ -263,10 +263,10 @@ type Snapshot struct {
 // Snapshot captures the registry's current state. A nil registry yields an
 // empty snapshot.
 func (r *Registry) Snapshot() Snapshot {
-	var s Snapshot
 	if r == nil {
-		return s
+		return Snapshot{}
 	}
+	var s Snapshot
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(r.counters) > 0 {
@@ -291,7 +291,7 @@ func (r *Registry) Snapshot() Snapshot {
 }
 
 // WriteJSON writes an indented JSON snapshot of the registry to w.
-func (r *Registry) WriteJSON(w io.Writer) error {
+func (r *Registry) WriteJSON(w io.Writer) error { //lint:allow nilrecv nil-safe via Snapshot, which guards the receiver
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r.Snapshot())

@@ -97,13 +97,6 @@ func EvaluateCongestion(g *Graph, dm *DelayMatrix, flows []Flow, assignment []in
 		}
 	}
 	// Accumulate per-link load walking each flow's path.
-	type linkKey struct{ a, b NodeID }
-	norm := func(a, b NodeID) linkKey {
-		if a > b {
-			a, b = b, a
-		}
-		return linkKey{a, b}
-	}
 	load := make(map[linkKey]float64)
 	paths := make([][]NodeID, len(flows))
 	for k, f := range flows {
@@ -115,12 +108,13 @@ func EvaluateCongestion(g *Graph, dm *DelayMatrix, flows []Flow, assignment []in
 		paths[k] = path
 		mbps := f.Mbps()
 		for h := 0; h+1 < len(path); h++ {
-			load[norm(path[h], path[h+1])] += mbps
+			load[normKey(path[h], path[h+1])] += mbps
 		}
 	}
 	res := &CongestionResult{DelayMs: make([]float64, len(flows))}
 	utils := make(map[linkKey]float64, len(load))
-	for key, mbps := range load {
+	for _, key := range sortedLinkKeys(load) {
+		mbps := load[key]
 		l, ok := g.LinkBetween(key.a, key.b)
 		if !ok {
 			return nil, fmt.Errorf("topology: internal error: path uses missing link %d-%d", key.a, key.b)
@@ -145,7 +139,7 @@ func EvaluateCongestion(g *Graph, dm *DelayMatrix, flows []Flow, assignment []in
 			if l.BandwidthMbps > 0 {
 				bits := f.PayloadKB * 8 * 1000
 				tx := bits / (l.BandwidthMbps * 1000)
-				u := utils[norm(path[h], path[h+1])]
+				u := utils[normKey(path[h], path[h+1])]
 				if u > utilCap {
 					u = utilCap
 				}
@@ -172,16 +166,9 @@ func CongestionAwareDelayMatrix(g *Graph, dm *DelayMatrix, flows []Flow, assignm
 	if err != nil {
 		return nil, err
 	}
-	type linkKey struct{ a, b NodeID }
-	norm := func(a, b NodeID) linkKey {
-		if a > b {
-			a, b = b, a
-		}
-		return linkKey{a, b}
-	}
 	utils := make(map[linkKey]float64, len(cur.Links))
 	for _, ll := range cur.Links {
-		utils[norm(ll.Link.A, ll.Link.B)] = ll.Utilization
+		utils[normKey(ll.Link.A, ll.Link.B)] = ll.Utilization
 	}
 	out := &DelayMatrix{
 		IoT:     append([]NodeID(nil), dm.IoT...),
@@ -219,7 +206,7 @@ func CongestionAwareDelayMatrix(g *Graph, dm *DelayMatrix, flows []Flow, assignm
 				if l.BandwidthMbps > 0 {
 					bits := f.PayloadKB * 8 * 1000
 					tx := bits / (l.BandwidthMbps * 1000)
-					u := utils[norm(path[h], path[h+1])]
+					u := utils[normKey(path[h], path[h+1])]
 					if u > utilCap {
 						u = utilCap
 					}

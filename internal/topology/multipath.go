@@ -16,6 +16,23 @@ func normKey(a, b NodeID) linkKey {
 	return linkKey{a, b}
 }
 
+// sortedLinkKeys returns load's keys in ascending (a, b) order, so loops
+// aggregating per-link results iterate deterministically instead of in
+// map order (CongestionResult.Links and Overloaded are ordered output).
+func sortedLinkKeys(load map[linkKey]float64) []linkKey {
+	keys := make([]linkKey, 0, len(load))
+	for k := range load {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	return keys
+}
+
 // effectiveDelay returns a path's delay for the given payload under the
 // supplied per-link loads (Mbps): latency plus transmission inflated by
 // 1/(1-util), with utilization capped.
@@ -95,7 +112,8 @@ func (g *Graph) EvaluateCongestionMultipath(dm *DelayMatrix, flows []Flow, assig
 	for fi, f := range flows {
 		res.DelayMs[fi] = g.effectiveDelay(chosen[fi], f.PayloadKB, load)
 	}
-	for key, mbps := range load {
+	for _, key := range sortedLinkKeys(load) {
+		mbps := load[key]
 		l, ok := g.LinkBetween(key.a, key.b)
 		if !ok {
 			return nil, fmt.Errorf("topology: internal error: load on missing link %d-%d", key.a, key.b)
