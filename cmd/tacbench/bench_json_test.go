@@ -36,8 +36,8 @@ func TestBenchJSONWritesResults(t *testing.T) {
 	if res.Tool != "tacbench" || res.Seed != 3 || res.Reps != 2 || !res.Quick {
 		t.Fatalf("results header: %+v", res)
 	}
-	if len(res.Scenarios) != 2 {
-		t.Fatalf("%d scenarios, want 2", len(res.Scenarios))
+	if len(res.Scenarios) != 3 {
+		t.Fatalf("%d scenarios, want 3 (small, tight, meta)", len(res.Scenarios))
 	}
 	for _, sc := range res.Scenarios {
 		if len(sc.Algos) == 0 {

@@ -234,6 +234,7 @@ func runBenchJSON(opts taccc.ExperimentOptions, path string, finish func(runlog.
 		for _, a := range sc.Algos {
 			summary["bench."+sc.ID+"."+a.Name+".mean_cost_ms"] = a.MeanCostMs
 			summary["bench."+sc.ID+"."+a.Name+".feasible_rate"] = a.FeasibleRate
+			summary["bench."+sc.ID+"."+a.Name+".allocs_per_op"] = float64(a.AllocsPerOp)
 		}
 	}
 	fmt.Fprintf(stdout, "bench:      %d scenarios x %d algorithms -> %s\n", len(res.Scenarios), algos, path)

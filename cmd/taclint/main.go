@@ -1,11 +1,13 @@
 // Command taclint runs the repository's custom static-analysis suite: a
-// multichecker of four analyzers that machine-enforce the determinism and
-// zero-overhead-observability invariants (see internal/lint).
+// multichecker of five analyzers that machine-enforce the determinism,
+// zero-overhead-observability and hot-path-performance invariants (see
+// internal/lint).
 //
 //	detrand   no time.Now / math/rand in the deterministic packages
 //	maporder  no map iteration feeding ordered output unsorted
 //	nilrecv   nil-receiver guards on the obs sink/metric types
 //	sinkerr   no dropped event-sink Flush/Close errors in cmd/
+//	hotloop   no gap TotalCost calls inside loops in internal/assign
 //
 // Usage:
 //

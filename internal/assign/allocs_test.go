@@ -1,0 +1,63 @@
+package assign
+
+import (
+	"testing"
+
+	"taccc/internal/gap"
+)
+
+// allocsPerAssign measures the average heap allocations of one full solve
+// with a freshly constructed assigner (construction cost is iteration-
+// independent, so it cancels in the scaling comparison below).
+func allocsPerAssign(t *testing.T, mk func() Assigner, in *gap.Instance) float64 {
+	t.Helper()
+	return testing.AllocsPerRun(3, func() {
+		if _, err := mk().Assign(in); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestMetaheuristicAllocsDoNotScaleWithIters pins the steady-state
+// allocation-free contract of the Evaluator-based inner loops: quadrupling
+// the iteration budget of tabu, LNS and simulated annealing must not add
+// allocations — every per-iteration buffer (candidate lists, the destroy
+// permutation, the reinserter's pending set, undo state) is reused, so
+// the per-solve total is pure setup.
+func TestMetaheuristicAllocsDoNotScaleWithIters(t *testing.T) {
+	in, err := gap.Synthetic(gap.SyntheticUniform, 40, 5, 0.85, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mk   func(iters int) Assigner
+	}{
+		{"tabu", func(it int) Assigner {
+			ts := NewTabuSearch(42)
+			ts.Iters = it
+			return ts
+		}},
+		{"lns", func(it int) Assigner {
+			l := NewLNS(42)
+			l.Iters = it
+			return l
+		}},
+		{"sim-anneal", func(it int) Assigner {
+			sa := NewSimulatedAnnealing(42)
+			sa.Iters = it
+			return sa
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			small := allocsPerAssign(t, func() Assigner { return tc.mk(150) }, in)
+			big := allocsPerAssign(t, func() Assigner { return tc.mk(600) }, in)
+			// Identical would be ideal; a slack of 2 absorbs incidental
+			// runtime allocation without letting per-iteration garbage hide.
+			if big > small+2 {
+				t.Fatalf("allocs grew with iterations: %0.f at 150 iters, %.0f at 600", small, big)
+			}
+		})
+	}
+}

@@ -378,7 +378,7 @@ func TestRepairFixesOverload(t *testing.T) {
 	}
 	of := []int{0, 0, 0} // load 6 on cap 4
 	src := newTestSource()
-	if !repair(in, of, src) {
+	if !newRepairState(in).repair(in, of, src) {
 		t.Fatal("repair failed on repairable overload")
 	}
 	a := &gap.Assignment{Of: of}
@@ -390,7 +390,7 @@ func TestRepairFixesOverload(t *testing.T) {
 func TestRepairReportsImpossible(t *testing.T) {
 	in := infeasibleInstance(t)
 	of := []int{0, 0, 0}
-	if repair(in, of, newTestSource()) {
+	if newRepairState(in).repair(in, of, newTestSource()) {
 		t.Fatal("repair claimed success on impossible instance")
 	}
 }

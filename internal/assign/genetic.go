@@ -78,8 +78,9 @@ func (g *Genetic) Assign(in *gap.Instance) (*gap.Assignment, error) {
 	}
 
 	fitness := func(of []int) float64 {
-		return in.TotalCost(&gap.Assignment{Of: of})
+		return in.CostOf(of)
 	}
+	rs := newRepairState(in)
 	costs := make([]float64, len(population))
 	for i, of := range population {
 		costs[i] = fitness(of)
@@ -118,7 +119,7 @@ func (g *Genetic) Assign(in *gap.Instance) (*gap.Assignment, error) {
 				child[i] = src.Intn(in.M())
 			}
 		}
-		if !repair(in, child, src) {
+		if !rs.repair(in, child, src) {
 			obs.EmitIter(g.progress, "genetic", gen, bestCost, true)
 			continue // unrepairable child: discard
 		}
@@ -143,12 +144,29 @@ func (g *Genetic) Assign(in *gap.Instance) (*gap.Assignment, error) {
 	return finish(in, bestOf, "genetic")
 }
 
+// repairState holds the scratch buffers repair reuses across calls, so
+// the per-generation (GA) and per-iteration (Lagrangian) repair step
+// allocates nothing in steady state.
+type repairState struct {
+	residual []float64
+	pending  []int
+}
+
+// newRepairState sizes the repair buffers for in.
+func newRepairState(in *gap.Instance) *repairState {
+	return &repairState{
+		residual: make([]float64, in.M()),
+		pending:  make([]int, 0, in.N()),
+	}
+}
+
 // repair restores feasibility in place: devices on overloaded or
 // unreachable edges are moved (lightest excess first) to the cheapest edge
 // with room. Reports whether a feasible repair was found.
-func repair(in *gap.Instance, of []int, src *xrand.Source) bool {
+func (rs *repairState) repair(in *gap.Instance, of []int, src *xrand.Source) bool {
 	m := in.M()
-	residual := residuals(in)
+	residual := rs.residual
+	copy(residual, in.Capacity)
 	for i, j := range of {
 		if j < 0 || j >= m || math.IsInf(in.CostMs[i][j], 1) {
 			of[i] = -1
@@ -177,12 +195,13 @@ func repair(in *gap.Instance, of []int, src *xrand.Source) bool {
 		}
 	}
 	// Place evicted/unassigned devices greedily (random tie ordering).
-	var pending []int
+	pending := rs.pending[:0]
 	for i, cur := range of {
 		if cur < 0 {
 			pending = append(pending, i)
 		}
 	}
+	rs.pending = pending
 	src.Shuffle(len(pending), func(a, b int) { pending[a], pending[b] = pending[b], pending[a] })
 	for _, i := range pending {
 		j := cheapestFeasible(in, residual, i)

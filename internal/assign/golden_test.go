@@ -1,0 +1,146 @@
+package assign
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"taccc/internal/gap"
+)
+
+// goldenShapes are the instance families the golden determinism test
+// sweeps: a comfortable uniform case, a correlated case and a larger
+// tight one, each at three seeds.
+var goldenShapes = []struct {
+	kind gap.SyntheticKind
+	n, m int
+	rho  float64
+}{
+	{gap.SyntheticUniform, 30, 5, 0.8},
+	{gap.SyntheticCorrelated, 25, 4, 0.85},
+	{gap.SyntheticUniform, 60, 8, 0.9},
+}
+
+// goldenHashes pins the exact assignment every metaheuristic produces per
+// (shape, seed), captured on the pre-Evaluator implementations. Hash is
+// FNV-64a over the placement vector's entries as little-endian 4-byte
+// words; "ERR" marks cells where the solver deterministically reports
+// infeasibility. Any diff here means a solver's per-seed arithmetic — not
+// just its cost — changed, which is exactly what the incremental-kernel
+// contract forbids.
+var goldenHashes = []struct {
+	shape int
+	seed  int64
+	algo  string
+	hash  string
+}{
+	{0, 1, "local-search", "b8fececd02e190b0"},
+	{0, 1, "sim-anneal", "5a94c0d4246676d4"},
+	{0, 1, "tabu", "5a94c0d4246676d4"},
+	{0, 1, "lns", "5a94c0d4246676d4"},
+	{0, 1, "genetic", "5a94c0d4246676d4"},
+	{0, 1, "lagrangian", "5a94c0d4246676d4"},
+	{0, 2, "local-search", "dbf27d8438714ec7"},
+	{0, 2, "sim-anneal", "b8ac6b3c5021ba46"},
+	{0, 2, "tabu", "b8ac6b3c5021ba46"},
+	{0, 2, "lns", "b8ac6b3c5021ba46"},
+	{0, 2, "genetic", "b8ac6b3c5021ba46"},
+	{0, 2, "lagrangian", "b8ac6b3c5021ba46"},
+	{0, 3, "local-search", "da4416e23f19f8a2"},
+	{0, 3, "sim-anneal", "da4416e23f19f8a2"},
+	{0, 3, "tabu", "da4416e23f19f8a2"},
+	{0, 3, "lns", "da4416e23f19f8a2"},
+	{0, 3, "genetic", "da4416e23f19f8a2"},
+	{0, 3, "lagrangian", "02d6e700c9493ca4"},
+	{1, 1, "local-search", "67abaac9c8d89ae7"},
+	{1, 1, "sim-anneal", "9ed837806a8c6cb7"},
+	{1, 1, "tabu", "f31118b2c4818944"},
+	{1, 1, "lns", "d7e151bbaa0355d5"},
+	{1, 1, "genetic", "ea8d155a62d73744"},
+	{1, 1, "lagrangian", "c87d28732abbe317"},
+	{1, 2, "local-search", "c74705e50bd37be7"},
+	{1, 2, "sim-anneal", "ee7063f55d406836"},
+	{1, 2, "tabu", "69189c99d49f00e6"},
+	{1, 2, "lns", "a7055cbb398c9404"},
+	{1, 2, "genetic", "ac7b5178e31a8f06"},
+	{1, 2, "lagrangian", "ERR"},
+	{1, 3, "local-search", "cda832038f9e3906"},
+	{1, 3, "sim-anneal", "ce2a363676a323e4"},
+	{1, 3, "tabu", "25e9aa5597b2e477"},
+	{1, 3, "lns", "910d908b78617915"},
+	{1, 3, "genetic", "9df81dedd3f2c9f6"},
+	{1, 3, "lagrangian", "ERR"},
+	{2, 1, "local-search", "621c3cc4c902b391"},
+	{2, 1, "sim-anneal", "c26ef5cd4389bcb3"},
+	{2, 1, "tabu", "014197c1ee8f81f7"},
+	{2, 1, "lns", "8bb17f2234f72261"},
+	{2, 1, "genetic", "014197c1ee8f81f7"},
+	{2, 1, "lagrangian", "8bb17f2234f72261"},
+	{2, 2, "local-search", "7831ff3057cfc9d7"},
+	{2, 2, "sim-anneal", "05205b3f45285466"},
+	{2, 2, "tabu", "ff5154e46a6a2ae0"},
+	{2, 2, "lns", "650669b07eb1e197"},
+	{2, 2, "genetic", "650669b07eb1e197"},
+	{2, 2, "lagrangian", "04b90673240a9a26"},
+	{2, 3, "local-search", "72370d91a6435a30"},
+	{2, 3, "sim-anneal", "8051e89f20524c15"},
+	{2, 3, "tabu", "d41fb595853a38b1"},
+	{2, 3, "lns", "055b1acac105bb42"},
+	{2, 3, "genetic", "055b1acac105bb42"},
+	{2, 3, "lagrangian", "8d56302634d80382"},
+}
+
+// hashOf folds a placement vector with FNV-64a, each entry as a
+// little-endian 4-byte word.
+func hashOf(of []int) string {
+	h := fnv.New64a()
+	for _, j := range of {
+		var b [4]byte
+		b[0] = byte(j)
+		b[1] = byte(j >> 8)
+		b[2] = byte(j >> 16)
+		b[3] = byte(j >> 24)
+		h.Write(b[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// TestMetaheuristicsGoldenAssignments replays every (shape, seed, algo)
+// cell and requires the produced assignment to hash to its pre-Evaluator
+// golden value: the bit-identical-per-seed guarantee, enforced.
+func TestMetaheuristicsGoldenAssignments(t *testing.T) {
+	instances := make(map[[2]int64]*gap.Instance)
+	for si, sh := range goldenShapes {
+		for seed := int64(1); seed <= 3; seed++ {
+			in, err := gap.Synthetic(sh.kind, sh.n, sh.m, sh.rho, seed)
+			if err != nil {
+				t.Fatalf("shape %d seed %d: %v", si, seed, err)
+			}
+			instances[[2]int64{int64(si), seed}] = in
+		}
+	}
+	reg := NewRegistry()
+	for _, g := range goldenHashes {
+		g := g
+		t.Run(fmt.Sprintf("shape%d/seed%d/%s", g.shape, g.seed, g.algo), func(t *testing.T) {
+			in := instances[[2]int64{int64(g.shape), g.seed}]
+			a, err := reg.New(g.algo, g.seed*100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := a.Assign(in)
+			if g.hash == "ERR" {
+				if err == nil {
+					t.Fatalf("expected deterministic error, got assignment %s", hashOf(got.Of))
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Assign: %v", err)
+			}
+			if h := hashOf(got.Of); h != g.hash {
+				t.Fatalf("assignment hash %s, golden %s — per-seed output changed", h, g.hash)
+			}
+		})
+	}
+}

@@ -38,7 +38,9 @@ func (lg *Lagrangian) Assign(in *gap.Instance) (*gap.Assignment, error) {
 	bestCost := math.Inf(1)
 	found := false
 	of := make([]int, n)
+	repaired := make([]int, n)
 	demand := make([]float64, m)
+	rs := newRepairState(in)
 
 	for it := 0; it < iters; it++ {
 		// Relaxed solution under current prices.
@@ -46,12 +48,13 @@ func (lg *Lagrangian) Assign(in *gap.Instance) (*gap.Assignment, error) {
 			demand[j] = 0
 		}
 		for i := 0; i < n; i++ {
+			cRow, wRow := in.CostRow(i), in.WeightRow(i)
 			minV, minJ := math.Inf(1), -1
 			for j := 0; j < m; j++ {
-				if math.IsInf(in.CostMs[i][j], 1) {
+				if math.IsInf(cRow[j], 1) {
 					continue
 				}
-				v := in.CostMs[i][j] + lambda[j]*in.Weight[i][j]
+				v := cRow[j] + lambda[j]*wRow[j]
 				if v < minV {
 					minV, minJ = v, j
 				}
@@ -60,13 +63,12 @@ func (lg *Lagrangian) Assign(in *gap.Instance) (*gap.Assignment, error) {
 				return nil, fmt.Errorf("assign/lagrangian: device %d unreachable from every edge: %w", i, gap.ErrInfeasible)
 			}
 			of[i] = minJ
-			demand[minJ] += in.Weight[i][minJ]
+			demand[minJ] += wRow[minJ]
 		}
 		// Repair to feasibility and track the incumbent.
-		repaired := make([]int, n)
 		copy(repaired, of)
-		if repair(in, repaired, src) {
-			c := in.TotalCost(&gap.Assignment{Of: repaired})
+		if rs.repair(in, repaired, src) {
+			c := in.CostOf(repaired)
 			if c < bestCost {
 				bestCost = c
 				copy(bestOf, repaired)

@@ -11,7 +11,8 @@ import (
 // LocalSearch hill-climbs from a constructive start with shift moves
 // (reassign one device) and swap moves (exchange two devices' edges),
 // accepting only strict improvements, until a local optimum or the move
-// budget is reached.
+// budget is reached. Moves are priced and applied through one
+// gap.Evaluator, so each candidate costs O(1) and sweeps allocate nothing.
 type LocalSearch struct {
 	seed int64
 	// MaxRounds caps full improvement sweeps; 0 means 100.
@@ -31,71 +32,76 @@ func (ls *LocalSearch) Assign(in *gap.Instance) (*gap.Assignment, error) {
 	if err != nil {
 		return nil, fmt.Errorf("assign/local-search: %w", err)
 	}
-	of := start.Of
-	residual := residuals(in)
-	for i, j := range of {
-		residual[j] -= in.Weight[i][j]
-	}
+	ev := gap.NewEvaluator(in)
+	ev.SetUndoTracking(false)
+	ev.Reset(start.Of)
 	maxRounds := ls.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = 100
 	}
 	for round := 0; round < maxRounds; round++ {
-		if !improveOnce(in, of, residual) {
+		if !improveOnce(ev) {
 			break
 		}
 	}
-	return finish(in, of, "local-search")
+	return finish(in, ev.Assignment(start.Of), "local-search")
 }
 
 // improveOnce performs one full sweep of shift and swap moves, applying
-// every strict improvement found; reports whether anything improved.
-func improveOnce(in *gap.Instance, of []int, residual []float64) bool {
+// every strict improvement found; reports whether anything improved. The
+// sweep order (devices ascending, edges ascending, moves applied as they
+// are found) is part of the determinism contract: changing it changes
+// which local optimum the search lands in.
+func improveOnce(ev *gap.Evaluator) bool {
 	improved := false
+	in := ev.Instance()
 	n, m := in.N(), in.M()
+	residual := ev.Residuals()
+	of := ev.Placement()
 	// Shift moves.
 	for i := 0; i < n; i++ {
 		cur := of[i]
+		cRow, wRow := in.CostRow(i), in.WeightRow(i)
+		curCost := cRow[cur]
 		for j := 0; j < m; j++ {
-			if j == cur {
+			if j == cur || cRow[j] >= curCost {
 				continue
 			}
-			if in.CostMs[i][j] >= in.CostMs[i][cur] {
-				continue
+			if wRow[j] > residual[j]+1e-12 {
+				continue // does not fit
 			}
-			if !fits(in, residual, i, j) {
-				continue
-			}
-			residual[cur] += in.Weight[i][cur]
-			residual[j] -= in.Weight[i][j]
-			of[i] = j
+			ev.Move(i, j)
 			cur = j
+			curCost = cRow[j]
 			improved = true
 		}
 	}
-	// Swap moves.
+	// Swap moves. The candidate test is written against the instance rows
+	// directly — same predicates as Evaluator.DeltaSwap/SwapFits, kept
+	// inline because this O(n²) scan dominates the sweep.
 	for a := 0; a < n; a++ {
+		cRowA, wRowA := in.CostRow(a), in.WeightRow(a)
 		for b := a + 1; b < n; b++ {
 			ja, jb := of[a], of[b]
 			if ja == jb {
 				continue
 			}
-			delta := in.CostMs[a][jb] + in.CostMs[b][ja] - in.CostMs[a][ja] - in.CostMs[b][jb]
+			cRowB := in.CostRow(b)
+			delta := cRowA[jb] + cRowB[ja] - cRowA[ja] - cRowB[jb]
 			if delta >= -1e-12 {
 				continue
 			}
 			// Capacity check after removing both devices.
-			resA := residual[ja] + in.Weight[a][ja]
-			resB := residual[jb] + in.Weight[b][jb]
-			if in.Weight[b][ja] > resA+1e-12 || in.Weight[a][jb] > resB+1e-12 {
+			wRowB := in.WeightRow(b)
+			resA := residual[ja] + wRowA[ja]
+			resB := residual[jb] + wRowB[jb]
+			if wRowB[ja] > resA+1e-12 || wRowA[jb] > resB+1e-12 {
 				continue
 			}
-			if math.IsInf(in.CostMs[a][jb], 1) || math.IsInf(in.CostMs[b][ja], 1) {
+			if math.IsInf(cRowA[jb], 1) || math.IsInf(cRowB[ja], 1) {
 				continue
 			}
-			residual[ja] = resA - in.Weight[b][ja]
-			residual[jb] = resB - in.Weight[a][jb]
-			of[a], of[b] = jb, ja
+			ev.Swap(a, b)
 			improved = true
 		}
 	}
@@ -148,14 +154,11 @@ func (sa *SimulatedAnnealing) Assign(in *gap.Instance) (*gap.Assignment, error) 
 		return nil, fmt.Errorf("assign/sim-anneal: %w", err)
 	}
 	src := xrand.NewSplit(sa.seed, "sa")
-	of := start.Of
-	residual := residuals(in)
-	for i, j := range of {
-		residual[j] -= in.Weight[i][j]
-	}
-	cur := in.TotalCost(&gap.Assignment{Of: of})
-	bestOf := make([]int, len(of))
-	copy(bestOf, of)
+	ev := gap.NewEvaluator(in)
+	ev.SetUndoTracking(false)
+	ev.Reset(start.Of)
+	cur := ev.Total()
+	bestOf := ev.Assignment(start.Of)
 	bestCost := cur
 
 	iters := sa.Iters
@@ -180,17 +183,17 @@ func (sa *SimulatedAnnealing) Assign(in *gap.Instance) (*gap.Assignment, error) 
 			// Shift proposal.
 			i := src.Intn(n)
 			j := src.Intn(m)
-			cur = proposeShift(in, of, residual, i, j, cur, temp, src)
+			cur = proposeShift(ev, i, j, cur, temp, src)
 		} else {
 			// Swap proposal.
 			a, b := src.Intn(n), src.Intn(n)
 			if a != b {
-				cur = proposeSwap(in, of, residual, a, b, cur, temp, src)
+				cur = proposeSwap(ev, a, b, cur, temp, src)
 			}
 		}
 		if cur < bestCost-1e-12 {
 			bestCost = cur
-			copy(bestOf, of)
+			bestOf = ev.Assignment(bestOf)
 		}
 		temp *= cooling
 	}
@@ -207,40 +210,29 @@ func metropolisAccept(delta, temp float64, src *xrand.Source) bool {
 	return src.Bernoulli(math.Exp(-delta / temp))
 }
 
-func proposeShift(in *gap.Instance, of []int, residual []float64, i, j int, cur, temp float64, src *xrand.Source) float64 {
-	curJ := of[i]
-	if j == curJ || !fits(in, residual, i, j) {
+func proposeShift(ev *gap.Evaluator, i, j int, cur, temp float64, src *xrand.Source) float64 {
+	if j == ev.Of(i) || !ev.Fits(i, j) {
 		return cur
 	}
-	delta := in.CostMs[i][j] - in.CostMs[i][curJ]
+	delta := ev.DeltaMove(i, j)
 	if !metropolisAccept(delta, temp, src) {
 		return cur
 	}
-	residual[curJ] += in.Weight[i][curJ]
-	residual[j] -= in.Weight[i][j]
-	of[i] = j
+	ev.Move(i, j)
 	return cur + delta
 }
 
-func proposeSwap(in *gap.Instance, of []int, residual []float64, a, b int, cur, temp float64, src *xrand.Source) float64 {
-	ja, jb := of[a], of[b]
-	if ja == jb {
+func proposeSwap(ev *gap.Evaluator, a, b int, cur, temp float64, src *xrand.Source) float64 {
+	if ev.Of(a) == ev.Of(b) {
 		return cur
 	}
-	if math.IsInf(in.CostMs[a][jb], 1) || math.IsInf(in.CostMs[b][ja], 1) {
+	if !ev.SwapFits(a, b) {
 		return cur
 	}
-	resA := residual[ja] + in.Weight[a][ja]
-	resB := residual[jb] + in.Weight[b][jb]
-	if in.Weight[b][ja] > resA+1e-12 || in.Weight[a][jb] > resB+1e-12 {
-		return cur
-	}
-	delta := in.CostMs[a][jb] + in.CostMs[b][ja] - in.CostMs[a][ja] - in.CostMs[b][jb]
+	delta := ev.DeltaSwap(a, b)
 	if !metropolisAccept(delta, temp, src) {
 		return cur
 	}
-	residual[ja] = resA - in.Weight[b][ja]
-	residual[jb] = resB - in.Weight[a][jb]
-	of[a], of[b] = jb, ja
+	ev.Swap(a, b)
 	return cur + delta
 }

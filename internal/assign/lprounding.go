@@ -81,7 +81,7 @@ func (lr *LPRounding) Assign(in *gap.Instance) (*gap.Assignment, error) {
 			continue
 		}
 		src := xrand.NewSplit(lr.seed, "lp-repair")
-		if !repair(in, of, src) {
+		if !newRepairState(in).repair(in, of, src) {
 			return nil, fmt.Errorf("assign/lp-rounding: rounding could not restore capacity: %w", gap.ErrInfeasible)
 		}
 		break

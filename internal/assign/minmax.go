@@ -66,17 +66,15 @@ func (mm *MinMax) Assign(in *gap.Instance) (*gap.Assignment, error) {
 	}
 	// Polish total delay while respecting the achieved threshold.
 	masked := maskAbove(in, in.MaxCost(best))
-	of := append([]int(nil), best.Of...)
-	residual := residuals(masked)
-	for i, j := range of {
-		residual[j] -= masked.Weight[i][j]
-	}
+	ev := gap.NewEvaluator(masked)
+	ev.SetUndoTracking(false)
+	ev.Reset(best.Of)
 	for round := 0; round < 50; round++ {
-		if !improveOnce(masked, of, residual) {
+		if !improveOnce(ev) {
 			break
 		}
 	}
-	return finish(in, of, "minmax")
+	return finish(in, ev.Assignment(best.Of), "minmax")
 }
 
 // packUnder tries to build a feasible assignment using only cells with

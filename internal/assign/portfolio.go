@@ -90,6 +90,7 @@ func (p *Portfolio) Assign(in *gap.Instance) (*gap.Assignment, error) {
 		if p.progress != nil {
 			cost, feasible := math.Inf(1), false
 			if errs[idx] == nil {
+				//lint:allow hotloop one re-cost per member result, not a search iteration
 				cost, feasible = in.TotalCost(results[idx]), true
 			}
 			obs.EmitIter(p.progress, p.members[idx].Name(), idx, cost, feasible)
@@ -100,6 +101,7 @@ func (p *Portfolio) Assign(in *gap.Instance) (*gap.Assignment, error) {
 			}
 			continue
 		}
+		//lint:allow hotloop one re-cost per member result, not a search iteration
 		if c := in.TotalCost(results[idx]); best == nil || c < bestCost {
 			best, bestCost = results[idx], c
 		}

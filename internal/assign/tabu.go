@@ -3,6 +3,7 @@ package assign
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"taccc/internal/gap"
 	"taccc/internal/obs"
@@ -14,6 +15,15 @@ import (
 // the objective, while a tabu list forbids undoing recent moves; an
 // aspiration criterion overrides the list when a move would produce a new
 // incumbent.
+//
+// Move evaluation runs on the gap.Evaluator delta kernel: per-device
+// candidate edges are pre-sorted by delay once, so the best-admissible
+// scan walks each device's candidates in ascending delta and stops at the
+// first admissible one (and abandons the device as soon as its deltas
+// can no longer beat the global best) instead of re-pricing all n×m
+// moves. The selected move is identical to the full scan's — including
+// tie-breaking — so results are bit-identical to the classic
+// implementation; only the work per iteration shrinks.
 type TabuSearch struct {
 	// Iters is the number of moves (default 2000).
 	Iters int
@@ -34,6 +44,35 @@ func NewTabuSearch(seed int64) *TabuSearch { return &TabuSearch{seed: seed} }
 // Name implements Assigner.
 func (*TabuSearch) Name() string { return "tabu" }
 
+// moveCandidates builds, for every device, its reachable (finite-delay)
+// edges sorted by ascending delay with index-ascending tie order — the
+// order in which shift deltas ascend. Stored flat: device i's candidates
+// are cands[start[i]:start[i+1]].
+func moveCandidates(in *gap.Instance) (cands []int32, start []int32) {
+	n, m := in.N(), in.M()
+	cands = make([]int32, 0, n*m)
+	start = make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		start[i] = int32(len(cands))
+		row := in.CostRow(i)
+		for j := 0; j < m; j++ {
+			if !math.IsInf(row[j], 1) {
+				cands = append(cands, int32(j))
+			}
+		}
+		ci := cands[start[i]:]
+		sort.Slice(ci, func(a, b int) bool {
+			ja, jb := ci[a], ci[b]
+			if row[ja] != row[jb] {
+				return row[ja] < row[jb]
+			}
+			return ja < jb
+		})
+	}
+	start[n] = int32(len(cands))
+	return cands, start
+}
+
 // Assign implements Assigner.
 func (ts *TabuSearch) Assign(in *gap.Instance) (*gap.Assignment, error) {
 	start, err := startFeasible(in, ts.seed)
@@ -50,56 +89,60 @@ func (ts *TabuSearch) Assign(in *gap.Instance) (*gap.Assignment, error) {
 		tenure = n/4 + 3
 	}
 
-	of := start.Of
-	residual := residuals(in)
-	for i, j := range of {
-		residual[j] -= in.Weight[i][j]
-	}
-	cur := in.TotalCost(&gap.Assignment{Of: of})
-	bestOf := make([]int, n)
-	copy(bestOf, of)
-	bestCost := cur
+	ev := gap.NewEvaluator(in)
+	ev.SetUndoTracking(false)
+	ev.Reset(start.Of)
+	bestOf := ev.Assignment(start.Of)
+	bestCost := ev.Total()
+	cands, candStart := moveCandidates(in)
+	residual := ev.Residuals()
+	of := ev.Placement()
 
-	// tabuUntil[i][j] bans placing device i on edge j until that
+	// tabuUntil[i*m+j] bans placing device i on edge j until that
 	// iteration index.
-	tabuUntil := make([][]int, n)
-	for i := range tabuUntil {
-		tabuUntil[i] = make([]int, m)
-	}
+	tabuUntil := make([]int, n*m)
 
 	for it := 0; it < iters; it++ {
 		// Best admissible shift move across the whole neighborhood.
 		bi, bj := -1, -1
 		bestDelta := math.Inf(1)
+		cur := ev.Total()
 		for i := 0; i < n; i++ {
 			curJ := of[i]
-			for j := 0; j < m; j++ {
-				if j == curJ || !fits(in, residual, i, j) {
+			cRow, wRow := in.CostRow(i), in.WeightRow(i)
+			curCost := cRow[curJ]
+			tabuRow := tabuUntil[i*m : (i+1)*m]
+			for _, j32 := range cands[candStart[i]:candStart[i+1]] {
+				j := int(j32)
+				if j == curJ {
 					continue
 				}
-				delta := in.CostMs[i][j] - in.CostMs[i][curJ]
-				newCost := cur + delta
-				if it < tabuUntil[i][j] && newCost >= bestCost-1e-12 {
+				delta := cRow[j] - curCost
+				if delta >= bestDelta {
+					// Candidates ascend in delta: nothing further for
+					// this device can strictly beat the incumbent move.
+					break
+				}
+				if wRow[j] > residual[j]+1e-12 {
+					continue // does not fit
+				}
+				if it < tabuRow[j] && cur+delta >= bestCost-1e-12 {
 					continue // tabu and not aspirational
 				}
-				if delta < bestDelta {
-					bestDelta, bi, bj = delta, i, j
-				}
+				bestDelta, bi, bj = delta, i, j
+				break // later candidates have delta >= bestDelta
 			}
 		}
 		if bi < 0 {
 			break // no admissible move
 		}
 		from := of[bi]
-		residual[from] += in.Weight[bi][from]
-		residual[bj] -= in.Weight[bi][bj]
-		of[bi] = bj
-		cur += bestDelta
+		ev.Move(bi, bj)
 		// Forbid moving the device straight back.
-		tabuUntil[bi][from] = it + tenure
-		if cur < bestCost-1e-12 {
-			bestCost = cur
-			copy(bestOf, of)
+		tabuUntil[bi*m+from] = it + tenure
+		if ev.Total() < bestCost-1e-12 {
+			bestCost = ev.Total()
+			bestOf = ev.Assignment(bestOf)
 		}
 		obs.EmitIter(ts.progress, "tabu", it, bestCost, true)
 	}
@@ -152,25 +195,28 @@ func (l *LNS) Assign(in *gap.Instance) (*gap.Assignment, error) {
 	copy(bestOf, start.Of)
 	bestCost := in.TotalCost(start)
 
-	work := make([]int, n)
+	// One evaluator and one permutation buffer serve every round: the
+	// destroy/repair loop allocates nothing in steady state.
+	ev := gap.NewEvaluator(in)
+	ev.SetUndoTracking(false)
+	var rein reinserter
+	perm := make([]int, n)
 	for it := 0; it < iters; it++ {
-		copy(work, bestOf)
-		residual := residuals(in)
-		for i, j := range work {
-			residual[j] -= in.Weight[i][j]
-		}
+		ev.Reset(bestOf)
 		// Destroy: remove k random devices.
-		perm := src.Perm(n)
+		src.PermInto(perm)
 		removed := perm[:k]
 		for _, i := range removed {
-			residual[work[i]] += in.Weight[i][work[i]]
-			work[i] = -1
+			ev.Unassign(i)
 		}
 		// Repair: regret-based reinsertion over the removed set.
-		if regretReinsert(in, work, residual, removed) {
-			if c := in.TotalCost(&gap.Assignment{Of: work}); c < bestCost-1e-12 {
+		if rein.reinsert(ev, removed) {
+			// Acceptance compares the canonical device-order re-sum, not
+			// the incrementally drifted total, so decisions land exactly
+			// where the classic full TotalCost re-cost put them.
+			if c := ev.RecomputeTotal(); c < bestCost-1e-12 {
 				bestCost = c
-				copy(bestOf, work)
+				bestOf = ev.Assignment(bestOf)
 			}
 		}
 		obs.EmitIter(l.progress, "lns", it, bestCost, true)
@@ -178,24 +224,34 @@ func (l *LNS) Assign(in *gap.Instance) (*gap.Assignment, error) {
 	return finish(in, bestOf, "lns")
 }
 
-// regretReinsert places the removed devices back (largest regret first);
-// reports success. Pending devices are scanned in removal order — never a
-// map — so regret ties break the same way on every run and LNS stays
-// deterministic for a fixed seed.
-func regretReinsert(in *gap.Instance, of []int, residual []float64, removed []int) bool {
-	pending := make([]int, len(removed))
-	copy(pending, removed)
+// reinserter holds the pending-device buffer regret reinsertion reuses
+// across rounds.
+type reinserter struct {
+	pending []int
+}
+
+// reinsert places the removed devices back through ev (largest regret
+// first); reports success. Pending devices are scanned in removal order —
+// never a map — so regret ties break the same way on every run and LNS
+// stays deterministic for a fixed seed.
+func (rs *reinserter) reinsert(ev *gap.Evaluator, removed []int) bool {
+	in := ev.Instance()
+	m := in.M()
+	residual := ev.Residuals()
+	pending := append(rs.pending[:0], removed...)
+	rs.pending = pending
 	for len(pending) > 0 {
 		bestDev, bestEdge := -1, -1
 		bestAt := -1
 		bestRegret := math.Inf(-1)
 		for at, i := range pending {
 			first, second, firstJ := math.Inf(1), math.Inf(1), -1
-			for j := 0; j < in.M(); j++ {
-				if !fits(in, residual, i, j) {
-					continue
+			cRow, wRow := in.CostRow(i), in.WeightRow(i)
+			for j := 0; j < m; j++ {
+				if wRow[j] > residual[j]+1e-12 || math.IsInf(cRow[j], 1) {
+					continue // does not fit
 				}
-				c := in.CostMs[i][j]
+				c := cRow[j]
 				switch {
 				case c < first:
 					second, first, firstJ = first, c, j
@@ -214,8 +270,7 @@ func regretReinsert(in *gap.Instance, of []int, residual []float64, removed []in
 				bestRegret, bestDev, bestEdge, bestAt = regret, i, firstJ, at
 			}
 		}
-		of[bestDev] = bestEdge
-		residual[bestEdge] -= in.Weight[bestDev][bestEdge]
+		ev.Place(bestDev, bestEdge)
 		pending = append(pending[:bestAt], pending[bestAt+1:]...)
 	}
 	return true

@@ -2,9 +2,13 @@ package experiment
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"runtime"
 
+	"taccc/internal/assign"
+	"taccc/internal/gap"
 	"taccc/internal/xrand"
 )
 
@@ -30,9 +34,15 @@ type BenchAlgo struct {
 	// over feasible replications (machine-dependent).
 	FeasibleRuntimeMs float64 `json:"feasible_runtime_ms"`
 	RuntimeCI95Ms     float64 `json:"runtime_ci95_ms"`
-	FeasibleRate      float64 `json:"feasible_rate"`
-	Errors            int     `json:"errors,omitempty"`
-	Reps              int     `json:"reps"`
+	// AllocsPerOp / BytesPerOp are the heap allocations and bytes of one
+	// steady-state solve (min over measured rounds after a warm-up, like
+	// testing.B's allocs/op). Deterministic given the scenario seed, so
+	// the perf gate treats a change as a real regression, not noise.
+	AllocsPerOp  uint64  `json:"allocs_per_op"`
+	BytesPerOp   uint64  `json:"bytes_per_op"`
+	FeasibleRate float64 `json:"feasible_rate"`
+	Errors       int     `json:"errors,omitempty"`
+	Reps         int     `json:"reps"`
 }
 
 // BenchScenario is one scenario's results.
@@ -56,17 +66,21 @@ type BenchResults struct {
 }
 
 // benchScenarios returns the fixed suite: a comfortably provisioned
-// mid-size instance and a capacity-tight one, shrunk under -quick.
+// mid-size instance, a capacity-tight one, and a larger "meta" instance
+// sized so the metaheuristics' inner loops — not setup — dominate their
+// runtime, all shrunk under -quick.
 func benchScenarios(quick bool) []BenchScenario {
 	if quick {
 		return []BenchScenario{
 			{ID: "small", NumIoT: 30, NumEdge: 4, Rho: 0.7},
 			{ID: "tight", NumIoT: 40, NumEdge: 5, Rho: 0.9},
+			{ID: "meta", NumIoT: 120, NumEdge: 12, Rho: 0.85},
 		}
 	}
 	return []BenchScenario{
 		{ID: "small", NumIoT: 60, NumEdge: 6, Rho: 0.7},
 		{ID: "tight", NumIoT: 100, NumEdge: 10, Rho: 0.9},
+		{ID: "meta", NumIoT: 400, NumEdge: 25, Rho: 0.85},
 	}
 }
 
@@ -99,9 +113,70 @@ func RunBench(o Options) (*BenchResults, error) {
 				Reps:              st.Reps,
 			})
 		}
+		if err := measureBenchAllocs(sc, bs.Algos); err != nil {
+			return nil, fmt.Errorf("bench %s: alloc pass: %w", bs.ID, err)
+		}
 		out.Scenarios = append(out.Scenarios, bs)
 	}
 	return out, nil
+}
+
+// measureBenchAllocs fills each algorithm's AllocsPerOp/BytesPerOp by
+// re-solving replication 0 of the scenario sequentially: one warm-up
+// solve grows every lazily sized buffer, then the minimum over three
+// measured solves filters incidental runtime allocation out. Run after
+// the parallel compare pass so no worker goroutine allocates while the
+// runtime.MemStats deltas are taken.
+func measureBenchAllocs(sc Scenario, algos []BenchAlgo) error {
+	s := sc
+	s.Seed = xrand.SplitSeed(sc.Seed, "rep-0")
+	b, err := s.Build()
+	if err != nil {
+		return err
+	}
+	reg := assign.NewRegistry()
+	for idx := range algos {
+		name := algos[idx].Name
+		// The same per-cell seed the compare pass used for replication 0,
+		// so the measured solve follows the identical execution path.
+		seed := xrand.SplitSeed(sc.Seed, fmt.Sprintf("%s-%d", name, 0))
+		solve := func() error {
+			a, err := reg.New(name, seed)
+			if err != nil {
+				return err
+			}
+			if _, err := a.Assign(b.Instance); err != nil && !errors.Is(err, gap.ErrInfeasible) {
+				return err
+			}
+			return nil
+		}
+		if err := solve(); err != nil { // warm-up
+			return err
+		}
+		var before, after runtime.MemStats
+		bestAllocs, bestBytes := ^uint64(0), ^uint64(0)
+		for round := 0; round < 3; round++ {
+			a, err := reg.New(name, seed)
+			if err != nil {
+				return err
+			}
+			runtime.ReadMemStats(&before)
+			_, aerr := a.Assign(b.Instance)
+			runtime.ReadMemStats(&after)
+			if aerr != nil && !errors.Is(aerr, gap.ErrInfeasible) {
+				return aerr
+			}
+			if d := after.Mallocs - before.Mallocs; d < bestAllocs {
+				bestAllocs = d
+			}
+			if d := after.TotalAlloc - before.TotalAlloc; d < bestBytes {
+				bestBytes = d
+			}
+		}
+		algos[idx].AllocsPerOp = bestAllocs
+		algos[idx].BytesPerOp = bestBytes
+	}
+	return nil
 }
 
 // WriteJSON writes the results as indented JSON.

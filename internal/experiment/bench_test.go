@@ -76,3 +76,29 @@ func TestReadBenchResultsRejectsGarbage(t *testing.T) {
 		}
 	}
 }
+
+// TestRunBenchRecordsAllocs: the sequential alloc pass must populate
+// per-algorithm allocation statistics on every scenario — they are the
+// numbers the perf gate holds flat — and the suite must include the
+// "meta" scenario sized for the metaheuristics' inner loops.
+func TestRunBenchRecordsAllocs(t *testing.T) {
+	res, err := RunBench(Options{Quick: true, Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]bool{}
+	for _, sc := range res.Scenarios {
+		ids[sc.ID] = true
+		for _, a := range sc.Algos {
+			// Every solver allocates at least its result assignment, so a
+			// zero here means the measurement pass did not run.
+			if a.AllocsPerOp == 0 || a.BytesPerOp == 0 {
+				t.Errorf("%s/%s: allocs_per_op=%d bytes_per_op=%d (alloc pass missing)",
+					sc.ID, a.Name, a.AllocsPerOp, a.BytesPerOp)
+			}
+		}
+	}
+	if !ids["meta"] {
+		t.Fatalf("bench suite lacks the meta scenario: %v", ids)
+	}
+}

@@ -14,6 +14,9 @@ type Move struct {
 
 // Diff lists the placement changes from old to new under in, in device
 // order. Use it to build migration plans and to cost reconfigurations.
+// Each move's delta comes from the same delta-cost kernel the Evaluator
+// exposes as DeltaMove, so a migration plan's gains always agree with
+// what a solver's incremental evaluation computed.
 func Diff(in *Instance, old, new *Assignment) ([]Move, error) {
 	if len(old.Of) != in.N() || len(new.Of) != in.N() {
 		return nil, fmt.Errorf("gap: diff length mismatch: %d/%d vs %d devices", len(old.Of), len(new.Of), in.N())
@@ -27,7 +30,7 @@ func Diff(in *Instance, old, new *Assignment) ([]Move, error) {
 			Device:      i,
 			From:        old.Of[i],
 			To:          new.Of[i],
-			DeltaCostMs: in.CostMs[i][new.Of[i]] - in.CostMs[i][old.Of[i]],
+			DeltaCostMs: moveDelta(in, i, old.Of[i], new.Of[i]),
 		})
 	}
 	return moves, nil

@@ -1,0 +1,352 @@
+package gap
+
+import (
+	"math"
+	"testing"
+
+	"taccc/internal/xrand"
+)
+
+// evalFixtures returns the instances the evaluator tests sweep: the tiny
+// hand-built case plus synthetic instances across both families, several
+// shapes and seeds.
+func evalFixtures(t *testing.T) []*Instance {
+	t.Helper()
+	out := []*Instance{tiny(t)}
+	shapes := []struct {
+		kind SyntheticKind
+		n, m int
+		rho  float64
+	}{
+		{SyntheticUniform, 12, 3, 0.7},
+		{SyntheticUniform, 30, 5, 0.85},
+		{SyntheticCorrelated, 20, 4, 0.8},
+		{SyntheticCorrelated, 40, 6, 0.9},
+	}
+	for _, sh := range shapes {
+		for seed := int64(1); seed <= 3; seed++ {
+			in, err := Synthetic(sh.kind, sh.n, sh.m, sh.rho, seed)
+			if err != nil {
+				t.Fatalf("synthetic(%v,%d,%d): %v", sh.kind, sh.n, sh.m, err)
+			}
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// cheapestOf places every device on its cheapest finite edge, ignoring
+// capacity — a valid placement for pricing tests even when overloaded.
+func cheapestOf(in *Instance) []int {
+	of := make([]int, in.N())
+	for i := range of {
+		best, bestC := -1, math.Inf(1)
+		for j := 0; j < in.M(); j++ {
+			if c := in.CostAt(i, j); c < bestC {
+				best, bestC = j, c
+			}
+		}
+		of[i] = best
+	}
+	return of
+}
+
+func TestEvaluatorDeltaMoveMatchesFullRecost(t *testing.T) {
+	for _, in := range evalFixtures(t) {
+		of := cheapestOf(in)
+		ev := NewEvaluator(in)
+		ev.Reset(of)
+		base := in.CostOf(of)
+		for i := 0; i < in.N(); i++ {
+			for to := 0; to < in.M(); to++ {
+				if math.IsInf(in.CostAt(i, to), 1) {
+					continue
+				}
+				moved := append([]int(nil), of...)
+				moved[i] = to
+				want := in.CostOf(moved) - base
+				if got := ev.DeltaMove(i, to); math.Abs(got-want) > 1e-12 {
+					t.Fatalf("DeltaMove(%d,%d) = %v, full re-cost difference %v", i, to, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestEvaluatorDeltaSwapMatchesFullRecost(t *testing.T) {
+	for _, in := range evalFixtures(t) {
+		of := cheapestOf(in)
+		ev := NewEvaluator(in)
+		ev.Reset(of)
+		base := in.CostOf(of)
+		n := in.N()
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if math.IsInf(in.CostAt(a, of[b]), 1) || math.IsInf(in.CostAt(b, of[a]), 1) {
+					continue
+				}
+				swapped := append([]int(nil), of...)
+				swapped[a], swapped[b] = swapped[b], swapped[a]
+				want := in.CostOf(swapped) - base
+				if got := ev.DeltaSwap(a, b); math.Abs(got-want) > 1e-12 {
+					t.Fatalf("DeltaSwap(%d,%d) = %v, full re-cost difference %v", a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluatorDiffParity pins the one-delta-implementation contract: the
+// per-device deltas Diff prices for a migration plan are exactly the
+// DeltaMove values an Evaluator loaded with the old placement reports.
+func TestEvaluatorDiffParity(t *testing.T) {
+	for _, in := range evalFixtures(t) {
+		oldOf := cheapestOf(in)
+		newOf := append([]int(nil), oldOf...)
+		// Perturb every third device to its most expensive finite edge.
+		for i := 0; i < in.N(); i += 3 {
+			worst, worstC := newOf[i], math.Inf(-1)
+			for j := 0; j < in.M(); j++ {
+				if c := in.CostAt(i, j); !math.IsInf(c, 1) && c > worstC {
+					worst, worstC = j, c
+				}
+			}
+			newOf[i] = worst
+		}
+		a, err := NewAssignment(in, oldOf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewAssignment(in, newOf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moves, err := Diff(in, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := NewEvaluator(in)
+		ev.Reset(oldOf)
+		for _, mv := range moves {
+			if got := ev.DeltaMove(mv.Device, mv.To); math.Abs(got-mv.DeltaCostMs) > 1e-12 {
+				t.Fatalf("device %d: Diff delta %v, Evaluator delta %v", mv.Device, mv.DeltaCostMs, got)
+			}
+		}
+	}
+}
+
+// checkEvaluatorState compares every piece of Evaluator state against a
+// from-scratch recomputation over the placement it reports.
+func checkEvaluatorState(t *testing.T, in *Instance, ev *Evaluator) {
+	t.Helper()
+	of := ev.Assignment(nil)
+	if want, got := in.CostOf(of), ev.Total(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Total() = %v, CostOf = %v (drift %g)", got, want, got-want)
+	}
+	loads := make([]float64, in.M())
+	for i, j := range of {
+		if j >= 0 {
+			loads[j] += in.WeightAt(i, j)
+		}
+	}
+	feasible := true
+	for j := 0; j < in.M(); j++ {
+		if want, got := loads[j], ev.Load(j); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("Load(%d) = %v, recomputed %v", j, got, want)
+		}
+		if loads[j] > in.Capacity[j]*(1+1e-9)+1e-9 {
+			feasible = false
+		}
+	}
+	if got := ev.Feasible(); got != feasible {
+		t.Fatalf("Feasible() = %v, recomputed %v (loads %v, caps %v)", got, feasible, loads, in.Capacity)
+	}
+}
+
+// TestEvaluatorRandomOpsDifferential drives random operation sequences —
+// moves, swaps, unassign/place pairs and undos — and after every step
+// checks total, loads and feasibility against a full recomputation. This
+// is the differential test backing the incremental-evaluation contract;
+// `go test -race` runs it too.
+func TestEvaluatorRandomOpsDifferential(t *testing.T) {
+	for _, in := range evalFixtures(t) {
+		for seed := int64(10); seed < 13; seed++ {
+			src := xrand.New(seed)
+			ev := NewEvaluator(in)
+			ev.Reset(cheapestOf(in))
+			n, m := in.N(), in.M()
+			for step := 0; step < 200; step++ {
+				switch op := src.Intn(4); op {
+				case 0: // move
+					i, to := src.Intn(n), src.Intn(m)
+					if ev.Of(i) >= 0 && !math.IsInf(in.CostAt(i, to), 1) {
+						ev.Move(i, to)
+					}
+				case 1: // swap
+					// Swap requires distinct edges (same-edge pairs are
+					// no-ops every solver skips before pricing).
+					a, b := src.Intn(n), src.Intn(n)
+					if a != b && ev.Of(a) >= 0 && ev.Of(b) >= 0 && ev.Of(a) != ev.Of(b) &&
+						!math.IsInf(in.CostAt(a, ev.Of(b)), 1) && !math.IsInf(in.CostAt(b, ev.Of(a)), 1) {
+						ev.Swap(a, b)
+					}
+				case 2: // unassign / place
+					i := src.Intn(n)
+					if ev.Of(i) >= 0 {
+						ev.Unassign(i)
+					} else if to := src.Intn(m); !math.IsInf(in.CostAt(i, to), 1) {
+						ev.Place(i, to)
+					}
+				case 3:
+					ev.Undo()
+				}
+				checkEvaluatorState(t, in, ev)
+			}
+		}
+	}
+}
+
+// TestEvaluatorUndoBitExact applies a burst of operations and unwinds the
+// whole log, requiring the restored state to equal the starting state
+// bit-for-bit — not merely within epsilon.
+func TestEvaluatorUndoBitExact(t *testing.T) {
+	for _, in := range evalFixtures(t) {
+		src := xrand.New(99)
+		ev := NewEvaluator(in)
+		ev.Reset(cheapestOf(in))
+		of0 := ev.Assignment(nil)
+		res0 := append([]float64(nil), ev.Residuals()...)
+		total0 := ev.Total()
+
+		n, m := in.N(), in.M()
+		applied := 0
+		for step := 0; step < 100; step++ {
+			switch src.Intn(3) {
+			case 0:
+				i, to := src.Intn(n), src.Intn(m)
+				if ev.Of(i) >= 0 && !math.IsInf(in.CostAt(i, to), 1) {
+					ev.Move(i, to)
+					applied++
+				}
+			case 1:
+				a, b := src.Intn(n), src.Intn(n)
+				if a != b && ev.Of(a) >= 0 && ev.Of(b) >= 0 && ev.Of(a) != ev.Of(b) &&
+					!math.IsInf(in.CostAt(a, ev.Of(b)), 1) && !math.IsInf(in.CostAt(b, ev.Of(a)), 1) {
+					ev.Swap(a, b)
+					applied++
+				}
+			case 2:
+				i := src.Intn(n)
+				if ev.Of(i) >= 0 {
+					ev.Unassign(i)
+					applied++
+				}
+			}
+		}
+		if got := ev.UndoDepth(); got != applied {
+			t.Fatalf("UndoDepth = %d after %d applied ops", got, applied)
+		}
+		for ev.Undo() {
+		}
+		if ev.Total() != total0 {
+			t.Fatalf("total not restored bit-exactly: %v != %v", ev.Total(), total0)
+		}
+		for i, j := range ev.Placement() {
+			if j != of0[i] {
+				t.Fatalf("of[%d] = %d, want %d", i, j, of0[i])
+			}
+		}
+		for j, r := range ev.Residuals() {
+			if r != res0[j] {
+				t.Fatalf("residual[%d] = %v, want %v (bit-exact)", j, r, res0[j])
+			}
+		}
+	}
+}
+
+func TestEvaluatorSetUndoTracking(t *testing.T) {
+	in := tiny(t)
+	ev := NewEvaluator(in)
+	ev.SetUndoTracking(false)
+	ev.Reset([]int{0, 1, 0})
+	ev.Move(0, 1)
+	ev.Swap(0, 2)
+	if d := ev.UndoDepth(); d != 0 {
+		t.Fatalf("UndoDepth = %d with tracking off", d)
+	}
+	if ev.Undo() {
+		t.Fatal("Undo succeeded with an empty log")
+	}
+	ev.SetUndoTracking(true)
+	ev.Move(1, 0)
+	if d := ev.UndoDepth(); d != 1 {
+		t.Fatalf("UndoDepth = %d after re-enabling", d)
+	}
+	if !ev.Undo() || ev.Of(1) != 1 {
+		t.Fatal("Undo after re-enabling did not restore")
+	}
+	ev.Move(1, 0)
+	ev.ClearUndo()
+	if d := ev.UndoDepth(); d != 0 {
+		t.Fatalf("UndoDepth = %d after ClearUndo", d)
+	}
+}
+
+// TestEvaluatorSteadyStateAllocs pins the allocation-free contract of the
+// hot-path operations: once constructed, Reset and Move/Swap/Undo cycles
+// must not allocate.
+func TestEvaluatorSteadyStateAllocs(t *testing.T) {
+	in := tiny(t)
+	ev := NewEvaluator(in)
+	of := []int{0, 1, 0}
+	ev.Reset(of)
+	ev.Move(0, 1) // grow the log once
+	ev.Undo()
+	allocs := testing.AllocsPerRun(100, func() {
+		ev.Reset(of)
+		ev.Move(0, 1)
+		ev.Swap(1, 2)
+		ev.Undo()
+		ev.Undo()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Reset/Move/Swap/Undo allocates %.1f/op", allocs)
+	}
+}
+
+// TestDegenerateCostStats is the table test for the cost accessors on
+// degenerate inputs: a deviceless instance and an empty assignment must
+// report zeros (never NaN from the 0/0 mean).
+func TestDegenerateCostStats(t *testing.T) {
+	empty := &Instance{}
+	tinyIn := tiny(t)
+	full, err := NewAssignment(tinyIn, []int{0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name             string
+		in               *Instance
+		a                *Assignment
+		total, max, mean float64
+	}{
+		{"empty instance, empty assignment", empty, &Assignment{}, 0, 0, 0},
+		{"tiny instance, empty placement", tinyIn, &Assignment{}, 0, 0, 0},
+		{"tiny instance, full placement", tinyIn, full, 1 + 6 + 3, 6, 10.0 / 3},
+	}
+	for _, tc := range cases {
+		if got := tc.in.TotalCost(tc.a); got != tc.total {
+			t.Errorf("%s: TotalCost = %v, want %v", tc.name, got, tc.total)
+		}
+		if got := tc.in.MaxCost(tc.a); got != tc.max {
+			t.Errorf("%s: MaxCost = %v, want %v", tc.name, got, tc.max)
+		}
+		got := tc.in.MeanCost(tc.a)
+		if math.IsNaN(got) {
+			t.Errorf("%s: MeanCost is NaN", tc.name)
+		}
+		if math.Abs(got-tc.mean) > 1e-12 {
+			t.Errorf("%s: MeanCost = %v, want %v", tc.name, got, tc.mean)
+		}
+	}
+}

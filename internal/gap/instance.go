@@ -28,6 +28,14 @@ type Instance struct {
 	Weight [][]float64
 	// Capacity[j] is edge j's capacity.
 	Capacity []float64
+
+	// flatCost and flatWeight are row-major copies of CostMs and Weight
+	// (entry (i,j) at index i*M()+j), built once by NewInstance. The
+	// solver hot paths index these through CostRow/WeightRow: one bounds
+	// check and no per-row slice-header load, where the nested form pays
+	// both per access. Instances constructed as struct literals (tests)
+	// leave them nil; the accessors fall back to the nested matrices.
+	flatCost, flatWeight []float64
 }
 
 // NewInstance validates and wraps the given matrices. Dimensions must
@@ -68,7 +76,54 @@ func NewInstance(costMs, weight [][]float64, capacity []float64) (*Instance, err
 			return nil, fmt.Errorf("gap: invalid capacity %v at edge %d", c, j)
 		}
 	}
-	return &Instance{CostMs: costMs, Weight: weight, Capacity: capacity}, nil
+	in := &Instance{CostMs: costMs, Weight: weight, Capacity: capacity}
+	in.flatCost, in.flatWeight = flatten(costMs, m), flatten(weight, m)
+	return in, nil
+}
+
+// flatten packs an n×m nested matrix into one row-major slice.
+func flatten(rows [][]float64, m int) []float64 {
+	flat := make([]float64, len(rows)*m)
+	for i, row := range rows {
+		copy(flat[i*m:(i+1)*m], row)
+	}
+	return flat
+}
+
+// CostRow returns device i's delay row as a contiguous []float64 of
+// length M(). The values are bit-identical to CostMs[i]; only the storage
+// differs (row-major flat array when the instance came from NewInstance).
+func (in *Instance) CostRow(i int) []float64 {
+	if in.flatCost != nil {
+		m := len(in.Capacity)
+		return in.flatCost[i*m : (i+1)*m : (i+1)*m]
+	}
+	return in.CostMs[i]
+}
+
+// WeightRow returns device i's weight row; see CostRow.
+func (in *Instance) WeightRow(i int) []float64 {
+	if in.flatWeight != nil {
+		m := len(in.Capacity)
+		return in.flatWeight[i*m : (i+1)*m : (i+1)*m]
+	}
+	return in.Weight[i]
+}
+
+// CostAt returns CostMs[i][j] through the flat storage when available.
+func (in *Instance) CostAt(i, j int) float64 {
+	if in.flatCost != nil {
+		return in.flatCost[i*len(in.Capacity)+j]
+	}
+	return in.CostMs[i][j]
+}
+
+// WeightAt returns Weight[i][j] through the flat storage when available.
+func (in *Instance) WeightAt(i, j int) float64 {
+	if in.flatWeight != nil {
+		return in.flatWeight[i*len(in.Capacity)+j]
+	}
+	return in.Weight[i][j]
 }
 
 // N returns the number of devices.
@@ -108,17 +163,42 @@ func (a *Assignment) Clone() *Assignment {
 	return &Assignment{Of: of}
 }
 
-// TotalCost returns Σ cost[i][a(i)] for the assignment under in.
+// TotalCost returns Σ cost[i][a(i)] for the assignment under in. An empty
+// assignment sums to 0.
 func (in *Instance) TotalCost(a *Assignment) float64 {
+	return in.CostOf(a.Of)
+}
+
+// CostOf sums the delay of a raw placement vector in device order,
+// skipping unplaced devices (of[i] < 0). It is TotalCost without the
+// Assignment wrapper — solver inner loops use it so re-costing a work
+// buffer allocates nothing — and the accumulation order (i ascending) is
+// the contract every incremental evaluation must reproduce.
+func (in *Instance) CostOf(of []int) float64 {
 	total := 0.0
-	for i, j := range a.Of {
-		total += in.CostMs[i][j]
+	if in.flatCost != nil {
+		m := len(in.Capacity)
+		for i, j := range of {
+			if j >= 0 {
+				total += in.flatCost[i*m+j]
+			}
+		}
+		return total
+	}
+	for i, j := range of {
+		if j >= 0 {
+			total += in.CostMs[i][j]
+		}
 	}
 	return total
 }
 
-// MeanCost returns TotalCost / N.
+// MeanCost returns TotalCost / N, or 0 for a degenerate instance with no
+// devices (never NaN).
 func (in *Instance) MeanCost(a *Assignment) float64 {
+	if in.N() == 0 {
+		return 0
+	}
 	return in.TotalCost(a) / float64(in.N())
 }
 

@@ -7,7 +7,7 @@ import (
 	"taccc/internal/lint/linttest"
 )
 
-// The four analyzers each run over a fixture package whose want comments
+// The five analyzers each run over a fixture package whose want comments
 // pin down positive cases, negative cases, and //lint:allow handling.
 
 func TestDetrandFixtures(t *testing.T) {
@@ -24,4 +24,8 @@ func TestNilrecvFixtures(t *testing.T) {
 
 func TestSinkerrFixtures(t *testing.T) {
 	linttest.Run(t, linttest.TestData(t), lint.Sinkerr, "sinkerr")
+}
+
+func TestHotloopFixtures(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), lint.Hotloop, "hotloop")
 }

@@ -41,7 +41,9 @@ var DeterministicPackages = []string{
 //   - nilrecv over internal/obs, where the nil-safe sink/metric types
 //     live;
 //   - sinkerr over cmd/, where event streams are opened and must fail
-//     loudly.
+//     loudly;
+//   - hotloop over internal/assign, where every solver inner loop is
+//     expected to price moves through the incremental gap.Evaluator.
 func DefaultRules() []Rule {
 	inDeterministic := func(path string) bool {
 		for _, p := range DeterministicPackages {
@@ -56,6 +58,9 @@ func DefaultRules() []Rule {
 		{Analyzer: Maporder, Match: func(string) bool { return true }},
 		{Analyzer: Nilrecv, Match: func(path string) bool { return path == "taccc/internal/obs" }},
 		{Analyzer: Sinkerr, Match: func(path string) bool { return strings.HasPrefix(path, "taccc/cmd/") }},
+		{Analyzer: Hotloop, Match: func(path string) bool {
+			return path == "taccc/internal/assign" || strings.HasPrefix(path, "taccc/internal/assign/")
+		}},
 	}
 }
 

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Hotloop polices the metaheuristic hot path: gap.Instance.TotalCost
+// re-prices every device against every edge, so calling it from inside a
+// loop turns an O(1)-per-iteration search step into an O(n) one — the
+// exact regression the incremental gap.Evaluator kernel exists to
+// prevent. Any TotalCost call whose receiver type comes from the gap
+// package and whose call site sits in loop-repeated position (a for or
+// range body, a for condition or post statement — including inside
+// function literals defined there) is flagged. One-shot uses — seeding an
+// incumbent before the loop, the final re-cost after it — are either
+// outside loops or annotated with //lint:allow hotloop <reason>.
+var Hotloop = &Analyzer{
+	Name: "hotloop",
+	Doc:  "forbid gap TotalCost calls inside loop bodies in the solver packages; iterate with gap.Evaluator deltas instead",
+	Run:  runHotloop,
+}
+
+// hotSpan is one loop-repeated source region: code positioned inside it
+// executes once per iteration, not once per loop.
+type hotSpan struct{ lo, hi token.Pos }
+
+func runHotloop(p *Pass) error {
+	for _, f := range p.Files {
+		// First pass: collect every loop-repeated region. A for statement
+		// re-evaluates its condition, post statement and body each
+		// iteration (the init clause runs once); a range statement
+		// re-executes only its body (the range expression is evaluated
+		// once).
+		var hot []hotSpan
+		add := func(n ast.Node) {
+			if n != nil {
+				hot = append(hot, hotSpan{lo: n.Pos(), hi: n.End()})
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ForStmt:
+				add(s.Cond)
+				add(s.Post)
+				add(s.Body)
+			case *ast.RangeStmt:
+				add(s.Body)
+			}
+			return true
+		})
+		inHot := func(pos token.Pos) bool {
+			for _, h := range hot {
+				if h.lo <= pos && pos < h.hi {
+					return true
+				}
+			}
+			return false
+		}
+
+		// Second pass: flag TotalCost selections resolving into a gap
+		// package at loop-repeated positions. Position containment (rather
+		// than a traversal flag) makes nesting and function literals
+		// inside loop bodies fall out for free.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "TotalCost" || !inHot(call.Pos()) {
+				return true
+			}
+			obj := objectOf(p.TypesInfo, sel.Sel)
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if path := obj.Pkg().Path(); path != "gap" && !strings.HasSuffix(path, "/gap") {
+				return true
+			}
+			p.Reportf(call.Pos(), "gap TotalCost inside a loop re-prices the whole assignment every iteration; price the step with gap.Evaluator deltas (DeltaMove/DeltaSwap) or hoist the call, or annotate with //lint:allow hotloop <reason>")
+			return true
+		})
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
-// Package lint is the repository's static-analysis suite: four analyzers
-// that machine-enforce the determinism and zero-overhead-observability
-// invariants the rest of the codebase only documents.
+// Package lint is the repository's static-analysis suite: five analyzers
+// that machine-enforce the determinism, zero-overhead-observability and
+// hot-path-performance invariants the rest of the codebase only
+// documents.
 //
 //   - detrand: no wall-clock reads (time.Now/Since/Until) and no math/rand
 //     in the deterministic packages — all randomness flows through the
@@ -14,6 +15,9 @@
 //   - sinkerr: commands must not drop the error from an event-sink
 //     Flush/Close — a -events or -archive stream that silently truncates
 //     is worse than no stream.
+//   - hotloop: no gap TotalCost calls inside loop bodies in the solver
+//     packages — metaheuristic iterations price moves through the
+//     incremental gap.Evaluator, never by re-costing the whole assignment.
 //
 // The framework mirrors the golang.org/x/tools/go/analysis API surface
 // (Analyzer, Pass, analysistest-style "// want" fixtures) but is built
@@ -74,7 +78,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 
 // Analyzers lists every analyzer in the suite, in diagnostic-output order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Detrand, Maporder, Nilrecv, Sinkerr}
+	return []*Analyzer{Detrand, Maporder, Nilrecv, Sinkerr, Hotloop}
 }
 
 // objectOf resolves an identifier to its object via Uses or Defs.

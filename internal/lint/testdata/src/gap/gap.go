@@ -1,0 +1,12 @@
+// Package gap is a miniature stand-in for the real cost model: the
+// hotloop fixture imports it so receiver types resolve to a package whose
+// path ends in "gap", exactly how taccc/internal/gap types do.
+package gap
+
+type Assignment struct{ Of []int }
+
+type Instance struct{}
+
+func (in *Instance) TotalCost(a *Assignment) float64 { return 0 }
+
+func (in *Instance) MeanCost(a *Assignment) float64 { return 0 }

@@ -1,0 +1,78 @@
+// Package hotloop is the hotloop analyzer's fixture: gap TotalCost calls
+// at loop-repeated positions are flagged; one-shot pricing, other gap
+// methods and unrelated TotalCost methods are not.
+package hotloop
+
+import (
+	"gap"
+)
+
+func oneShot(in *gap.Instance, a *gap.Assignment) float64 {
+	return in.TotalCost(a) // outside any loop: ok
+}
+
+func inForBody(in *gap.Instance, a *gap.Assignment) {
+	for i := 0; i < 10; i++ {
+		_ = in.TotalCost(a) // want `gap TotalCost inside a loop`
+	}
+}
+
+func inRangeBody(in *gap.Instance, as []*gap.Assignment) {
+	for _, a := range as {
+		_ = in.TotalCost(a) // want `gap TotalCost inside a loop`
+	}
+}
+
+func inForHeader(in *gap.Instance, a *gap.Assignment) {
+	// The init clause runs once; the condition and post run per iteration.
+	for c := in.TotalCost(a); c < in.TotalCost(a); c += in.TotalCost(a) { // want `gap TotalCost inside a loop` `gap TotalCost inside a loop`
+	}
+}
+
+func inRangeExpr(in *gap.Instance, as []*gap.Assignment) {
+	// The range expression is evaluated once: ok.
+	for range as[:int(in.TotalCost(as[0]))] {
+	}
+}
+
+func nestedLoops(in *gap.Instance, a *gap.Assignment) {
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			_ = in.TotalCost(a) // want `gap TotalCost inside a loop`
+		}
+	}
+}
+
+func inFuncLit(in *gap.Instance, a *gap.Assignment) {
+	// A closure built inside a loop body is loop-repeated too.
+	for i := 0; i < 2; i++ {
+		f := func() float64 { return in.TotalCost(a) } // want `gap TotalCost inside a loop`
+		_ = f
+	}
+}
+
+func otherGapMethod(in *gap.Instance, a *gap.Assignment) {
+	for i := 0; i < 2; i++ {
+		_ = in.MeanCost(a) // a different method: ok
+	}
+}
+
+// pricer has a TotalCost method outside any gap package: never flagged.
+type pricer struct{}
+
+func (pricer) TotalCost(of []int) float64 { return 0 }
+
+func unrelatedReceiver(p pricer) {
+	for i := 0; i < 2; i++ {
+		_ = p.TotalCost(nil) // not the gap package: ok
+	}
+}
+
+func allowed(in *gap.Instance, a *gap.Assignment) {
+	for i := 0; i < 2; i++ {
+		// The intentional-full-re-cost escape hatch: annotated in place.
+		//lint:allow hotloop coarse outer loop, one re-cost per member
+		_ = in.TotalCost(a)
+		_ = in.TotalCost(a) //lint:allow hotloop trailing-comment form works too
+	}
+}

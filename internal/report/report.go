@@ -201,6 +201,11 @@ func (s *Source) Metrics() []Metric {
 					Metric{Name: prefix + "feasible_runtime_ms", Value: a.FeasibleRuntimeMs, CI95: a.RuntimeCI95Ms},
 					Metric{Name: prefix + "mean_cost_ms", Value: a.MeanCostMs, CI95: a.CostCI95Ms},
 					Metric{Name: prefix + "feasible_rate", Value: a.FeasibleRate, HigherIsBetter: true},
+					// Alloc figures are deterministic counts (no CI): any
+					// delta is a real change in the solver's allocation
+					// behaviour, so the diff judges them on threshold alone.
+					Metric{Name: prefix + "allocs_per_op", Value: float64(a.AllocsPerOp)},
+					Metric{Name: prefix + "bytes_per_op", Value: float64(a.BytesPerOp)},
 				)
 			}
 		}

@@ -265,3 +265,32 @@ func TestDiffBenchRuntimeRegressionRespectsCI(t *testing.T) {
 		t.Fatalf("noisy slowdown failed the gate: %+v", d.Metrics)
 	}
 }
+
+// TestDiffBenchAllocRegressionGates: allocs/op carries no CI, so the gate
+// judges it on threshold alone — a solver that starts allocating in its
+// inner loop fails the diff even when its runtime stays inside noise.
+func TestDiffBenchAllocRegressionGates(t *testing.T) {
+	mk := func(allocs, bytes uint64) *Source {
+		return &Source{Kind: "bench", Path: "p", Bench: &experiment.BenchResults{
+			Scenarios: []experiment.BenchScenario{{ID: "s", Algos: []experiment.BenchAlgo{{
+				Name: "tabu", MeanCostMs: 10, CostCI95Ms: 0.1,
+				FeasibleRuntimeMs: 1, RuntimeCI95Ms: 0.05,
+				AllocsPerOp: allocs, BytesPerOp: bytes, FeasibleRate: 1, Reps: 5,
+			}}}},
+		}}
+	}
+	d, err := DiffSources(mk(1000, 64000), mk(1500, 64000), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressions != 1 {
+		t.Fatalf("50%% alloc growth not flagged: %+v", d.Metrics)
+	}
+	d, err = DiffSources(mk(1000, 64000), mk(1000, 64000), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressions != 0 {
+		t.Fatalf("flat allocs flagged: %+v", d.Metrics)
+	}
+}

@@ -128,11 +128,11 @@ func (r *Report) Markdown() string {
 			r.Path, r.Bench.Tool, r.Bench.Version, r.Bench.Seed, r.Bench.Reps, r.Bench.Quick)
 		for _, sc := range r.Bench.Scenarios {
 			fmt.Fprintf(&b, "## Scenario %s (iot=%d edge=%d rho=%.2f)\n\n", sc.ID, sc.NumIoT, sc.NumEdge, sc.Rho)
-			fmt.Fprintf(&b, "| algorithm | mean cost ms | ±CI | feasible runtime ms | ±CI | feasible rate | errors |\n")
-			fmt.Fprintf(&b, "|---|---:|---:|---:|---:|---:|---:|\n")
+			fmt.Fprintf(&b, "| algorithm | mean cost ms | ±CI | feasible runtime ms | ±CI | allocs/op | bytes/op | feasible rate | errors |\n")
+			fmt.Fprintf(&b, "|---|---:|---:|---:|---:|---:|---:|---:|---:|\n")
 			for _, a := range sc.Algos {
-				fmt.Fprintf(&b, "| %s | %.3f | %.3f | %.3f | %.3f | %.2f | %d |\n",
-					a.Name, a.MeanCostMs, a.CostCI95Ms, a.FeasibleRuntimeMs, a.RuntimeCI95Ms, a.FeasibleRate, a.Errors)
+				fmt.Fprintf(&b, "| %s | %.3f | %.3f | %.3f | %.3f | %d | %d | %.2f | %d |\n",
+					a.Name, a.MeanCostMs, a.CostCI95Ms, a.FeasibleRuntimeMs, a.RuntimeCI95Ms, a.AllocsPerOp, a.BytesPerOp, a.FeasibleRate, a.Errors)
 			}
 			fmt.Fprintln(&b)
 		}

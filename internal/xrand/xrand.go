@@ -106,6 +106,18 @@ func (s *Source) Bernoulli(p float64) bool { return s.rng.Float64() < p }
 // Perm returns a pseudo-random permutation of [0, n).
 func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
 
+// PermInto fills p with a pseudo-random permutation of [0, len(p)) without
+// allocating. It performs exactly the draws Perm(len(p)) performs, in the
+// same order, so swapping one for the other never shifts the stream: a
+// source in a given state produces the same permutation from either.
+func (s *Source) PermInto(p []int) {
+	for i := range p {
+		j := s.rng.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+}
+
 // Shuffle pseudo-randomizes the order of n elements using swap.
 func (s *Source) Shuffle(n int, swap func(i, j int)) { s.rng.Shuffle(n, swap) }
 

@@ -282,3 +282,24 @@ func TestChoiceInRangeQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPermIntoMatchesPerm pins the RNG-stream contract PermInto exists
+// for: filling a caller-owned buffer must perform exactly the draws
+// Perm(len(p)) performs, so switching a solver from Perm to PermInto
+// changes neither its permutations nor any later draw from the source.
+func TestPermIntoMatchesPerm(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100} {
+		a, b := New(31), New(31)
+		p := make([]int, n)
+		a.PermInto(p)
+		q := b.Perm(n)
+		for i := range p {
+			if p[i] != q[i] {
+				t.Fatalf("n=%d: PermInto %v, Perm %v", n, p, q)
+			}
+		}
+		if a.Int63() != b.Int63() {
+			t.Fatalf("n=%d: sources diverged after PermInto vs Perm", n)
+		}
+	}
+}
