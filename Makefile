@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet lint ci bench-json perf-gate baseline
+.PHONY: all build test race bench vet lint ci bench-json perf-gate baseline trace-smoke
 
 all: build test
 
@@ -65,3 +65,19 @@ perf-gate: bench-json
 # commit BENCH_baseline.json alongside the change that moved it.
 baseline:
 	$(GO) run ./cmd/tacbench -json BENCH_baseline.json -quick -reps $(BENCH_REPS)
+
+# Trace smoke: a real tacsolve run exports a Chrome trace and archives
+# trace.jsonl, tactrace -chrome strict-validates the export, and
+# tacreport renders the phase-attribution table from the archive. The
+# end-to-end counterpart of the in-process pipeline-tracing tests.
+TRACE_DIR ?= /tmp/taccc-trace-smoke
+
+trace-smoke:
+	rm -rf $(TRACE_DIR)
+	$(GO) run ./cmd/tacsolve -iot 80 -edge 8 -rho 0.8 -algo tabu -seed 7 \
+	  -workers 4 -trace-out $(TRACE_DIR)/trace.json -archive $(TRACE_DIR)/run
+	$(GO) run ./cmd/tactrace -chrome $(TRACE_DIR)/trace.json
+	$(GO) run ./cmd/tacreport $(TRACE_DIR)/run -o $(TRACE_DIR)/report.md
+	grep -q '^## Pipeline phases' $(TRACE_DIR)/report.md
+	grep -q 'critical path:' $(TRACE_DIR)/report.md
+	@echo "trace smoke passed; report in $(TRACE_DIR)/report.md"

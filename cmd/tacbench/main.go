@@ -67,6 +67,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	eventsFlag.Flags(fs, "structured run events (spec/algo/cell)")
 	var archive cliutil.Archive
 	archive.Flags(fs)
+	var trace cliutil.Trace
+	trace.Flags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -100,6 +102,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if err := archive.Start("tacbench", fs, *seed); err != nil {
+		fmt.Fprintf(stderr, "tacbench: %v\n", err)
+		return 1
+	}
+	traceRoot, err := trace.Start("tacbench", &archive)
+	if err != nil {
 		fmt.Fprintf(stderr, "tacbench: %v\n", err)
 		return 1
 	}
@@ -142,6 +149,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	defer stopTelemetry()
 
 	finish := func(summary runlog.Summary) int {
+		// Finish tracing first so the final spans reach the archive's
+		// trace stream before Finish seals it.
+		if err := trace.Finish(stdout); err != nil {
+			fmt.Fprintf(stderr, "tacbench: %v\n", err)
+			return 1
+		}
 		if err := eventStream.Close(); err != nil {
 			fmt.Fprintf(stderr, "tacbench: events: %v\n", err)
 			return 1
@@ -165,7 +178,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	opts := taccc.ExperimentOptions{Reps: *reps, Quick: *quick, Seed: *seed, Workers: *workers, Progress: progressSink}
+	opts := taccc.ExperimentOptions{Reps: *reps, Quick: *quick, Seed: *seed, Workers: *workers, Progress: progressSink, Trace: traceRoot}
 	if *jsonOut != "" {
 		return runBenchJSON(opts, *jsonOut, finish, stdout, stderr)
 	}

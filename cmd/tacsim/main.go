@@ -63,6 +63,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	eventsFlag.Flags(fs, "solver iteration and per-request span events")
 	var archive cliutil.Archive
 	archive.Flags(fs)
+	var pipeTrace cliutil.Trace
+	pipeTrace.Flags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -71,6 +73,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	if err := archive.Start("tacsim", fs, *seed); err != nil {
+		fmt.Fprintf(stderr, "tacsim: %v\n", err)
+		return 1
+	}
+	traceRoot, err := pipeTrace.Start("tacsim", &archive)
+	if err != nil {
 		fmt.Fprintf(stderr, "tacsim: %v\n", err)
 		return 1
 	}
@@ -83,7 +90,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	built, err := taccc.Scenario{
 		Family: taccc.Family(*family),
 		NumIoT: *iot, NumEdge: *edge, Rho: *rho, PayloadKB: *payload, Seed: *seed,
-		Workers: *workers,
+		Workers: *workers, Trace: traceRoot,
 	}.Build()
 	if err != nil {
 		fmt.Fprintf(stderr, "tacsim: %v\n", err)
@@ -133,7 +140,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if sink := taccc.MultiProgress(sinks...); sink != nil {
 		taccc.WithProgress(a, sink)
 	}
+	solvePh := traceRoot.Child("solve")
+	solvePh.SetAttr("algo", *algo)
+	taccc.WithPhases(a, solvePh)
 	got, err := a.Assign(built.Instance)
+	solvePh.End()
 	if err != nil {
 		fmt.Fprintf(stderr, "tacsim: %v\n", err)
 		return 1
@@ -199,7 +210,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "injecting failure of edge %d at t=%.0fs\n", *failEdge, *failAt)
 	}
+	simPh := traceRoot.Child("simulate")
+	simPh.SetAttr("duration_s", *duration)
 	res, err := sim.Run(*duration * 1000)
+	simPh.End()
 	if err != nil {
 		fmt.Fprintf(stderr, "tacsim: %v\n", err)
 		return 1
@@ -219,6 +233,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "trace:      %d records -> %s\n", traceWriter.N(), *tracePath)
+	}
+	// Finish tracing first so the final spans reach the archive's trace
+	// stream before Finish seals it.
+	if err := pipeTrace.Finish(stdout); err != nil {
+		fmt.Fprintf(stderr, "tacsim: %v\n", err)
+		return 1
 	}
 	if err := eventStream.Close(); err != nil {
 		fmt.Fprintf(stderr, "tacsim: events: %v\n", err)

@@ -8,6 +8,8 @@
 //	tacsolve -instance inst.json -algo greedy -o a.json # save assignment
 //	tacsolve -instance inst.json -algo all -workers 4   # compare, 4 solvers at a time
 //	tacsolve -instance inst.json -archive runs/a        # self-contained run archive
+//	tacsolve -iot 200 -edge 12 -rho 0.8 -algo tabu      # generate the scenario in-process
+//	tacsolve -iot 200 -edge 12 -trace-out trace.json    # + Perfetto pipeline trace
 package main
 
 import (
@@ -34,7 +36,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tacsolve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		instPath = fs.String("instance", "", "instance JSON file (required)")
+		instPath = fs.String("instance", "", "instance JSON file (or generate one with -iot/-edge)")
+		iot      = fs.Int("iot", 0, "scenario mode: number of IoT devices (generates the instance in-process; excludes -instance)")
+		edge     = fs.Int("edge", 0, "scenario mode: number of edge servers")
+		rho      = fs.Float64("rho", 0.7, "scenario mode: capacity tightness in (0, 1]")
+		family   = fs.String("family", "hierarchical", "scenario mode: topology family (hierarchical, geometric, waxman, barabasi-albert, grid, fattree, star, ring)")
 		algo     = fs.String("algo", "qlearning", "algorithm name, 'exact' for branch-and-bound, or 'all' to compare every algorithm")
 		seed     = fs.Int64("seed", 1, "algorithm seed")
 		out      = fs.String("o", "", "write the assignment JSON here")
@@ -52,6 +58,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	eventsFlag.Flags(fs, "per-iteration solver events")
 	var archive cliutil.Archive
 	archive.Flags(fs)
+	var trace cliutil.Trace
+	trace.Flags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -60,6 +68,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	if err := archive.Start("tacsolve", fs, *seed); err != nil {
+		fmt.Fprintf(stderr, "tacsolve: %v\n", err)
+		return 1
+	}
+	traceRoot, err := trace.Start("tacsolve", &archive)
+	if err != nil {
 		fmt.Fprintf(stderr, "tacsolve: %v\n", err)
 		return 1
 	}
@@ -106,6 +119,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	defer stopTelemetry()
 	sink := taccc.MultiProgress(sinks...)
 	finishObs := func(summary runlog.Summary) int {
+		// Finish tracing first: it ends the root phase, so the final
+		// spans are in the archive's trace stream before Finish seals it.
+		if err := trace.Finish(stdout); err != nil {
+			fmt.Fprintf(stderr, "tacsolve: %v\n", err)
+			return 1
+		}
 		if err := eventStream.Close(); err != nil {
 			fmt.Fprintf(stderr, "tacsolve: events: %v\n", err)
 			return 1
@@ -134,24 +153,47 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, strings.Join(append(reg.Names(), "exact"), "\n"))
 		return 0
 	}
-	if *instPath == "" {
-		fmt.Fprintln(stderr, "tacsolve: -instance is required")
+	scenarioMode := *iot > 0 || *edge > 0
+	if scenarioMode && *instPath != "" {
+		fmt.Fprintln(stderr, "tacsolve: -instance and -iot/-edge are mutually exclusive")
 		return 2
 	}
-	f, err := os.Open(*instPath)
-	if err != nil {
-		fmt.Fprintf(stderr, "tacsolve: %v\n", err)
-		return 1
+	if !scenarioMode && *instPath == "" {
+		fmt.Fprintln(stderr, "tacsolve: either -instance or -iot/-edge is required")
+		return 2
 	}
-	in, err := taccc.ReadInstance(f)
-	f.Close()
-	if err != nil {
-		fmt.Fprintf(stderr, "tacsolve: %v\n", err)
-		return 1
+	var in *taccc.Instance
+	if scenarioMode {
+		if *iot <= 0 || *edge <= 0 {
+			fmt.Fprintln(stderr, "tacsolve: scenario mode needs both -iot and -edge > 0")
+			return 2
+		}
+		sc := taccc.Scenario{
+			Family: taccc.Family(*family), NumIoT: *iot, NumEdge: *edge,
+			Rho: *rho, Seed: *seed, Workers: *workers, Trace: traceRoot,
+		}
+		built, err := sc.Build()
+		if err != nil {
+			fmt.Fprintf(stderr, "tacsolve: %v\n", err)
+			return 1
+		}
+		in = built.Instance
+	} else {
+		f, err := os.Open(*instPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "tacsolve: %v\n", err)
+			return 1
+		}
+		in, err = taccc.ReadInstance(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "tacsolve: %v\n", err)
+			return 1
+		}
 	}
 
 	if *algo == "all" {
-		summary, code := compareAll(in, reg, *seed, *workers, sink, stdout)
+		summary, code := compareAll(in, reg, *seed, *workers, sink, traceRoot, stdout)
 		if code != 0 {
 			return code
 		}
@@ -159,10 +201,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	start := time.Now()
+	solvePh := traceRoot.Child("solve")
+	solvePh.SetAttr("algo", *algo)
 	var got *taccc.Assignment
 	if *algo == "exact" {
 		res, err := taccc.BranchAndBound(in, taccc.BnBOptions{})
 		if err != nil {
+			solvePh.End()
 			fmt.Fprintf(stderr, "tacsolve: %v\n", err)
 			return 1
 		}
@@ -171,18 +216,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	} else {
 		a, err := reg.New(*algo, *seed)
 		if err != nil {
+			solvePh.End()
 			fmt.Fprintf(stderr, "tacsolve: %v\n", err)
 			return 2
 		}
 		if sink != nil && !taccc.WithProgress(a, sink) {
 			fmt.Fprintf(stderr, "tacsolve: note: %s does not report iteration progress\n", *algo)
 		}
+		taccc.WithPhases(a, solvePh)
 		got, err = a.Assign(in)
 		if err != nil {
+			solvePh.End()
 			fmt.Fprintf(stderr, "tacsolve: %v\n", err)
 			return 1
 		}
 	}
+	solvePh.End()
 	elapsed := time.Since(start)
 
 	fmt.Fprintf(stdout, "algorithm:    %s\n", *algo)
@@ -236,7 +285,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // identical at any parallelism. The progress sink, when non-nil, is
 // attached to every supporting algorithm; events from concurrent solvers
 // interleave but each carries its algorithm name.
-func compareAll(in *taccc.Instance, reg *taccc.AlgorithmRegistry, seed int64, workers int, sink taccc.ProgressSink, stdout io.Writer) (runlog.Summary, int) {
+func compareAll(in *taccc.Instance, reg *taccc.AlgorithmRegistry, seed int64, workers int, sink taccc.ProgressSink, traceRoot *taccc.Phase, stdout io.Writer) (runlog.Summary, int) {
 	type row struct {
 		got     *taccc.Assignment
 		err     error
@@ -259,14 +308,17 @@ func compareAll(in *taccc.Instance, reg *taccc.AlgorithmRegistry, seed int64, wo
 			taccc.WithProgress(a, sink)
 		}
 		wg.Add(1)
-		go func(i int, a taccc.Assigner) {
+		go func(i int, name string, a taccc.Assigner) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			ph := traceRoot.Child(name)
+			taccc.WithPhases(a, ph)
 			start := time.Now()
 			rows[i].got, rows[i].err = a.Assign(in)
 			rows[i].elapsed = time.Since(start).Round(time.Microsecond)
-		}(i, a)
+			ph.End()
+		}(i, name, a)
 	}
 	wg.Wait()
 	summary := runlog.Summary{

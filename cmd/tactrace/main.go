@@ -1,12 +1,19 @@
-// Command tactrace analyzes a per-request CSV trace produced by
-// tacsim -trace (or any cluster.Recorder feeding taccc.TraceWriter):
-// aggregate summary, per-edge breakdown, and a latency-over-time series.
+// Command tactrace analyzes a per-request trace: either a CSV produced
+// by tacsim -trace (or any cluster.Recorder feeding taccc.TraceWriter)
+// or a run-archive directory whose event stream carries request spans
+// (tacsim -archive). Output: aggregate summary, per-edge breakdown, and
+// a latency-over-time series. -chrome instead validates a Chrome
+// trace-event JSON export (tacsolve/tacbench/tacsim -trace-out) with
+// the strict decoder — the CI trace-smoke gate.
 //
 // Usage:
 //
 //	tacsim -iot 100 -edge 10 -duration 60 -trace run.csv
 //	tactrace -in run.csv
 //	tactrace -in run.csv -window 5000
+//	tacsim -iot 100 -edge 10 -archive runs/a
+//	tactrace -in runs/a
+//	tactrace -chrome trace.json
 package main
 
 import (
@@ -18,6 +25,8 @@ import (
 
 	taccc "taccc"
 	"taccc/internal/cliutil"
+	"taccc/internal/obs"
+	"taccc/internal/report"
 )
 
 func main() {
@@ -28,8 +37,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tactrace", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		in     = fs.String("in", "", "trace CSV file (required)")
-		window = fs.Float64("window", 10_000, "time-series bucket width in ms")
+		in     = fs.String("in", "", "trace CSV file or run-archive directory (required unless -chrome)")
+		window = fs.Float64("window", 10_000, "time-series bucket width in ms (must be > 0)")
+		chrome = fs.String("chrome", "", "validate a Chrome trace-event JSON export (from -trace-out) and exit")
 	)
 	version := cliutil.VersionFlag(fs)
 	if err := fs.Parse(args); err != nil {
@@ -39,17 +49,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cliutil.FprintVersion(stdout, "tactrace")
 		return 0
 	}
+	if *chrome != "" {
+		return validateChrome(*chrome, stdout, stderr)
+	}
 	if *in == "" {
 		fmt.Fprintln(stderr, "tactrace: -in is required")
 		return 2
 	}
-	f, err := os.Open(*in)
-	if err != nil {
-		fmt.Fprintf(stderr, "tactrace: %v\n", err)
-		return 1
+	if *window <= 0 {
+		fmt.Fprintf(stderr, "tactrace: -window must be > 0, got %g\n", *window)
+		return 2
 	}
-	records, err := taccc.ReadTrace(f)
-	f.Close()
+	records, err := loadRecords(*in)
 	if err != nil {
 		fmt.Fprintf(stderr, "tactrace: %v\n", err)
 		return 1
@@ -87,5 +98,65 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "%8.0f  %9d  %7d  %7.2f  %7.2f\n",
 			w.StartMs, w.Completed, w.Dropped, w.MeanLatencyMs, w.P95Ms)
 	}
+	return 0
+}
+
+// loadRecords reads request records from path: a run-archive directory
+// (via the same loader tacreport uses, extracting the event stream's
+// request spans) or a CSV trace file.
+func loadRecords(path string) ([]taccc.RequestRecord, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if st.IsDir() {
+		src, err := report.LoadSource(path)
+		if err != nil {
+			return nil, err
+		}
+		records, err := taccc.TraceFromSpanEvents(src.Archive.Events)
+		if err != nil {
+			return nil, err
+		}
+		if len(records) == 0 {
+			return nil, fmt.Errorf("%s: archive carries no request spans (run tacsim with -archive to record them)", path)
+		}
+		return records, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return taccc.ReadTrace(f)
+}
+
+// validateChrome strictly decodes a Chrome trace-event export and
+// reports what it holds; any structural violation fails the run.
+func validateChrome(path string, stdout, stderr io.Writer) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "tactrace: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	ct, err := obs.ReadChromeTrace(f)
+	if err != nil {
+		fmt.Fprintf(stderr, "tactrace: %s: %v\n", path, err)
+		return 1
+	}
+	spans, meta := 0, 0
+	threads := map[int]bool{}
+	for _, ev := range ct.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			spans++
+			threads[ev.Tid] = true
+		case "M":
+			meta++
+		}
+	}
+	fmt.Fprintf(stdout, "chrome trace %s: valid (%d spans on %d threads, %d metadata events)\n",
+		path, spans, len(threads), meta)
 	return 0
 }

@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	taccc "taccc"
+	"taccc/internal/obs"
+	"taccc/internal/obs/runlog"
 )
 
 // writeTrace produces a real trace via a tiny simulation.
@@ -90,6 +92,141 @@ func TestAnalyzeErrors(t *testing.T) {
 	good := writeTrace(t)
 	if code := run([]string{"-in", good, "-window", "0"}, &out, &errBuf); code == 0 {
 		t.Error("zero window accepted")
+	}
+}
+
+// TestWindowUsageErrors: a non-positive -window is a usage error (exit
+// 2), caught before any input is read.
+func TestWindowUsageErrors(t *testing.T) {
+	for _, w := range []string{"0", "-5", "-0.5"} {
+		var out, errBuf bytes.Buffer
+		code := run([]string{"-in", "/nonexistent.csv", "-window", w}, &out, &errBuf)
+		if code != 2 {
+			t.Errorf("-window %s: exit %d, want 2 (stderr: %s)", w, code, errBuf.String())
+		}
+		if !strings.Contains(errBuf.String(), "-window") {
+			t.Errorf("-window %s: error does not name the flag: %s", w, errBuf.String())
+		}
+	}
+}
+
+// simulateBoth replays one small simulation into both a CSV trace and a
+// run archive whose event stream carries the request spans — the same
+// run seen through tactrace's two input paths.
+func simulateBoth(t *testing.T, csvPath, arDir string) {
+	t.Helper()
+	cf, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	w, err := taccc.NewTraceWriter(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aw, err := runlog.Create(arDir, runlog.Manifest{Tool: "tacsim", Version: "devel", Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := taccc.Scenario{NumIoT: 10, NumEdge: 2, Seed: 4}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := taccc.NewGreedy().Assign(built.Instance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := taccc.NewSimulator(taccc.SimConfig{
+		UplinkMs:    built.Delay.DelayMs,
+		Devices:     built.Devices,
+		ServiceRate: taccc.ServiceRates(built.Capacity, 0.7),
+		Assignment:  a.Of,
+		Recorder:    w,
+		Spans:       aw.Sink(),
+		Seed:        4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(5_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.Close(obs.Snapshot{}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAnalyzeArchive: -in accepts a run-archive directory, recovering
+// the request records from the archived span events. The numbers must
+// match a CSV trace of the same run.
+func TestAnalyzeArchive(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "trace.csv")
+	arDir := filepath.Join(dir, "run")
+	simulateBoth(t, csvPath, arDir)
+
+	var fromCSV, fromArchive, errBuf bytes.Buffer
+	if code := run([]string{"-in", csvPath, "-window", "1000"}, &fromCSV, &errBuf); code != 0 {
+		t.Fatalf("csv exit %d: %s", code, errBuf.String())
+	}
+	if code := run([]string{"-in", arDir, "-window", "1000"}, &fromArchive, &errBuf); code != 0 {
+		t.Fatalf("archive exit %d: %s", code, errBuf.String())
+	}
+	if fromCSV.String() != fromArchive.String() {
+		t.Errorf("archive analysis differs from CSV analysis:\ncsv:\n%s\narchive:\n%s",
+			fromCSV.String(), fromArchive.String())
+	}
+
+	// A directory that is not an archive is a load error, not a panic.
+	var o, e bytes.Buffer
+	if code := run([]string{"-in", t.TempDir()}, &o, &e); code != 1 {
+		t.Errorf("non-archive dir: exit %d, want 1 (stderr: %s)", code, e.String())
+	}
+}
+
+// TestChromeValidation: -chrome strictly validates trace-event exports.
+func TestChromeValidation(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "trace.json")
+	var col obs.SpanCollector
+	clock := obs.NewManualClock(0)
+	tr := obs.NewTracer(&col, clock)
+	root := tr.Root("pipeline")
+	clock.Advance(3)
+	ph := root.Child("solve")
+	clock.Advance(4)
+	ph.End()
+	root.End()
+	gf, err := os.Create(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = obs.WriteChromeTrace(gf, col.Spans())
+	if cerr := gf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-chrome", good}, &out, &errBuf); code != 0 {
+		t.Fatalf("-chrome on a real export: exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "valid") {
+		t.Errorf("validation output: %s", out.String())
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"traceEvents": [{"ph": "X"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-chrome", bad}, &out, &errBuf); code != 1 {
+		t.Errorf("-chrome on malformed export: exit %d, want 1", code)
+	}
+	if code := run([]string{"-chrome", filepath.Join(dir, "missing.json")}, &out, &errBuf); code != 1 {
+		t.Errorf("-chrome on missing file: exit %d, want 1", code)
 	}
 }
 

@@ -61,3 +61,76 @@ func TestMetaheuristicAllocsDoNotScaleWithIters(t *testing.T) {
 		})
 	}
 }
+
+// TestTracingOffAddsZeroAllocs extends the allocs pins to the phase-
+// tracing plane: a solver with tracing detached (WithPhases(a, nil) —
+// the default state every untraced caller is in) must allocate exactly
+// as much as one that never heard of phases. The nil-phase fast path is
+// a pointer check, never a span or attr map.
+func TestTracingOffAddsZeroAllocs(t *testing.T) {
+	in, err := gap.Synthetic(gap.SyntheticUniform, 40, 5, 0.85, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mk   func() Assigner
+	}{
+		{"tabu", func() Assigner { ts := NewTabuSearch(42); ts.Iters = 300; return ts }},
+		{"lns", func() Assigner { l := NewLNS(42); l.Iters = 300; return l }},
+		{"sim-anneal", func() Assigner { sa := NewSimulatedAnnealing(42); sa.Iters = 300; return sa }},
+		{"local-search", func() Assigner { return NewLocalSearch(42) }},
+		{"minmax", func() Assigner { return NewMinMax(42) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plain := allocsPerAssign(t, tc.mk, in)
+			detached := allocsPerAssign(t, func() Assigner {
+				a := tc.mk()
+				WithPhases(a, nil)
+				return a
+			}, in)
+			// Identical would be ideal; the same ±2 slack as the
+			// iteration-scaling pin absorbs AllocsPerRun's runtime jitter
+			// (GC, map growth) on these ~10k-alloc solves.
+			if detached > plain+2 {
+				t.Fatalf("tracing-off solve allocates %.0f, plain solve %.0f — nil phases must be free", detached, plain)
+			}
+		})
+	}
+}
+
+// BenchmarkTabuTracingOff is the CI-visible form of the zero-overhead
+// claim: run with -benchmem and compare against BenchmarkTabuPlain —
+// allocs/op must match.
+func BenchmarkTabuTracingOff(b *testing.B) {
+	in, err := gap.Synthetic(gap.SyntheticUniform, 40, 5, 0.85, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ts := NewTabuSearch(42)
+		ts.Iters = 300
+		WithPhases(ts, nil)
+		if _, err := ts.Assign(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTabuPlain is the baseline for BenchmarkTabuTracingOff.
+func BenchmarkTabuPlain(b *testing.B) {
+	in, err := gap.Synthetic(gap.SyntheticUniform, 40, 5, 0.85, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ts := NewTabuSearch(42)
+		ts.Iters = 300
+		if _, err := ts.Assign(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"taccc/internal/gap"
+	"taccc/internal/obs"
 	"taccc/internal/xrand"
 )
 
@@ -17,7 +18,12 @@ type LocalSearch struct {
 	seed int64
 	// MaxRounds caps full improvement sweeps; 0 means 100.
 	MaxRounds int
+	phases    *obs.Phase
 }
+
+// SetPhases implements PhasedSolver: subsequent Assign calls emit
+// "construction" and "improvement" spans under parent.
+func (ls *LocalSearch) SetPhases(parent *obs.Phase) { ls.phases = parent }
 
 // NewLocalSearch returns a local-search assigner seeded for its randomized
 // start order.
@@ -28,7 +34,9 @@ func (*LocalSearch) Name() string { return "local-search" }
 
 // Assign implements Assigner.
 func (ls *LocalSearch) Assign(in *gap.Instance) (*gap.Assignment, error) {
+	consPh := ls.phases.Child("construction")
 	start, err := startFeasible(in, ls.seed)
+	consPh.End()
 	if err != nil {
 		return nil, fmt.Errorf("assign/local-search: %w", err)
 	}
@@ -39,6 +47,8 @@ func (ls *LocalSearch) Assign(in *gap.Instance) (*gap.Assignment, error) {
 	if maxRounds <= 0 {
 		maxRounds = 100
 	}
+	impPh := ls.phases.Child("improvement")
+	defer impPh.End()
 	for round := 0; round < maxRounds; round++ {
 		if !improveOnce(ev) {
 			break
@@ -136,7 +146,12 @@ type SimulatedAnnealing struct {
 	// means T0 = 10% of the start cost and Cooling = 0.9995.
 	T0      float64
 	Cooling float64
+	phases  *obs.Phase
 }
+
+// SetPhases implements PhasedSolver: subsequent Assign calls emit
+// "construction" and "improvement" spans under parent.
+func (sa *SimulatedAnnealing) SetPhases(parent *obs.Phase) { sa.phases = parent }
 
 // NewSimulatedAnnealing returns an annealing assigner with default
 // schedule.
@@ -149,7 +164,9 @@ func (*SimulatedAnnealing) Name() string { return "sim-anneal" }
 
 // Assign implements Assigner.
 func (sa *SimulatedAnnealing) Assign(in *gap.Instance) (*gap.Assignment, error) {
+	consPh := sa.phases.Child("construction")
 	start, err := startFeasible(in, sa.seed)
+	consPh.End()
 	if err != nil {
 		return nil, fmt.Errorf("assign/sim-anneal: %w", err)
 	}
@@ -178,6 +195,9 @@ func (sa *SimulatedAnnealing) Assign(in *gap.Instance) (*gap.Assignment, error) 
 	}
 
 	n, m := in.N(), in.M()
+	impPh := sa.phases.Child("improvement")
+	defer impPh.End()
+	impPh.SetAttr("iters", iters)
 	for it := 0; it < iters; it++ {
 		if src.Bernoulli(0.7) {
 			// Shift proposal.

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"taccc/internal/gap"
+	"taccc/internal/obs"
 	"taccc/internal/xrand"
 )
 
@@ -18,8 +19,14 @@ import (
 // total delay is then polished with local search *under the threshold
 // mask* so the secondary objective doesn't regress the primary one.
 type MinMax struct {
-	seed int64
+	seed   int64
+	phases *obs.Phase
 }
+
+// SetPhases implements PhasedSolver: subsequent Assign calls emit a
+// "construction" span for the threshold bisection and a "polish" span
+// for the masked local search, under parent.
+func (mm *MinMax) SetPhases(parent *obs.Phase) { mm.phases = parent }
 
 // NewMinMax returns a min-max assigner.
 func NewMinMax(seed int64) *MinMax { return &MinMax{seed: seed} }
@@ -48,11 +55,13 @@ func (mm *MinMax) Assign(in *gap.Instance) (*gap.Assignment, error) {
 	// checked heuristically, so "feasible(T)" is not perfectly
 	// monotone; bisection finds the smallest index the packer can
 	// certify, which upper-bounds the true optimum.
+	consPh := mm.phases.Child("construction")
 	lo, hi := 0, len(costs)-1
 	var best *gap.Assignment
 	if a := mm.packUnder(in, costs[hi]); a != nil {
 		best = a
 	} else {
+		consPh.End()
 		return nil, fmt.Errorf("assign/minmax: infeasible even without a delay cap: %w", gap.ErrInfeasible)
 	}
 	for lo < hi {
@@ -64,7 +73,10 @@ func (mm *MinMax) Assign(in *gap.Instance) (*gap.Assignment, error) {
 			lo = mid + 1
 		}
 	}
+	consPh.End()
 	// Polish total delay while respecting the achieved threshold.
+	polishPh := mm.phases.Child("polish")
+	defer polishPh.End()
 	masked := maskAbove(in, in.MaxCost(best))
 	ev := gap.NewEvaluator(masked)
 	ev.SetUndoTracking(false)

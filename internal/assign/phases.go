@@ -1,0 +1,30 @@
+package assign
+
+import "taccc/internal/obs"
+
+// PhasedSolver is implemented by assigners that can emit wall-clock
+// solver-phase spans — construction (building the initial feasible
+// assignment), improvement (the metaheuristic main loop), repair
+// (LNS reinsertion rounds) and polish (post-search refinement) — as
+// children of a pipeline-trace phase.
+//
+// Like ProgressReporter, the plane is strictly observational and
+// nil-safe: a nil parent (the default) disables emission, the only cost
+// is a nil check at each phase boundary — never inside move loops — and
+// results are bit-identical with tracing on or off.
+type PhasedSolver interface {
+	// SetPhases installs the parent phase for subsequent Assign calls;
+	// nil detaches tracing.
+	SetPhases(parent *obs.Phase)
+}
+
+// WithPhases attaches parent to a when the assigner emits solver-phase
+// spans, returning whether it does. Callers holding a bare Assigner
+// (e.g. from the registry) use this instead of type-asserting.
+func WithPhases(a Assigner, parent *obs.Phase) bool {
+	s, ok := a.(PhasedSolver)
+	if ok {
+		s.SetPhases(parent)
+	}
+	return ok
+}

@@ -32,11 +32,16 @@ type TabuSearch struct {
 	Tenure   int
 	seed     int64
 	progress obs.ProgressSink
+	phases   *obs.Phase
 }
 
 // SetProgress implements ProgressReporter: sink receives one event per
 // tabu move of subsequent Assign calls.
 func (ts *TabuSearch) SetProgress(sink obs.ProgressSink) { ts.progress = sink }
+
+// SetPhases implements PhasedSolver: subsequent Assign calls emit
+// "construction" and "improvement" spans under parent.
+func (ts *TabuSearch) SetPhases(parent *obs.Phase) { ts.phases = parent }
 
 // NewTabuSearch returns a tabu-search assigner.
 func NewTabuSearch(seed int64) *TabuSearch { return &TabuSearch{seed: seed} }
@@ -75,7 +80,9 @@ func moveCandidates(in *gap.Instance) (cands []int32, start []int32) {
 
 // Assign implements Assigner.
 func (ts *TabuSearch) Assign(in *gap.Instance) (*gap.Assignment, error) {
+	consPh := ts.phases.Child("construction")
 	start, err := startFeasible(in, ts.seed)
+	consPh.End()
 	if err != nil {
 		return nil, fmt.Errorf("assign/tabu: %w", err)
 	}
@@ -102,6 +109,9 @@ func (ts *TabuSearch) Assign(in *gap.Instance) (*gap.Assignment, error) {
 	// iteration index.
 	tabuUntil := make([]int, n*m)
 
+	impPh := ts.phases.Child("improvement")
+	defer impPh.End()
+	impPh.SetAttr("iters", iters)
 	for it := 0; it < iters; it++ {
 		// Best admissible shift move across the whole neighborhood.
 		bi, bj := -1, -1
@@ -161,11 +171,17 @@ type LNS struct {
 	DestroyFrac float64
 	seed        int64
 	progress    obs.ProgressSink
+	phases      *obs.Phase
 }
 
 // SetProgress implements ProgressReporter: sink receives one event per
 // destroy/repair round of subsequent Assign calls.
 func (l *LNS) SetProgress(sink obs.ProgressSink) { l.progress = sink }
+
+// SetPhases implements PhasedSolver: subsequent Assign calls emit
+// "construction" and "improvement" spans under parent, with one "repair"
+// child span per reinsertion round.
+func (l *LNS) SetPhases(parent *obs.Phase) { l.phases = parent }
 
 // NewLNS returns a large-neighborhood-search assigner.
 func NewLNS(seed int64) *LNS { return &LNS{seed: seed} }
@@ -175,7 +191,9 @@ func (*LNS) Name() string { return "lns" }
 
 // Assign implements Assigner.
 func (l *LNS) Assign(in *gap.Instance) (*gap.Assignment, error) {
+	consPh := l.phases.Child("construction")
 	start, err := startFeasible(in, l.seed)
+	consPh.End()
 	if err != nil {
 		return nil, fmt.Errorf("assign/lns: %w", err)
 	}
@@ -201,6 +219,9 @@ func (l *LNS) Assign(in *gap.Instance) (*gap.Assignment, error) {
 	ev.SetUndoTracking(false)
 	var rein reinserter
 	perm := make([]int, n)
+	impPh := l.phases.Child("improvement")
+	defer impPh.End()
+	impPh.SetAttr("iters", iters)
 	for it := 0; it < iters; it++ {
 		ev.Reset(bestOf)
 		// Destroy: remove k random devices.
@@ -210,7 +231,10 @@ func (l *LNS) Assign(in *gap.Instance) (*gap.Assignment, error) {
 			ev.Unassign(i)
 		}
 		// Repair: regret-based reinsertion over the removed set.
-		if rein.reinsert(ev, removed) {
+		repairStart := impPh.NowMs()
+		repaired := rein.reinsert(ev, removed)
+		impPh.Span("repair", repairStart, impPh.NowMs(), nil)
+		if repaired {
 			// Acceptance compares the canonical device-order re-sum, not
 			// the incrementally drifted total, so decisions land exactly
 			// where the classic full TotalCost re-cost put them.

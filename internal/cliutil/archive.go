@@ -28,6 +28,7 @@ var executionOnlyFlags = map[string]bool{
 	"outdir":      true,
 	"progress":    true,
 	"trace":       true,
+	"trace-out":   true,
 	"workers":     true,
 	"json":        true,
 	"csv":         true,
@@ -82,6 +83,15 @@ func (a *Archive) Sink() *obs.JSONL {
 		return nil
 	}
 	return a.w.Sink()
+}
+
+// StartTrace opens the archive's pipeline-trace stream (trace.jsonl),
+// nil when archiving is off. Sealed by Finish along with the rest.
+func (a *Archive) StartTrace() (*obs.JSONL, error) {
+	if !a.Enabled() {
+		return nil, nil
+	}
+	return a.w.StartTrace()
 }
 
 // Finish seals the archive with the final metrics snapshot and result

@@ -1,0 +1,79 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"taccc/internal/obs"
+)
+
+// Trace wires the shared -trace-out flag into a FlagSet and manages the
+// pipeline-tracing lifecycle: Start after flag parsing (returning the
+// root phase the tool hangs its pipeline spans under), Finish on the way
+// out to export the Chrome trace-event JSON. All methods are nil-safe
+// and no-op when tracing is off, so tools thread the root phase through
+// unconditionally and pay nothing when -trace-out is absent.
+type Trace struct {
+	Out    string
+	col    *obs.SpanCollector
+	tracer *obs.Tracer
+	root   *obs.Phase
+}
+
+// Flags registers the trace flag on fs.
+func (tr *Trace) Flags(fs *flag.FlagSet) {
+	fs.StringVar(&tr.Out, "trace-out", "", "write a Chrome trace-event JSON pipeline trace to this file (open in Perfetto or chrome://tracing)")
+}
+
+// Enabled reports whether a trace output file was requested.
+func (tr *Trace) Enabled() bool { return tr != nil && tr.Out != "" }
+
+// Start builds the tracer and opens the root pipeline phase. When the
+// run is also being archived, the span stream is persisted as
+// trace.jsonl inside the archive — kept apart from events.jsonl because
+// wall-clock spans are inherently nondeterministic. Returns the root
+// phase (nil when tracing is off — every downstream consumer is
+// nil-safe).
+func (tr *Trace) Start(name string, a *Archive) (*obs.Phase, error) {
+	if !tr.Enabled() {
+		return nil, nil
+	}
+	tr.col = &obs.SpanCollector{}
+	var sink obs.Sink = tr.col
+	if a.Enabled() {
+		ts, err := a.StartTrace()
+		if err != nil {
+			return nil, err
+		}
+		sink = obs.MultiSink(tr.col, ts)
+	}
+	tr.tracer = obs.NewTracer(sink, obs.WallClock())
+	tr.root = tr.tracer.Root(name)
+	return tr.root, nil
+}
+
+// Finish ends the root phase and writes the Chrome trace-event export,
+// announcing the trace location on logw. Safe to call when tracing is
+// off; export errors are returned so callers fail the run rather than
+// ship a truncated trace.
+func (tr *Trace) Finish(logw io.Writer) error {
+	if !tr.Enabled() || tr.tracer == nil {
+		return nil
+	}
+	tr.root.End()
+	f, err := os.Create(tr.Out)
+	if err != nil {
+		return err
+	}
+	werr := obs.WriteChromeTrace(f, tr.col.Spans())
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("trace-out %s: %w", tr.Out, werr)
+	}
+	fmt.Fprintf(logw, "trace:      chrome trace -> %s\n", tr.Out)
+	return nil
+}

@@ -3,7 +3,6 @@ package experiment
 import (
 	"errors"
 	"fmt"
-	"time"
 
 	"taccc/internal/assign"
 	"taccc/internal/gap"
@@ -58,9 +57,9 @@ func F11(o Options) ([]*Table, error) {
 			}
 			q := assign.NewQLearning(xrand.SplitSeed(o.Seed, fmt.Sprintf("F11-%s-%d", v.name, r)))
 			v.mut(&q.Params)
-			start := time.Now() //lint:allow detrand runtime measurement only, never feeds results
+			start := wallMs.NowMs()
 			got, err := q.Assign(b.Instance)
-			rt.Add(float64(time.Since(start).Nanoseconds()) / 1e6) //lint:allow detrand runtime measurement only, never feeds results
+			rt.Add(wallMs.NowMs() - start)
 			if err != nil {
 				if errors.Is(err, gap.ErrInfeasible) {
 					continue

@@ -36,6 +36,10 @@ type Options struct {
 	// Strictly observational — results are bit-identical with or without
 	// a sink (see CompareAlgorithmsObserved for the ordering caveat).
 	Progress obs.Sink
+	// Trace, when non-nil, is the pipeline-trace parent phase: RunAll
+	// emits one wall-clock child span per experiment-suite cell (spec),
+	// named by the spec ID. Strictly observational, like Progress.
+	Trace *obs.Phase
 }
 
 // compare runs the standard algorithm comparison with this Options'
@@ -143,17 +147,21 @@ func RunAll(specs []Spec, o Options) []Result {
 	w := par.Workers(o.Workers)
 	return par.Map(w, len(specs), func(i int) Result {
 		obs.Emit(o.Progress, "spec-start", map[string]interface{}{"id": specs[i].ID, "title": specs[i].Title})
-		start := time.Now() //lint:allow detrand runtime measurement only, never feeds results
+		ph := o.Trace.Child(specs[i].ID)
+		ph.SetAttr("title", specs[i].Title)
+		start := wallMs.NowMs()
 		tables, err := specs[i].Run(o)
+		elapsedMs := wallMs.NowMs() - start
+		ph.SetAttr("ok", err == nil)
+		ph.End()
 		done := map[string]interface{}{
-			"id": specs[i].ID, "elapsed_ms": float64(time.Since(start).Nanoseconds()) / 1e6, "ok": err == nil, //lint:allow detrand runtime measurement only, never feeds results
+			"id": specs[i].ID, "elapsed_ms": elapsedMs, "ok": err == nil,
 		}
 		if err != nil {
 			done["error"] = err.Error()
 		}
 		obs.Emit(o.Progress, "spec-done", done)
-		//lint:allow detrand runtime measurement only, never feeds results
-		return Result{Spec: specs[i], Tables: tables, Elapsed: time.Since(start), Err: err}
+		return Result{Spec: specs[i], Tables: tables, Elapsed: time.Duration(elapsedMs * float64(time.Millisecond)), Err: err}
 	})
 }
 
@@ -627,9 +635,9 @@ func F8(o Options) ([]*Table, error) {
 				return nil, err
 			}
 			a := v.mk(xrand.SplitSeed(o.Seed, fmt.Sprintf("F8-%s-%d", v.name, r)))
-			start := time.Now() //lint:allow detrand runtime measurement only, never feeds results
+			start := wallMs.NowMs()
 			got, err := a.Assign(b.Instance)
-			rt.Add(float64(time.Since(start).Nanoseconds()) / 1e6) //lint:allow detrand runtime measurement only, never feeds results
+			rt.Add(wallMs.NowMs() - start)
 			if err != nil {
 				if errors.Is(err, gap.ErrInfeasible) {
 					continue

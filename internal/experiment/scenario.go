@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"taccc/internal/gap"
+	"taccc/internal/obs"
 	"taccc/internal/topology"
 	"taccc/internal/workload"
 	"taccc/internal/xrand"
@@ -45,6 +46,12 @@ type Scenario struct {
 	Workers int
 	// Seed drives every random choice.
 	Seed int64
+	// Trace, when non-nil, is the pipeline-trace parent phase: Build
+	// emits wall-clock child spans for topology generation, delay-matrix
+	// construction (with one "shard" span per worker), workload
+	// generation and instance assembly. Strictly observational — the
+	// built scenario is bit-identical with or without it.
+	Trace *obs.Phase
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -130,7 +137,10 @@ func (s Scenario) Build() (*Built, error) {
 		Links:       s.Links,
 		Seed:        xrand.SplitSeed(s.Seed, "topology"),
 	}
+	topoPh := s.Trace.Child("topology")
 	g, err := topology.Generate(s.Family, cfg, s.Place)
+	topoPh.SetAttr("family", string(s.Family))
+	topoPh.End()
 	if err != nil {
 		return nil, fmt.Errorf("experiment: generating topology: %w", err)
 	}
@@ -138,19 +148,28 @@ func (s Scenario) Build() (*Built, error) {
 	if s.PayloadKB > 0 {
 		cost = topology.PayloadCost(s.PayloadKB)
 	}
-	dm := topology.NewDelayMatrixWorkers(g, cost, s.Workers)
+	dmPh := s.Trace.Child("delay-matrix")
+	dm := topology.NewDelayMatrixTraced(g, cost, s.Workers, dmPh)
+	dmPh.SetAttr("iot", dm.NumIoT())
+	dmPh.SetAttr("edge", dm.NumEdge())
+	dmPh.End()
 	profileName := s.Workload
 	if profileName == "" {
 		profileName = "default"
 	}
+	wlPh := s.Trace.Child("workload")
 	profile, ok := workload.Profiles(xrand.SplitSeed(s.Seed, "workload"))[profileName]
 	if !ok {
+		wlPh.End()
 		return nil, fmt.Errorf("experiment: unknown workload profile %q", profileName)
 	}
 	devices, err := workload.Generate(s.NumIoT, profile)
+	wlPh.End()
 	if err != nil {
 		return nil, fmt.Errorf("experiment: generating workload: %w", err)
 	}
+	instPh := s.Trace.Child("instance")
+	defer instPh.End()
 	capacity, err := Capacities(s.NumEdge, devices, s.Rho)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: sizing capacities: %w", err)

@@ -1,0 +1,105 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"taccc/internal/obs"
+)
+
+// TestBuildBitIdenticalWithTracing pins the pipeline-tracing carve-out:
+// attaching a trace phase to a scenario changes nothing about the built
+// artifacts, at any worker count.
+func TestBuildBitIdenticalWithTracing(t *testing.T) {
+	base := Scenario{NumIoT: 60, NumEdge: 6, Rho: 0.75, Seed: 9, Workers: 1}
+	want, err := base.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		var col obs.SpanCollector
+		tr := obs.NewTracer(&col, obs.WallClock())
+		root := tr.Root("build")
+		sc := base
+		sc.Workers = workers
+		sc.Trace = root
+		got, err := sc.Build()
+		root.End()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Delay.DelayMs, want.Delay.DelayMs) {
+			t.Fatalf("workers=%d: delay matrix differs with tracing attached", workers)
+		}
+		if !reflect.DeepEqual(got.Instance, want.Instance) {
+			t.Fatalf("workers=%d: instance differs with tracing attached", workers)
+		}
+		if !reflect.DeepEqual(got.Devices, want.Devices) {
+			t.Fatalf("workers=%d: devices differ with tracing attached", workers)
+		}
+		names := map[string]int{}
+		for _, sp := range col.Spans() {
+			names[sp.Name]++
+		}
+		for _, phase := range []string{"topology", "delay-matrix", "workload", "instance"} {
+			if names[phase] != 1 {
+				t.Fatalf("workers=%d: phase %q emitted %d times, want 1 (all: %v)", workers, phase, names[phase], names)
+			}
+		}
+		if names["shard"] == 0 {
+			t.Fatalf("workers=%d: no delay-matrix shard spans", workers)
+		}
+	}
+}
+
+// TestRunAllEmitsSpecSpans checks the experiment-suite cells appear as
+// spans named by spec ID, and that attaching the tracer leaves tables
+// unchanged.
+func TestRunAllEmitsSpecSpans(t *testing.T) {
+	specs := []Spec{
+		{ID: "S1", Title: "first", Run: func(o Options) ([]*Table, error) {
+			tab := &Table{ID: "S1", Title: "t", Header: []string{"a"}}
+			tab.AddRow(1.0)
+			return []*Table{tab}, nil
+		}},
+		{ID: "S2", Title: "second", Run: func(o Options) ([]*Table, error) { return nil, nil }},
+	}
+	opts := Options{Reps: 1, Seed: 1, Workers: 2}
+	want := RunAll(specs, opts)
+
+	var col obs.SpanCollector
+	tr := obs.NewTracer(&col, obs.WallClock())
+	root := tr.Root("suite")
+	opts.Trace = root
+	got := RunAll(specs, opts)
+	root.End()
+
+	for i := range want {
+		if want[i].Err != nil || got[i].Err != nil {
+			t.Fatalf("spec errors: %v %v", want[i].Err, got[i].Err)
+		}
+		if !reflect.DeepEqual(want[i].Tables, got[i].Tables) {
+			t.Fatalf("spec %s: tables differ with tracing attached", want[i].Spec.ID)
+		}
+	}
+	byName := map[string]obs.Span{}
+	for _, sp := range col.Spans() {
+		byName[sp.Name] = sp
+	}
+	rootSp, ok := byName["suite"]
+	if !ok {
+		t.Fatal("missing suite root span")
+	}
+	for _, id := range []string{"S1", "S2"} {
+		sp, ok := byName[id]
+		if !ok {
+			t.Fatalf("missing spec span %s", id)
+		}
+		if sp.Parent != rootSp.ID {
+			t.Fatalf("spec span %s not parented under the suite root", id)
+		}
+		if okAttr, _ := sp.Attrs["ok"].(bool); !okAttr {
+			t.Fatalf("spec span %s missing ok attr: %+v", id, sp.Attrs)
+		}
+	}
+}

@@ -8,8 +8,10 @@ import (
 // a (seed, configuration) pair must fully determine every result, at any
 // -workers setting. Two things break that silently:
 //
-//   - wall-clock reads: time.Now / time.Since / time.Until make any value
-//     derived from them run-dependent;
+//   - wall-clock reads: time.Now / time.Since / time.Until — and the
+//     timer constructors (Sleep, After, Tick, NewTimer, NewTicker,
+//     AfterFunc), which couple control flow to real elapsed time — make
+//     any value derived from them run-dependent;
 //   - math/rand: the top-level functions share unseeded global state, and
 //     even a locally constructed rand.Rand bypasses internal/xrand's
 //     split-stream seeding, so two subsystems seeded from the same root
@@ -18,17 +20,24 @@ import (
 // Any reference to math/rand (or math/rand/v2) is flagged — functions,
 // the Rand/Source types, and methods on a smuggled *rand.Rand alike —
 // because the deterministic packages are expected to hold an
-// *xrand.Source instead. Wall-clock timing that is measurement-only
-// (runtime statistics that never feed back into decisions) is annotated
-// in place with //lint:allow detrand <reason>.
+// *xrand.Source instead. Wall-clock timing goes through obs.Clock
+// (obs.WallClock for real time, obs.ManualClock in tests); the clock's
+// own implementation carries the repository's only //lint:allow detrand
+// annotations, making it the single sanctioned wall-clock entry point.
 var Detrand = &Analyzer{
 	Name: "detrand",
-	Doc:  "forbid time.Now and math/rand in the deterministic packages; randomness must flow through internal/xrand",
+	Doc:  "forbid wall-clock reads, timers, and math/rand in the deterministic packages; time flows through obs.Clock, randomness through internal/xrand",
 	Run:  runDetrand,
 }
 
-// wallClockFuncs are the time package functions that read the wall clock.
-var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+// wallClockFuncs are the time package functions that read the wall clock,
+// directly (Now/Since/Until) or by scheduling against it (the sleep/timer
+// constructors).
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
 
 func runDetrand(p *Pass) error {
 	for _, f := range p.Files {
@@ -44,7 +53,7 @@ func runDetrand(p *Pass) error {
 			switch obj.Pkg().Path() {
 			case "time":
 				if wallClockFuncs[obj.Name()] {
-					p.Reportf(sel.Pos(), "time.%s reads the wall clock in a deterministic package; derive timing from the simulation clock or annotate measurement-only uses with //lint:allow detrand <reason>", obj.Name())
+					p.Reportf(sel.Pos(), "time.%s reads the wall clock in a deterministic package; route timing through obs.Clock (obs.WallClock is the one sanctioned entry point) or annotate measurement-only uses with //lint:allow detrand <reason>", obj.Name())
 				}
 			case "math/rand", "math/rand/v2":
 				p.Reportf(sel.Pos(), "%s.%s bypasses the seeded split-stream layer; draw randomness from internal/xrand (or annotate with //lint:allow detrand <reason>)", obj.Pkg().Path(), obj.Name())

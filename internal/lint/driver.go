@@ -20,9 +20,9 @@ type Rule struct {
 
 // DeterministicPackages are the module packages whose results must be a
 // pure function of (seed, configuration): everything the solvers,
-// generators and simulators touch. cmd/ and the observability layer are
-// deliberately outside — commands measure wall-clock solve time, and obs
-// timestamps nothing on its own.
+// generators and simulators touch. cmd/ is deliberately outside —
+// commands measure wall-clock solve time by design. Matching is by
+// prefix, so subpackages inherit the contract.
 var DeterministicPackages = []string{
 	"taccc/internal/assign",
 	"taccc/internal/gap",
@@ -33,10 +33,25 @@ var DeterministicPackages = []string{
 	"taccc/internal/workload",
 }
 
+// ClockDisciplinePackages extends detrand's wall-clock scope (not its
+// math/rand scope — these packages draw no randomness) to the plumbing
+// that sits between the solvers and the wall: obs, whose Clock is the
+// single sanctioned entry point for real time (clock.go carries the
+// repository's only //lint:allow detrand annotations), and par, whose
+// workers must never pace themselves off timers. Matched exactly, not by
+// prefix: obs/runlog stamps archive manifests with real timestamps and
+// stays outside.
+var ClockDisciplinePackages = []string{
+	"taccc/internal/obs",
+	"taccc/internal/par",
+}
+
 // DefaultRules encodes the repository policy:
 //
-//   - detrand over the deterministic packages (internal/xrand itself is
-//     the one sanctioned math/rand consumer and is not listed);
+//   - detrand over the deterministic packages plus the clock-discipline
+//     packages (internal/xrand itself is the one sanctioned math/rand
+//     consumer and is not listed; obs.Clock is the one sanctioned
+//     wall-clock consumer and annotates its two reads in place);
 //   - maporder everywhere — ordered output can leak from any layer;
 //   - nilrecv over internal/obs, where the nil-safe sink/metric types
 //     live;
@@ -53,8 +68,19 @@ func DefaultRules() []Rule {
 		}
 		return false
 	}
+	inDetrandScope := func(path string) bool {
+		if inDeterministic(path) {
+			return true
+		}
+		for _, p := range ClockDisciplinePackages {
+			if path == p {
+				return true
+			}
+		}
+		return false
+	}
 	return []Rule{
-		{Analyzer: Detrand, Match: inDeterministic},
+		{Analyzer: Detrand, Match: inDetrandScope},
 		{Analyzer: Maporder, Match: func(string) bool { return true }},
 		{Analyzer: Nilrecv, Match: func(path string) bool { return path == "taccc/internal/obs" }},
 		{Analyzer: Sinkerr, Match: func(path string) bool { return strings.HasPrefix(path, "taccc/cmd/") }},

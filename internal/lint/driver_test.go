@@ -120,6 +120,57 @@ func Tick() time.Time { return time.Now() }
 	}
 }
 
+// TestClockDisciplineScope pins the exact-match scoping of the
+// clock-discipline packages: a timer in internal/obs or internal/par is
+// flagged (obs.Clock's annotated reads are the only sanctioned wall-clock
+// sites), while internal/obs/runlog — which stamps archive manifests with
+// real timestamps — is outside despite sharing the obs prefix.
+func TestClockDisciplineScope(t *testing.T) {
+	dir := seedModule(t, map[string]string{
+		"internal/obs/clockish.go": `package obs
+
+import "time"
+
+func Pace() { time.Sleep(time.Millisecond) }
+`,
+		"internal/par/par.go": `package par
+
+import "time"
+
+func Throttle() <-chan time.Time { return time.After(time.Millisecond) }
+`,
+		"internal/obs/runlog/runlog.go": `package runlog
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`,
+	})
+	l, modPath, err := lint.NewModuleLoader(dir)
+	if err != nil {
+		t.Fatalf("NewModuleLoader: %v", err)
+	}
+	paths, err := lint.ExpandPatterns(dir, modPath, []string{"./..."})
+	if err != nil {
+		t.Fatalf("ExpandPatterns: %v", err)
+	}
+	findings, err := lint.Run(l, paths, lint.DefaultRules())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2 (obs + par, not runlog): %v", len(findings), findings)
+	}
+	for _, f := range findings {
+		if f.Analyzer != "detrand" {
+			t.Errorf("unexpected analyzer %s: %+v", f.Analyzer, f)
+		}
+		if filepath.Base(filepath.Dir(f.Pos.Filename)) == "runlog" {
+			t.Errorf("runlog should be outside the clock-discipline scope: %+v", f)
+		}
+	}
+}
+
 // TestRulesScopedByPackage checks the driver's Match scoping: the same
 // wall-clock read that detrand flags in internal/assign passes untouched
 // in cmd/, which is outside the deterministic surface.

@@ -19,6 +19,21 @@ func wallClock() {
 	_ = time.Unix(0, 0)  // constructing a fixed time is fine
 }
 
+func timers() {
+	// The sleep/timer constructors couple control flow to real elapsed
+	// time and are flagged alongside the direct reads.
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock`
+	select {
+	case <-time.After(time.Millisecond): // want `time.After reads the wall clock`
+	case <-time.Tick(time.Millisecond): // want `time.Tick reads the wall clock`
+	}
+	tm := time.NewTimer(time.Millisecond) // want `time.NewTimer reads the wall clock`
+	tm.Stop()
+	tk := time.NewTicker(time.Millisecond) // want `time.NewTicker reads the wall clock`
+	tk.Stop()
+	_ = time.AfterFunc(time.Millisecond, func() {}) // want `time.AfterFunc reads the wall clock`
+}
+
 func globalRand() {
 	_ = rand.Intn(3)     // want `math/rand.Intn bypasses the seeded split-stream layer`
 	_ = rand.Float64()   // want `math/rand.Float64 bypasses the seeded split-stream layer`

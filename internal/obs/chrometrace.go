@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Chrome trace-event export: renders pipeline spans in the JSON Object
+// Format understood by Perfetto and chrome://tracing. Every span becomes
+// one "X" (complete) event with microsecond timestamps; spans carrying a
+// "worker" attribute land on their own thread row (tid 2+worker, named
+// "worker N") so parallel shards render as a per-worker timeline, while
+// ordinary phases share the "pipeline" thread. Metadata ("M") events
+// name the process and threads.
+
+// ChromeEvent is one trace-event record. Only the members this exporter
+// writes are modeled; ReadChromeTrace rejects anything else.
+type ChromeEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"`
+	Dur  *float64               `json:"dur,omitempty"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level trace-event JSON object.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+}
+
+const (
+	chromePid         = 1
+	chromePipelineTid = 1
+	chromeWorkerTid0  = 2
+)
+
+// chromeTid maps a span to its thread row: worker-shard spans get a
+// per-worker tid, everything else shares the pipeline row.
+func chromeTid(sp Span) int {
+	if w, ok := sp.AttrNum("worker"); ok && w == math.Trunc(w) && w >= 0 {
+		return chromeWorkerTid0 + int(w)
+	}
+	return chromePipelineTid
+}
+
+// ChromeTraceFromSpans builds the exportable trace object. Events are
+// sorted by (ts, tid, name) so the output is stable regardless of span
+// emission order (children end before parents; shards end in worker-pool
+// order).
+func ChromeTraceFromSpans(spans []Span) ChromeTrace {
+	events := make([]ChromeEvent, 0, len(spans)+4)
+	tids := map[int]bool{}
+	for _, sp := range spans {
+		tid := chromeTid(sp)
+		tids[tid] = true
+		args := map[string]interface{}{
+			"trace": uint64(sp.Trace),
+			"span":  uint64(sp.ID),
+		}
+		if sp.Parent != 0 {
+			args["parent"] = uint64(sp.Parent)
+		}
+		for k, v := range sp.Attrs {
+			args[k] = v
+		}
+		dur := sp.DurationMs() * 1000
+		events = append(events, ChromeEvent{
+			Name: sp.Name,
+			Ph:   "X",
+			Ts:   sp.StartMs * 1000,
+			Dur:  &dur,
+			Pid:  chromePid,
+			Tid:  tid,
+			Args: args,
+		})
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Ts != events[j].Ts {
+			return events[i].Ts < events[j].Ts
+		}
+		if events[i].Tid != events[j].Tid {
+			return events[i].Tid < events[j].Tid
+		}
+		return events[i].Name < events[j].Name
+	})
+
+	meta := []ChromeEvent{{
+		Name: "process_name", Ph: "M", Pid: chromePid, Tid: chromePipelineTid,
+		Args: map[string]interface{}{"name": "taccc"},
+	}}
+	sortedTids := make([]int, 0, len(tids))
+	for tid := range tids {
+		sortedTids = append(sortedTids, tid)
+	}
+	sort.Ints(sortedTids)
+	for _, tid := range sortedTids {
+		name := "pipeline"
+		if tid >= chromeWorkerTid0 {
+			name = fmt.Sprintf("worker %d", tid-chromeWorkerTid0)
+		}
+		meta = append(meta, ChromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePid, Tid: tid,
+			Args: map[string]interface{}{"name": name},
+		})
+	}
+	return ChromeTrace{TraceEvents: append(meta, events...), DisplayTimeUnit: "ms"}
+}
+
+// WriteChromeTrace exports spans as Chrome trace-event JSON, directly
+// loadable in Perfetto or chrome://tracing.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(ChromeTraceFromSpans(spans))
+}
+
+// ReadChromeTrace is the strict decoder for files written by
+// WriteChromeTrace (the CI trace-smoke gate validates exports through
+// it). Unknown JSON members, unsupported phase types and malformed
+// events are all errors, with the offending event index in the message.
+func ReadChromeTrace(r io.Reader) (ChromeTrace, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var tr ChromeTrace
+	if err := dec.Decode(&tr); err != nil {
+		return ChromeTrace{}, fmt.Errorf("chrome trace: %w", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		return ChromeTrace{}, fmt.Errorf("chrome trace: empty traceEvents array")
+	}
+	for i, ev := range tr.TraceEvents {
+		if ev.Name == "" {
+			return ChromeTrace{}, fmt.Errorf("chrome trace: event %d: empty name", i)
+		}
+		if ev.Pid <= 0 || ev.Tid <= 0 {
+			return ChromeTrace{}, fmt.Errorf("chrome trace: event %d (%s): pid/tid must be positive", i, ev.Name)
+		}
+		switch ev.Ph {
+		case "X":
+			if ev.Dur == nil {
+				return ChromeTrace{}, fmt.Errorf("chrome trace: event %d (%s): complete event missing dur", i, ev.Name)
+			}
+			if *ev.Dur < 0 || math.IsNaN(*ev.Dur) || math.IsInf(*ev.Dur, 0) {
+				return ChromeTrace{}, fmt.Errorf("chrome trace: event %d (%s): invalid dur %v", i, ev.Name, *ev.Dur)
+			}
+			if math.IsNaN(ev.Ts) || math.IsInf(ev.Ts, 0) {
+				return ChromeTrace{}, fmt.Errorf("chrome trace: event %d (%s): invalid ts %v", i, ev.Name, ev.Ts)
+			}
+		case "M":
+			if ev.Name != "process_name" && ev.Name != "thread_name" {
+				return ChromeTrace{}, fmt.Errorf("chrome trace: event %d: unsupported metadata %q", i, ev.Name)
+			}
+			if _, ok := ev.Args["name"].(string); !ok {
+				return ChromeTrace{}, fmt.Errorf("chrome trace: event %d (%s): metadata missing args.name", i, ev.Name)
+			}
+		default:
+			return ChromeTrace{}, fmt.Errorf("chrome trace: event %d (%s): unsupported phase %q", i, ev.Name, ev.Ph)
+		}
+	}
+	return tr, nil
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func pipelineSpans() []Span {
+	return []Span{
+		{Trace: PipelineTrace, ID: 1, Name: "run", StartMs: 0, EndMs: 20},
+		{Trace: PipelineTrace, ID: 2, Parent: 1, Name: "delay-matrix", StartMs: 1, EndMs: 9},
+		{Trace: PipelineTrace, ID: 3, Parent: 2, Name: "shard", StartMs: 1.5, EndMs: 8,
+			Attrs: map[string]interface{}{"worker": 0, "items": 30, "busy_ms": 6.0}},
+		{Trace: PipelineTrace, ID: 4, Parent: 2, Name: "shard", StartMs: 1.5, EndMs: 8.5,
+			Attrs: map[string]interface{}{"worker": 1, "items": 34, "busy_ms": 6.5}},
+		{Trace: PipelineTrace, ID: 5, Parent: 1, Name: "solve", StartMs: 9, EndMs: 20},
+	}
+}
+
+func TestChromeTraceWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, pipelineSpans()); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("strict decode of our own export failed: %v", err)
+	}
+	var complete, meta int
+	tids := map[int]bool{}
+	threadNames := map[int]string{}
+	for _, ev := range tr.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			complete++
+			tids[ev.Tid] = true
+			// ts/dur are microseconds.
+			if ev.Name == "run" && (*ev.Dur != 20000 || ev.Ts != 0) {
+				t.Fatalf("run event not in microseconds: %+v", ev)
+			}
+		case "M":
+			meta++
+			if ev.Name == "thread_name" {
+				threadNames[ev.Tid], _ = ev.Args["name"].(string)
+			}
+		}
+	}
+	if complete != 5 {
+		t.Fatalf("got %d complete events, want 5", complete)
+	}
+	// Pipeline thread + two worker threads.
+	if !tids[chromePipelineTid] || !tids[chromeWorkerTid0] || !tids[chromeWorkerTid0+1] {
+		t.Fatalf("tids = %v: workers must render as their own threads", tids)
+	}
+	if threadNames[chromeWorkerTid0] != "worker 0" || threadNames[chromeWorkerTid0+1] != "worker 1" {
+		t.Fatalf("thread names = %v", threadNames)
+	}
+	if threadNames[chromePipelineTid] != "pipeline" {
+		t.Fatalf("pipeline thread name = %q", threadNames[chromePipelineTid])
+	}
+}
+
+func TestChromeTraceDeterministicBytes(t *testing.T) {
+	spans := pipelineSpans()
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, spans); err != nil {
+		t.Fatal(err)
+	}
+	// Reversed emission order must still serialize identically.
+	rev := make([]Span, len(spans))
+	for i, sp := range spans {
+		rev[len(spans)-1-i] = sp
+	}
+	if err := WriteChromeTrace(&b, rev); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("chrome export depends on span emission order")
+	}
+}
+
+func TestReadChromeTraceRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty events":      `{"traceEvents":[]}`,
+		"unknown field":     `{"traceEvents":[{"name":"x","ph":"X","ts":0,"dur":1,"pid":1,"tid":1,"bogus":1}]}`,
+		"unknown top field": `{"traceEvents":[{"name":"x","ph":"X","ts":0,"dur":1,"pid":1,"tid":1}],"extra":true}`,
+		"bad phase":         `{"traceEvents":[{"name":"x","ph":"B","ts":0,"pid":1,"tid":1}]}`,
+		"missing dur":       `{"traceEvents":[{"name":"x","ph":"X","ts":0,"pid":1,"tid":1}]}`,
+		"negative dur":      `{"traceEvents":[{"name":"x","ph":"X","ts":0,"dur":-1,"pid":1,"tid":1}]}`,
+		"zero pid":          `{"traceEvents":[{"name":"x","ph":"X","ts":0,"dur":1,"pid":0,"tid":1}]}`,
+		"empty name":        `{"traceEvents":[{"name":"","ph":"X","ts":0,"dur":1,"pid":1,"tid":1}]}`,
+		"bad metadata":      `{"traceEvents":[{"name":"weird_meta","ph":"M","ts":0,"pid":1,"tid":1,"args":{"name":"x"}}]}`,
+		"meta missing name": `{"traceEvents":[{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":1,"args":{}}]}`,
+		"not json":          `nope`,
+	}
+	for label, in := range cases {
+		if _, err := ReadChromeTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: strict decoder accepted malformed input", label)
+		}
+	}
+	ok := `{"traceEvents":[{"name":"x","ph":"X","ts":0,"dur":1,"pid":1,"tid":1}]}`
+	if _, err := ReadChromeTrace(strings.NewReader(ok)); err != nil {
+		t.Fatalf("minimal valid trace rejected: %v", err)
+	}
+}

@@ -1,0 +1,54 @@
+package obs
+
+import "time"
+
+// Clock is the sanctioned monotonic time source for wall-clock
+// instrumentation. Deterministic packages (internal/assign, topology,
+// experiment, ...) must not read the wall clock directly — taclint's
+// detrand analyzer enforces that — but measuring how long a phase took
+// is legitimately nondeterministic work, so this interface is the single
+// doorway: timing flows through a Clock, lands in observational outputs
+// (spans, elapsed fields) that are excluded from the byte-identical
+// determinism set, and never feeds back into results.
+//
+// NowMs returns milliseconds elapsed on a monotonic clock from an
+// arbitrary fixed epoch. Values from the same Clock are comparable;
+// values from different Clocks are not.
+type Clock interface {
+	NowMs() float64
+}
+
+// processEpoch anchors WallClock readings so every consumer in the
+// process shares one comparable timeline (spans from the CLI, the
+// experiment suite and solver phases interleave correctly).
+var processEpoch = time.Now() //lint:allow detrand obs.Clock is the sanctioned wall-clock entry point; this epoch never reaches deterministic outputs
+
+type wallClock struct{}
+
+func (wallClock) NowMs() float64 {
+	return float64(time.Since(processEpoch)) / float64(time.Millisecond) //lint:allow detrand the one sanctioned wall-clock read behind obs.Clock
+}
+
+// WallClock returns the process-wide monotonic wall clock. All callers
+// share one epoch, so readings are mutually comparable.
+func WallClock() Clock { return wallClock{} }
+
+// ManualClock is a hand-advanced Clock for tests: deterministic span
+// timings without sleeping. The zero value starts at 0 ms. Not safe for
+// concurrent use with Advance/Set; concurrent NowMs alone is fine only
+// if the clock is no longer being advanced.
+type ManualClock struct {
+	ms float64
+}
+
+// NewManualClock returns a ManualClock reading startMs.
+func NewManualClock(startMs float64) *ManualClock { return &ManualClock{ms: startMs} }
+
+// NowMs implements Clock.
+func (c *ManualClock) NowMs() float64 { return c.ms }
+
+// Advance moves the clock forward by d milliseconds.
+func (c *ManualClock) Advance(d float64) { c.ms += d }
+
+// Set jumps the clock to t milliseconds.
+func (c *ManualClock) Set(t float64) { c.ms = t }

@@ -39,6 +39,13 @@ const (
 	EventsFile   = "events.jsonl"
 	MetricsFile  = "metrics.json"
 	SummaryFile  = "summary.json"
+	// TraceFile holds the wall-clock pipeline trace (span events), kept
+	// apart from events.jsonl because its bytes are inherently
+	// nondeterministic: like the manifest's wall-clock fields, it is
+	// excluded from the byte-identical determinism contract. The file
+	// exists only when the producing tool ran with tracing enabled;
+	// archives without it load fine.
+	TraceFile = "trace.jsonl"
 )
 
 // Manifest identifies a run: which tool produced it, at which version,
@@ -66,12 +73,14 @@ type Summary map[string]float64
 // events.jsonl as they happen; manifest, metrics and summary are
 // written by Close.
 type Writer struct {
-	dir    string
-	man    Manifest
-	file   *os.File
-	sink   *obs.JSONL
-	start  time.Time
-	closed bool
+	dir       string
+	man       Manifest
+	file      *os.File
+	sink      *obs.JSONL
+	traceFile *os.File
+	trace     *obs.JSONL
+	start     time.Time
+	closed    bool
 }
 
 // Create initializes an archive directory (making it if needed) and
@@ -100,6 +109,26 @@ func (w *Writer) Sink() *obs.JSONL {
 	return w.sink
 }
 
+// StartTrace opens the archive's pipeline-trace stream (trace.jsonl)
+// and returns its sink. Call at most once, before Close; the stream is
+// flushed and closed by Close. Tools that never call StartTrace produce
+// archives without a trace file — the tracing-off default.
+func (w *Writer) StartTrace() (*obs.JSONL, error) {
+	if w == nil {
+		return nil, nil
+	}
+	if w.trace != nil {
+		return w.trace, nil
+	}
+	f, err := os.Create(filepath.Join(w.dir, TraceFile))
+	if err != nil {
+		return nil, fmt.Errorf("runlog: %w", err)
+	}
+	w.traceFile = f
+	w.trace = obs.NewJSONL(f)
+	return w.trace, nil
+}
+
 // Close flushes the event stream and writes metrics.json, summary.json
 // and manifest.json. It is idempotent; the first error anywhere in the
 // archive's lifetime (including latched event-write errors) is
@@ -117,6 +146,15 @@ func (w *Writer) Close(snap obs.Snapshot, summary Summary) error {
 	}
 	if err != nil {
 		return fmt.Errorf("runlog: events: %w", err)
+	}
+	if w.traceFile != nil {
+		err := w.trace.Flush()
+		if cerr := w.traceFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("runlog: trace: %w", err)
+		}
 	}
 	if err := writeJSONFile(filepath.Join(w.dir, MetricsFile), snap); err != nil {
 		return err
@@ -170,6 +208,10 @@ type Archive struct {
 	// is what makes Write reproduce events.jsonl byte-for-byte.
 	Events  []obs.Event
 	Summary Summary
+	// Trace is the decoded pipeline-trace stream (span events), nil when
+	// the archive has no trace file — runs with tracing off, and every
+	// archive written before the trace plane existed.
+	Trace []obs.Event
 }
 
 // IsArchiveDir reports whether dir looks like a run archive (has a
@@ -211,6 +253,16 @@ func Load(dir string) (*Archive, error) {
 		return nil, fmt.Errorf("runlog: %s: %s: %w", dir, EventsFile, err)
 	}
 	a.Events = events
+	if tf, err := os.Open(filepath.Join(dir, TraceFile)); err == nil {
+		trace, terr := obs.ReadEventStream(tf)
+		tf.Close()
+		if terr != nil {
+			return nil, fmt.Errorf("runlog: %s: %s: %w", dir, TraceFile, terr)
+		}
+		a.Trace = trace
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("runlog: %s: %w", dir, err)
+	}
 	return a, nil
 }
 
@@ -264,7 +316,43 @@ func (a *Archive) Write(dir string) error {
 	if err := writeJSONFile(filepath.Join(dir, SummaryFile), summary); err != nil {
 		return err
 	}
+	if a.Trace != nil {
+		if err := writeEventFile(filepath.Join(dir, TraceFile), a.Trace); err != nil {
+			return err
+		}
+	}
 	return writeJSONFile(filepath.Join(dir, ManifestFile), a.Manifest)
+}
+
+// writeEventFile writes a decoded event stream back out through the
+// canonical encoder (byte-identical to what the JSONL sink produced).
+func writeEventFile(path string, events []obs.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("runlog: %w", err)
+	}
+	werr := func() error {
+		for i, e := range events {
+			line, err := obs.EncodeEventLine(e)
+			if err != nil {
+				return fmt.Errorf("runlog: %s: record %d: %w", filepath.Base(path), i+1, err)
+			}
+			if _, err := f.Write(line); err != nil {
+				return fmt.Errorf("runlog: %s: %w", filepath.Base(path), err)
+			}
+		}
+		return nil
+	}()
+	if cerr := f.Close(); werr == nil && cerr != nil {
+		werr = fmt.Errorf("runlog: %s: %w", filepath.Base(path), cerr)
+	}
+	return werr
+}
+
+// Spans decodes the archive's pipeline trace into spans, in emission
+// order (nil when the archive has no trace).
+func (a *Archive) Spans() []obs.Span {
+	return obs.SpansFromEvents(a.Trace)
 }
 
 // IterEvents decodes the archive's solver-convergence stream: every

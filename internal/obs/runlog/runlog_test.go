@@ -238,6 +238,122 @@ func TestCloseIdempotentAndNilSafe(t *testing.T) {
 	writeSample(t, dir)
 }
 
+// writeTracedSample is writeSample plus a pipeline trace stream.
+func writeTracedSample(t *testing.T, dir string) {
+	t.Helper()
+	w, err := Create(dir, Manifest{Tool: "tactest", Version: "v1.2.3", Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs.Emit(w.Sink(), "iter", map[string]interface{}{"algo": "tabu", "iter": 0, "feasible": true})
+	trace, err := w.StartTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := obs.NewManualClock(0)
+	tr := obs.NewTracer(trace, clock)
+	root := tr.Root("pipeline")
+	clock.Advance(2)
+	ph := root.Child("delay-matrix")
+	clock.Advance(5)
+	ph.Span("shard", 2, 6, map[string]interface{}{"worker": 0, "items": 9, "busy_ms": 3.5})
+	ph.End()
+	clock.Advance(1)
+	root.End()
+	if err := w.Close(obs.Snapshot{}, Summary{"total_ms": 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceRoundTrip: trace.jsonl loads into Archive.Trace, decodes to
+// spans, and Write reproduces it byte for byte alongside the rest.
+func TestTraceRoundTrip(t *testing.T) {
+	src := filepath.Join(t.TempDir(), "run")
+	writeTracedSample(t, src)
+	a, err := Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Trace) != 3 {
+		t.Fatalf("loaded %d trace events, want 3", len(a.Trace))
+	}
+	spans := a.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("decoded %d spans, want 3", len(spans))
+	}
+	byName := map[string]obs.Span{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+	}
+	root, ok := byName["pipeline"]
+	if !ok || root.EndMs != 8 {
+		t.Fatalf("pipeline root = %+v (ok=%v)", root, ok)
+	}
+	if sh := byName["shard"]; sh.Parent == 0 {
+		t.Fatalf("shard span unparented: %+v", sh)
+	}
+	if w, ok := byName["shard"].AttrNum("worker"); !ok || w != 0 {
+		t.Fatalf("shard worker attr = %v (ok=%v)", w, ok)
+	}
+
+	dst := filepath.Join(t.TempDir(), "rewrite")
+	if err := a.Write(dst); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{ManifestFile, EventsFile, MetricsFile, SummaryFile, TraceFile} {
+		want, err := os.ReadFile(filepath.Join(src, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(dst, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("%s differs after round trip:\noriginal: %s\nrewrite:  %s", name, want, got)
+		}
+	}
+}
+
+// TestTraceAbsentIsFine: archives without trace.jsonl (tracing off, and
+// every pre-trace archive) load with a nil Trace, and Write does not
+// invent the file.
+func TestTraceAbsentIsFine(t *testing.T) {
+	src := filepath.Join(t.TempDir(), "run")
+	writeSample(t, src)
+	a, err := Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Trace != nil || a.Spans() != nil {
+		t.Fatalf("untraced archive loaded trace %v", a.Trace)
+	}
+	dst := filepath.Join(t.TempDir(), "rewrite")
+	if err := a.Write(dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dst, TraceFile)); !os.IsNotExist(err) {
+		t.Fatalf("rewrite of an untraced archive grew a %s (err=%v)", TraceFile, err)
+	}
+}
+
+// TestStartTraceNilAndCorrupt: nil-writer StartTrace no-ops; a corrupted
+// trace stream fails Load with a descriptive error.
+func TestStartTraceNilAndCorrupt(t *testing.T) {
+	var w *Writer
+	sink, err := w.StartTrace()
+	if sink != nil || err != nil {
+		t.Fatalf("nil writer StartTrace = %v, %v", sink, err)
+	}
+	dir := filepath.Join(t.TempDir(), "run")
+	writeTracedSample(t, dir)
+	appendFile(t, filepath.Join(dir, TraceFile), "{\"kind\": \"span\", ga")
+	_, err = Load(dir)
+	if err == nil || !strings.Contains(err.Error(), TraceFile) {
+		t.Fatalf("corrupt trace load error = %v", err)
+	}
+}
+
 func truncateFile(t *testing.T, path string, n int64) {
 	t.Helper()
 	if err := os.Truncate(path, n); err != nil {

@@ -1,5 +1,7 @@
 package obs
 
+import "strings"
+
 // Span is one timed phase of a traced operation, in simulated or wall
 // time (the emitter decides; this repository's cluster simulator uses
 // virtual milliseconds). A trace is a root span (Parent == 0) plus child
@@ -60,4 +62,70 @@ func EmitSpan(s Sink, sp Span) {
 		return
 	}
 	s.Emit(sp.Event())
+}
+
+// SpanFromEvent inverts Span.Event: it decodes a "span" event (live or
+// read back from a JSONL stream) into a Span. ok is false for any other
+// kind or when a required field is missing/mistyped. Attribute values
+// keep their decoded representation (json.Number from streams); read
+// them through AttrNum/AttrStr.
+func SpanFromEvent(e Event) (Span, bool) {
+	if e.Kind != "span" {
+		return Span{}, false
+	}
+	tr, ok := e.Int("trace")
+	if !ok {
+		return Span{}, false
+	}
+	id, ok := e.Int("span")
+	if !ok {
+		return Span{}, false
+	}
+	name, ok := e.Str("name")
+	if !ok {
+		return Span{}, false
+	}
+	start, ok := e.Num("start_ms")
+	if !ok {
+		return Span{}, false
+	}
+	end, ok := e.Num("end_ms")
+	if !ok {
+		return Span{}, false
+	}
+	sp := Span{Trace: TraceID(tr), ID: SpanID(id), Name: name, StartMs: start, EndMs: end}
+	if p, ok := e.Int("parent"); ok {
+		sp.Parent = SpanID(p)
+	}
+	for k, v := range e.Fields {
+		if strings.HasPrefix(k, "attr.") {
+			if sp.Attrs == nil {
+				sp.Attrs = make(map[string]interface{}, 4)
+			}
+			sp.Attrs[strings.TrimPrefix(k, "attr.")] = v
+		}
+	}
+	return sp, true
+}
+
+// SpansFromEvents extracts every decodable span from an event stream,
+// in stream order.
+func SpansFromEvents(events []Event) []Span {
+	var out []Span
+	for _, e := range events {
+		if sp, ok := SpanFromEvent(e); ok {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// AttrNum returns a span attribute as a float64 (coercing json.Number
+// from decoded streams and native numerics from live spans).
+func (sp Span) AttrNum(key string) (float64, bool) { return numValue(sp.Attrs[key]) }
+
+// AttrStr returns a span attribute as a string.
+func (sp Span) AttrStr(key string) (string, bool) {
+	v, ok := sp.Attrs[key].(string)
+	return v, ok
 }

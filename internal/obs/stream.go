@@ -107,8 +107,13 @@ func (e Event) Str(key string) (string, bool) {
 
 // Num returns the named field as a float64, converting json.Number
 // (decoded streams) and every native numeric type (live events).
-func (e Event) Num(key string) (float64, bool) {
-	switch v := e.Fields[key].(type) {
+func (e Event) Num(key string) (float64, bool) { return numValue(e.Fields[key]) }
+
+// numValue coerces any field/attribute value this package round-trips —
+// native numerics from live events, json.Number from decoded streams —
+// to float64. Shared by Event.Num and Span.AttrNum.
+func numValue(v interface{}) (float64, bool) {
+	switch v := v.(type) {
 	case float64:
 		return v, true
 	case json.Number:

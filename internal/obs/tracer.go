@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// PipelineTrace is the trace ID shared by all wall-clock pipeline phase
+// spans of one run. Pipeline spans travel on their own stream (the run
+// archive's trace.jsonl, the -trace-out export), so the fixed ID never
+// collides with the simulator's per-request trace IDs on the event
+// stream.
+const PipelineTrace TraceID = 1
+
+// Tracer hands out wall-clock pipeline phases. It is the bridge between
+// the sanctioned Clock and the Sink plane: every Phase measures itself
+// with the tracer's clock and emits one "span" event into the tracer's
+// sink when it ends.
+//
+// The nil *Tracer is the off switch: it hands out nil Phases whose
+// methods all no-op without allocating, so instrumented code threads a
+// possibly-nil tracer unconditionally and pays one pointer check when
+// tracing is off. Span-ID assignment is atomic; Phases may be created
+// and ended from worker-pool goroutines.
+type Tracer struct {
+	sink  Sink
+	clock Clock
+	next  atomic.Uint64
+}
+
+// NewTracer builds a tracer emitting into sink, timed by clock
+// (WallClock when nil). A nil sink returns a nil tracer — tracing off.
+func NewTracer(sink Sink, clock Clock) *Tracer {
+	if sink == nil {
+		return nil
+	}
+	if clock == nil {
+		clock = WallClock()
+	}
+	return &Tracer{sink: sink, clock: clock}
+}
+
+// NowMs reads the tracer's clock (0 on a nil tracer).
+func (t *Tracer) NowMs() float64 {
+	if t == nil {
+		return 0
+	}
+	return t.clock.NowMs()
+}
+
+// Root starts a top-level phase (span Parent 0). Nil-safe.
+func (t *Tracer) Root(name string) *Phase { return t.startPhase(name, 0) }
+
+func (t *Tracer) startPhase(name string, parent SpanID) *Phase {
+	if t == nil {
+		return nil
+	}
+	return &Phase{
+		t:       t,
+		id:      SpanID(t.next.Add(1)),
+		parent:  parent,
+		name:    name,
+		startMs: t.clock.NowMs(),
+	}
+}
+
+// Phase is one live wall-clock span: created by Tracer.Root or
+// Phase.Child, closed by End, which emits the span. All methods are
+// nil-receiver no-ops, so "tracing off" costs a single nil check at
+// each phase boundary and zero allocations.
+type Phase struct {
+	t       *Tracer
+	id      SpanID
+	parent  SpanID
+	name    string
+	startMs float64
+
+	mu    sync.Mutex
+	attrs map[string]interface{}
+	ended bool
+}
+
+// Child starts a sub-phase of p. Safe to call from worker goroutines.
+func (p *Phase) Child(name string) *Phase {
+	if p == nil {
+		return nil
+	}
+	return p.t.startPhase(name, p.id)
+}
+
+// Tracer returns the phase's tracer (nil on a nil phase), for handing
+// the tracing plane further down a call chain.
+func (p *Phase) Tracer() *Tracer {
+	if p == nil {
+		return nil
+	}
+	return p.t
+}
+
+// NowMs reads the phase's clock (0 on a nil phase).
+func (p *Phase) NowMs() float64 { return p.Tracer().NowMs() }
+
+// SetAttr attaches a span attribute (JSON-serializable value). Calls
+// after End are dropped.
+func (p *Phase) SetAttr(key string, v interface{}) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ended {
+		return
+	}
+	if p.attrs == nil {
+		p.attrs = make(map[string]interface{}, 4)
+	}
+	p.attrs[key] = v
+}
+
+// End closes the phase and emits its span. Children should be ended
+// first (they usually are, by construction); End is idempotent.
+func (p *Phase) End() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.ended {
+		p.mu.Unlock()
+		return
+	}
+	p.ended = true
+	attrs := p.attrs
+	p.mu.Unlock()
+	EmitSpan(p.t.sink, Span{
+		Trace:   PipelineTrace,
+		ID:      p.id,
+		Parent:  p.parent,
+		Name:    p.name,
+		StartMs: p.startMs,
+		EndMs:   p.t.clock.NowMs(),
+		Attrs:   attrs,
+	})
+}
+
+// Span emits a retroactively-timed child span of p — for work that was
+// measured out of band, like per-worker shards whose timings come back
+// from the worker pool after the fact. Nil-safe.
+func (p *Phase) Span(name string, startMs, endMs float64, attrs map[string]interface{}) {
+	if p == nil {
+		return
+	}
+	EmitSpan(p.t.sink, Span{
+		Trace:   PipelineTrace,
+		ID:      SpanID(p.t.next.Add(1)),
+		Parent:  p.id,
+		Name:    name,
+		StartMs: startMs,
+		EndMs:   endMs,
+		Attrs:   attrs,
+	})
+}
+
+// SpanCollector is a Sink that retains every span event it sees,
+// decoded back into Spans — the in-memory side of -trace-out exports.
+// Non-span events are ignored. Safe for concurrent emit.
+type SpanCollector struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Emit implements Sink.
+func (c *SpanCollector) Emit(e Event) {
+	if c == nil {
+		return
+	}
+	sp, ok := SpanFromEvent(e)
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	c.spans = append(c.spans, sp)
+	c.mu.Unlock()
+}
+
+// Spans returns the collected spans in emission order.
+func (c *SpanCollector) Spans() []Span {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Span, len(c.spans))
+	copy(out, c.spans)
+	return out
+}

@@ -64,6 +64,77 @@ func For(workers, n int, fn func(i int)) {
 	wg.Wait()
 }
 
+// Shard is one worker's measured share of a ForShards run: which cells
+// it processed and how its wall-clock time was spent. StartMs/EndMs
+// bound the worker's activity (first entry to last exit), BusyMs is the
+// time actually inside fn; the difference is pull-loop overhead plus,
+// for the pool as a whole, tail idleness while other workers finish.
+type Shard struct {
+	Worker  int
+	Items   int
+	StartMs float64
+	EndMs   float64
+	BusyMs  float64
+}
+
+// ForShards is For with per-worker timing: now is a monotonic
+// millisecond clock (obs.Clock.NowMs; par itself never reads the wall
+// clock), and the returned slice holds one Shard per worker that ran,
+// indexed by worker ID. Timing is observational only — the work
+// distribution, the determinism contract on fn and the results are
+// exactly those of For.
+//
+// A nil now is the off switch: the call degrades to precisely For and
+// returns nil, with no clock reads and no allocation, so instrumented
+// call sites thread a possibly-nil clock unconditionally.
+func ForShards(workers, n int, now func() float64, fn func(i int)) []Shard {
+	if now == nil {
+		For(workers, n, fn)
+		return nil
+	}
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		start := now()
+		busy := 0.0
+		for i := 0; i < n; i++ {
+			t0 := now()
+			fn(i)
+			busy += now() - t0
+		}
+		return []Shard{{Worker: 0, Items: n, StartMs: start, EndMs: now(), BusyMs: busy}}
+	}
+	shards := make([]Shard, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			sh := &shards[w]
+			sh.Worker = w
+			sh.StartMs = now()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					break
+				}
+				t0 := now()
+				fn(i)
+				sh.BusyMs += now() - t0
+				sh.Items++
+			}
+			sh.EndMs = now()
+		}(w)
+	}
+	wg.Wait()
+	return shards
+}
+
 // ForErr is For over a fallible body. Every cell runs regardless of other
 // cells' failures (no cancellation, so partial results land in their slots),
 // and the returned error is the one from the lowest failing index — the same

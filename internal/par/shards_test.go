@@ -1,0 +1,89 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForShardsNilClockIsExactlyFor(t *testing.T) {
+	var calls atomic.Int64
+	shards := ForShards(4, 100, nil, func(i int) { calls.Add(1) })
+	if shards != nil {
+		t.Fatalf("nil clock must return nil shards, got %v", shards)
+	}
+	if calls.Load() != 100 {
+		t.Fatalf("ran %d cells, want 100", calls.Load())
+	}
+}
+
+func TestForShardsNilClockAddsNoAllocations(t *testing.T) {
+	fn := func(i int) {}
+	allocs := testing.AllocsPerRun(50, func() { ForShards(1, 4, nil, fn) })
+	if allocs != 0 {
+		t.Fatalf("ForShards with nil clock allocated %.0f times per op, want 0", allocs)
+	}
+}
+
+// fakeClock is a strictly increasing deterministic clock safe for
+// concurrent use.
+func fakeClock() func() float64 {
+	var t atomic.Int64
+	return func() float64 { return float64(t.Add(1)) }
+}
+
+func TestForShardsSequential(t *testing.T) {
+	out := make([]int, 10)
+	shards := ForShards(1, 10, fakeClock(), func(i int) { out[i] = i + 1 })
+	if len(shards) != 1 {
+		t.Fatalf("sequential run produced %d shards, want 1", len(shards))
+	}
+	sh := shards[0]
+	if sh.Worker != 0 || sh.Items != 10 {
+		t.Fatalf("shard = %+v", sh)
+	}
+	if sh.EndMs <= sh.StartMs || sh.BusyMs <= 0 || sh.BusyMs > sh.EndMs-sh.StartMs {
+		t.Fatalf("shard timing inconsistent: %+v", sh)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("cell %d not run", i)
+		}
+	}
+}
+
+func TestForShardsParallel(t *testing.T) {
+	const n, workers = 200, 4
+	out := make([]int, n)
+	shards := ForShards(workers, n, fakeClock(), func(i int) { out[i] = 1 })
+	if len(shards) != workers {
+		t.Fatalf("got %d shards, want %d", len(shards), workers)
+	}
+	items := 0
+	for w, sh := range shards {
+		if sh.Worker != w {
+			t.Fatalf("shard %d has worker id %d", w, sh.Worker)
+		}
+		if sh.EndMs < sh.StartMs || sh.BusyMs < 0 || sh.BusyMs > sh.EndMs-sh.StartMs {
+			t.Fatalf("shard %d timing inconsistent: %+v", w, sh)
+		}
+		items += sh.Items
+	}
+	if items != n {
+		t.Fatalf("shards account for %d items, want %d", items, n)
+	}
+	for i, v := range out {
+		if v != 1 {
+			t.Fatalf("cell %d not run", i)
+		}
+	}
+}
+
+func TestForShardsWorkerCapAndEmpty(t *testing.T) {
+	if shards := ForShards(8, 0, fakeClock(), func(int) {}); shards != nil {
+		t.Fatalf("n=0 must return nil, got %v", shards)
+	}
+	shards := ForShards(8, 3, fakeClock(), func(int) {})
+	if len(shards) != 3 {
+		t.Fatalf("workers must cap at n: got %d shards, want 3", len(shards))
+	}
+}

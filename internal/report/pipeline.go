@@ -1,0 +1,202 @@
+package report
+
+import (
+	"math"
+	"sort"
+
+	"taccc/internal/obs"
+)
+
+// PipelinePhase is one row of the pipeline phase-attribution table:
+// every span sharing a name is folded into total wall time, share of
+// the root span, and — for phases carrying per-worker "shard" child
+// spans (the delay-matrix build) — the realized parallel speedup and
+// worker idle fraction.
+type PipelinePhase struct {
+	Name     string  `json:"name"`
+	TotalMs  float64 `json:"total_ms"`
+	SharePct float64 `json:"share_pct"`
+	Count    int     `json:"count"`
+	// Workers is the number of distinct worker shards observed under
+	// this phase (0 for serial phases).
+	Workers int `json:"workers,omitempty"`
+	// SpeedupX is Σ shard busy time / phase wall time — the parallel
+	// speedup the shards actually delivered (only when Workers > 0).
+	SpeedupX float64 `json:"speedup_x,omitempty"`
+	// IdlePct is the fraction of the workers' combined residency spent
+	// not executing items: 100·(1 − Σ busy / Σ (shard end − start)).
+	// High idle with balanced shards means scheduling overhead; high
+	// idle with one long shard means imbalance.
+	IdlePct float64 `json:"idle_pct,omitempty"`
+}
+
+// CriticalStep is one hop of the pipeline critical path: the chain of
+// dominant child spans from the root down.
+type CriticalStep struct {
+	Name     string  `json:"name"`
+	DurMs    float64 `json:"dur_ms"`
+	SharePct float64 `json:"share_pct"`
+}
+
+// Pipeline is the folded wall-clock pipeline trace of one run.
+type Pipeline struct {
+	Root   string  `json:"root"`
+	WallMs float64 `json:"wall_ms"`
+	// CoveragePct is how much of the root span's wall time its direct
+	// child phases account for (interval union, so overlapping phases
+	// don't double-count). Low coverage means untraced time.
+	CoveragePct float64         `json:"coverage_pct"`
+	Phases      []PipelinePhase `json:"phases"`
+	Critical    []CriticalStep  `json:"critical,omitempty"`
+}
+
+// shardSpan is the reserved span name for per-worker shard accounting;
+// shards feed their parent phase's speedup/idle columns instead of
+// appearing as a phase of their own.
+const shardSpan = "shard"
+
+// PipelineFromSpans folds a span stream into the phase-attribution
+// report. Returns nil when the stream has no root span.
+func PipelineFromSpans(spans []obs.Span) *Pipeline {
+	var root *obs.Span
+	for i := range spans {
+		sp := &spans[i]
+		if sp.Parent != 0 {
+			continue
+		}
+		if root == nil || sp.EndMs-sp.StartMs > root.EndMs-root.StartMs {
+			root = sp
+		}
+	}
+	if root == nil {
+		return nil
+	}
+	p := &Pipeline{Root: root.Name, WallMs: root.EndMs - root.StartMs}
+
+	children := map[obs.SpanID][]obs.Span{}
+	for _, sp := range spans {
+		if sp.Parent != 0 {
+			children[sp.Parent] = append(children[sp.Parent], sp)
+		}
+	}
+
+	// Phase table: group every non-root, non-shard span by name,
+	// ordered by first appearance so the table reads in pipeline order.
+	type acc struct {
+		totalMs, firstStart       float64
+		count                     int
+		workers                   map[float64]bool
+		shardBusyMs, shardResidMs float64
+	}
+	phases := map[string]*acc{}
+	var order []string
+	for _, sp := range spans {
+		if sp.Parent == 0 || sp.Name == shardSpan {
+			continue
+		}
+		a, ok := phases[sp.Name]
+		if !ok {
+			a = &acc{firstStart: sp.StartMs}
+			phases[sp.Name] = a
+			order = append(order, sp.Name)
+		}
+		a.totalMs += sp.EndMs - sp.StartMs
+		if sp.StartMs < a.firstStart {
+			a.firstStart = sp.StartMs
+		}
+		a.count++
+		for _, sh := range children[sp.ID] {
+			if sh.Name != shardSpan {
+				continue
+			}
+			if a.workers == nil {
+				a.workers = map[float64]bool{}
+			}
+			if w, ok := sh.AttrNum("worker"); ok {
+				a.workers[w] = true
+			}
+			if busy, ok := sh.AttrNum("busy_ms"); ok {
+				a.shardBusyMs += busy
+			}
+			a.shardResidMs += sh.EndMs - sh.StartMs
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return phases[order[i]].firstStart < phases[order[j]].firstStart
+	})
+	for _, name := range order {
+		a := phases[name]
+		row := PipelinePhase{Name: name, TotalMs: a.totalMs, Count: a.count, Workers: len(a.workers)}
+		if p.WallMs > 0 {
+			row.SharePct = 100 * a.totalMs / p.WallMs
+		}
+		if len(a.workers) > 0 {
+			if a.totalMs > 0 {
+				row.SpeedupX = a.shardBusyMs / a.totalMs
+			}
+			if a.shardResidMs > 0 {
+				row.IdlePct = 100 * math.Max(0, 1-a.shardBusyMs/a.shardResidMs)
+			}
+		}
+		p.Phases = append(p.Phases, row)
+	}
+
+	// Coverage: union of the root's direct children clipped to the root.
+	p.CoveragePct = coveragePct(*root, children[root.ID])
+
+	// Critical path: from the root, repeatedly descend into the longest
+	// child span until a leaf.
+	for cur := root; ; {
+		var next *obs.Span
+		for i := range children[cur.ID] {
+			ch := &children[cur.ID][i]
+			if ch.Name == shardSpan {
+				continue
+			}
+			if next == nil || ch.EndMs-ch.StartMs > next.EndMs-next.StartMs {
+				next = ch
+			}
+		}
+		if next == nil {
+			break
+		}
+		step := CriticalStep{Name: next.Name, DurMs: next.EndMs - next.StartMs}
+		if p.WallMs > 0 {
+			step.SharePct = 100 * step.DurMs / p.WallMs
+		}
+		p.Critical = append(p.Critical, step)
+		cur = next
+	}
+	return p
+}
+
+// coveragePct computes the percentage of root's duration covered by the
+// union of its child intervals (clipped to the root window).
+func coveragePct(root obs.Span, kids []obs.Span) float64 {
+	wall := root.EndMs - root.StartMs
+	if wall <= 0 || len(kids) == 0 {
+		return 0
+	}
+	type iv struct{ lo, hi float64 }
+	ivs := make([]iv, 0, len(kids))
+	for _, ch := range kids {
+		lo, hi := math.Max(ch.StartMs, root.StartMs), math.Min(ch.EndMs, root.EndMs)
+		if hi > lo {
+			ivs = append(ivs, iv{lo, hi})
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	covered, end := 0.0, math.Inf(-1)
+	for _, v := range ivs {
+		if v.hi <= end {
+			continue
+		}
+		if v.lo > end {
+			covered += v.hi - v.lo
+		} else {
+			covered += v.hi - end
+		}
+		end = v.hi
+	}
+	return 100 * covered / wall
+}

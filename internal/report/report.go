@@ -230,6 +230,18 @@ func (s *Source) Metrics() []Metric {
 				out = append(out, Metric{Name: "cells/" + st.algo + " cost_ms", Value: st.cost.Mean(), CI95: st.cost.CI95()})
 			}
 		}
+		// Pipeline phase times are wall-clock measurements with no
+		// replication, so no CI: diffs judge them on threshold alone,
+		// exactly like the alloc counts above.
+		if p := PipelineFromSpans(s.Archive.Spans()); p != nil {
+			out = append(out, Metric{Name: "pipeline/ wall_ms", Value: p.WallMs})
+			for _, ph := range p.Phases {
+				out = append(out, Metric{Name: "pipeline/" + ph.Name + " total_ms", Value: ph.TotalMs})
+				if ph.Workers > 0 {
+					out = append(out, Metric{Name: "pipeline/" + ph.Name + " speedup_x", Value: ph.SpeedupX, HigherIsBetter: true})
+				}
+			}
+		}
 		for _, cs := range convergence(s.Archive.IterEvents()) {
 			if cs.BestCostMs >= 0 {
 				out = append(out, Metric{Name: "convergence/" + cs.Algo + " best_cost_ms", Value: cs.BestCostMs})

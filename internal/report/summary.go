@@ -50,6 +50,9 @@ type Report struct {
 	TopEdges []EdgeStat     `json:"top_edges,omitempty"`
 	Summary  runlog.Summary `json:"summary,omitempty"`
 	Events   int            `json:"events,omitempty"`
+	// Pipeline is the wall-clock pipeline-trace attribution, present
+	// only when the archive carries a trace.jsonl (run with -trace-out).
+	Pipeline *Pipeline `json:"pipeline,omitempty"`
 
 	// Bench fields.
 	Bench *experiment.BenchResults `json:"bench,omitempty"`
@@ -72,6 +75,7 @@ func Summarize(s *Source) *Report {
 	r.Convergence = convergence(a.IterEvents())
 	r.Summary = a.Summary
 	r.Events = len(a.Events)
+	r.Pipeline = PipelineFromSpans(a.Spans())
 
 	// Per-phase delay attribution: each phase's mean and its share of
 	// the summed phase means.
@@ -169,6 +173,30 @@ func (r *Report) Markdown() string {
 				c.Algo, c.Iters, c.Improvements, c.FirstFeasibleIter, best, c.ItersToBest)
 		}
 		fmt.Fprintln(&b)
+	}
+	if p := r.Pipeline; p != nil {
+		fmt.Fprintf(&b, "## Pipeline phases\n\n")
+		fmt.Fprintf(&b, "root `%s`: %.1f ms wall, %.1f%% traced\n\n", p.Root, p.WallMs, p.CoveragePct)
+		fmt.Fprintf(&b, "| phase | total ms | share | spans | workers | speedup | idle |\n")
+		fmt.Fprintf(&b, "|---|---:|---:|---:|---:|---:|---:|\n")
+		for _, ph := range p.Phases {
+			workers, speedup, idle := "-", "-", "-"
+			if ph.Workers > 0 {
+				workers = fmt.Sprintf("%d", ph.Workers)
+				speedup = fmt.Sprintf("%.2fx", ph.SpeedupX)
+				idle = fmt.Sprintf("%.1f%%", ph.IdlePct)
+			}
+			fmt.Fprintf(&b, "| %s | %.3f | %.1f%% | %d | %s | %s | %s |\n",
+				ph.Name, ph.TotalMs, ph.SharePct, ph.Count, workers, speedup, idle)
+		}
+		fmt.Fprintln(&b)
+		if len(p.Critical) > 0 {
+			parts := make([]string, 0, len(p.Critical))
+			for _, c := range p.Critical {
+				parts = append(parts, fmt.Sprintf("%s (%.1f ms, %.1f%%)", c.Name, c.DurMs, c.SharePct))
+			}
+			fmt.Fprintf(&b, "critical path: %s\n\n", strings.Join(parts, " → "))
+		}
 	}
 	if len(r.Phases) > 0 {
 		fmt.Fprintf(&b, "## Delay attribution\n\n")

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"taccc/internal/obs"
 	"taccc/internal/par"
 )
 
@@ -241,6 +242,39 @@ func NewDelayMatrixWorkers(g *Graph, cost LinkCost, workers int) *DelayMatrix {
 			m[i][j] = sp.Dist[d]
 		}
 	})
+	return &DelayMatrix{IoT: iot, Edge: edge, DelayMs: m}
+}
+
+// NewDelayMatrixTraced is NewDelayMatrixWorkers with wall-clock tracing:
+// when phase is a live obs phase (the "delay-matrix" span of a pipeline
+// trace), each worker's shard is emitted as a child span named "shard"
+// with worker ID, items processed and busy time, giving Perfetto one
+// timeline row per worker. A nil phase is exactly NewDelayMatrixWorkers:
+// no clock reads, no spans, bit-identical matrix.
+func NewDelayMatrixTraced(g *Graph, cost LinkCost, workers int, phase *obs.Phase) *DelayMatrix {
+	iot := g.NodesOfKind(KindIoT)
+	edge := g.NodesOfKind(KindEdge)
+	m := make([][]float64, len(iot))
+	for i := range m {
+		m[i] = make([]float64, len(edge))
+	}
+	var now func() float64
+	if phase != nil {
+		now = phase.NowMs
+	}
+	shards := par.ForShards(par.Workers(workers), len(edge), now, func(j int) {
+		sp := g.Dijkstra(edge[j], cost)
+		for i, d := range iot {
+			m[i][j] = sp.Dist[d]
+		}
+	})
+	for _, sh := range shards {
+		phase.Span("shard", sh.StartMs, sh.EndMs, map[string]interface{}{
+			"worker":  sh.Worker,
+			"items":   sh.Items,
+			"busy_ms": sh.BusyMs,
+		})
+	}
 	return &DelayMatrix{IoT: iot, Edge: edge, DelayMs: m}
 }
 

@@ -1,0 +1,77 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+
+	"taccc/internal/obs"
+)
+
+// TestNewDelayMatrixTracedIdentical pins the tracing carve-out: the
+// traced build returns a bit-identical matrix whether tracing is off
+// (nil phase), on, sequential or parallel.
+func TestNewDelayMatrixTracedIdentical(t *testing.T) {
+	g := genParallelTestGraph(t, 5)
+	want := NewDelayMatrixWorkers(g, LatencyCost, 1)
+	if got := NewDelayMatrixTraced(g, LatencyCost, 8, nil); !reflect.DeepEqual(got, want) {
+		t.Fatal("traced build with nil phase differs from untraced")
+	}
+	var col obs.SpanCollector
+	tr := obs.NewTracer(&col, obs.WallClock())
+	for _, workers := range []int{1, 8} {
+		ph := tr.Root("delay-matrix")
+		if got := NewDelayMatrixTraced(g, LatencyCost, workers, ph); !reflect.DeepEqual(got, want) {
+			t.Fatalf("traced build at workers=%d differs from untraced", workers)
+		}
+		ph.End()
+	}
+}
+
+func TestNewDelayMatrixTracedShardSpans(t *testing.T) {
+	g := genParallelTestGraph(t, 5)
+	var col obs.SpanCollector
+	tr := obs.NewTracer(&col, obs.WallClock())
+	ph := tr.Root("delay-matrix")
+	dm := NewDelayMatrixTraced(g, LatencyCost, 4, ph)
+	ph.End()
+
+	spans := col.Spans()
+	var root obs.Span
+	items, shards := 0, 0
+	workers := map[float64]bool{}
+	for _, sp := range spans {
+		switch sp.Name {
+		case "delay-matrix":
+			root = sp
+		case "shard":
+			shards++
+			w, ok := sp.AttrNum("worker")
+			if !ok || workers[w] {
+				t.Fatalf("shard span missing or duplicate worker attr: %+v", sp)
+			}
+			workers[w] = true
+			n, ok := sp.AttrNum("items")
+			if !ok {
+				t.Fatalf("shard span missing items attr: %+v", sp)
+			}
+			items += int(n)
+			if _, ok := sp.AttrNum("busy_ms"); !ok {
+				t.Fatalf("shard span missing busy_ms attr: %+v", sp)
+			}
+		}
+	}
+	if shards != 4 {
+		t.Fatalf("got %d shard spans, want 4", shards)
+	}
+	if items != dm.NumEdge() {
+		t.Fatalf("shard items sum to %d, want %d edge sources", items, dm.NumEdge())
+	}
+	if root.Name == "" {
+		t.Fatal("delay-matrix parent span missing")
+	}
+	for _, sp := range spans {
+		if sp.Name == "shard" && sp.Parent != root.ID {
+			t.Fatalf("shard span not parented to the delay-matrix phase: %+v", sp)
+		}
+	}
+}

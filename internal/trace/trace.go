@@ -13,6 +13,7 @@ import (
 	"strconv"
 
 	"taccc/internal/cluster"
+	"taccc/internal/obs"
 	"taccc/internal/stats"
 )
 
@@ -222,6 +223,48 @@ func TimeSeries(records []cluster.RequestRecord, windowMs float64) ([]WindowPoin
 			wp.P95Ms = b.lat.P95()
 		}
 		out = append(out, wp)
+	}
+	return out, nil
+}
+
+// FromSpanEvents reconstructs per-request records from a structured
+// event stream: every root "request" span — as the simulator emits with
+// cluster.Config.Spans, and as run archives persist in events.jsonl —
+// becomes one record. This is what lets tactrace analyze a run archive
+// directly instead of requiring a separate -trace CSV. Span events of
+// other kinds and request phase children (uplink/queue/service/downlink)
+// are ignored; a request span with a malformed payload is an error, not
+// a silent skip.
+func FromSpanEvents(events []obs.Event) ([]cluster.RequestRecord, error) {
+	var out []cluster.RequestRecord
+	for _, sp := range obs.SpansFromEvents(events) {
+		if sp.Name != "request" || sp.Parent != 0 {
+			continue
+		}
+		dev, okD := sp.AttrNum("device")
+		edge, okE := sp.AttrNum("edge")
+		outcome, okO := sp.AttrStr("outcome")
+		if !okD || !okE || !okO {
+			return nil, fmt.Errorf("trace: request span in trace %d missing device/edge/outcome attrs", sp.Trace)
+		}
+		rec := cluster.RequestRecord{
+			Device:   int(dev),
+			Edge:     int(edge),
+			SentAtMs: sp.StartMs,
+			DoneAtMs: sp.EndMs,
+		}
+		switch o := cluster.Outcome(outcome); o {
+		case cluster.OutcomeOK, cluster.OutcomeMissed:
+			rec.Outcome = o
+			rec.LatencyMs = sp.EndMs - sp.StartMs
+		case cluster.OutcomeDropped:
+			// Drops record their drop time but no latency, matching the
+			// CSV writer's convention.
+			rec.Outcome = o
+		default:
+			return nil, fmt.Errorf("trace: request span in trace %d has unknown outcome %q", sp.Trace, outcome)
+		}
+		out = append(out, rec)
 	}
 	return out, nil
 }

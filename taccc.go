@@ -415,6 +415,13 @@ func NewTraceWriter(w io.Writer) (*TraceWriter, error) { return trace.NewWriter(
 // ReadTrace parses a CSV trace written by TraceWriter.
 func ReadTrace(r io.Reader) ([]RequestRecord, error) { return trace.Read(r) }
 
+// TraceFromSpanEvents reconstructs per-request records from a structured
+// event stream's root "request" spans — the event-plane counterpart of
+// ReadTrace, letting run archives serve as trace sources directly.
+func TraceFromSpanEvents(events []ObsEvent) ([]RequestRecord, error) {
+	return trace.FromSpanEvents(events)
+}
+
 // SummarizeTrace aggregates records into counts and a latency sample.
 func SummarizeTrace(records []RequestRecord) *TraceSummary { return trace.Summarize(records) }
 
@@ -564,6 +571,17 @@ type (
 	// HistogramSnapshot is a point-in-time histogram export with bucket
 	// counts and quantile estimation.
 	HistogramSnapshot = obs.HistogramSnapshot
+	// Clock is the sanctioned monotonic wall-clock reader — the single
+	// doorway through which wall time may enter instrumentation.
+	Clock = obs.Clock
+	// Tracer mints pipeline-trace phases over a span sink.
+	Tracer = obs.Tracer
+	// Phase is one live pipeline-trace phase; nil phases are inert, so
+	// tracing hooks can be threaded through unconditionally.
+	Phase = obs.Phase
+	// SpanCollector gathers emitted spans in memory (for export or
+	// phase-attribution reporting).
+	SpanCollector = obs.SpanCollector
 )
 
 // NewMetricsRegistry returns an empty metrics registry; set it as
@@ -594,6 +612,24 @@ func NewProgressWriter(w io.Writer) ProgressSink { return obs.ProgressWriter(w) 
 // portfolio arms); reports whether it does. Attaching a sink never
 // changes an assigner's result.
 func WithProgress(a Assigner, sink ProgressSink) bool { return assign.WithProgress(a, sink) }
+
+// WithPhases attaches a pipeline-trace parent phase to an assigner if it
+// reports solver phases (construction/improvement/repair/polish);
+// reports whether it does. Attaching never changes an assigner's result,
+// and a nil parent keeps the solver on its zero-overhead path.
+func WithPhases(a Assigner, parent *Phase) bool { return assign.WithPhases(a, parent) }
+
+// WallClock returns the process-wide monotonic wall clock — the only
+// sanctioned wall-clock source for instrumentation (see internal/obs).
+func WallClock() Clock { return obs.WallClock() }
+
+// NewTracer builds a pipeline tracer emitting finished phase spans into
+// sink; a nil sink returns a nil (inert) tracer.
+func NewTracer(sink ObsSink, clock Clock) *Tracer { return obs.NewTracer(sink, clock) }
+
+// WriteChromeTrace exports spans as Chrome trace-event JSON, loadable in
+// Perfetto or chrome://tracing.
+func WriteChromeTrace(w io.Writer, spans []Span) error { return obs.WriteChromeTrace(w, spans) }
 
 // DefaultLatencyBucketsMs returns the standard latency histogram bucket
 // bounds (0.5 ms .. 10 s).
