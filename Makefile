@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet lint ci bench-json perf-gate baseline trace-smoke
+.PHONY: all build test race bench vet lint ci bench-json perf-gate baseline trace-smoke sysmon-smoke
 
 all: build test
 
@@ -81,3 +81,21 @@ trace-smoke:
 	grep -q '^## Pipeline phases' $(TRACE_DIR)/report.md
 	grep -q 'critical path:' $(TRACE_DIR)/report.md
 	@echo "trace smoke passed; report in $(TRACE_DIR)/report.md"
+
+# Sysmon smoke: the trace smoke with resource sampling on — the export
+# must still strict-validate (now with counter tracks), the archive must
+# carry resources.jsonl, and the report must grow the per-phase
+# resource-attribution table next to the wall-time one.
+SYSMON_DIR ?= /tmp/taccc-sysmon-smoke
+
+sysmon-smoke:
+	rm -rf $(SYSMON_DIR)
+	$(GO) run ./cmd/tacsolve -iot 80 -edge 8 -rho 0.8 -algo tabu -seed 7 \
+	  -workers 4 -sysmon -sysmon-interval 25ms \
+	  -trace-out $(SYSMON_DIR)/trace.json -archive $(SYSMON_DIR)/run
+	$(GO) run ./cmd/tactrace -chrome $(SYSMON_DIR)/trace.json
+	test -s $(SYSMON_DIR)/run/resources.jsonl
+	$(GO) run ./cmd/tacreport $(SYSMON_DIR)/run -o $(SYSMON_DIR)/report.md
+	grep -q '^## Pipeline phases' $(SYSMON_DIR)/report.md
+	grep -q '^## Resource attribution' $(SYSMON_DIR)/report.md
+	@echo "sysmon smoke passed; report in $(SYSMON_DIR)/report.md"

@@ -69,6 +69,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	archive.Flags(fs)
 	var trace cliutil.Trace
 	trace.Flags(fs)
+	var sysmonFlag cliutil.Sysmon
+	sysmonFlag.Flags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -105,7 +107,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "tacbench: %v\n", err)
 		return 1
 	}
-	traceRoot, err := trace.Start("tacbench", &archive)
+	// The resource sampler starts before tracing so the root phase (and
+	// everything under it) carries begin/end resource attributes.
+	if err := sysmonFlag.Start(&archive, trace.Enabled()); err != nil {
+		fmt.Fprintf(stderr, "tacbench: %v\n", err)
+		return 1
+	}
+	defer sysmonFlag.Stop()
+	traceRoot, err := trace.Start("tacbench", &archive, sysmonFlag.Source())
 	if err != nil {
 		fmt.Fprintf(stderr, "tacbench: %v\n", err)
 		return 1
@@ -141,7 +150,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		metricsReg = obs.NewRegistry()
 		progressSink = obs.CountEvents(metricsReg, progressSink)
 	}
-	stopTelemetry, err := telemetry.Start(metricsReg, stderr)
+	stopTelemetry, err := telemetry.Start(stderr, metricsReg, sysmonFlag.Registry())
 	if err != nil {
 		fmt.Fprintf(stderr, "tacbench: %v\n", err)
 		return 1
@@ -149,9 +158,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	defer stopTelemetry()
 
 	finish := func(summary runlog.Summary) int {
-		// Finish tracing first so the final spans reach the archive's
-		// trace stream before Finish seals it.
-		if err := trace.Finish(stdout); err != nil {
+		// Detach the sampler from the archive/trace sinks, then finish
+		// tracing first so the final spans reach the archive's trace
+		// stream before Finish seals it.
+		sysmonFlag.CloseStreams()
+		if err := trace.Finish(stdout, sysmonFlag.Counters()); err != nil {
 			fmt.Fprintf(stderr, "tacbench: %v\n", err)
 			return 1
 		}

@@ -1,5 +1,5 @@
 // Command taclint runs the repository's custom static-analysis suite: a
-// multichecker of five analyzers that machine-enforce the determinism,
+// multichecker of six analyzers that machine-enforce the determinism,
 // zero-overhead-observability and hot-path-performance invariants (see
 // internal/lint).
 //
@@ -8,6 +8,7 @@
 //	nilrecv   nil-receiver guards on the obs sink/metric types
 //	sinkerr   no dropped event-sink Flush/Close errors in cmd/
 //	hotloop   no gap TotalCost calls inside loops in internal/assign
+//	resmon    no runtime memory/scheduler stats reads outside obs/sysmon
 //
 // Usage:
 //

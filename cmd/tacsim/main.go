@@ -65,6 +65,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	archive.Flags(fs)
 	var pipeTrace cliutil.Trace
 	pipeTrace.Flags(fs)
+	var sysmonFlag cliutil.Sysmon
+	sysmonFlag.Flags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -76,7 +78,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "tacsim: %v\n", err)
 		return 1
 	}
-	traceRoot, err := pipeTrace.Start("tacsim", &archive)
+	// The resource sampler starts before tracing so the root phase (and
+	// everything under it) carries begin/end resource attributes.
+	if err := sysmonFlag.Start(&archive, pipeTrace.Enabled()); err != nil {
+		fmt.Fprintf(stderr, "tacsim: %v\n", err)
+		return 1
+	}
+	defer sysmonFlag.Stop()
+	traceRoot, err := pipeTrace.Start("tacsim", &archive, sysmonFlag.Source())
 	if err != nil {
 		fmt.Fprintf(stderr, "tacsim: %v\n", err)
 		return 1
@@ -124,7 +133,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		metricsReg = taccc.NewMetricsRegistry()
 		sinks = append(sinks, taccc.MetricsProgress(metricsReg))
 	}
-	stopTelemetry, err := telemetry.Start(metricsReg, stderr)
+	stopTelemetry, err := telemetry.Start(stderr, metricsReg, sysmonFlag.Registry())
 	if err != nil {
 		fmt.Fprintf(stderr, "tacsim: %v\n", err)
 		return 1
@@ -234,9 +243,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "trace:      %d records -> %s\n", traceWriter.N(), *tracePath)
 	}
-	// Finish tracing first so the final spans reach the archive's trace
-	// stream before Finish seals it.
-	if err := pipeTrace.Finish(stdout); err != nil {
+	// Detach the sampler from the archive/trace sinks (it keeps updating
+	// the registry through the -linger window below, so tactop's
+	// staleness age stays honest), then finish tracing first so the final
+	// spans reach the archive's trace stream before Finish seals it.
+	sysmonFlag.CloseStreams()
+	if err := pipeTrace.Finish(stdout, sysmonFlag.Counters()); err != nil {
 		fmt.Fprintf(stderr, "tacsim: %v\n", err)
 		return 1
 	}

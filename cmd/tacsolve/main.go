@@ -60,6 +60,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	archive.Flags(fs)
 	var trace cliutil.Trace
 	trace.Flags(fs)
+	var sysmonFlag cliutil.Sysmon
+	sysmonFlag.Flags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -71,7 +73,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "tacsolve: %v\n", err)
 		return 1
 	}
-	traceRoot, err := trace.Start("tacsolve", &archive)
+	// The resource sampler starts before tracing so the root phase (and
+	// everything under it) carries begin/end resource attributes.
+	if err := sysmonFlag.Start(&archive, trace.Enabled()); err != nil {
+		fmt.Fprintf(stderr, "tacsolve: %v\n", err)
+		return 1
+	}
+	defer sysmonFlag.Stop()
+	traceRoot, err := trace.Start("tacsolve", &archive, sysmonFlag.Source())
 	if err != nil {
 		fmt.Fprintf(stderr, "tacsolve: %v\n", err)
 		return 1
@@ -111,7 +120,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		metricsReg = taccc.NewMetricsRegistry()
 		sinks = append(sinks, taccc.MetricsProgress(metricsReg))
 	}
-	stopTelemetry, err := telemetry.Start(metricsReg, stderr)
+	stopTelemetry, err := telemetry.Start(stderr, metricsReg, sysmonFlag.Registry())
 	if err != nil {
 		fmt.Fprintf(stderr, "tacsolve: %v\n", err)
 		return 1
@@ -119,9 +128,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	defer stopTelemetry()
 	sink := taccc.MultiProgress(sinks...)
 	finishObs := func(summary runlog.Summary) int {
-		// Finish tracing first: it ends the root phase, so the final
-		// spans are in the archive's trace stream before Finish seals it.
-		if err := trace.Finish(stdout); err != nil {
+		// Detach the resource sampler from the archive/trace sinks (with
+		// one final sample) before those streams are sealed, then finish
+		// tracing first: it ends the root phase, so the final spans are in
+		// the archive's trace stream before Finish seals it.
+		sysmonFlag.CloseStreams()
+		if err := trace.Finish(stdout, sysmonFlag.Counters()); err != nil {
 			fmt.Fprintf(stderr, "tacsolve: %v\n", err)
 			return 1
 		}

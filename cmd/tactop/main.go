@@ -2,7 +2,10 @@
 // server (tacsim/tacsolve/tacbench with -listen): it polls /metrics,
 // reassembles the request counters and per-phase delay histograms, and
 // renders a top-style summary — request totals and miss rate, p50/p95/p99
-// per delay phase, and one line per edge with its queue depth.
+// per delay phase, one line per edge with its queue depth, and (when the
+// producer runs with -sysmon) a resources panel: heap, RSS, goroutines,
+// GC and allocation rate, plus the age of the last resource sample so a
+// wedged run shows STALE instead of silently frozen gauges.
 //
 // Usage:
 //
@@ -127,7 +130,42 @@ func render(w io.Writer, addr string, samples []httpserv.Sample) {
 	for _, e := range edges {
 		fmt.Fprintf(w, "edge %3d  queue %.0f\n", e.idx, e.depth)
 	}
+	renderResources(w, scalar, time.Now().UnixMilli())
 	fmt.Fprintln(w)
+}
+
+// renderResources writes the sysmon panel when the scrape carries
+// resource metrics (producer ran with -sysmon): heap and RSS levels,
+// goroutines, GC totals, allocation rate, and the age of the last
+// sample. A sample older than three sampling intervals (and at least a
+// second) is flagged STALE — the sampler goroutine has stopped ticking,
+// so the gauges are frozen, not calm.
+func renderResources(w io.Writer, scalar map[string]float64, nowUnixMs int64) {
+	if scalar["sysmon_samples_total"] <= 0 {
+		return
+	}
+	fmt.Fprintf(w, "resources  heap %s/%s  rss %s  goroutines %.0f  gc %.0f (%.2f ms)  alloc %s/s",
+		mb(scalar["go_heap_alloc_bytes"]), mb(scalar["go_heap_inuse_bytes"]),
+		mb(scalar["proc_rss_bytes"]),
+		scalar["go_goroutines"],
+		scalar["go_gc_cycles_total"], scalar["go_gc_pause_ms_total"],
+		mb(scalar["go_alloc_bytes_per_s"]))
+	if last := scalar["sysmon_last_sample_unix_ms"]; last > 0 {
+		ageMs := float64(nowUnixMs) - last
+		if ageMs < 0 {
+			ageMs = 0
+		}
+		fmt.Fprintf(w, "  sampled %.1fs ago", ageMs/1000)
+		if interval := scalar["sysmon_interval_ms"]; interval > 0 && ageMs > 3*interval && ageMs > 1000 {
+			fmt.Fprint(w, "  STALE (sampler wedged?)")
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// mb renders a byte quantity as mebibytes with one decimal.
+func mb(v float64) string {
+	return strconv.FormatFloat(v/(1024*1024), 'f', 1, 64) + " MB"
 }
 
 func quantStr(v float64) string {

@@ -86,6 +86,60 @@ func TestRunReportsUnreachableServer(t *testing.T) {
 	}
 }
 
+func TestRenderResources(t *testing.T) {
+	base := map[string]float64{
+		"sysmon_samples_total":       10,
+		"sysmon_interval_ms":         250,
+		"sysmon_last_sample_unix_ms": 1_000_000,
+		"go_heap_alloc_bytes":        64 << 20,
+		"go_heap_inuse_bytes":        96 << 20,
+		"proc_rss_bytes":             128 << 20,
+		"go_goroutines":              9,
+		"go_gc_cycles_total":         4,
+		"go_gc_pause_ms_total":       1.25,
+		"go_alloc_bytes_per_s":       2 << 20,
+	}
+
+	// Fresh sample (100 ms old): full panel, no STALE flag.
+	var buf bytes.Buffer
+	renderResources(&buf, base, 1_000_100)
+	out := buf.String()
+	for _, want := range []string{"resources", "64.0 MB/96.0 MB", "rss 128.0 MB", "goroutines 9", "gc 4 (1.25 ms)", "2.0 MB/s", "sampled 0.1s ago"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("panel missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "STALE") {
+		t.Errorf("fresh sample flagged STALE:\n%s", out)
+	}
+
+	// Stale sample: older than 3 intervals and over a second.
+	buf.Reset()
+	renderResources(&buf, base, 1_000_000+5_000)
+	if !strings.Contains(buf.String(), "STALE") {
+		t.Errorf("5s-old sample at 250ms interval not flagged STALE:\n%s", buf.String())
+	}
+
+	// Old but within 3 intervals of a slow sampler: not stale.
+	slow := map[string]float64{}
+	for k, v := range base {
+		slow[k] = v
+	}
+	slow["sysmon_interval_ms"] = 10_000
+	buf.Reset()
+	renderResources(&buf, slow, 1_000_000+5_000)
+	if strings.Contains(buf.String(), "STALE") {
+		t.Errorf("5s-old sample at 10s interval flagged STALE:\n%s", buf.String())
+	}
+
+	// No sysmon metrics in the scrape: the panel is absent entirely.
+	buf.Reset()
+	renderResources(&buf, map[string]float64{"cluster_requests_sent": 10}, 1_000_000)
+	if buf.Len() != 0 {
+		t.Errorf("panel rendered without sysmon metrics: %q", buf.String())
+	}
+}
+
 func TestRunVersion(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-version"}, &stdout, &stderr); code != 0 {

@@ -145,8 +145,9 @@ func validateChrome(path string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "tactrace: %s: %v\n", path, err)
 		return 1
 	}
-	spans, meta := 0, 0
+	spans, meta, counters := 0, 0, 0
 	threads := map[int]bool{}
+	counterTracks := map[string]bool{}
 	for _, ev := range ct.TraceEvents {
 		switch ev.Ph {
 		case "X":
@@ -154,9 +155,16 @@ func validateChrome(path string, stdout, stderr io.Writer) int {
 			threads[ev.Tid] = true
 		case "M":
 			meta++
+		case "C":
+			counters++
+			counterTracks[ev.Name] = true
 		}
 	}
 	fmt.Fprintf(stdout, "chrome trace %s: valid (%d spans on %d threads, %d metadata events)\n",
 		path, spans, len(threads), meta)
+	if counters > 0 {
+		fmt.Fprintf(stdout, "chrome trace %s: %d counter events on %d tracks\n",
+			path, counters, len(counterTracks))
+	}
 	return 0
 }

@@ -17,22 +17,24 @@ import (
 // produce byte-identical archives (the manifest's wall-clock fields
 // aside), which is what makes run-diffing trustworthy.
 var executionOnlyFlags = map[string]bool{
-	"archive":     true,
-	"cpuprofile":  true,
-	"memprofile":  true,
-	"events":      true,
-	"linger":      true,
-	"listen":      true,
-	"metrics-out": true,
-	"o":           true,
-	"outdir":      true,
-	"progress":    true,
-	"trace":       true,
-	"trace-out":   true,
-	"workers":     true,
-	"json":        true,
-	"csv":         true,
-	"md":          true,
+	"archive":         true,
+	"cpuprofile":      true,
+	"memprofile":      true,
+	"events":          true,
+	"linger":          true,
+	"listen":          true,
+	"metrics-out":     true,
+	"o":               true,
+	"outdir":          true,
+	"progress":        true,
+	"sysmon":          true,
+	"sysmon-interval": true,
+	"trace":           true,
+	"trace-out":       true,
+	"workers":         true,
+	"json":            true,
+	"csv":             true,
+	"md":              true,
 }
 
 // Archive wires the shared -archive flag into a FlagSet and manages the
@@ -92,6 +94,16 @@ func (a *Archive) StartTrace() (*obs.JSONL, error) {
 		return nil, nil
 	}
 	return a.w.StartTrace()
+}
+
+// StartResources opens the archive's resource-sample stream
+// (resources.jsonl), nil when archiving is off. Sealed by Finish along
+// with the rest.
+func (a *Archive) StartResources() (*obs.JSONL, error) {
+	if !a.Enabled() {
+		return nil, nil
+	}
+	return a.w.StartResources()
 }
 
 // Finish seals the archive with the final metrics snapshot and result

@@ -1,0 +1,117 @@
+package cliutil
+
+import (
+	"flag"
+	"time"
+
+	"taccc/internal/obs"
+	"taccc/internal/obs/sysmon"
+)
+
+// Sysmon wires the shared -sysmon/-sysmon-interval flags into a FlagSet
+// and manages the resource-sampler lifecycle around a command run. When
+// on, a background sysmon.Sampler feeds three planes at once: go.*/
+// proc.* metrics in its own registry (merged into the -listen telemetry
+// exposition, never into the archived metrics snapshot — that is what
+// keeps archives byte-identical with sysmon on or off), "res" events
+// into the archive's resources.jsonl, and an in-memory Collector whose
+// samples become Chrome counter tracks in the -trace-out export. The
+// sampler also acts as the tracer's ResourceSource so every pipeline
+// phase carries begin/end resource attributes.
+//
+// All methods are nil-safe and no-op when sampling is off, so tools
+// thread the struct through unconditionally, exactly like Trace.
+type Sysmon struct {
+	On       bool
+	Interval time.Duration
+
+	reg     *obs.Registry
+	col     *sysmon.Collector
+	sampler *sysmon.Sampler
+}
+
+// Flags registers the sysmon flags on fs.
+func (s *Sysmon) Flags(fs *flag.FlagSet) {
+	fs.BoolVar(&s.On, "sysmon", false, "sample runtime heap/GC/goroutine/RSS usage while running: go.*/proc.* metrics on -listen, resources.jsonl under -archive, counter tracks in -trace-out, per-phase resource attribution in traced archives")
+	fs.DurationVar(&s.Interval, "sysmon-interval", sysmon.DefaultInterval, "sampling period for -sysmon")
+}
+
+// Enabled reports whether resource sampling was requested.
+func (s *Sysmon) Enabled() bool { return s != nil && s.On }
+
+// Start launches the sampler when -sysmon was given: an immediate
+// sample, then one per -sysmon-interval. The archive's resources.jsonl
+// stream is opened when archiving is on; counter samples are collected
+// in memory when collectCounters says a trace export will want them.
+func (s *Sysmon) Start(a *Archive, collectCounters bool) error {
+	if !s.Enabled() {
+		return nil
+	}
+	s.reg = obs.NewRegistry()
+	var sinks []obs.Sink
+	if a.Enabled() {
+		rs, err := a.StartResources()
+		if err != nil {
+			return err
+		}
+		sinks = append(sinks, rs)
+	}
+	if collectCounters {
+		s.col = &sysmon.Collector{}
+		sinks = append(sinks, s.col)
+	}
+	s.sampler = sysmon.New(sysmon.Options{
+		Clock:    obs.WallClock(),
+		Registry: s.reg,
+		Sink:     obs.MultiSink(sinks...),
+	})
+	s.sampler.Start(s.Interval)
+	return nil
+}
+
+// Registry returns the sampler's go.*/proc.* registry, nil when
+// sampling is off — pass it to Telemetry.Start alongside the tool's
+// semantic registry.
+func (s *Sysmon) Registry() *obs.Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Source returns the sampler as a tracer ResourceSource, nil (as an
+// interface, not a typed nil) when sampling is off.
+func (s *Sysmon) Source() obs.ResourceSource {
+	if s == nil || s.sampler == nil {
+		return nil
+	}
+	return s.sampler
+}
+
+// CloseStreams takes a final sample and detaches the sampler from the
+// archive/collector sinks, so they can be sealed while the sampler
+// keeps refreshing the registry (tacsim -linger). Call before
+// Trace.Finish and Archive.Finish.
+func (s *Sysmon) CloseStreams() {
+	if s == nil {
+		return
+	}
+	s.sampler.DetachSink()
+}
+
+// Counters returns the collected samples as Chrome counter tracks for
+// the trace export (nil when sampling or collection is off).
+func (s *Sysmon) Counters() []obs.CounterSample {
+	if s == nil || s.col == nil {
+		return nil
+	}
+	return sysmon.CounterSamples(s.col.Samples())
+}
+
+// Stop halts the background sampler. Idempotent and nil-safe; defer it.
+func (s *Sysmon) Stop() {
+	if s == nil {
+		return
+	}
+	s.sampler.Stop()
+}

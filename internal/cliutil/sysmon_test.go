@@ -1,0 +1,146 @@
+package cliutil
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"taccc/internal/obs"
+	"taccc/internal/obs/runlog"
+	"taccc/internal/obs/sysmon"
+)
+
+func TestSysmonFlags(t *testing.T) {
+	var s Sysmon
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	s.Flags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.On || s.Interval != sysmon.DefaultInterval {
+		t.Fatalf("defaults: On=%v Interval=%v", s.On, s.Interval)
+	}
+	if s.Enabled() {
+		t.Fatal("Enabled with -sysmon unset")
+	}
+	fs2 := flag.NewFlagSet("x", flag.ContinueOnError)
+	var s2 Sysmon
+	s2.Flags(fs2)
+	if err := fs2.Parse([]string{"-sysmon", "-sysmon-interval", "10ms"}); err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Enabled() || s2.Interval != 10*time.Millisecond {
+		t.Fatalf("parsed: On=%v Interval=%v", s2.On, s2.Interval)
+	}
+}
+
+// A nil or off Sysmon must be fully inert: that is the contract that
+// lets every tool thread it through unconditionally.
+func TestSysmonNilAndOffSafe(t *testing.T) {
+	var nilS *Sysmon
+	if nilS.Enabled() {
+		t.Fatal("nil Sysmon enabled")
+	}
+	if err := nilS.Start(nil, true); err != nil {
+		t.Fatal(err)
+	}
+	if nilS.Registry() != nil || nilS.Counters() != nil {
+		t.Fatal("nil Sysmon produced a registry or counters")
+	}
+	if nilS.Source() != nil {
+		t.Fatal("nil Sysmon Source() must be a true nil interface")
+	}
+	nilS.CloseStreams()
+	nilS.Stop()
+
+	var off Sysmon // flags unset
+	if err := off.Start(&Archive{}, true); err != nil {
+		t.Fatal(err)
+	}
+	if off.Source() != nil {
+		t.Fatal("off Sysmon Source() must be a true nil interface")
+	}
+	off.CloseStreams()
+	off.Stop()
+}
+
+func TestSysmonStartWithArchive(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	a := &Archive{Dir: dir}
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	a.Flags(fs)
+	var seedFlag = fs.Int64("seed", 1, "")
+	if err := fs.Parse([]string{"-archive", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start("tactest", fs, *seedFlag); err != nil {
+		t.Fatal(err)
+	}
+
+	s := &Sysmon{On: true, Interval: time.Millisecond}
+	if err := s.Start(a, true); err != nil {
+		t.Fatal(err)
+	}
+	if s.Registry() == nil {
+		t.Fatal("running Sysmon has no registry")
+	}
+	if s.Source() == nil {
+		t.Fatal("running Sysmon has no ResourceSource")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.Counters()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	s.CloseStreams()
+	s.Stop()
+	if len(s.Counters()) == 0 {
+		t.Fatal("no counter samples collected")
+	}
+	reg := obs.NewRegistry()
+	reg.Counter("cluster.requests_ok").Add(1)
+	if err := a.Finish(reg, runlog.Summary{"ok": 1}, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+
+	arch, err := runlog.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := sysmon.SamplesFromEvents(arch.Resources)
+	if len(samples) == 0 {
+		t.Fatal("archive has no resource samples")
+	}
+	// The sysmon registry is separate: none of its metrics may leak into
+	// the archived snapshot, which must stay identical with sysmon off.
+	for name := range arch.Metrics.Counters {
+		if name == "sysmon.samples_total" {
+			t.Fatal("sysmon counter leaked into the archived metrics snapshot")
+		}
+	}
+	for name := range arch.Metrics.Gauges {
+		switch name {
+		case "go.heap_alloc_bytes", "go.heap_inuse_bytes", "proc.rss_bytes":
+			t.Fatalf("sysmon gauge %s leaked into the archived metrics snapshot", name)
+		}
+	}
+}
+
+// TestSysmonStartWithoutArchive: sampling with archiving off still
+// collects counter samples and serves a registry.
+func TestSysmonStartWithoutArchive(t *testing.T) {
+	s := &Sysmon{On: true, Interval: time.Millisecond}
+	if err := s.Start(&Archive{}, true); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	s.CloseStreams() // forces at least the final sample through
+	if len(s.Counters()) == 0 {
+		t.Fatal("no counter samples without an archive")
+	}
+	snap := s.Registry().Snapshot()
+	if snap.Counters["sysmon.samples_total"] == 0 {
+		t.Fatalf("registry not fed: %+v", snap.Counters)
+	}
+}

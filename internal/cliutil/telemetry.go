@@ -25,14 +25,16 @@ func (t *Telemetry) Flags(fs *flag.FlagSet) {
 // Enabled reports whether a listen address was requested.
 func (t *Telemetry) Enabled() bool { return t.Listen != "" }
 
-// Start launches the telemetry server over reg when -listen was given and
-// returns a stop function (always non-nil). The bound address is
-// announced on logw so scripts can scrape a :0 listener.
-func (t *Telemetry) Start(reg *obs.Registry, logw io.Writer) (stop func(), err error) {
+// Start launches the telemetry server over one or more registries when
+// -listen was given (merged at serve time — the tool's semantic metrics
+// plus sysmon's resource registry) and returns a stop function (always
+// non-nil). The bound address is announced on logw so scripts can
+// scrape a :0 listener.
+func (t *Telemetry) Start(logw io.Writer, regs ...*obs.Registry) (stop func(), err error) {
 	if !t.Enabled() {
 		return func() {}, nil
 	}
-	srv, err := httpserv.Start(t.Listen, reg)
+	srv, err := httpserv.Start(t.Listen, regs...)
 	if err != nil {
 		return nil, err
 	}

@@ -85,7 +85,7 @@ func TestTelemetryDisabledIsNoOp(t *testing.T) {
 	if tel.Enabled() {
 		t.Fatal("no -listen should mean disabled")
 	}
-	stop, err := tel.Start(nil, io.Discard)
+	stop, err := tel.Start(io.Discard, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestTelemetryServesMetrics(t *testing.T) {
 	reg.Counter("cluster.requests.sent").Add(42)
 	tel := Telemetry{Listen: "127.0.0.1:0"}
 	var log bytes.Buffer
-	stop, err := tel.Start(reg, &log)
+	stop, err := tel.Start(&log, reg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -33,10 +33,11 @@ func (tr *Trace) Enabled() bool { return tr != nil && tr.Out != "" }
 // Start builds the tracer and opens the root pipeline phase. When the
 // run is also being archived, the span stream is persisted as
 // trace.jsonl inside the archive — kept apart from events.jsonl because
-// wall-clock spans are inherently nondeterministic. Returns the root
-// phase (nil when tracing is off — every downstream consumer is
-// nil-safe).
-func (tr *Trace) Start(name string, a *Archive) (*obs.Phase, error) {
+// wall-clock spans are inherently nondeterministic. A non-nil res (the
+// sysmon sampler) makes every phase — root included — carry begin/end
+// resource attributes. Returns the root phase (nil when tracing is
+// off — every downstream consumer is nil-safe).
+func (tr *Trace) Start(name string, a *Archive, res obs.ResourceSource) (*obs.Phase, error) {
 	if !tr.Enabled() {
 		return nil, nil
 	}
@@ -50,15 +51,17 @@ func (tr *Trace) Start(name string, a *Archive) (*obs.Phase, error) {
 		sink = obs.MultiSink(tr.col, ts)
 	}
 	tr.tracer = obs.NewTracer(sink, obs.WallClock())
+	tr.tracer.SetResources(res)
 	tr.root = tr.tracer.Root(name)
 	return tr.root, nil
 }
 
-// Finish ends the root phase and writes the Chrome trace-event export,
-// announcing the trace location on logw. Safe to call when tracing is
-// off; export errors are returned so callers fail the run rather than
-// ship a truncated trace.
-func (tr *Trace) Finish(logw io.Writer) error {
+// Finish ends the root phase and writes the Chrome trace-event export —
+// spans plus any resource counter tracks (Sysmon.Counters) — announcing
+// the trace location on logw. Safe to call when tracing is off; export
+// errors are returned so callers fail the run rather than ship a
+// truncated trace.
+func (tr *Trace) Finish(logw io.Writer, counters []obs.CounterSample) error {
 	if !tr.Enabled() || tr.tracer == nil {
 		return nil
 	}
@@ -67,7 +70,7 @@ func (tr *Trace) Finish(logw io.Writer) error {
 	if err != nil {
 		return err
 	}
-	werr := obs.WriteChromeTrace(f, tr.col.Spans())
+	werr := obs.WriteChromeTrace(f, tr.col.Spans(), counters...)
 	if cerr := f.Close(); werr == nil {
 		werr = cerr
 	}

@@ -7,7 +7,7 @@ import (
 	"taccc/internal/lint/linttest"
 )
 
-// The five analyzers each run over a fixture package whose want comments
+// The six analyzers each run over a fixture package whose want comments
 // pin down positive cases, negative cases, and //lint:allow handling.
 
 func TestDetrandFixtures(t *testing.T) {
@@ -28,4 +28,8 @@ func TestSinkerrFixtures(t *testing.T) {
 
 func TestHotloopFixtures(t *testing.T) {
 	linttest.Run(t, linttest.TestData(t), lint.Hotloop, "hotloop")
+}
+
+func TestResmonFixtures(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), lint.Resmon, "resmon")
 }

@@ -58,7 +58,10 @@ var ClockDisciplinePackages = []string{
 //   - sinkerr over cmd/, where event streams are opened and must fail
 //     loudly;
 //   - hotloop over internal/assign, where every solver inner loop is
-//     expected to price moves through the incremental gap.Evaluator.
+//     expected to price moves through the incremental gap.Evaluator;
+//   - resmon everywhere except internal/obs/sysmon, the one sanctioned
+//     consumer of runtime memory/scheduler statistics (the bench alloc
+//     pass annotates its in-place measurement reads).
 func DefaultRules() []Rule {
 	inDeterministic := func(path string) bool {
 		for _, p := range DeterministicPackages {
@@ -86,6 +89,9 @@ func DefaultRules() []Rule {
 		{Analyzer: Sinkerr, Match: func(path string) bool { return strings.HasPrefix(path, "taccc/cmd/") }},
 		{Analyzer: Hotloop, Match: func(path string) bool {
 			return path == "taccc/internal/assign" || strings.HasPrefix(path, "taccc/internal/assign/")
+		}},
+		{Analyzer: Resmon, Match: func(path string) bool {
+			return path != "taccc/internal/obs/sysmon"
 		}},
 	}
 }

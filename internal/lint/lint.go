@@ -1,4 +1,4 @@
-// Package lint is the repository's static-analysis suite: five analyzers
+// Package lint is the repository's static-analysis suite: six analyzers
 // that machine-enforce the determinism, zero-overhead-observability and
 // hot-path-performance invariants the rest of the codebase only
 // documents.
@@ -18,6 +18,9 @@
 //   - hotloop: no gap TotalCost calls inside loop bodies in the solver
 //     packages — metaheuristic iterations price moves through the
 //     incremental gap.Evaluator, never by re-costing the whole assignment.
+//   - resmon: no runtime.ReadMemStats/NumGoroutine/runtime-metrics reads
+//     outside internal/obs/sysmon — resource telemetry flows through the
+//     sysmon sampler so "sysmon off" provably means zero probes.
 //
 // The framework mirrors the golang.org/x/tools/go/analysis API surface
 // (Analyzer, Pass, analysistest-style "// want" fixtures) but is built
@@ -78,7 +81,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 
 // Analyzers lists every analyzer in the suite, in diagnostic-output order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Detrand, Maporder, Nilrecv, Sinkerr, Hotloop}
+	return []*Analyzer{Detrand, Maporder, Nilrecv, Sinkerr, Hotloop, Resmon}
 }
 
 // objectOf resolves an identifier to its object via Uses or Defs.

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Resmon enforces the resource-telemetry boundary: internal/obs/sysmon
+// is the one sanctioned consumer of the runtime's memory and scheduler
+// statistics. Scattered runtime.ReadMemStats / runtime.NumGoroutine /
+// runtime/metrics reads are how ad-hoc "debug telemetry" creeps in —
+// each one a stop-the-world (ReadMemStats) or lock-taking probe on a
+// hot path, invisible to the sampler's zero-overhead-when-off contract
+// and absent from every plane sysmon feeds (registry, resources.jsonl,
+// trace counters). Code that needs a resource reading goes through
+// sysmon (ReadSnapshot, a Sampler, WatchPeak); measurement harnesses
+// that legitimately read MemStats in place — the bench alloc pass —
+// annotate each read with //lint:allow resmon <reason>.
+var Resmon = &Analyzer{
+	Name: "resmon",
+	Doc:  "forbid runtime.ReadMemStats/NumGoroutine/MemStats and runtime/metrics outside internal/obs/sysmon; resource readings flow through the sysmon sampler",
+	Run:  runResmon,
+}
+
+// resmonRuntimeNames are the runtime package's resource-statistics
+// entry points: the readers and the MemStats type itself (declaring a
+// runtime.MemStats is the tell of an in-place measurement).
+var resmonRuntimeNames = map[string]bool{
+	"ReadMemStats": true,
+	"NumGoroutine": true,
+	"MemStats":     true,
+}
+
+func runResmon(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := objectOf(p.TypesInfo, sel.Sel)
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "runtime":
+				if resmonRuntimeNames[obj.Name()] {
+					p.Reportf(sel.Pos(), "runtime.%s reads resource statistics outside internal/obs/sysmon; sample through sysmon (ReadSnapshot/Sampler/WatchPeak) or annotate a measurement harness with //lint:allow resmon <reason>", obj.Name())
+				}
+			case "runtime/metrics":
+				p.Reportf(sel.Pos(), "runtime/metrics.%s reads resource statistics outside internal/obs/sysmon; sample through sysmon (ReadSnapshot/Sampler/WatchPeak) or annotate a measurement harness with //lint:allow resmon <reason>", obj.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+// Package resmon is the resmon analyzer's fixture: runtime memory and
+// scheduler statistics reads are flagged — ReadMemStats, NumGoroutine,
+// declaring a runtime.MemStats, and anything from runtime/metrics —
+// while the runtime package's non-telemetry surface stays usable.
+package resmon
+
+import (
+	"runtime"
+	"runtime/metrics"
+)
+
+func memStats() {
+	var ms runtime.MemStats   // want `runtime.MemStats reads resource statistics`
+	runtime.ReadMemStats(&ms) // want `runtime.ReadMemStats reads resource statistics`
+	_ = ms.HeapAlloc
+	f := runtime.ReadMemStats // want `runtime.ReadMemStats reads resource statistics`
+	_ = f
+}
+
+func goroutines() int {
+	return runtime.NumGoroutine() // want `runtime.NumGoroutine reads resource statistics`
+}
+
+func runtimeMetrics() {
+	s := []metrics.Sample{{Name: "/sched/goroutines:goroutines"}} // want `runtime/metrics.Sample reads resource statistics`
+	metrics.Read(s)                                               // want `runtime/metrics.Read reads resource statistics`
+}
+
+func benign() {
+	// The runtime package's non-telemetry surface is not the analyzer's
+	// business: parallelism, GC control and identification stay free.
+	_ = runtime.GOMAXPROCS(0)
+	_ = runtime.NumCPU()
+	runtime.GC()
+	runtime.Gosched()
+	_ = runtime.Version()
+}
+
+func allowed() {
+	// The measurement-harness escape hatch: annotated on the line above
+	// or trailing the flagged line.
+	//lint:allow resmon measurement harness reads a raw delta in place
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms) //lint:allow resmon trailing-comment form works too
+	_ = ms.Mallocs
+}

@@ -13,8 +13,10 @@ import (
 // one "X" (complete) event with microsecond timestamps; spans carrying a
 // "worker" attribute land on their own thread row (tid 2+worker, named
 // "worker N") so parallel shards render as a per-worker timeline, while
-// ordinary phases share the "pipeline" thread. Metadata ("M") events
-// name the process and threads.
+// ordinary phases share the "pipeline" thread. Resource samples become
+// "C" (counter) events, which Perfetto renders as per-name counter
+// tracks — heap and goroutine curves lined up under the phase spans.
+// Metadata ("M") events name the process and threads.
 
 // ChromeEvent is one trace-event record. Only the members this exporter
 // writes are modeled; ReadChromeTrace rejects anything else.
@@ -49,12 +51,25 @@ func chromeTid(sp Span) int {
 	return chromePipelineTid
 }
 
-// ChromeTraceFromSpans builds the exportable trace object. Events are
-// sorted by (ts, tid, name) so the output is stable regardless of span
-// emission order (children end before parents; shards end in worker-pool
-// order).
-func ChromeTraceFromSpans(spans []Span) ChromeTrace {
-	events := make([]ChromeEvent, 0, len(spans)+4)
+// CounterSample is one reading of a counter track: the values of every
+// series of the named track at one instant. The sysmon sampler converts
+// resource samples into these (one track per resource family — heap,
+// goroutines, RSS); the exporter turns each into a Chrome "C" event so
+// Perfetto draws the curves under the phase spans. TsMs must come from
+// the same Clock as the spans it accompanies, or the curves will not
+// line up.
+type CounterSample struct {
+	Name   string
+	TsMs   float64
+	Values map[string]float64
+}
+
+// ChromeTraceFromSpans builds the exportable trace object from spans
+// plus optional counter samples. Events are sorted by (ts, tid, name) so
+// the output is stable regardless of span emission order (children end
+// before parents; shards end in worker-pool order).
+func ChromeTraceFromSpans(spans []Span, counters ...CounterSample) ChromeTrace {
+	events := make([]ChromeEvent, 0, len(spans)+len(counters)+4)
 	tids := map[int]bool{}
 	for _, sp := range spans {
 		tid := chromeTid(sp)
@@ -77,6 +92,20 @@ func ChromeTraceFromSpans(spans []Span) ChromeTrace {
 			Dur:  &dur,
 			Pid:  chromePid,
 			Tid:  tid,
+			Args: args,
+		})
+	}
+	for _, c := range counters {
+		args := make(map[string]interface{}, len(c.Values))
+		for k, v := range c.Values {
+			args[k] = v
+		}
+		events = append(events, ChromeEvent{
+			Name: c.Name,
+			Ph:   "C",
+			Ts:   c.TsMs * 1000,
+			Pid:  chromePid,
+			Tid:  chromePipelineTid,
 			Args: args,
 		})
 	}
@@ -112,12 +141,13 @@ func ChromeTraceFromSpans(spans []Span) ChromeTrace {
 	return ChromeTrace{TraceEvents: append(meta, events...), DisplayTimeUnit: "ms"}
 }
 
-// WriteChromeTrace exports spans as Chrome trace-event JSON, directly
-// loadable in Perfetto or chrome://tracing.
-func WriteChromeTrace(w io.Writer, spans []Span) error {
+// WriteChromeTrace exports spans (plus optional resource counter
+// samples) as Chrome trace-event JSON, directly loadable in Perfetto or
+// chrome://tracing.
+func WriteChromeTrace(w io.Writer, spans []Span, counters ...CounterSample) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
-	return enc.Encode(ChromeTraceFromSpans(spans))
+	return enc.Encode(ChromeTraceFromSpans(spans, counters...))
 }
 
 // ReadChromeTrace is the strict decoder for files written by
@@ -151,6 +181,24 @@ func ReadChromeTrace(r io.Reader) (ChromeTrace, error) {
 			}
 			if math.IsNaN(ev.Ts) || math.IsInf(ev.Ts, 0) {
 				return ChromeTrace{}, fmt.Errorf("chrome trace: event %d (%s): invalid ts %v", i, ev.Name, ev.Ts)
+			}
+		case "C":
+			if math.IsNaN(ev.Ts) || math.IsInf(ev.Ts, 0) {
+				return ChromeTrace{}, fmt.Errorf("chrome trace: event %d (%s): invalid ts %v", i, ev.Name, ev.Ts)
+			}
+			if len(ev.Args) == 0 {
+				return ChromeTrace{}, fmt.Errorf("chrome trace: event %d (%s): counter event has no series", i, ev.Name)
+			}
+			keys := make([]string, 0, len(ev.Args))
+			for k := range ev.Args {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				v, ok := ev.Args[k].(float64)
+				if !ok || math.IsNaN(v) || math.IsInf(v, 0) {
+					return ChromeTrace{}, fmt.Errorf("chrome trace: event %d (%s): counter series %q is not a finite number", i, ev.Name, k)
+				}
 			}
 		case "M":
 			if ev.Name != "process_name" && ev.Name != "thread_name" {

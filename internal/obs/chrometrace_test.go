@@ -104,3 +104,80 @@ func TestReadChromeTraceRejectsMalformed(t *testing.T) {
 		t.Fatalf("minimal valid trace rejected: %v", err)
 	}
 }
+
+func TestChromeTraceCounterEvents(t *testing.T) {
+	counters := []CounterSample{
+		{Name: "go.heap bytes", TsMs: 2, Values: map[string]float64{"inuse": 1 << 20, "alloc": 900 << 10}},
+		{Name: "go.goroutines", TsMs: 2, Values: map[string]float64{"count": 5}},
+		{Name: "go.heap bytes", TsMs: 4, Values: map[string]float64{"inuse": 2 << 20, "alloc": 1 << 20}},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, pipelineSpans(), counters...); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("strict decode of counter export failed: %v", err)
+	}
+	var got []ChromeEvent
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph == "C" {
+			got = append(got, ev)
+		}
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d counter events, want 3", len(got))
+	}
+	// Same-timestamp events sort by name, so goroutines precedes heap.
+	first := got[0]
+	if first.Name != "go.goroutines" || first.Ts != 2000 { // ms in, µs out
+		t.Fatalf("first counter = %+v, want go.goroutines at ts 2000", first)
+	}
+	if first.Pid != chromePid || first.Tid != chromePipelineTid {
+		t.Fatalf("counter event off the pipeline row: %+v", first)
+	}
+	heap := got[1]
+	if v, ok := heap.Args["inuse"].(float64); heap.Name != "go.heap bytes" || !ok || v != 1<<20 {
+		t.Fatalf("counter series lost: %+v", heap)
+	}
+	// Counters interleave with spans by timestamp, so the heap samples
+	// straddle the delay-matrix phase start in the sorted stream.
+	if got[2].Ts != 4000 {
+		t.Fatalf("counter events out of order: %+v", got)
+	}
+}
+
+func TestChromeTraceCounterDeterministicBytes(t *testing.T) {
+	counters := []CounterSample{
+		{Name: "go.goroutines", TsMs: 1, Values: map[string]float64{"count": 4}},
+		{Name: "go.heap bytes", TsMs: 1, Values: map[string]float64{"inuse": 10, "alloc": 8}},
+	}
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, pipelineSpans(), counters...); err != nil {
+		t.Fatal(err)
+	}
+	rev := []CounterSample{counters[1], counters[0]}
+	if err := WriteChromeTrace(&b, pipelineSpans(), rev...); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("chrome export depends on counter sample order")
+	}
+}
+
+func TestReadChromeTraceRejectsMalformedCounters(t *testing.T) {
+	cases := map[string]string{
+		"no series":          `{"traceEvents":[{"name":"c","ph":"C","ts":0,"pid":1,"tid":1}]}`,
+		"empty series":       `{"traceEvents":[{"name":"c","ph":"C","ts":0,"pid":1,"tid":1,"args":{}}]}`,
+		"non-numeric series": `{"traceEvents":[{"name":"c","ph":"C","ts":0,"pid":1,"tid":1,"args":{"v":"high"}}]}`,
+	}
+	for label, in := range cases {
+		if _, err := ReadChromeTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: strict decoder accepted malformed counter", label)
+		}
+	}
+	ok := `{"traceEvents":[{"name":"c","ph":"C","ts":0,"pid":1,"tid":1,"args":{"v":1.5}}]}`
+	if _, err := ReadChromeTrace(strings.NewReader(ok)); err != nil {
+		t.Fatalf("minimal valid counter rejected: %v", err)
+	}
+}

@@ -8,6 +8,7 @@
 package httpserv
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -16,13 +17,24 @@ import (
 	"taccc/internal/obs"
 )
 
-// Handler returns the telemetry mux over reg. reg may be nil, in which
-// case /metrics and /snapshot serve an empty (but well-formed) exposition.
-func Handler(reg *obs.Registry) http.Handler {
+// Handler returns the telemetry mux over one or more registries, merged
+// at serve time (later registries win on name collisions) — the tool's
+// semantic metrics and sysmon's go.*/proc.* resource metrics stay in
+// separate registries but share one exposition. Registries may be nil
+// (or absent entirely), in which case /metrics and /snapshot serve an
+// empty but well-formed exposition.
+func Handler(regs ...*obs.Registry) http.Handler {
+	snapshot := func() obs.Snapshot {
+		snaps := make([]obs.Snapshot, 0, len(regs))
+		for _, reg := range regs {
+			snaps = append(snaps, reg.Snapshot())
+		}
+		return obs.MergeSnapshots(snaps...)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = WriteMetrics(w, reg.Snapshot())
+		_ = WriteMetrics(w, snapshot())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -30,7 +42,9 @@ func Handler(reg *obs.Registry) http.Handler {
 	})
 	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		_ = reg.WriteJSON(w)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snapshot())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -50,12 +64,12 @@ type Server struct {
 // telemetry handler until Close. It returns once the listener is bound,
 // so Addr() is immediately valid — callers that bind port 0 can discover
 // the assigned port.
-func Start(addr string, reg *obs.Registry) (*Server, error) {
+func Start(addr string, regs ...*obs.Registry) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(reg)}}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(regs...)}}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }

@@ -187,6 +187,53 @@ func TestHandlerEndpoints(t *testing.T) {
 	}
 }
 
+// TestHandlerMergesRegistries: the semantic and sysmon registries are
+// kept separate (archives snapshot only the first) but serve as one
+// exposition — both name sets appear on /metrics and /snapshot.
+func TestHandlerMergesRegistries(t *testing.T) {
+	semantic := demoRegistry()
+	sys := obs.NewRegistry()
+	sys.Gauge("go.heap_alloc_bytes").Set(12345)
+	sys.Counter("sysmon.samples_total").Add(3)
+	srv := httptest.NewServer(Handler(semantic, sys))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	fams, err := ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("merged /metrics does not parse: %v", err)
+	}
+	names := map[string]bool{}
+	for _, f := range fams {
+		names[f.Name] = true
+	}
+	for _, want := range []string{"cluster_requests_sent", "go_heap_alloc_bytes", "sysmon_samples_total"} {
+		if !names[want] {
+			t.Errorf("merged exposition missing %s (have %v)", want, names)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["cluster.requests.sent"] != 100 || snap.Counters["sysmon.samples_total"] != 3 {
+		t.Fatalf("merged /snapshot lost a registry: %+v", snap.Counters)
+	}
+	if snap.Gauges["go.heap_alloc_bytes"] != 12345 {
+		t.Fatalf("merged /snapshot lost sysmon gauges: %+v", snap.Gauges)
+	}
+}
+
 func TestStartServesAndCloses(t *testing.T) {
 	reg := demoRegistry()
 	s, err := Start("127.0.0.1:0", reg)

@@ -1,0 +1,43 @@
+package obs
+
+// ResourceSnapshot is a point-in-time reading of the process's runtime
+// resource state: heap bytes, cumulative allocation and GC totals, and
+// the live goroutine count. It is the unit of exchange between the
+// sysmon sampler (internal/obs/sysmon, the one sanctioned reader of
+// runtime memory statistics) and the tracing plane: a Tracer with a
+// ResourceSource attached snapshots resources at every phase boundary,
+// so spans carry begin/end resource attributes and tacreport can
+// attribute heap growth, allocations and GC pauses per pipeline phase.
+//
+// Cumulative fields (TotalAllocBytes, Mallocs, GCCycles, GCPauseMs)
+// only grow; deltas between two snapshots from the same process are
+// meaningful. Instantaneous fields (HeapInuseBytes, HeapAllocBytes,
+// Goroutines) are levels.
+type ResourceSnapshot struct {
+	// HeapInuseBytes is the heap memory in in-use spans.
+	HeapInuseBytes uint64
+	// HeapAllocBytes is the bytes of allocated (live + not yet swept)
+	// heap objects.
+	HeapAllocBytes uint64
+	// TotalAllocBytes is the cumulative bytes allocated since process
+	// start.
+	TotalAllocBytes uint64
+	// Mallocs is the cumulative count of heap objects allocated.
+	Mallocs uint64
+	// GCCycles is the number of completed GC cycles.
+	GCCycles uint64
+	// GCPauseMs is the cumulative stop-the-world pause time in
+	// milliseconds.
+	GCPauseMs float64
+	// Goroutines is the live goroutine count.
+	Goroutines int
+}
+
+// ResourceSource provides resource snapshots on demand. The sysmon
+// sampler implements it; the interface lives here so the tracer can
+// consume it without obs importing obs/sysmon. Implementations must be
+// safe for concurrent use — phase boundaries fire from worker
+// goroutines.
+type ResourceSource interface {
+	ResourceSnapshot() ResourceSnapshot
+}

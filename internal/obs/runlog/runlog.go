@@ -4,10 +4,12 @@
 //
 // Layout (format version 1):
 //
-//	<dir>/manifest.json  — tool, version, seed, config, wall-clock
-//	<dir>/events.jsonl   — the JSONL event/span stream (may be empty)
-//	<dir>/metrics.json   — final metrics-registry snapshot
-//	<dir>/summary.json   — named scalar results (latency quantiles, ...)
+//	<dir>/manifest.json    — tool, version, seed, config, wall-clock
+//	<dir>/events.jsonl     — the JSONL event/span stream (may be empty)
+//	<dir>/metrics.json     — final metrics-registry snapshot
+//	<dir>/summary.json     — named scalar results (latency quantiles, ...)
+//	<dir>/trace.jsonl      — pipeline trace (only with tracing on)
+//	<dir>/resources.jsonl  — sysmon resource samples (only with -sysmon)
 //
 // Every file is written canonically (sorted JSON object keys, fixed
 // indentation), so loading an archive and rewriting it reproduces the
@@ -46,6 +48,12 @@ const (
 	// exists only when the producing tool ran with tracing enabled;
 	// archives without it load fine.
 	TraceFile = "trace.jsonl"
+	// ResourcesFile holds the sysmon resource-sample stream ("res"
+	// events: heap, GC, goroutines, RSS over time). Wall-clock driven and
+	// machine-dependent, so — exactly like TraceFile — it sits outside
+	// the byte-identical determinism set and exists only when the
+	// producing tool ran with -sysmon.
+	ResourcesFile = "resources.jsonl"
 )
 
 // Manifest identifies a run: which tool produced it, at which version,
@@ -79,6 +87,8 @@ type Writer struct {
 	sink      *obs.JSONL
 	traceFile *os.File
 	trace     *obs.JSONL
+	resFile   *os.File
+	res       *obs.JSONL
 	start     time.Time
 	closed    bool
 }
@@ -129,6 +139,27 @@ func (w *Writer) StartTrace() (*obs.JSONL, error) {
 	return w.trace, nil
 }
 
+// StartResources opens the archive's resource-sample stream
+// (resources.jsonl) and returns its sink. Call at most once, before
+// Close; the stream is flushed and closed by Close. Tools that never
+// call StartResources produce archives without a resources file — the
+// sysmon-off default.
+func (w *Writer) StartResources() (*obs.JSONL, error) {
+	if w == nil {
+		return nil, nil
+	}
+	if w.res != nil {
+		return w.res, nil
+	}
+	f, err := os.Create(filepath.Join(w.dir, ResourcesFile))
+	if err != nil {
+		return nil, fmt.Errorf("runlog: %w", err)
+	}
+	w.resFile = f
+	w.res = obs.NewJSONL(f)
+	return w.res, nil
+}
+
 // Close flushes the event stream and writes metrics.json, summary.json
 // and manifest.json. It is idempotent; the first error anywhere in the
 // archive's lifetime (including latched event-write errors) is
@@ -154,6 +185,15 @@ func (w *Writer) Close(snap obs.Snapshot, summary Summary) error {
 		}
 		if err != nil {
 			return fmt.Errorf("runlog: trace: %w", err)
+		}
+	}
+	if w.resFile != nil {
+		err := w.res.Flush()
+		if cerr := w.resFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("runlog: resources: %w", err)
 		}
 	}
 	if err := writeJSONFile(filepath.Join(w.dir, MetricsFile), snap); err != nil {
@@ -212,6 +252,10 @@ type Archive struct {
 	// the archive has no trace file — runs with tracing off, and every
 	// archive written before the trace plane existed.
 	Trace []obs.Event
+	// Resources is the decoded sysmon sample stream ("res" events), nil
+	// when the archive has no resources file — runs with -sysmon off,
+	// and every archive written before the resource plane existed.
+	Resources []obs.Event
 }
 
 // IsArchiveDir reports whether dir looks like a run archive (has a
@@ -260,6 +304,16 @@ func Load(dir string) (*Archive, error) {
 			return nil, fmt.Errorf("runlog: %s: %s: %w", dir, TraceFile, terr)
 		}
 		a.Trace = trace
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("runlog: %s: %w", dir, err)
+	}
+	if rf, err := os.Open(filepath.Join(dir, ResourcesFile)); err == nil {
+		res, rerr := obs.ReadEventStream(rf)
+		rf.Close()
+		if rerr != nil {
+			return nil, fmt.Errorf("runlog: %s: %s: %w", dir, ResourcesFile, rerr)
+		}
+		a.Resources = res
 	} else if !os.IsNotExist(err) {
 		return nil, fmt.Errorf("runlog: %s: %w", dir, err)
 	}
@@ -318,6 +372,11 @@ func (a *Archive) Write(dir string) error {
 	}
 	if a.Trace != nil {
 		if err := writeEventFile(filepath.Join(dir, TraceFile), a.Trace); err != nil {
+			return err
+		}
+	}
+	if a.Resources != nil {
+		if err := writeEventFile(filepath.Join(dir, ResourcesFile), a.Resources); err != nil {
 			return err
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"taccc/internal/obs"
+	"taccc/internal/obs/sysmon"
 )
 
 // writeSample produces a representative archive: iter events, a span
@@ -351,6 +352,110 @@ func TestStartTraceNilAndCorrupt(t *testing.T) {
 	_, err = Load(dir)
 	if err == nil || !strings.Contains(err.Error(), TraceFile) {
 		t.Fatalf("corrupt trace load error = %v", err)
+	}
+}
+
+// writeResourcedSample is writeSample plus a sysmon resource stream.
+func writeResourcedSample(t *testing.T, dir string) {
+	t.Helper()
+	w, err := Create(dir, Manifest{Tool: "tactest", Version: "v1.2.3", Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs.Emit(w.Sink(), "iter", map[string]interface{}{"algo": "tabu", "iter": 0, "feasible": true})
+	res, err := w.StartResources()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		res.Emit(sysmon.Sample{
+			TMs: float64(i * 10), UnixMs: int64(1700000000000 + i*10),
+			HeapInuseBytes: uint64(1000 + i), HeapAllocBytes: uint64(900 + i),
+			TotalAllocBytes: uint64(5000 * (i + 1)), Mallocs: uint64(10 * (i + 1)),
+			AllocBytesPerS: float64(i) * 500, GCCycles: uint64(i), GCPauseMs: float64(i) * 0.25,
+			Goroutines: 4 + i, RSSBytes: 1 << 20,
+		}.Event())
+	}
+	if err := w.Close(obs.Snapshot{}, Summary{"total_ms": 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResourcesRoundTrip: resources.jsonl loads into Archive.Resources,
+// decodes back to samples, and Write reproduces it byte for byte.
+func TestResourcesRoundTrip(t *testing.T) {
+	src := filepath.Join(t.TempDir(), "run")
+	writeResourcedSample(t, src)
+	a, err := Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Resources) != 3 {
+		t.Fatalf("loaded %d resource events, want 3", len(a.Resources))
+	}
+	samples := sysmon.SamplesFromEvents(a.Resources)
+	if len(samples) != 3 {
+		t.Fatalf("decoded %d samples, want 3", len(samples))
+	}
+	if samples[2].TMs != 20 || samples[2].Goroutines != 6 || samples[2].GCPauseMs != 0.5 {
+		t.Fatalf("last sample = %+v", samples[2])
+	}
+
+	dst := filepath.Join(t.TempDir(), "rewrite")
+	if err := a.Write(dst); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{ManifestFile, EventsFile, MetricsFile, SummaryFile, ResourcesFile} {
+		want, err := os.ReadFile(filepath.Join(src, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(dst, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("%s differs after round trip:\noriginal: %s\nrewrite:  %s", name, want, got)
+		}
+	}
+}
+
+// TestResourcesAbsentIsFine: archives without resources.jsonl (sysmon
+// off, and every pre-sysmon archive) load with nil Resources, and Write
+// does not invent the file.
+func TestResourcesAbsentIsFine(t *testing.T) {
+	src := filepath.Join(t.TempDir(), "run")
+	writeSample(t, src)
+	a, err := Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Resources != nil {
+		t.Fatalf("unsampled archive loaded resources %v", a.Resources)
+	}
+	dst := filepath.Join(t.TempDir(), "rewrite")
+	if err := a.Write(dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dst, ResourcesFile)); !os.IsNotExist(err) {
+		t.Fatalf("rewrite of an unsampled archive grew a %s (err=%v)", ResourcesFile, err)
+	}
+}
+
+// TestStartResourcesNilAndCorrupt: nil-writer StartResources no-ops; a
+// corrupted resource stream fails Load with a descriptive error.
+func TestStartResourcesNilAndCorrupt(t *testing.T) {
+	var w *Writer
+	sink, err := w.StartResources()
+	if sink != nil || err != nil {
+		t.Fatalf("nil writer StartResources = %v, %v", sink, err)
+	}
+	dir := filepath.Join(t.TempDir(), "run")
+	writeResourcedSample(t, dir)
+	appendFile(t, filepath.Join(dir, ResourcesFile), "{\"kind\": \"res\", ga")
+	_, err = Load(dir)
+	if err == nil || !strings.Contains(err.Error(), ResourcesFile) {
+		t.Fatalf("corrupt resources load error = %v", err)
 	}
 }
 

@@ -25,6 +25,7 @@ const PipelineTrace TraceID = 1
 type Tracer struct {
 	sink  Sink
 	clock Clock
+	res   ResourceSource
 	next  atomic.Uint64
 }
 
@@ -38,6 +39,20 @@ func NewTracer(sink Sink, clock Clock) *Tracer {
 		clock = WallClock()
 	}
 	return &Tracer{sink: sink, clock: clock}
+}
+
+// SetResources attaches a resource source: every phase created
+// afterwards snapshots resources at its start and again at End, and
+// emits the deltas (heap growth, allocations, GC cycles and pause time)
+// as span attributes — the raw material of tacreport's per-phase
+// resource-attribution table. Call before creating phases; phases
+// started earlier simply carry no resource attributes. Nil-safe in both
+// directions: a nil tracer or a nil source leaves tracing untouched.
+func (t *Tracer) SetResources(src ResourceSource) {
+	if t == nil || src == nil {
+		return
+	}
+	t.res = src
 }
 
 // NowMs reads the tracer's clock (0 on a nil tracer).
@@ -55,13 +70,18 @@ func (t *Tracer) startPhase(name string, parent SpanID) *Phase {
 	if t == nil {
 		return nil
 	}
-	return &Phase{
+	p := &Phase{
 		t:       t,
 		id:      SpanID(t.next.Add(1)),
 		parent:  parent,
 		name:    name,
 		startMs: t.clock.NowMs(),
 	}
+	if t.res != nil {
+		p.beginRes = t.res.ResourceSnapshot()
+		p.hasRes = true
+	}
+	return p
 }
 
 // Phase is one live wall-clock span: created by Tracer.Root or
@@ -74,6 +94,12 @@ type Phase struct {
 	parent  SpanID
 	name    string
 	startMs float64
+
+	// beginRes is the resource snapshot taken when the phase started;
+	// valid only when hasRes (tracer had a ResourceSource attached).
+	// Immutable after construction, so End reads it without the lock.
+	beginRes ResourceSnapshot
+	hasRes   bool
 
 	mu    sync.Mutex
 	attrs map[string]interface{}
@@ -131,6 +157,21 @@ func (p *Phase) End() {
 	p.ended = true
 	attrs := p.attrs
 	p.mu.Unlock()
+	if p.hasRes {
+		// Once ended is set no SetAttr can touch the map, so merging the
+		// resource attributes outside the lock is safe.
+		end := p.t.res.ResourceSnapshot()
+		if attrs == nil {
+			attrs = make(map[string]interface{}, 6)
+		}
+		b := p.beginRes
+		attrs["heap_begin_bytes"] = b.HeapAllocBytes
+		attrs["heap_end_bytes"] = end.HeapAllocBytes
+		attrs["heap_delta_bytes"] = int64(end.HeapAllocBytes) - int64(b.HeapAllocBytes)
+		attrs["allocs"] = end.Mallocs - b.Mallocs
+		attrs["gc_cycles"] = end.GCCycles - b.GCCycles
+		attrs["gc_pause_ms"] = end.GCPauseMs - b.GCPauseMs
+	}
 	EmitSpan(p.t.sink, Span{
 		Trace:   PipelineTrace,
 		ID:      p.id,

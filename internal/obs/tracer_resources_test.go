@@ -1,0 +1,127 @@
+package obs
+
+import "testing"
+
+// fakeSource steps through a fixed snapshot script, one reading per
+// ResourceSnapshot call, holding the last one once the script runs out.
+type fakeSource struct {
+	script []ResourceSnapshot
+	calls  int
+}
+
+func (f *fakeSource) ResourceSnapshot() ResourceSnapshot {
+	i := f.calls
+	if i >= len(f.script) {
+		i = len(f.script) - 1
+	}
+	f.calls++
+	return f.script[i]
+}
+
+func TestPhaseResourceAttrs(t *testing.T) {
+	clock := NewManualClock(0)
+	var col SpanCollector
+	tr := NewTracer(&col, clock)
+	tr.SetResources(&fakeSource{script: []ResourceSnapshot{
+		{HeapAllocBytes: 1000, Mallocs: 10, GCCycles: 1, GCPauseMs: 0.5},
+		{HeapAllocBytes: 1800, Mallocs: 25, GCCycles: 3, GCPauseMs: 0.875},
+	}})
+
+	p := tr.Root("solve")
+	clock.Advance(4)
+	p.End()
+
+	spans := col.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	sp := spans[0]
+	want := map[string]float64{
+		"heap_begin_bytes": 1000,
+		"heap_end_bytes":   1800,
+		"heap_delta_bytes": 800,
+		"allocs":           15,
+		"gc_cycles":        2,
+		"gc_pause_ms":      0.375,
+	}
+	for key, wv := range want {
+		if got, ok := sp.AttrNum(key); !ok || got != wv {
+			t.Errorf("attr %s = %v (ok=%v), want %v", key, got, ok, wv)
+		}
+	}
+}
+
+// Heap shrinkage must survive as a negative delta — the delta attr is
+// signed even though the snapshots are unsigned.
+func TestPhaseResourceAttrsNegativeDelta(t *testing.T) {
+	clock := NewManualClock(0)
+	var col SpanCollector
+	tr := NewTracer(&col, clock)
+	tr.SetResources(&fakeSource{script: []ResourceSnapshot{
+		{HeapAllocBytes: 5000, Mallocs: 10},
+		{HeapAllocBytes: 2000, Mallocs: 12},
+	}})
+	p := tr.Root("gc-heavy")
+	p.End()
+	sp := col.Spans()[0]
+	if got, ok := sp.AttrNum("heap_delta_bytes"); !ok || got != -3000 {
+		t.Fatalf("heap_delta_bytes = %v (ok=%v), want -3000", got, ok)
+	}
+}
+
+func TestPhaseResourceAttrsOffByDefault(t *testing.T) {
+	clock := NewManualClock(0)
+	var col SpanCollector
+	tr := NewTracer(&col, clock)
+
+	p := tr.Root("solve")
+	p.SetAttr("iot", 80)
+	p.End()
+
+	sp := col.Spans()[0]
+	if _, ok := sp.AttrNum("heap_begin_bytes"); ok {
+		t.Fatal("phase carries resource attrs without a ResourceSource")
+	}
+	if v, ok := sp.AttrNum("iot"); !ok || v != 80 {
+		t.Fatalf("ordinary attrs lost: iot = %v (ok=%v)", v, ok)
+	}
+}
+
+func TestSetResourcesNilSafe(t *testing.T) {
+	var nilTr *Tracer
+	nilTr.SetResources(&fakeSource{script: []ResourceSnapshot{{}}})
+
+	clock := NewManualClock(0)
+	var col SpanCollector
+	tr := NewTracer(&col, clock)
+	tr.SetResources(nil) // nil source leaves tracing untouched
+	p := tr.Root("solve")
+	p.End()
+	if _, ok := col.Spans()[0].AttrNum("heap_begin_bytes"); ok {
+		t.Fatal("nil ResourceSource still produced resource attrs")
+	}
+}
+
+// Phases started before SetResources carry no resource attributes, as
+// documented — attachment is not retroactive.
+func TestSetResourcesNotRetroactive(t *testing.T) {
+	clock := NewManualClock(0)
+	var col SpanCollector
+	tr := NewTracer(&col, clock)
+	early := tr.Root("early")
+	tr.SetResources(&fakeSource{script: []ResourceSnapshot{{HeapAllocBytes: 7}}})
+	late := tr.Root("late")
+	early.End()
+	late.End()
+
+	byName := map[string]Span{}
+	for _, sp := range col.Spans() {
+		byName[sp.Name] = sp
+	}
+	if _, ok := byName["early"].AttrNum("heap_begin_bytes"); ok {
+		t.Fatal("pre-attachment phase gained resource attrs")
+	}
+	if _, ok := byName["late"].AttrNum("heap_begin_bytes"); !ok {
+		t.Fatal("post-attachment phase missing resource attrs")
+	}
+}

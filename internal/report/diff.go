@@ -37,7 +37,10 @@ type MetricDelta struct {
 	// 100*sqrt(ciOld²+ciNew²)/|old|. Zero means threshold-only judging.
 	HalfWidthPct   float64 `json:"half_width_pct,omitempty"`
 	HigherIsBetter bool    `json:"higher_is_better,omitempty"`
-	Verdict        string  `json:"verdict"`
+	// Floor is the metric's absolute noise floor (the larger of the two
+	// sides'): an absolute move within it is always OK.
+	Floor   float64 `json:"floor,omitempty"`
+	Verdict string  `json:"verdict"`
 }
 
 // Diff is a full two-source comparison.
@@ -63,7 +66,9 @@ type Diff struct {
 // REGRESSION when even the CI-optimistic reading (delta minus the
 // propagated half-width) clears the threshold, and only an IMPROVEMENT
 // when the CI-pessimistic reading does. Metrics without CIs degrade to
-// plain threshold comparison.
+// plain threshold comparison. An absolute move within the metric's
+// noise floor is always OK — near-zero timing metrics would otherwise
+// turn scheduler jitter into huge relative deltas.
 func judge(d *MetricDelta, thresholdPct float64) {
 	denom := math.Abs(d.Old)
 	switch {
@@ -77,6 +82,10 @@ func judge(d *MetricDelta, thresholdPct float64) {
 			d.DeltaPct = math.Copysign(deltaPctCap, d.DeltaPct)
 		}
 		d.HalfWidthPct = 100 * math.Sqrt(d.CIOld*d.CIOld+d.CINew*d.CINew) / denom
+	}
+	if d.Floor > 0 && math.Abs(d.New-d.Old) <= d.Floor {
+		d.Verdict = VerdictOK
+		return
 	}
 	worse := d.DeltaPct
 	if d.HigherIsBetter {
@@ -119,6 +128,7 @@ func DiffSources(oldSrc, newSrc *Source, thresholdPct float64) (*Diff, error) {
 			Name: name, Old: om.Value, New: nm.Value,
 			CIOld: om.CI95, CINew: nm.CI95,
 			HigherIsBetter: om.HigherIsBetter,
+			Floor:          math.Max(om.Floor, nm.Floor),
 		}
 		judge(&md, thresholdPct)
 		d.Metrics = append(d.Metrics, md)

@@ -17,6 +17,7 @@ import (
 	"taccc/internal/experiment"
 	"taccc/internal/obs"
 	"taccc/internal/obs/runlog"
+	"taccc/internal/obs/sysmon"
 	"taccc/internal/stats"
 )
 
@@ -68,7 +69,21 @@ type Metric struct {
 	Value          float64 `json:"value"`
 	CI95           float64 `json:"ci95,omitempty"`
 	HigherIsBetter bool    `json:"higher_is_better,omitempty"`
+	// Floor is an absolute noise floor: a move no larger than this is
+	// never significant, whatever its relative size. Used for resource
+	// metrics whose jitter is absolute rather than relative — µs-scale
+	// GC pauses and KB-scale heap peaks sit so close to zero that
+	// scheduler noise alone can clear any percentage threshold.
+	Floor float64 `json:"floor,omitempty"`
 }
+
+// Absolute noise floors for the resource metrics (see Metric.Floor):
+// forced-GC pauses jitter by tens of microseconds, GC-settled heap
+// peaks by tens of kilobytes, independent of the measured value.
+const (
+	gcPauseFloorMs    = 0.05
+	peakHeapFloorByte = 256 << 10
+)
 
 // ConvergenceStat summarizes one algorithm's solver-convergence stream
 // from an archive's "iter" events.
@@ -206,6 +221,12 @@ func (s *Source) Metrics() []Metric {
 					// behaviour, so the diff judges them on threshold alone.
 					Metric{Name: prefix + "allocs_per_op", Value: float64(a.AllocsPerOp)},
 					Metric{Name: prefix + "bytes_per_op", Value: float64(a.BytesPerOp)},
+					// Peak heap is a min-over-rounds figure with no CI (judged
+					// on threshold alone, like the alloc counts); GC pause is
+					// scheduler-noisy, so it carries its measured CI. Both get
+					// the absolute noise floors.
+					Metric{Name: prefix + "peak_heap_bytes", Value: float64(a.PeakHeapBytes), Floor: peakHeapFloorByte},
+					Metric{Name: prefix + "gc_pause_ms", Value: a.GCPauseMs, CI95: a.GCPauseCI95Ms, Floor: gcPauseFloorMs},
 				)
 			}
 		}
@@ -229,6 +250,20 @@ func (s *Source) Metrics() []Metric {
 			if st.feasible > 0 {
 				out = append(out, Metric{Name: "cells/" + st.algo + " cost_ms", Value: st.cost.Mean(), CI95: st.cost.CI95()})
 			}
+		}
+		// Resource attribution (runs traced with -sysmon): per-phase peak
+		// heap and GC pause plus the whole-run sampled peak. Wall-clock
+		// resource measurements carry no CI, so diffs judge them on
+		// threshold alone.
+		resSamples := sysmon.SamplesFromEvents(s.Archive.Resources)
+		for _, ph := range ResourcePhasesFromSpans(s.Archive.Spans(), resSamples) {
+			out = append(out,
+				Metric{Name: "resources/" + ph.Name + " peak_heap_bytes", Value: float64(ph.PeakHeapBytes), Floor: peakHeapFloorByte},
+				Metric{Name: "resources/" + ph.Name + " gc_pause_ms", Value: ph.GCPauseMs, Floor: gcPauseFloorMs},
+			)
+		}
+		if u := ResourceUsageFromSamples(resSamples); u != nil {
+			out = append(out, Metric{Name: "resources/ peak_heap_bytes", Value: float64(u.PeakHeapBytes), Floor: peakHeapFloorByte})
 		}
 		// Pipeline phase times are wall-clock measurements with no
 		// replication, so no CI: diffs judge them on threshold alone,

@@ -1,0 +1,153 @@
+package report
+
+import (
+	"sort"
+
+	"taccc/internal/obs"
+	"taccc/internal/obs/sysmon"
+)
+
+// ResourcePhase is one row of the resource-attribution table: every
+// span sharing a name folded into heap growth, allocation and GC work,
+// plus the peak heap observed while the phase ran. The grouping rules
+// are identical to PipelineFromSpans (root and shard spans excluded,
+// phases ordered by first start), so the resource table's phase set
+// matches the wall-time table's whenever the run traced with -sysmon.
+type ResourcePhase struct {
+	Name string `json:"name"`
+	// Spans counts the spans that carried begin/end resource snapshots.
+	Spans int `json:"spans"`
+	// HeapDeltaBytes is the summed live-heap growth across the phase's
+	// spans (negative when GC reclaimed more than the phase allocated).
+	HeapDeltaBytes int64 `json:"heap_delta_bytes"`
+	// Allocs is the total number of heap allocations during the phase.
+	Allocs uint64 `json:"allocs"`
+	// GCCycles and GCPauseMs are the GC cycles completed and
+	// stop-the-world pause time accumulated while the phase ran.
+	GCCycles  uint64  `json:"gc_cycles"`
+	GCPauseMs float64 `json:"gc_pause_ms"`
+	// PeakHeapBytes is the highest heap-allocated figure seen for the
+	// phase: the max over its boundary snapshots and every periodic
+	// resource sample whose timestamp falls inside one of its spans.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+}
+
+// ResourceUsage summarizes a run's periodic resource samples
+// (resources.jsonl) as a whole.
+type ResourceUsage struct {
+	Samples       int     `json:"samples"`
+	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
+	PeakRSSBytes  uint64  `json:"peak_rss_bytes"`
+	MaxGoroutines int     `json:"max_goroutines"`
+	GCCycles      uint64  `json:"gc_cycles"`
+	GCPauseMs     float64 `json:"gc_pause_ms"`
+}
+
+// ResourcePhasesFromSpans joins a span stream's begin/end resource
+// attributes (attached by the tracer when a ResourceSource is wired)
+// with the periodic samples to produce the per-phase resource table.
+// Returns nil when no span carries resource attributes — the run
+// traced without -sysmon.
+func ResourcePhasesFromSpans(spans []obs.Span, samples []sysmon.Sample) []ResourcePhase {
+	type acc struct {
+		firstStart float64
+		row        ResourcePhase
+		// windows are the phase's span intervals, for assigning periodic
+		// samples to the phases that were running when they were taken.
+		windows [][2]float64
+	}
+	phases := map[string]*acc{}
+	var order []string
+	withRes := false
+	for _, sp := range spans {
+		if sp.Parent == 0 || sp.Name == shardSpan {
+			continue
+		}
+		a, ok := phases[sp.Name]
+		if !ok {
+			a = &acc{firstStart: sp.StartMs, row: ResourcePhase{Name: sp.Name}}
+			phases[sp.Name] = a
+			order = append(order, sp.Name)
+		}
+		if sp.StartMs < a.firstStart {
+			a.firstStart = sp.StartMs
+		}
+		a.windows = append(a.windows, [2]float64{sp.StartMs, sp.EndMs})
+		begin, okBegin := sp.AttrNum("heap_begin_bytes")
+		end, okEnd := sp.AttrNum("heap_end_bytes")
+		if !okBegin || !okEnd {
+			continue
+		}
+		withRes = true
+		a.row.Spans++
+		if v, ok := sp.AttrNum("heap_delta_bytes"); ok {
+			a.row.HeapDeltaBytes += int64(v)
+		}
+		if v, ok := sp.AttrNum("allocs"); ok {
+			a.row.Allocs += uint64(v)
+		}
+		if v, ok := sp.AttrNum("gc_cycles"); ok {
+			a.row.GCCycles += uint64(v)
+		}
+		if v, ok := sp.AttrNum("gc_pause_ms"); ok {
+			a.row.GCPauseMs += v
+		}
+		if u := uint64(begin); u > a.row.PeakHeapBytes {
+			a.row.PeakHeapBytes = u
+		}
+		if u := uint64(end); u > a.row.PeakHeapBytes {
+			a.row.PeakHeapBytes = u
+		}
+	}
+	if !withRes {
+		return nil
+	}
+	// Boundary snapshots miss transient highs between them; the periodic
+	// samples fill those in for whichever phases were live at the time.
+	for _, s := range samples {
+		for _, a := range phases {
+			for _, w := range a.windows {
+				if s.TMs >= w[0] && s.TMs <= w[1] {
+					if s.HeapAllocBytes > a.row.PeakHeapBytes {
+						a.row.PeakHeapBytes = s.HeapAllocBytes
+					}
+					break
+				}
+			}
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return phases[order[i]].firstStart < phases[order[j]].firstStart
+	})
+	out := make([]ResourcePhase, 0, len(order))
+	for _, name := range order {
+		out = append(out, phases[name].row)
+	}
+	return out
+}
+
+// ResourceUsageFromSamples folds a run's periodic resource samples into
+// whole-run peaks and GC totals (deltas over the sampled window, so a
+// warm process's pre-run GC history doesn't count against the run).
+// Returns nil when there are no samples.
+func ResourceUsageFromSamples(samples []sysmon.Sample) *ResourceUsage {
+	if len(samples) == 0 {
+		return nil
+	}
+	u := &ResourceUsage{Samples: len(samples)}
+	for _, s := range samples {
+		if s.HeapAllocBytes > u.PeakHeapBytes {
+			u.PeakHeapBytes = s.HeapAllocBytes
+		}
+		if s.RSSBytes > u.PeakRSSBytes {
+			u.PeakRSSBytes = s.RSSBytes
+		}
+		if s.Goroutines > u.MaxGoroutines {
+			u.MaxGoroutines = s.Goroutines
+		}
+	}
+	first, last := samples[0], samples[len(samples)-1]
+	u.GCCycles = last.GCCycles - first.GCCycles
+	u.GCPauseMs = last.GCPauseMs - first.GCPauseMs
+	return u
+}

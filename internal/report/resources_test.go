@@ -1,0 +1,128 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"taccc/internal/obs"
+	"taccc/internal/obs/runlog"
+	"taccc/internal/obs/sysmon"
+)
+
+// resourcedSpans is tracedSpans with begin/end resource attributes on
+// the non-root, non-shard spans — the shape a -sysmon run produces.
+func resourcedSpans() []obs.Span {
+	res := func(begin, end uint64, allocs, gc uint64, pause float64) map[string]interface{} {
+		return map[string]interface{}{
+			"heap_begin_bytes": begin,
+			"heap_end_bytes":   end,
+			"heap_delta_bytes": int64(end) - int64(begin),
+			"allocs":           allocs,
+			"gc_cycles":        gc,
+			"gc_pause_ms":      pause,
+		}
+	}
+	spans := tracedSpans()
+	spans[1].Attrs = res(1000, 1500, 50, 0, 0)    // topology
+	spans[2].Attrs = res(1500, 4000, 900, 1, 0.5) // delay-matrix
+	spans[5].Attrs = res(4000, 2000, 300, 2, 1.5) // solve (heap shrank)
+	spans[6].Attrs = res(4100, 2000, 250, 2, 1.5) // improvement
+	return spans
+}
+
+func TestResourcePhasesFromSpans(t *testing.T) {
+	samples := []sysmon.Sample{
+		{TMs: 30, HeapAllocBytes: 9000},  // inside delay-matrix: transient high
+		{TMs: 60, HeapAllocBytes: 3000},  // inside solve, below its boundary peak
+		{TMs: 99, HeapAllocBytes: 12000}, // untraced tail: no phase window
+	}
+	phases := ResourcePhasesFromSpans(resourcedSpans(), samples)
+	if phases == nil {
+		t.Fatal("nil resource table from a resourced trace")
+	}
+
+	// The acceptance criterion: the resource table's phase set and order
+	// match the wall-time table's exactly.
+	pipeline := PipelineFromSpans(resourcedSpans())
+	if len(phases) != len(pipeline.Phases) {
+		t.Fatalf("resource table has %d phases, pipeline has %d", len(phases), len(pipeline.Phases))
+	}
+	for i := range phases {
+		if phases[i].Name != pipeline.Phases[i].Name {
+			t.Fatalf("phase %d: resource %q vs pipeline %q", i, phases[i].Name, pipeline.Phases[i].Name)
+		}
+	}
+
+	byName := map[string]ResourcePhase{}
+	for _, ph := range phases {
+		byName[ph.Name] = ph
+	}
+	dm := byName["delay-matrix"]
+	if dm.HeapDeltaBytes != 2500 || dm.Allocs != 900 || dm.GCCycles != 1 || dm.GCPauseMs != 0.5 {
+		t.Fatalf("delay-matrix row = %+v", dm)
+	}
+	// Peak comes from the periodic sample at t=30, above both boundaries.
+	if dm.PeakHeapBytes != 9000 {
+		t.Fatalf("delay-matrix peak = %d, want the in-window sample's 9000", dm.PeakHeapBytes)
+	}
+	solve := byName["solve"]
+	if solve.HeapDeltaBytes != -2000 {
+		t.Fatalf("solve heap delta = %d, want -2000", solve.HeapDeltaBytes)
+	}
+	// The t=60 sample (3000) is below solve's begin snapshot (4000).
+	if solve.PeakHeapBytes != 4000 {
+		t.Fatalf("solve peak = %d, want the boundary 4000", solve.PeakHeapBytes)
+	}
+	if byName["topology"].Spans != 1 {
+		t.Fatalf("topology row = %+v", byName["topology"])
+	}
+}
+
+// A trace without resource attributes (sysmon off) yields no table at
+// all, not a table of zero rows.
+func TestResourcePhasesNilWithoutAttrs(t *testing.T) {
+	if got := ResourcePhasesFromSpans(tracedSpans(), nil); got != nil {
+		t.Fatalf("resource table from an unresourced trace: %+v", got)
+	}
+	if got := ResourcePhasesFromSpans(nil, nil); got != nil {
+		t.Fatalf("resource table from an empty stream: %+v", got)
+	}
+}
+
+func TestResourceUsageFromSamples(t *testing.T) {
+	if u := ResourceUsageFromSamples(nil); u != nil {
+		t.Fatalf("usage from no samples = %+v", u)
+	}
+	samples := []sysmon.Sample{
+		{TMs: 0, HeapAllocBytes: 1000, RSSBytes: 5000, Goroutines: 4, GCCycles: 10, GCPauseMs: 2},
+		{TMs: 10, HeapAllocBytes: 8000, RSSBytes: 9000, Goroutines: 12, GCCycles: 11, GCPauseMs: 2.5},
+		{TMs: 20, HeapAllocBytes: 3000, RSSBytes: 7000, Goroutines: 6, GCCycles: 13, GCPauseMs: 3.25},
+	}
+	u := ResourceUsageFromSamples(samples)
+	if u.Samples != 3 || u.PeakHeapBytes != 8000 || u.PeakRSSBytes != 9000 || u.MaxGoroutines != 12 {
+		t.Fatalf("usage peaks = %+v", u)
+	}
+	// GC figures are deltas over the sampled window, not process totals.
+	if u.GCCycles != 3 || u.GCPauseMs != 1.25 {
+		t.Fatalf("usage GC deltas = %+v", u)
+	}
+}
+
+func TestResourceMarkdownTable(t *testing.T) {
+	man := runlog.Manifest{Format: runlog.FormatVersion, Tool: "tactest", Version: "devel", Seed: 1}
+	samples := []sysmon.Sample{
+		{TMs: 30, HeapAllocBytes: 9000, RSSBytes: 1 << 20, Goroutines: 8, GCCycles: 1, GCPauseMs: 0.5},
+	}
+	r := &Report{Path: "x", Kind: "archive", MissRate: -1,
+		Manifest:      &man,
+		Pipeline:      PipelineFromSpans(resourcedSpans()),
+		Resources:     ResourcePhasesFromSpans(resourcedSpans(), samples),
+		ResourceUsage: ResourceUsageFromSamples(samples),
+	}
+	md := r.Markdown()
+	for _, want := range []string{"## Resource attribution", "Δheap KB", "delay-matrix", "max goroutines 8"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"taccc/internal/experiment"
 	"taccc/internal/obs/runlog"
+	"taccc/internal/obs/sysmon"
 )
 
 // PhaseStat attributes delay to one request phase (uplink, queue,
@@ -53,6 +54,12 @@ type Report struct {
 	// Pipeline is the wall-clock pipeline-trace attribution, present
 	// only when the archive carries a trace.jsonl (run with -trace-out).
 	Pipeline *Pipeline `json:"pipeline,omitempty"`
+	// Resources is the per-phase resource attribution (heap, allocs,
+	// GC), present only when the run traced with -sysmon; its phase set
+	// matches Pipeline's. ResourceUsage summarizes the periodic samples
+	// from resources.jsonl.
+	Resources     []ResourcePhase `json:"resources,omitempty"`
+	ResourceUsage *ResourceUsage  `json:"resource_usage,omitempty"`
 
 	// Bench fields.
 	Bench *experiment.BenchResults `json:"bench,omitempty"`
@@ -76,6 +83,9 @@ func Summarize(s *Source) *Report {
 	r.Summary = a.Summary
 	r.Events = len(a.Events)
 	r.Pipeline = PipelineFromSpans(a.Spans())
+	resSamples := sysmon.SamplesFromEvents(a.Resources)
+	r.Resources = ResourcePhasesFromSpans(a.Spans(), resSamples)
+	r.ResourceUsage = ResourceUsageFromSamples(resSamples)
 
 	// Per-phase delay attribution: each phase's mean and its share of
 	// the summed phase means.
@@ -132,11 +142,12 @@ func (r *Report) Markdown() string {
 			r.Path, r.Bench.Tool, r.Bench.Version, r.Bench.Seed, r.Bench.Reps, r.Bench.Quick)
 		for _, sc := range r.Bench.Scenarios {
 			fmt.Fprintf(&b, "## Scenario %s (iot=%d edge=%d rho=%.2f)\n\n", sc.ID, sc.NumIoT, sc.NumEdge, sc.Rho)
-			fmt.Fprintf(&b, "| algorithm | mean cost ms | ±CI | feasible runtime ms | ±CI | allocs/op | bytes/op | feasible rate | errors |\n")
-			fmt.Fprintf(&b, "|---|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+			fmt.Fprintf(&b, "| algorithm | mean cost ms | ±CI | feasible runtime ms | ±CI | allocs/op | bytes/op | peak heap MB | gc pause ms | feasible rate | errors |\n")
+			fmt.Fprintf(&b, "|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n")
 			for _, a := range sc.Algos {
-				fmt.Fprintf(&b, "| %s | %.3f | %.3f | %.3f | %.3f | %d | %d | %.2f | %d |\n",
-					a.Name, a.MeanCostMs, a.CostCI95Ms, a.FeasibleRuntimeMs, a.RuntimeCI95Ms, a.AllocsPerOp, a.BytesPerOp, a.FeasibleRate, a.Errors)
+				fmt.Fprintf(&b, "| %s | %.3f | %.3f | %.3f | %.3f | %d | %d | %.2f | %.3f | %.2f | %d |\n",
+					a.Name, a.MeanCostMs, a.CostCI95Ms, a.FeasibleRuntimeMs, a.RuntimeCI95Ms, a.AllocsPerOp, a.BytesPerOp,
+					float64(a.PeakHeapBytes)/(1<<20), a.GCPauseMs, a.FeasibleRate, a.Errors)
 			}
 			fmt.Fprintln(&b)
 		}
@@ -197,6 +208,22 @@ func (r *Report) Markdown() string {
 			}
 			fmt.Fprintf(&b, "critical path: %s\n\n", strings.Join(parts, " → "))
 		}
+	}
+	if len(r.Resources) > 0 {
+		fmt.Fprintf(&b, "## Resource attribution\n\n")
+		if u := r.ResourceUsage; u != nil {
+			fmt.Fprintf(&b, "%d sample(s): peak heap %.1f MB, peak rss %.1f MB, max goroutines %d, gc %d cycle(s) (%.2f ms paused)\n\n",
+				u.Samples, float64(u.PeakHeapBytes)/(1<<20), float64(u.PeakRSSBytes)/(1<<20),
+				u.MaxGoroutines, u.GCCycles, u.GCPauseMs)
+		}
+		fmt.Fprintf(&b, "| phase | Δheap KB | allocs | gc cycles | gc pause ms | peak heap MB | spans |\n")
+		fmt.Fprintf(&b, "|---|---:|---:|---:|---:|---:|---:|\n")
+		for _, ph := range r.Resources {
+			fmt.Fprintf(&b, "| %s | %.1f | %d | %d | %.3f | %.2f | %d |\n",
+				ph.Name, float64(ph.HeapDeltaBytes)/1024, ph.Allocs, ph.GCCycles, ph.GCPauseMs,
+				float64(ph.PeakHeapBytes)/(1<<20), ph.Spans)
+		}
+		fmt.Fprintln(&b)
 	}
 	if len(r.Phases) > 0 {
 		fmt.Fprintf(&b, "## Delay attribution\n\n")
