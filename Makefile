@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet lint ci bench-json perf-gate baseline trace-smoke sysmon-smoke
+.PHONY: all build test race bench vet lint ci bench-json perf-gate baseline trace-smoke sysmon-smoke slo-smoke
 
 all: build test
 
@@ -99,3 +99,21 @@ sysmon-smoke:
 	grep -q '^## Pipeline phases' $(SYSMON_DIR)/report.md
 	grep -q '^## Resource attribution' $(SYSMON_DIR)/report.md
 	@echo "sysmon smoke passed; report in $(SYSMON_DIR)/report.md"
+
+# SLO smoke: an overloaded tacsim run with the streaming SLO plane on
+# must archive slo.jsonl with at least one fired alert, and tacreport
+# must render the compliance section with the alert timeline.
+SLO_DIR ?= /tmp/taccc-slo-smoke
+
+slo-smoke:
+	rm -rf $(SLO_DIR)
+	$(GO) run ./cmd/tacsim -iot 60 -edge 3 -rho 0.98 -algo greedy -seed 11 \
+	  -duration 10 -warmup 1 -max-queue 40 \
+	  -slo 'p95<=20@90,miss<=0.05' -slo-window 0.5 -archive $(SLO_DIR)/run
+	test -s $(SLO_DIR)/run/slo.jsonl
+	grep -q '"kind":"slo-alert"' $(SLO_DIR)/run/slo.jsonl
+	grep -q '"state":"firing"' $(SLO_DIR)/run/slo.jsonl
+	$(GO) run ./cmd/tacreport $(SLO_DIR)/run -o $(SLO_DIR)/report.md
+	grep -q '^## SLO compliance' $(SLO_DIR)/report.md
+	grep -q '^### Alert timeline' $(SLO_DIR)/report.md
+	@echo "slo smoke passed; report in $(SLO_DIR)/report.md"

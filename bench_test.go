@@ -192,6 +192,61 @@ func BenchmarkClusterSimSpans(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterSimSLO pins the SLO plane's cost: "off" must match
+// BenchmarkClusterSim (an unconfigured tracker is a nil pointer and
+// every hook no-ops), "on" prices windowed aggregation plus objective
+// evaluation with events discarded through a JSONL encoder.
+func BenchmarkClusterSimSLO(b *testing.B) {
+	built := buildBench(b, 100, 10)
+	a, err := taccc.NewGreedy().Assign(built.Instance)
+	if err != nil {
+		b.Fatal(err)
+	}
+	objectives, err := taccc.ParseSLOObjectives("p95<=20@99,miss<=0.01")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		slo  bool
+	}{
+		{"off", false},
+		{"on", true},
+	} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := taccc.SimConfig{
+					UplinkMs:    built.Delay.DelayMs,
+					Devices:     built.Devices,
+					ServiceRate: taccc.ServiceRates(built.Capacity, 0.7),
+					Assignment:  a.Of,
+					Seed:        int64(i),
+				}
+				if mode.slo {
+					tr, err := taccc.NewSLOTracker(taccc.SLOConfig{
+						WindowMs:   500,
+						Objectives: objectives,
+						Sink:       taccc.NewJSONLSink(io.Discard),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					cfg.SLO = tr
+				}
+				sim, err := taccc.NewSimulator(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sim.Run(10_000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkScenarioBuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := (taccc.Scenario{NumIoT: 100, NumEdge: 10, Seed: int64(i)}).Build(); err != nil {

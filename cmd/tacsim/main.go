@@ -67,12 +67,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	pipeTrace.Flags(fs)
 	var sysmonFlag cliutil.Sysmon
 	sysmonFlag.Flags(fs)
+	var sloFlag cliutil.SLO
+	sloFlag.Flags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *version {
 		cliutil.FprintVersion(stdout, "tacsim")
 		return 0
+	}
+	if err := sysmonFlag.Validate(); err != nil {
+		fmt.Fprintf(stderr, "tacsim: %v\n", err)
+		return 2
+	}
+	if err := sloFlag.Validate(); err != nil {
+		fmt.Fprintf(stderr, "tacsim: %v\n", err)
+		return 2
 	}
 	if err := archive.Start("tacsim", fs, *seed); err != nil {
 		fmt.Fprintf(stderr, "tacsim: %v\n", err)
@@ -85,6 +95,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	defer sysmonFlag.Stop()
+	if err := sloFlag.Start(&archive); err != nil {
+		fmt.Fprintf(stderr, "tacsim: %v\n", err)
+		return 1
+	}
 	traceRoot, err := pipeTrace.Start("tacsim", &archive, sysmonFlag.Source())
 	if err != nil {
 		fmt.Fprintf(stderr, "tacsim: %v\n", err)
@@ -133,7 +147,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		metricsReg = taccc.NewMetricsRegistry()
 		sinks = append(sinks, taccc.MetricsProgress(metricsReg))
 	}
-	stopTelemetry, err := telemetry.Start(stderr, metricsReg, sysmonFlag.Registry())
+	stopTelemetry, err := telemetry.Start(stderr, metricsReg, sysmonFlag.Registry(), sloFlag.Registry())
 	if err != nil {
 		fmt.Fprintf(stderr, "tacsim: %v\n", err)
 		return 1
@@ -200,6 +214,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MaxQueue:    *maxQueue,
 		Recorder:    recorder,
 		Metrics:     metricsReg,
+		SLO:         sloFlag.Tracker(),
 		JitterSigma: *jitter,
 		Seed:        *seed,
 	}
@@ -231,6 +246,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "latency:    p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
 		res.Latency.Median(), res.Latency.P95(), res.Latency.P99(), res.Latency.Quantile(1))
 	fmt.Fprintf(stdout, "deadlines:  %d missed (%.2f%%)\n", res.DeadlineMisses, 100*res.MissRate())
+	sloFlag.PrintSummary(stdout)
 	fmt.Fprint(stdout, "edge util: ")
 	for _, u := range res.Utilization() {
 		fmt.Fprintf(stdout, " %.2f", u)

@@ -62,12 +62,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	trace.Flags(fs)
 	var sysmonFlag cliutil.Sysmon
 	sysmonFlag.Flags(fs)
+	var sloFlag cliutil.SLO
+	sloFlag.Flags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *version {
 		cliutil.FprintVersion(stdout, "tacsolve")
 		return 0
+	}
+	if err := sysmonFlag.Validate(); err != nil {
+		fmt.Fprintf(stderr, "tacsolve: %v\n", err)
+		return 2
+	}
+	if err := sloFlag.Validate(); err != nil {
+		fmt.Fprintf(stderr, "tacsolve: %v\n", err)
+		return 2
 	}
 	if err := archive.Start("tacsolve", fs, *seed); err != nil {
 		fmt.Fprintf(stderr, "tacsolve: %v\n", err)
@@ -80,6 +90,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	defer sysmonFlag.Stop()
+	if err := sloFlag.Start(&archive); err != nil {
+		fmt.Fprintf(stderr, "tacsolve: %v\n", err)
+		return 1
+	}
 	traceRoot, err := trace.Start("tacsolve", &archive, sysmonFlag.Source())
 	if err != nil {
 		fmt.Fprintf(stderr, "tacsolve: %v\n", err)
@@ -120,7 +134,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		metricsReg = taccc.NewMetricsRegistry()
 		sinks = append(sinks, taccc.MetricsProgress(metricsReg))
 	}
-	stopTelemetry, err := telemetry.Start(stderr, metricsReg, sysmonFlag.Registry())
+	stopTelemetry, err := telemetry.Start(stderr, metricsReg, sysmonFlag.Registry(), sloFlag.Registry())
 	if err != nil {
 		fmt.Fprintf(stderr, "tacsolve: %v\n", err)
 		return 1
@@ -273,6 +287,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "tacsolve: %v\n", err)
 			return 1
 		}
+	}
+	// Static placement SLO check: with no queueing dynamics, each
+	// device's assigned delay is its end-to-end latency, so the whole
+	// placement lands in window 0 and the verdict is "does this
+	// assignment meet the objectives before load is applied". (tacsim
+	// gives the dynamic, queue-aware verdict.)
+	if tr := sloFlag.Tracker(); tr != nil {
+		for i := 0; i < in.N(); i++ {
+			tr.Observe(0, in.CostAt(i, got.Of[i]), false)
+		}
+		tr.Finish(tr.WindowMs())
+		sloFlag.PrintSummary(stdout)
 	}
 	feasible := 0.0
 	if in.Feasible(got) {

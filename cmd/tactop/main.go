@@ -2,10 +2,13 @@
 // server (tacsim/tacsolve/tacbench with -listen): it polls /metrics,
 // reassembles the request counters and per-phase delay histograms, and
 // renders a top-style summary — request totals and miss rate, p50/p95/p99
-// per delay phase, one line per edge with its queue depth, and (when the
-// producer runs with -sysmon) a resources panel: heap, RSS, goroutines,
-// GC and allocation rate, plus the age of the last resource sample so a
-// wedged run shows STALE instead of silently frozen gauges.
+// per delay phase, one line per edge with its queue depth, (when the
+// producer runs with -slo) an SLO panel: the latest closed window's
+// per-series quantiles plus one line per objective with compliance,
+// error budget, burn rate and a FIRING flag, and (when the producer runs
+// with -sysmon) a resources panel: heap, RSS, goroutines, GC and
+// allocation rate, plus the age of the last resource sample so a wedged
+// run shows STALE instead of silently frozen gauges.
 //
 // Usage:
 //
@@ -130,8 +133,60 @@ func render(w io.Writer, addr string, samples []httpserv.Sample) {
 	for _, e := range edges {
 		fmt.Fprintf(w, "edge %3d  queue %.0f\n", e.idx, e.depth)
 	}
+	renderSLO(w, scalar)
 	renderResources(w, scalar, time.Now().UnixMilli())
 	fmt.Fprintln(w)
+}
+
+var sloObjRe = regexp.MustCompile(`^slo_obj_(.+)_compliance_pct$`)
+
+// sloSeries mirrors the tracker's emission order; the panel's rows.
+var sloSeries = []string{"e2e", "uplink", "queue", "service", "downlink"}
+
+// renderSLO writes the SLO panel when the scrape carries slo.* gauges
+// (producer ran with -slo) and at least one window has closed: the
+// latest closed window's per-series quantiles, then one line per
+// objective with compliance, remaining error budget, burn rate and the
+// firing state. Objectives are discovered from the exposition itself
+// (slo_obj_<name>_compliance_pct), so the panel tracks whatever spec the
+// producer was started with.
+func renderSLO(w io.Writer, scalar map[string]float64) {
+	if scalar["slo_windows_total"] <= 0 {
+		return
+	}
+	fmt.Fprintf(w, "slo window %.0f (t=%.1fs, width %.1fs)  closed %.0f  alert transitions %.0f\n",
+		scalar["slo_window_index"], scalar["slo_window_start_ms"]/1000,
+		scalar["slo_window_ms"]/1000, scalar["slo_windows_total"], scalar["slo_alerts_total"])
+	fmt.Fprintf(w, "%-10s %10s %10s %10s %10s %8s\n", "window", "p50 ms", "p95 ms", "p99 ms", "mean ms", "count")
+	for _, s := range sloSeries {
+		p := "slo_window_" + s + "_"
+		if scalar[p+"count"] <= 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-10s %10.2f %10.2f %10.2f %10.2f %8.0f\n", s,
+			scalar[p+"p50_ms"], scalar[p+"p95_ms"], scalar[p+"p99_ms"], scalar[p+"mean_ms"], scalar[p+"count"])
+	}
+	if mr, ok := scalar["slo_window_e2e_miss_rate"]; ok {
+		fmt.Fprintf(w, "window miss rate %.2f%%\n", 100*mr)
+	}
+	var names []string
+	for name := range scalar {
+		if m := sloObjRe.FindStringSubmatch(name); m != nil {
+			names = append(names, m[1])
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := "slo_obj_" + name + "_"
+		flag := ""
+		if scalar[p+"firing"] > 0 {
+			flag = "  FIRING"
+		}
+		fmt.Fprintf(w, "obj %-16s compliance %6.2f%% (target %.1f%%)  violations %.0f/%.0f  budget %+6.2f  burn %5.2f%s\n",
+			name, scalar[p+"compliance_pct"], scalar[p+"target_pct"],
+			scalar[p+"violations"], scalar[p+"windows"],
+			scalar[p+"budget_remaining"], scalar[p+"burn_rate"], flag)
+	}
 }
 
 // renderResources writes the sysmon panel when the scrape carries

@@ -7,6 +7,7 @@ import (
 
 	"taccc/internal/obs"
 	"taccc/internal/obs/httpserv"
+	"taccc/internal/obs/slo"
 )
 
 func simRegistry() *obs.Registry {
@@ -137,6 +138,113 @@ func TestRenderResources(t *testing.T) {
 	renderResources(&buf, map[string]float64{"cluster_requests_sent": 10}, 1_000_000)
 	if buf.Len() != 0 {
 		t.Errorf("panel rendered without sysmon metrics: %q", buf.String())
+	}
+}
+
+func TestRenderSLO(t *testing.T) {
+	base := map[string]float64{
+		"slo_windows_total":                12,
+		"slo_alerts_total":                 1,
+		"slo_window_index":                 14,
+		"slo_window_start_ms":              14_000,
+		"slo_window_ms":                    1_000,
+		"slo_window_e2e_p50_ms":            10,
+		"slo_window_e2e_p95_ms":            50,
+		"slo_window_e2e_p99_ms":            100,
+		"slo_window_e2e_mean_ms":           18.5,
+		"slo_window_e2e_count":             240,
+		"slo_window_uplink_p50_ms":         2,
+		"slo_window_uplink_p95_ms":         5,
+		"slo_window_uplink_p99_ms":         5,
+		"slo_window_uplink_mean_ms":        2.2,
+		"slo_window_uplink_count":          240,
+		"slo_window_e2e_miss_rate":         0.0125,
+		"slo_obj_e2e_p95_compliance_pct":   91.67,
+		"slo_obj_e2e_p95_target_pct":       99,
+		"slo_obj_e2e_p95_violations":       1,
+		"slo_obj_e2e_p95_windows":          12,
+		"slo_obj_e2e_p95_budget_remaining": -0.88,
+		"slo_obj_e2e_p95_burn_rate":        1.67,
+		"slo_obj_e2e_p95_firing":           1,
+	}
+	var buf bytes.Buffer
+	renderSLO(&buf, base)
+	out := buf.String()
+	for _, want := range []string{
+		"slo window 14 (t=14.0s, width 1.0s)  closed 12  alert transitions 1",
+		"e2e", "uplink",
+		"window miss rate 1.25%",
+		"obj e2e_p95",
+		"compliance  91.67% (target 99.0%)",
+		"violations 1/12",
+		"budget  -0.88",
+		"burn  1.67",
+		"FIRING",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SLO panel missing %q:\n%s", want, out)
+		}
+	}
+	// Series with no samples in the current window are omitted, not
+	// rendered as zeros.
+	if strings.Contains(out, "queue") || strings.Contains(out, "downlink") {
+		t.Errorf("empty series rendered:\n%s", out)
+	}
+
+	// Objective not firing: no FIRING flag.
+	calm := map[string]float64{}
+	for k, v := range base {
+		calm[k] = v
+	}
+	calm["slo_obj_e2e_p95_firing"] = 0
+	buf.Reset()
+	renderSLO(&buf, calm)
+	if strings.Contains(buf.String(), "FIRING") {
+		t.Errorf("non-firing objective flagged FIRING:\n%s", buf.String())
+	}
+
+	// No SLO metrics in the scrape: the panel is absent entirely.
+	buf.Reset()
+	renderSLO(&buf, map[string]float64{"cluster_requests_sent": 10})
+	if buf.Len() != 0 {
+		t.Errorf("panel rendered without slo metrics: %q", buf.String())
+	}
+}
+
+// TestRunRendersSLOFromLiveTracker drives the real pipeline: an slo
+// Tracker populates its registry, httpserv exposes it, and tactop's one
+// poll renders the panel.
+func TestRunRendersSLOFromLiveTracker(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr, err := slo.New(slo.Config{
+		WindowMs: 1000,
+		Objectives: []slo.Objective{
+			{Series: slo.SeriesE2E, Stat: slo.StatQuantile(0.95), Threshold: 20, Target: 0.99},
+		},
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		tr.Observe(float64(i*20), 150, false)
+	}
+	tr.Finish(1000)
+	srv, err := httpserv.Start("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-addr", srv.Addr(), "-n", "1"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "slo window") || !strings.Contains(out, "obj e2e_p95") {
+		t.Fatalf("SLO panel missing from live render:\n%s", out)
+	}
+	if !strings.Contains(out, "compliance   0.00%") {
+		t.Fatalf("violating objective should render 0%% compliance:\n%s", out)
 	}
 }
 

@@ -27,6 +27,8 @@ var executionOnlyFlags = map[string]bool{
 	"o":               true,
 	"outdir":          true,
 	"progress":        true,
+	"slo":             true,
+	"slo-window":      true,
 	"sysmon":          true,
 	"sysmon-interval": true,
 	"trace":           true,
@@ -104,6 +106,15 @@ func (a *Archive) StartResources() (*obs.JSONL, error) {
 		return nil, nil
 	}
 	return a.w.StartResources()
+}
+
+// StartSLO opens the archive's SLO stream (slo.jsonl), nil when
+// archiving is off. Sealed by Finish along with the rest.
+func (a *Archive) StartSLO() (*obs.JSONL, error) {
+	if !a.Enabled() {
+		return nil, nil
+	}
+	return a.w.StartSLO()
 }
 
 // Finish seals the archive with the final metrics snapshot and result

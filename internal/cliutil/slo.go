@@ -1,0 +1,125 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"taccc/internal/obs"
+	"taccc/internal/obs/slo"
+)
+
+// SLO wires the shared -slo/-slo-window flags into a FlagSet and manages
+// the SLO-tracker lifecycle around a command run. When on, one
+// slo.Tracker feeds two planes at once: the slo-window/slo-eval/
+// slo-alert/slo-objective event stream into the archive's slo.jsonl (and
+// any extra sink the tool supplies), and live slo.* gauges in its own
+// registry, merged into the -listen telemetry exposition but never into
+// the archived metrics snapshot — that is what keeps events.jsonl /
+// metrics.json / summary.json byte-identical with the plane on or off.
+// Unlike sysmon, the SLO stream itself is sim-time driven and therefore
+// deterministic: slo.jsonl is part of the archive's byte-identical set.
+//
+// All methods are nil-safe and no-op when the plane is off, so tools
+// thread the struct through unconditionally, exactly like Sysmon.
+type SLO struct {
+	Spec      string
+	WindowSec float64
+
+	reg     *obs.Registry
+	tracker *slo.Tracker
+}
+
+// Flags registers the SLO flags on fs.
+func (s *SLO) Flags(fs *flag.FlagSet) {
+	fs.StringVar(&s.Spec, "slo", "", "evaluate service-level objectives over rolling sim-time windows; comma-separated [series.]stat<=threshold[@target%] terms, e.g. 'p95<=20@99,miss<=0.01' (series: e2e uplink queue service downlink; stat: pNN mean miss). Emits slo.jsonl under -archive and live slo.* gauges on -listen")
+	fs.Float64Var(&s.WindowSec, "slo-window", 1, "SLO window width in simulated seconds for -slo")
+}
+
+// Enabled reports whether SLO evaluation was requested.
+func (s *SLO) Enabled() bool { return s != nil && s.Spec != "" }
+
+// Validate checks flag values after parsing: the window width must be
+// positive and the objective spec must parse. Returns a usage error
+// (callers exit 2) rather than letting a nonsensical window silently
+// misbehave. Valid with the plane off.
+func (s *SLO) Validate() error {
+	if s == nil || (!s.Enabled() && s.WindowSec > 0) {
+		return nil
+	}
+	if !(s.WindowSec > 0) {
+		return fmt.Errorf("-slo-window must be positive, got %v", s.WindowSec)
+	}
+	_, err := slo.ParseObjectives(s.Spec)
+	return err
+}
+
+// Start builds the tracker when -slo was given: objectives from the
+// spec, windows of -slo-window simulated seconds, events into the
+// archive's slo.jsonl (when archiving is on), gauges into a dedicated
+// registry. Call after Validate.
+func (s *SLO) Start(a *Archive) error {
+	if !s.Enabled() {
+		return nil
+	}
+	objectives, err := slo.ParseObjectives(s.Spec)
+	if err != nil {
+		return err
+	}
+	var sink obs.Sink
+	if a.Enabled() {
+		js, err := a.StartSLO()
+		if err != nil {
+			return err
+		}
+		sink = js
+	}
+	s.reg = obs.NewRegistry()
+	tr, err := slo.New(slo.Config{
+		WindowMs:   s.WindowSec * 1000,
+		Objectives: objectives,
+		Sink:       sink,
+		Metrics:    s.reg,
+	})
+	if err != nil {
+		return err
+	}
+	s.tracker = tr
+	return nil
+}
+
+// Tracker returns the configured tracker, nil when the plane is off —
+// pass it straight to cluster.Config.SLO.
+func (s *SLO) Tracker() *slo.Tracker {
+	if s == nil {
+		return nil
+	}
+	return s.tracker
+}
+
+// Registry returns the tracker's slo.* gauge registry, nil when the
+// plane is off — pass it to Telemetry.Start alongside the tool's
+// semantic registry.
+func (s *SLO) Registry() *obs.Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// PrintSummary writes the per-objective verdict table to logw after the
+// run (no-op when the plane is off or nothing was tracked).
+func (s *SLO) PrintSummary(logw io.Writer) {
+	if s == nil || s.tracker == nil {
+		return
+	}
+	for _, r := range s.tracker.Results() {
+		verdict := "met"
+		if !r.Met {
+			verdict = "VIOLATED"
+		}
+		fmt.Fprintf(logw, "slo:        %-16s %s  compliance %.2f%% (target %.2f%%)  windows %d  violations %d  budget %+.2f  alerts %d  -> %s\n",
+			r.Name, r.Objective.Spec(), r.CompliancePct, 100*r.Target,
+			r.Windows, r.Violations, r.BudgetRemaining, r.Alerts, verdict)
+	}
+}

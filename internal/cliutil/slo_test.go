@@ -1,0 +1,165 @@
+package cliutil
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"taccc/internal/obs"
+	"taccc/internal/obs/runlog"
+)
+
+func parseSLO(t *testing.T, args ...string) *SLO {
+	t.Helper()
+	var s SLO
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	s.Flags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return &s
+}
+
+func TestSLOFlagsDefaults(t *testing.T) {
+	s := parseSLO(t)
+	if s.Enabled() {
+		t.Fatal("Enabled with -slo unset")
+	}
+	if s.WindowSec != 1 {
+		t.Fatalf("default window = %v, want 1s", s.WindowSec)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("defaults must validate: %v", err)
+	}
+}
+
+func TestSLOValidate(t *testing.T) {
+	var nilS *SLO
+	if err := nilS.Validate(); err != nil {
+		t.Fatalf("nil SLO: %v", err)
+	}
+
+	// Disabled plane ignores the spec but still rejects a broken window
+	// so a typo is not silently swallowed.
+	if err := parseSLO(t, "-slo-window", "0").Validate(); err == nil {
+		t.Fatal("zero window accepted")
+	}
+
+	cases := []struct {
+		args []string
+		want string // error substring, "" = valid
+	}{
+		{[]string{"-slo", "p95<=20"}, ""},
+		{[]string{"-slo", "p95<=20@99.9,uplink.mean<=5,miss<=0.01"}, ""},
+		{[]string{"-slo", "p95<=20", "-slo-window", "0.25"}, ""},
+		{[]string{"-slo", "p95<=20", "-slo-window", "0"}, "-slo-window must be positive"},
+		{[]string{"-slo", "p95<=20", "-slo-window", "-2"}, "-slo-window must be positive"},
+		{[]string{"-slo", "p95>=20"}, "want [series.]stat<=threshold"},
+		{[]string{"-slo", "p200<=20"}, "unknown stat"},
+		{[]string{"-slo", "p95<=20@0"}, "target"},
+	}
+	for _, tc := range cases {
+		err := parseSLO(t, tc.args...).Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("args %v: unexpected error %v", tc.args, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("args %v: error %v, want substring %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+func TestSLONilAndOffSafe(t *testing.T) {
+	var nilS *SLO
+	if nilS.Enabled() {
+		t.Fatal("nil SLO enabled")
+	}
+	if err := nilS.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	if nilS.Tracker() != nil || nilS.Registry() != nil {
+		t.Fatal("nil SLO produced a tracker or registry")
+	}
+	nilS.PrintSummary(&bytes.Buffer{})
+
+	off := parseSLO(t)
+	if err := off.Start(&Archive{}); err != nil {
+		t.Fatal(err)
+	}
+	if off.Tracker() != nil || off.Registry() != nil {
+		t.Fatal("off SLO produced a tracker or registry")
+	}
+}
+
+func TestSLOStartWithArchive(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	var a Archive
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	a.Flags(fs)
+	if err := fs.Parse([]string{"-archive", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start("testtool", fs, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	s := parseSLO(t, "-slo", "p95<=20@90", "-slo-window", "0.5")
+	if err := s.Start(&a); err != nil {
+		t.Fatal(err)
+	}
+	tr := s.Tracker()
+	if tr == nil {
+		t.Fatal("no tracker after Start")
+	}
+	if tr.WindowMs() != 500 {
+		t.Fatalf("window = %v ms, want 500", tr.WindowMs())
+	}
+	if s.Registry() == nil {
+		t.Fatal("no gauge registry after Start")
+	}
+
+	// Drive one violating window through the tracker and seal the archive.
+	tr.Observe(100, 500, false)
+	tr.Finish(500)
+	var sum bytes.Buffer
+	s.PrintSummary(&sum)
+	if !strings.Contains(sum.String(), "e2e_p95") || !strings.Contains(sum.String(), "VIOLATED") {
+		t.Fatalf("summary wrong:\n%s", sum.String())
+	}
+	if err := a.Finish(obs.NewRegistry(), runlog.Summary{}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	ar, err := runlog.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ar.SLO) == 0 {
+		t.Fatal("archive has no SLO events")
+	}
+	// SLO gauges live in their own registry: the archived snapshot must
+	// stay identical with the plane off.
+	for name := range ar.Metrics.Gauges {
+		if strings.HasPrefix(name, "slo.") {
+			t.Fatalf("slo gauge %s leaked into the archived metrics snapshot", name)
+		}
+	}
+}
+
+func TestSLOStartWithoutArchive(t *testing.T) {
+	s := parseSLO(t, "-slo", "p95<=20")
+	if err := s.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.Tracker() == nil {
+		t.Fatal("tracker must exist without an archive (gauges still serve -listen)")
+	}
+	s.Tracker().Observe(10, 5, false)
+	s.Tracker().Finish(1000)
+}

@@ -2,6 +2,7 @@ package cliutil
 
 import (
 	"flag"
+	"fmt"
 	"time"
 
 	"taccc/internal/obs"
@@ -38,6 +39,21 @@ func (s *Sysmon) Flags(fs *flag.FlagSet) {
 
 // Enabled reports whether resource sampling was requested.
 func (s *Sysmon) Enabled() bool { return s != nil && s.On }
+
+// Validate checks flag values after parsing: a non-positive
+// -sysmon-interval would make the sampler spin or never fire, so it is
+// rejected as a usage error (callers exit 2) instead of silently
+// misbehaving. Valid with sampling off as long as the interval was left
+// at (or reset to) a sane value.
+func (s *Sysmon) Validate() error {
+	if s == nil || (!s.Enabled() && s.Interval > 0) {
+		return nil
+	}
+	if s.Interval <= 0 {
+		return fmt.Errorf("-sysmon-interval must be positive, got %v", s.Interval)
+	}
+	return nil
+}
 
 // Start launches the sampler when -sysmon was given: an immediate
 // sample, then one per -sysmon-interval. The archive's resources.jsonl

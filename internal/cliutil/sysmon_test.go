@@ -4,6 +4,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -33,6 +34,33 @@ func TestSysmonFlags(t *testing.T) {
 	}
 	if !s2.Enabled() || s2.Interval != 10*time.Millisecond {
 		t.Fatalf("parsed: On=%v Interval=%v", s2.On, s2.Interval)
+	}
+}
+
+// TestSysmonValidate pins the usage-error contract: a non-positive
+// interval is rejected up front instead of wedging the sampler.
+func TestSysmonValidate(t *testing.T) {
+	var nilS *Sysmon
+	if err := nilS.Validate(); err != nil {
+		t.Fatalf("nil Sysmon: %v", err)
+	}
+	for _, iv := range []time.Duration{time.Millisecond, time.Second} {
+		s := &Sysmon{On: true, Interval: iv}
+		if err := s.Validate(); err != nil {
+			t.Errorf("interval %v rejected: %v", iv, err)
+		}
+	}
+	for _, iv := range []time.Duration{0, -time.Second} {
+		s := &Sysmon{On: true, Interval: iv}
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), "-sysmon-interval must be positive") {
+			t.Errorf("interval %v: error %v, want positive-interval diagnostic", iv, err)
+		}
+	}
+	// Off but with a broken interval: still rejected, so the typo is not
+	// silently swallowed when -sysmon is later enabled.
+	if err := (&Sysmon{Interval: -time.Second}).Validate(); err == nil {
+		t.Error("negative interval accepted with sampling off")
 	}
 }
 

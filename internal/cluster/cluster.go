@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"taccc/internal/obs"
+	"taccc/internal/obs/slo"
 	"taccc/internal/sim"
 	"taccc/internal/stats"
 	"taccc/internal/workload"
@@ -83,6 +84,15 @@ type Config struct {
 	// device (failed or unreachable edge) are never uplinked and are not
 	// traced. Nil costs nothing.
 	Spans obs.Sink
+	// SLO, when non-nil, receives every completion (end-to-end latency
+	// plus the per-phase breakdown) and drop, windowed by simulation
+	// time, and evaluates the configured service-level objectives as
+	// windows close. Like Metrics it covers warmup traffic (it mirrors a
+	// deployment's live SLO monitor). Observations are made from the
+	// single-threaded event loop at event time, so the emitted SLO
+	// stream is deterministic per seed at any worker count. Nil costs
+	// nothing.
+	SLO *slo.Tracker
 	// TraceSampleRate is the fraction of requests traced when Spans is
 	// set, in [0, 1]. 0 means trace everything, so a config that only
 	// sets Spans gets full traces. Sampling decisions come from a
@@ -700,6 +710,7 @@ func (s *Simulator) arrive(e *sim.Engine, i int) {
 			s.result.Dropped++
 		}
 		s.met.dropped.Add(1)
+		s.cfg.SLO.ObserveDrop(now)
 		s.record(RequestRecord{Device: i, Edge: j, SentAtMs: now, DoneAtMs: now, Outcome: OutcomeDropped})
 	} else {
 		uplink := s.uplink[i][j]
@@ -708,6 +719,7 @@ func (s *Simulator) arrive(e *sim.Engine, i int) {
 				s.result.Dropped++
 			}
 			s.met.dropped.Add(1)
+			s.cfg.SLO.ObserveDrop(now)
 			s.record(RequestRecord{Device: i, Edge: j, SentAtMs: now, DoneAtMs: now, Outcome: OutcomeDropped})
 		} else {
 			arriveAtEdge := now + s.jitter(uplink)
@@ -725,6 +737,7 @@ func (s *Simulator) serve(e *sim.Engine, i, j int, sentAt float64, tid obs.Trace
 			s.result.Dropped++
 		}
 		s.met.dropped.Add(1)
+		s.cfg.SLO.ObserveDrop(e.Now())
 		s.emitDropTrace(tid, i, j, sentAt, e.Now())
 		s.record(RequestRecord{Device: i, Edge: j, SentAtMs: sentAt, DoneAtMs: e.Now(), Outcome: OutcomeDropped})
 		return
@@ -734,6 +747,7 @@ func (s *Simulator) serve(e *sim.Engine, i, j int, sentAt float64, tid obs.Trace
 			s.result.Dropped++
 		}
 		s.met.dropped.Add(1)
+		s.cfg.SLO.ObserveDrop(e.Now())
 		s.emitDropTrace(tid, i, j, sentAt, e.Now())
 		s.record(RequestRecord{Device: i, Edge: j, SentAtMs: sentAt, DoneAtMs: e.Now(), Outcome: OutcomeDropped})
 		return
@@ -786,6 +800,7 @@ func (s *Simulator) serve(e *sim.Engine, i, j int, sentAt float64, tid obs.Trace
 		}
 		s.met.observeDone(latency, outcome)
 		s.met.observePhases(edgeAt-sentAt, start-edgeAt, serviceMs, down)
+		s.cfg.SLO.ObserveRequest(e.Now(), edgeAt-sentAt, start-edgeAt, serviceMs, down, latency, outcome == OutcomeMissed)
 		s.emitTrace(tid, i, j, sentAt, edgeAt, start, finish, down, outcome)
 		s.record(RequestRecord{Device: i, Edge: j, SentAtMs: sentAt, DoneAtMs: sentAt + latency, LatencyMs: latency, Outcome: outcome})
 	})
@@ -866,6 +881,7 @@ func (s *Simulator) completePS(e *sim.Engine, j int) {
 		// Under PS a job is in service from arrival, so its queue-wait
 		// phase is empty and service absorbs the sharing slowdown.
 		s.met.observePhases(job.arriveAt-job.sentAt, 0, now-job.arriveAt, down)
+		s.cfg.SLO.ObserveRequest(now, job.arriveAt-job.sentAt, 0, now-job.arriveAt, down, latency, outcome == OutcomeMissed)
 		s.emitTrace(job.trace, job.devIdx, j, job.sentAt, job.arriveAt, job.arriveAt, now, down, outcome)
 		s.record(RequestRecord{Device: job.devIdx, Edge: j, SentAtMs: job.sentAt, DoneAtMs: job.sentAt + latency, LatencyMs: latency, Outcome: outcome})
 	}
@@ -887,6 +903,7 @@ func (s *Simulator) Run(durationMs float64) (*Result, error) {
 		s.scheduleNextArrival(&s.engine, i)
 	}
 	s.engine.Run(durationMs)
+	s.cfg.SLO.Finish(durationMs)
 	s.result.DurationMs = durationMs - s.cfg.WarmupMs
 	return &s.result, nil
 }

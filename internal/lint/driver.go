@@ -37,12 +37,16 @@ var DeterministicPackages = []string{
 // math/rand scope — these packages draw no randomness) to the plumbing
 // that sits between the solvers and the wall: obs, whose Clock is the
 // single sanctioned entry point for real time (clock.go carries the
-// repository's only //lint:allow detrand annotations), and par, whose
-// workers must never pace themselves off timers. Matched exactly, not by
-// prefix: obs/runlog stamps archive manifests with real timestamps and
-// stays outside.
+// repository's only //lint:allow detrand annotations), par, whose
+// workers must never pace themselves off timers, and obs/slo, whose
+// rolling windows advance exclusively on sim time — a wall-clock read
+// there would silently decouple window boundaries from the engine and
+// break the plane's byte-identical determinism contract. Matched
+// exactly, not by prefix: obs/runlog stamps archive manifests with real
+// timestamps and stays outside.
 var ClockDisciplinePackages = []string{
 	"taccc/internal/obs",
+	"taccc/internal/obs/slo",
 	"taccc/internal/par",
 }
 

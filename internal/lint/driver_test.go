@@ -123,8 +123,10 @@ func Tick() time.Time { return time.Now() }
 // TestClockDisciplineScope pins the exact-match scoping of the
 // clock-discipline packages: a timer in internal/obs or internal/par is
 // flagged (obs.Clock's annotated reads are the only sanctioned wall-clock
-// sites), while internal/obs/runlog — which stamps archive manifests with
-// real timestamps — is outside despite sharing the obs prefix.
+// sites), and internal/obs/slo — whose rolling windows must advance on
+// sim time only — is flagged too, while internal/obs/runlog — which
+// stamps archive manifests with real timestamps — is outside despite
+// sharing the obs prefix.
 func TestClockDisciplineScope(t *testing.T) {
 	dir := seedModule(t, map[string]string{
 		"internal/obs/clockish.go": `package obs
@@ -138,6 +140,12 @@ func Pace() { time.Sleep(time.Millisecond) }
 import "time"
 
 func Throttle() <-chan time.Time { return time.After(time.Millisecond) }
+`,
+		"internal/obs/slo/window.go": `package slo
+
+import "time"
+
+func WindowEdge() int64 { return time.Now().UnixMilli() }
 `,
 		"internal/obs/runlog/runlog.go": `package runlog
 
@@ -158,16 +166,23 @@ func Stamp() time.Time { return time.Now() }
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
-	if len(findings) != 2 {
-		t.Fatalf("got %d findings, want 2 (obs + par, not runlog): %v", len(findings), findings)
+	if len(findings) != 3 {
+		t.Fatalf("got %d findings, want 3 (obs + slo + par, not runlog): %v", len(findings), findings)
 	}
+	sloFlagged := false
 	for _, f := range findings {
 		if f.Analyzer != "detrand" {
 			t.Errorf("unexpected analyzer %s: %+v", f.Analyzer, f)
 		}
-		if filepath.Base(filepath.Dir(f.Pos.Filename)) == "runlog" {
+		switch filepath.Base(filepath.Dir(f.Pos.Filename)) {
+		case "runlog":
 			t.Errorf("runlog should be outside the clock-discipline scope: %+v", f)
+		case "slo":
+			sloFlagged = true
 		}
+	}
+	if !sloFlagged {
+		t.Errorf("wall-clock read in internal/obs/slo not flagged: %v", findings)
 	}
 }
 

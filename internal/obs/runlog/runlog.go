@@ -10,6 +10,7 @@
 //	<dir>/summary.json     — named scalar results (latency quantiles, ...)
 //	<dir>/trace.jsonl      — pipeline trace (only with tracing on)
 //	<dir>/resources.jsonl  — sysmon resource samples (only with -sysmon)
+//	<dir>/slo.jsonl        — SLO window/eval/alert stream (only with -slo)
 //
 // Every file is written canonically (sorted JSON object keys, fixed
 // indentation), so loading an archive and rewriting it reproduces the
@@ -54,6 +55,13 @@ const (
 	// the byte-identical determinism set and exists only when the
 	// producing tool ran with -sysmon.
 	ResourcesFile = "resources.jsonl"
+	// SLOFile holds the SLO plane's stream (slo-window / slo-eval /
+	// slo-alert / slo-objective events). Unlike TraceFile and
+	// ResourcesFile it is sim-time driven and therefore INSIDE the
+	// byte-identical determinism set: two runs of the same seed, config
+	// and SLO spec produce identical slo.jsonl at any worker count. The
+	// file exists only when the producing tool ran with -slo.
+	SLOFile = "slo.jsonl"
 )
 
 // Manifest identifies a run: which tool produced it, at which version,
@@ -89,6 +97,8 @@ type Writer struct {
 	trace     *obs.JSONL
 	resFile   *os.File
 	res       *obs.JSONL
+	sloFile   *os.File
+	slo       *obs.JSONL
 	start     time.Time
 	closed    bool
 }
@@ -160,6 +170,26 @@ func (w *Writer) StartResources() (*obs.JSONL, error) {
 	return w.res, nil
 }
 
+// StartSLO opens the archive's SLO stream (slo.jsonl) and returns its
+// sink. Call at most once, before Close; the stream is flushed and
+// closed by Close. Tools that never call StartSLO produce archives
+// without an SLO file — the -slo-off default.
+func (w *Writer) StartSLO() (*obs.JSONL, error) {
+	if w == nil {
+		return nil, nil
+	}
+	if w.slo != nil {
+		return w.slo, nil
+	}
+	f, err := os.Create(filepath.Join(w.dir, SLOFile))
+	if err != nil {
+		return nil, fmt.Errorf("runlog: %w", err)
+	}
+	w.sloFile = f
+	w.slo = obs.NewJSONL(f)
+	return w.slo, nil
+}
+
 // Close flushes the event stream and writes metrics.json, summary.json
 // and manifest.json. It is idempotent; the first error anywhere in the
 // archive's lifetime (including latched event-write errors) is
@@ -194,6 +224,15 @@ func (w *Writer) Close(snap obs.Snapshot, summary Summary) error {
 		}
 		if err != nil {
 			return fmt.Errorf("runlog: resources: %w", err)
+		}
+	}
+	if w.sloFile != nil {
+		err := w.slo.Flush()
+		if cerr := w.sloFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("runlog: slo: %w", err)
 		}
 	}
 	if err := writeJSONFile(filepath.Join(w.dir, MetricsFile), snap); err != nil {
@@ -256,6 +295,12 @@ type Archive struct {
 	// when the archive has no resources file — runs with -sysmon off,
 	// and every archive written before the resource plane existed.
 	Resources []obs.Event
+	// SLO is the decoded SLO stream (slo-window / slo-eval / slo-alert /
+	// slo-objective events), nil when the archive has no SLO file — runs
+	// with -slo off, and every archive written before the SLO plane
+	// existed. Unlike Trace and Resources this stream is deterministic
+	// per seed/config/spec.
+	SLO []obs.Event
 }
 
 // IsArchiveDir reports whether dir looks like a run archive (has a
@@ -314,6 +359,16 @@ func Load(dir string) (*Archive, error) {
 			return nil, fmt.Errorf("runlog: %s: %s: %w", dir, ResourcesFile, rerr)
 		}
 		a.Resources = res
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("runlog: %s: %w", dir, err)
+	}
+	if sf, err := os.Open(filepath.Join(dir, SLOFile)); err == nil {
+		sloEvents, serr := obs.ReadEventStream(sf)
+		sf.Close()
+		if serr != nil {
+			return nil, fmt.Errorf("runlog: %s: %s: %w", dir, SLOFile, serr)
+		}
+		a.SLO = sloEvents
 	} else if !os.IsNotExist(err) {
 		return nil, fmt.Errorf("runlog: %s: %w", dir, err)
 	}
@@ -377,6 +432,11 @@ func (a *Archive) Write(dir string) error {
 	}
 	if a.Resources != nil {
 		if err := writeEventFile(filepath.Join(dir, ResourcesFile), a.Resources); err != nil {
+			return err
+		}
+	}
+	if a.SLO != nil {
+		if err := writeEventFile(filepath.Join(dir, SLOFile), a.SLO); err != nil {
 			return err
 		}
 	}

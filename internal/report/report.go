@@ -277,6 +277,22 @@ func (s *Source) Metrics() []Metric {
 				}
 			}
 		}
+		// SLO compliance (runs with -slo): per-objective verdict numbers.
+		// Deterministic per seed/config/spec, no CI — threshold-only
+		// comparison, with compliance and remaining budget improving
+		// upward. A two-run diff on slo/<name> compliance_pct is the
+		// CI-aware "did this change hurt the SLO" check.
+		if sr := SLOFromEvents(s.Archive.SLO); sr != nil {
+			for _, o := range sr.Objectives {
+				prefix := "slo/" + o.Name + " "
+				out = append(out,
+					Metric{Name: prefix + "compliance_pct", Value: o.CompliancePct, HigherIsBetter: true},
+					Metric{Name: prefix + "violations", Value: float64(o.Violations)},
+					Metric{Name: prefix + "budget_remaining", Value: o.BudgetRemaining, HigherIsBetter: true},
+					Metric{Name: prefix + "alerts", Value: float64(o.Alerts)},
+				)
+			}
+		}
 		for _, cs := range convergence(s.Archive.IterEvents()) {
 			if cs.BestCostMs >= 0 {
 				out = append(out, Metric{Name: "convergence/" + cs.Algo + " best_cost_ms", Value: cs.BestCostMs})

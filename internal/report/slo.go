@@ -1,0 +1,194 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"taccc/internal/obs"
+)
+
+// SLOWindowStat is one violating window, kept for the "worst windows"
+// listing (largest observed-over-threshold excess first).
+type SLOWindowStat struct {
+	Window   int64   `json:"window"`
+	EndMs    float64 `json:"end_ms"`
+	Observed float64 `json:"observed"`
+}
+
+// SLOObjectiveStat is one objective's final verdict from the archive's
+// slo-objective summary event, plus its worst violating windows from the
+// slo-eval stream.
+type SLOObjectiveStat struct {
+	Name            string          `json:"name"`
+	Series          string          `json:"series"`
+	Stat            string          `json:"stat"`
+	Threshold       float64         `json:"threshold"`
+	TargetPct       float64         `json:"target_pct"`
+	Windows         int             `json:"windows"`
+	Violations      int             `json:"violations"`
+	CompliancePct   float64         `json:"compliance_pct"`
+	BudgetTotal     float64         `json:"budget_total"`
+	BudgetRemaining float64         `json:"budget_remaining"`
+	Alerts          int             `json:"alerts"`
+	Met             bool            `json:"met"`
+	WorstWindows    []SLOWindowStat `json:"worst_windows,omitempty"`
+}
+
+// SLOAlertStat is one alert transition from the archive's slo-alert
+// stream, in emission (sim-time) order.
+type SLOAlertStat struct {
+	Objective string  `json:"objective"`
+	State     string  `json:"state"`
+	Reason    string  `json:"reason,omitempty"`
+	Window    int64   `json:"window"`
+	AtMs      float64 `json:"at_ms"`
+	Observed  float64 `json:"observed"`
+}
+
+// SLOReport is the offline view of an archive's slo.jsonl stream.
+type SLOReport struct {
+	// Windows is the number of closed (non-empty) windows the run
+	// evaluated.
+	Windows    int                `json:"windows"`
+	Objectives []SLOObjectiveStat `json:"objectives"`
+	// Alerts is the full fire/resolve timeline.
+	Alerts []SLOAlertStat `json:"alerts,omitempty"`
+}
+
+// worstWindowsPerObjective caps the "worst windows" listing.
+const worstWindowsPerObjective = 3
+
+// SLOFromEvents folds an archive's SLO stream (slo-window / slo-eval /
+// slo-alert / slo-objective events) into the report view. Returns nil
+// when the stream is empty or absent — archives from runs without -slo.
+func SLOFromEvents(events []obs.Event) *SLOReport {
+	if len(events) == 0 {
+		return nil
+	}
+	r := &SLOReport{}
+	windows := map[int64]bool{}
+	worst := map[string][]SLOWindowStat{}
+	order := []string{}
+	for _, e := range events {
+		switch e.Kind {
+		case "slo-window":
+			if w, ok := e.Int("window"); ok {
+				windows[w] = true
+			}
+		case "slo-eval":
+			violated, _ := e.Bool("violated")
+			if !violated {
+				continue
+			}
+			name, _ := e.Str("objective")
+			w, _ := e.Int("window")
+			endMs, _ := e.Num("end_ms")
+			observed, _ := e.Num("observed")
+			worst[name] = append(worst[name], SLOWindowStat{Window: w, EndMs: endMs, Observed: observed})
+		case "slo-alert":
+			a := SLOAlertStat{}
+			a.Objective, _ = e.Str("objective")
+			a.State, _ = e.Str("state")
+			a.Reason, _ = e.Str("reason")
+			a.Window, _ = e.Int("window")
+			a.AtMs, _ = e.Num("at_ms")
+			a.Observed, _ = e.Num("observed")
+			r.Alerts = append(r.Alerts, a)
+		case "slo-objective":
+			o := SLOObjectiveStat{}
+			o.Name, _ = e.Str("objective")
+			o.Series, _ = e.Str("series")
+			o.Stat, _ = e.Str("stat")
+			o.Threshold, _ = e.Num("threshold")
+			o.TargetPct, _ = e.Num("target_pct")
+			if v, ok := e.Int("windows"); ok {
+				o.Windows = int(v)
+			}
+			if v, ok := e.Int("violations"); ok {
+				o.Violations = int(v)
+			}
+			o.CompliancePct, _ = e.Num("compliance_pct")
+			o.BudgetTotal, _ = e.Num("budget_total")
+			o.BudgetRemaining, _ = e.Num("budget_remaining")
+			if v, ok := e.Int("alerts"); ok {
+				o.Alerts = int(v)
+			}
+			o.Met, _ = e.Bool("met")
+			r.Objectives = append(r.Objectives, o)
+			order = append(order, o.Name)
+		}
+	}
+	if len(r.Objectives) == 0 && len(windows) == 0 && len(r.Alerts) == 0 {
+		return nil
+	}
+	r.Windows = len(windows)
+	// Worst windows: the largest observed values first (every recorded
+	// eval here violated, so "largest observed" is "worst excess" for
+	// <=-thresholded stats). Ties break toward the earlier window for
+	// stable output.
+	for _, name := range order {
+		ws := worst[name]
+		sort.Slice(ws, func(i, j int) bool {
+			if ws[i].Observed != ws[j].Observed {
+				return ws[i].Observed > ws[j].Observed
+			}
+			return ws[i].Window < ws[j].Window
+		})
+		if len(ws) > worstWindowsPerObjective {
+			ws = ws[:worstWindowsPerObjective]
+		}
+		for i := range r.Objectives {
+			if r.Objectives[i].Name == name {
+				r.Objectives[i].WorstWindows = ws
+				break
+			}
+		}
+	}
+	return r
+}
+
+// markdownSLO renders the "SLO compliance" section.
+func (r *SLOReport) markdown(b *strings.Builder) {
+	fmt.Fprintf(b, "## SLO compliance\n\n")
+	fmt.Fprintf(b, "%d evaluated window(s)\n\n", r.Windows)
+	fmt.Fprintf(b, "| objective | spec | windows | violations | compliance | target | budget left | alerts | verdict |\n")
+	fmt.Fprintf(b, "|---|---|---:|---:|---:|---:|---:|---:|---|\n")
+	for _, o := range r.Objectives {
+		verdict := "met"
+		if !o.Met {
+			verdict = "**VIOLATED**"
+		}
+		fmt.Fprintf(b, "| %s | %s.%s<=%g | %d | %d | %.2f%% | %.2f%% | %+.2f | %d | %s |\n",
+			o.Name, o.Series, o.Stat, o.Threshold, o.Windows, o.Violations,
+			o.CompliancePct, o.TargetPct, o.BudgetRemaining, o.Alerts, verdict)
+	}
+	fmt.Fprintln(b)
+	for _, o := range r.Objectives {
+		if len(o.WorstWindows) == 0 {
+			continue
+		}
+		parts := make([]string, 0, len(o.WorstWindows))
+		for _, w := range o.WorstWindows {
+			parts = append(parts, fmt.Sprintf("w%d@%.1fs %.3g", w.Window, w.EndMs/1000, w.Observed))
+		}
+		fmt.Fprintf(b, "- worst windows for %s (vs %g): %s\n", o.Name, o.Threshold, strings.Join(parts, ", "))
+	}
+	if len(r.Alerts) > 0 {
+		fmt.Fprintf(b, "\n### Alert timeline\n\n")
+		for _, a := range r.Alerts {
+			switch a.State {
+			case "firing":
+				fmt.Fprintf(b, "- t=%.1fs **%s FIRED** (window %d, observed %.3g)\n",
+					a.AtMs/1000, a.Objective, a.Window, a.Observed)
+			default:
+				reason := a.Reason
+				if reason == "" {
+					reason = a.State
+				}
+				fmt.Fprintf(b, "- t=%.1fs %s resolved (%s)\n", a.AtMs/1000, a.Objective, reason)
+			}
+		}
+	}
+	fmt.Fprintln(b)
+}

@@ -60,6 +60,10 @@ type Report struct {
 	// from resources.jsonl.
 	Resources     []ResourcePhase `json:"resources,omitempty"`
 	ResourceUsage *ResourceUsage  `json:"resource_usage,omitempty"`
+	// SLO is the SLO-compliance view (per-objective verdicts, worst
+	// windows, alert timeline), present only when the archive carries an
+	// slo.jsonl (run with -slo).
+	SLO *SLOReport `json:"slo,omitempty"`
 
 	// Bench fields.
 	Bench *experiment.BenchResults `json:"bench,omitempty"`
@@ -86,6 +90,7 @@ func Summarize(s *Source) *Report {
 	resSamples := sysmon.SamplesFromEvents(a.Resources)
 	r.Resources = ResourcePhasesFromSpans(a.Spans(), resSamples)
 	r.ResourceUsage = ResourceUsageFromSamples(resSamples)
+	r.SLO = SLOFromEvents(a.SLO)
 
 	// Per-phase delay attribution: each phase's mean and its share of
 	// the summed phase means.
@@ -224,6 +229,9 @@ func (r *Report) Markdown() string {
 				float64(ph.PeakHeapBytes)/(1<<20), ph.Spans)
 		}
 		fmt.Fprintln(&b)
+	}
+	if r.SLO != nil {
+		r.SLO.markdown(&b)
 	}
 	if len(r.Phases) > 0 {
 		fmt.Fprintf(&b, "## Delay attribution\n\n")

@@ -10,6 +10,7 @@ import (
 	"taccc/internal/gap"
 	"taccc/internal/obs"
 	"taccc/internal/obs/httpserv"
+	"taccc/internal/obs/slo"
 	"taccc/internal/online"
 	"taccc/internal/topology"
 	"taccc/internal/trace"
@@ -638,6 +639,41 @@ func DefaultLatencyBucketsMs() []float64 { return obs.DefaultLatencyBucketsMs() 
 // EmitSpan sends a span into a sink (nil-safe); the cluster simulator
 // emits spans automatically when SimConfig.Spans is set.
 func EmitSpan(s ObsSink, sp Span) { obs.EmitSpan(s, sp) }
+
+// Streaming SLO plane (internal/obs/slo): rolling-window latency
+// quantiles, error budgets, and alert events driven purely by sim time.
+// Set SimConfig.SLO to evaluate objectives during a cluster run; the
+// tracker is nil-safe, so an unconfigured plane costs nothing and
+// results stay bit-identical.
+type (
+	// SLOTracker aggregates fixed-width rolling windows and evaluates
+	// objectives as the simulation advances (see NewSLOTracker).
+	SLOTracker = slo.Tracker
+	// SLOConfig configures a tracker: window width, objectives, event
+	// sink, metrics registry.
+	SLOConfig = slo.Config
+	// SLOObjective is one target: a windowed statistic over a delay
+	// series, a threshold, and a compliance target.
+	SLOObjective = slo.Objective
+	// SLOSeries names a delay series (e2e, uplink, queue, service,
+	// downlink).
+	SLOSeries = slo.Series
+	// SLOStat is the windowed statistic an objective evaluates
+	// (quantile, mean, or miss rate).
+	SLOStat = slo.Stat
+	// SLOObjectiveResult is an objective's end-of-run verdict: windows,
+	// violations, compliance, remaining error budget, alert count.
+	SLOObjectiveResult = slo.ObjectiveResult
+)
+
+// NewSLOTracker validates cfg and returns a windowed SLO tracker; set
+// it as SimConfig.SLO. A nil tracker is inert.
+func NewSLOTracker(cfg SLOConfig) (*SLOTracker, error) { return slo.New(cfg) }
+
+// ParseSLOObjectives parses a comma-separated objective spec such as
+// "p95<=20@99,uplink.mean<=5,miss<=0.01" (the tacsim/tacsolve -slo
+// flag syntax).
+func ParseSLOObjectives(spec string) ([]SLOObjective, error) { return slo.ParseObjectives(spec) }
 
 // TelemetryHandler serves a metrics registry over HTTP: /metrics
 // (Prometheus text exposition), /healthz, /snapshot (JSON) and
