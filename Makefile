@@ -1,8 +1,7 @@
-# Developer and CI entry points. `make ci` is what a pipeline should run:
-# vet + tests + the race detector over the whole tree (the concurrent
-# packages — internal/par, internal/experiment, internal/topology,
-# internal/assign — get their interleavings exercised under -race by the
-# determinism tests).
+# Developer and CI entry points. `make ci` is what a pipeline's main job
+# should run: vet + lint + build + tests. The race detector has its own
+# target (and its own CI job) so the slow instrumented run parallelizes
+# with the fast gate instead of serializing behind it.
 
 GO ?= go
 
@@ -33,17 +32,20 @@ bench:
 vet:
 	$(GO) vet ./...
 
-# Repository-specific static analysis (see internal/lint): detrand,
-# maporder, nilrecv and sinkerr enforce the determinism and observability
-# invariants that plain `go vet` cannot see. taclint runs standalone over
-# the module — it does not use `go vet -vettool=`, because the vettool
-# protocol requires golang.org/x/tools' unitchecker and this repo is
-# deliberately dependency-free; the standalone run checks the same
-# packages with the same type information.
-lint:
-	$(GO) run ./cmd/taclint ./...
+# Repository-specific static analysis (see internal/lint): nine analyzers
+# enforce the determinism, observability and parallel-safety invariants
+# that plain `go vet` cannot see. taclint runs standalone over the module
+# — it does not use `go vet -vettool=`, because the vettool protocol
+# requires golang.org/x/tools' unitchecker and this repo is deliberately
+# dependency-free; the standalone run checks the same packages with the
+# same type information. LINTFORMAT=sarif emits SARIF 2.1.0 for CI code
+# annotations instead of the go-vet style text.
+LINTFORMAT ?= text
 
-ci: vet lint build test race
+lint:
+	$(GO) run ./cmd/taclint -format $(LINTFORMAT) ./...
+
+ci: vet lint build test
 
 # Perf gate: run the fixed bench suite to JSON and diff it against the
 # committed baseline with tacreport. Verdicts subtract the propagated

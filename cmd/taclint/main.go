@@ -1,20 +1,24 @@
 // Command taclint runs the repository's custom static-analysis suite: a
-// multichecker of six analyzers that machine-enforce the determinism,
-// zero-overhead-observability and hot-path-performance invariants (see
-// internal/lint).
+// multichecker of nine analyzers that machine-enforce the determinism,
+// zero-overhead-observability, hot-path-performance and parallel-safety
+// invariants (see internal/lint).
 //
-//	detrand   no time.Now / math/rand in the deterministic packages
-//	maporder  no map iteration feeding ordered output unsorted
-//	nilrecv   nil-receiver guards on the obs sink/metric types
-//	sinkerr   no dropped event-sink Flush/Close errors in cmd/
-//	hotloop   no gap TotalCost calls inside loops in internal/assign
-//	resmon    no runtime memory/scheduler stats reads outside obs/sysmon
+//	detrand     no time.Now / math/rand in the deterministic packages
+//	maporder    no map iteration feeding ordered output unsorted
+//	nilrecv     nil-receiver guards on the obs sink/metric types
+//	sinkerr     no dropped event-sink Flush/Close errors in cmd/
+//	hotloop     no gap TotalCost calls inside loops in internal/assign
+//	resmon      no runtime memory/scheduler stats reads outside obs/sysmon
+//	taintclock  no laundered time.Now / math/rand reached through helpers
+//	parshare    par closures write only per-index slots or mutex sinks
+//	fpfold      no FP accumulation in map-range or channel-range order
 //
 // Usage:
 //
 //	taclint ./...                 # the whole module (the CI gate)
 //	taclint ./internal/assign     # one package
 //	taclint -only detrand ./...   # a subset of analyzers
+//	taclint -format sarif ./...   # SARIF 2.1.0 for CI code annotations
 //
 // taclint exits 0 when the tree is clean, 1 when it has findings, and 2
 // on usage or load errors. Intentional violations are annotated in place
@@ -42,9 +46,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("taclint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		dir  = fs.String("C", "", "change to this directory (the module root to lint) before doing anything")
-		only = fs.String("only", "", "comma-separated analyzer subset to run (default: all)")
-		list = fs.Bool("list", false, "list the analyzers and exit")
+		dir    = fs.String("C", "", "change to this directory (the module root to lint) before doing anything")
+		only   = fs.String("only", "", "comma-separated analyzer subset to run (default: all)")
+		list   = fs.Bool("list", false, "list the analyzers and exit")
+		format = fs.String("format", "text", "output format: text (go-vet style) or sarif (SARIF 2.1.0)")
 	)
 	version := cliutil.VersionFlag(fs)
 	if err := fs.Parse(args); err != nil {
@@ -53,6 +58,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *version {
 		cliutil.FprintVersion(stdout, "taclint")
 		return 0
+	}
+	if *format != "text" && *format != "sarif" {
+		fmt.Fprintf(stderr, "taclint: unknown format %q (known: sarif, text)\n", *format)
+		return 2
 	}
 	if *list {
 		for _, a := range lint.Analyzers() {
@@ -75,7 +84,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *only != "" {
 		keep := make(map[string]bool)
 		for _, name := range strings.Split(*only, ",") {
-			keep[strings.TrimSpace(name)] = true
+			if name = strings.TrimSpace(name); name != "" {
+				keep[name] = true
+			}
 		}
 		var kept []lint.Rule
 		for _, r := range rules {
@@ -90,7 +101,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		sort.Strings(unknown)
 		if len(unknown) > 0 {
-			fmt.Fprintf(stderr, "taclint: unknown analyzer(s): %s\n", strings.Join(unknown, ", "))
+			known := make([]string, 0, len(rules))
+			for _, r := range rules {
+				known = append(known, r.Analyzer.Name)
+			}
+			sort.Strings(known)
+			fmt.Fprintf(stderr, "taclint: unknown analyzer(s): %s (known: %s)\n",
+				strings.Join(unknown, ", "), strings.Join(known, ", "))
 			return 2
 		}
 		rules = kept
@@ -114,6 +131,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "taclint: %v\n", err)
 		return 2
+	}
+	if *format == "sarif" {
+		// SARIF is always a complete document — a clean tree emits an
+		// empty results array, which CI still uploads — and the exit code
+		// keeps carrying the verdict.
+		if err := lint.WriteSARIF(stdout, findings, root); err != nil {
+			fmt.Fprintf(stderr, "taclint: %v\n", err)
+			return 2
+		}
+		if len(findings) > 0 {
+			return 1
+		}
+		return 0
 	}
 	if len(findings) > 0 {
 		lint.Print(stdout, findings, root)

@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
+
+	"taccc/internal/lint"
 )
 
 // TestRunRepoClean is the CLI-level acceptance check: taclint over the
@@ -41,6 +44,39 @@ func TestRunUnknownAnalyzer(t *testing.T) {
 	if !strings.Contains(stderr.String(), "nope") {
 		t.Errorf("stderr should name the unknown analyzer:\n%s", &stderr)
 	}
+	// The error lists the known analyzers, sorted, so the fix is one
+	// copy-paste away.
+	known := make([]string, 0, len(lint.Analyzers()))
+	for _, a := range lint.Analyzers() {
+		known = append(known, a.Name)
+	}
+	sort.Strings(known)
+	if want := "known: " + strings.Join(known, ", "); !strings.Contains(stderr.String(), want) {
+		t.Errorf("stderr should list the known analyzers as %q:\n%s", want, &stderr)
+	}
+}
+
+// TestRunOnlyToleratesEmptySegments pins the flag parsing: stray commas
+// ("-only detrand,") must not read as an unknown empty-named analyzer.
+func TestRunOnlyToleratesEmptySegments(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", root, "-only", "detrand, ,", "./internal/lint"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("taclint -only \"detrand, ,\" = %d, want 0\nstderr:\n%s", code, &stderr)
+	}
+}
+
+func TestRunUnknownFormat(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-format", "xml"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("taclint -format xml = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "sarif, text") {
+		t.Errorf("stderr should list the known formats:\n%s", &stderr)
+	}
 }
 
 // TestRunSeededViolation builds a throwaway module named taccc with a
@@ -72,5 +108,44 @@ func Stamp() int64 { return time.Now().UnixNano() }
 	}
 	if !strings.Contains(stdout.String(), "[detrand]") {
 		t.Errorf("finding should carry its analyzer tag:\n%s", &stdout)
+	}
+
+	// The same tree in SARIF: still exit 1, and the output is a document
+	// the strict reader accepts, carrying the finding at a relative URI.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", dir, "-format", "sarif", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("taclint -format sarif on seeded module = %d, want 1\nstderr:\n%s", code, &stderr)
+	}
+	findings, err := lint.ReadSARIF(bytes.NewReader(stdout.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadSARIF on taclint output: %v", err)
+	}
+	if len(findings) != 1 || findings[0].Analyzer != "detrand" {
+		t.Fatalf("sarif findings = %v, want one detrand finding", findings)
+	}
+	if findings[0].Pos.Filename != "internal/assign/assign.go" {
+		t.Errorf("sarif uri = %q, want repo-relative internal/assign/assign.go", findings[0].Pos.Filename)
+	}
+}
+
+// TestRunSARIFCleanTree checks the clean-tree SARIF path end to end: the
+// repository's own lint package emits a complete, valid document with an
+// empty results array and exits 0.
+func TestRunSARIFCleanTree(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", root, "-format", "sarif", "./internal/xrand"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("taclint -format sarif ./internal/xrand = %d, want 0\nstderr:\n%s", code, &stderr)
+	}
+	findings, err := lint.ReadSARIF(bytes.NewReader(stdout.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadSARIF on clean output: %v", err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("clean tree produced findings in SARIF: %v", findings)
 	}
 }

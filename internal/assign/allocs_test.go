@@ -11,6 +11,9 @@ import (
 // independent, so it cancels in the scaling comparison below).
 func allocsPerAssign(t *testing.T, mk func() Assigner, in *gap.Instance) float64 {
 	t.Helper()
+	if raceEnabled {
+		t.Skip("alloc counts are perturbed by race-detector shadow allocations")
+	}
 	return testing.AllocsPerRun(3, func() {
 		if _, err := mk().Assign(in); err != nil {
 			t.Fatal(err)

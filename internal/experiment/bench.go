@@ -216,8 +216,8 @@ func measureBenchAllocs(sc Scenario, algos []BenchAlgo) error {
 			}
 			runtime.GC()
 			gcPct := debug.SetGCPercent(-1)
-			runtime.ReadMemStats(&before) //lint:allow resmon resource pass brackets the round's GC pause delta
-			stopPeak := sysmon.WatchPeak(time.Millisecond)
+			runtime.ReadMemStats(&before)                  //lint:allow resmon resource pass brackets the round's GC pause delta
+			stopPeak := sysmon.WatchPeak(time.Millisecond) //lint:allow taintclock alloc pass samples live-heap peak on a real ticker; results are measurements, not solver state
 			_, aerr := a.Assign(b.Instance)
 			peak := stopPeak()
 			debug.SetGCPercent(gcPct)

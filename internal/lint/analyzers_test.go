@@ -7,8 +7,9 @@ import (
 	"taccc/internal/lint/linttest"
 )
 
-// The six analyzers each run over a fixture package whose want comments
-// pin down positive cases, negative cases, and //lint:allow handling.
+// The nine analyzers each run over a fixture package whose want comments
+// pin down positive cases, negative cases, and //lint:allow handling;
+// the interprocedural fixtures additionally assert exported facts.
 
 func TestDetrandFixtures(t *testing.T) {
 	linttest.Run(t, linttest.TestData(t), lint.Detrand, "detrand")
@@ -32,4 +33,22 @@ func TestHotloopFixtures(t *testing.T) {
 
 func TestResmonFixtures(t *testing.T) {
 	linttest.Run(t, linttest.TestData(t), lint.Resmon, "resmon")
+}
+
+func TestTaintclockFixtures(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), lint.Taintclock, "taintclock")
+}
+
+// TestTaintclockHelperFixtures runs the laundering package directly, so
+// its own facts and in-package finding are pinned down too.
+func TestTaintclockHelperFixtures(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), lint.Taintclock, "taintclock/helper")
+}
+
+func TestParshareFixtures(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), lint.Parshare, "parshare")
+}
+
+func TestFpfoldFixtures(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), lint.Fpfold, "fpfold")
 }

@@ -65,7 +65,15 @@ var ClockDisciplinePackages = []string{
 //     expected to price moves through the incremental gap.Evaluator;
 //   - resmon everywhere except internal/obs/sysmon, the one sanctioned
 //     consumer of runtime memory/scheduler statistics (the bench alloc
-//     pass annotates its in-place measurement reads).
+//     pass annotates its in-place measurement reads);
+//   - taintclock over the same scope as detrand — it is detrand's
+//     interprocedural closure, catching wall-clock and math/rand reads
+//     laundered through helpers in any package (internal/xrand stays the
+//     sanctioned randomness source and exports no taint);
+//   - parshare everywhere — a par entry point can be called from any
+//     layer, and the worker-write discipline travels with the call;
+//   - fpfold everywhere — an FP fold in map or arrival order breaks
+//     byte-identical output no matter which layer computes it.
 func DefaultRules() []Rule {
 	inDeterministic := func(path string) bool {
 		for _, p := range DeterministicPackages {
@@ -97,6 +105,9 @@ func DefaultRules() []Rule {
 		{Analyzer: Resmon, Match: func(path string) bool {
 			return path != "taccc/internal/obs/sysmon"
 		}},
+		{Analyzer: Taintclock, Match: inDetrandScope},
+		{Analyzer: Parshare, Match: func(string) bool { return true }},
+		{Analyzer: Fpfold, Match: func(string) bool { return true }},
 	}
 }
 
@@ -115,15 +126,81 @@ type Finding struct {
 // are themselves findings (analyzer "allow") in every package, so a typo
 // cannot silently disable a check.
 func Run(l *Loader, importPaths []string, rules []Rule) ([]Finding, error) {
+	findings, _, err := RunWithFacts(l, importPaths, rules)
+	return findings, err
+}
+
+// RunWithFacts is Run, additionally returning the fact store the run
+// populated, for linttest fact assertions and the facts-layer tests.
+//
+// Analyzers that declare UsesFacts are interprocedural: before such an
+// analyzer visits a package, the driver runs it over the package's
+// project-internal import closure, dependency-first, so facts exported
+// for a helper in an unscoped package (say, a two-hop time.Now wrapper)
+// are already in the store when the scoped importer is analyzed. Each
+// (analyzer, package) pair runs at most once per driver run; diagnostics
+// produced while analyzing a dependency are cached and surface only if
+// that package is itself a lint target whose rule matches.
+func RunWithFacts(l *Loader, importPaths []string, rules []Rule) ([]Finding, *FactStore, error) {
+	// The known-analyzer set for allow validation spans the whole suite,
+	// not just the active rules: running `taclint -only detrand` over a
+	// tree annotated with //lint:allow hotloop must not turn those
+	// reviewed annotations into "unknown analyzer" findings.
 	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
 	for _, r := range rules {
 		known[r.Analyzer.Name] = true
 	}
+
+	store := NewFactStore()
+	diagCache := make(map[string]map[string][]Diagnostic) // analyzer name -> package path -> diagnostics
+	var analyze func(a *Analyzer, pkg *Package) ([]Diagnostic, error)
+	analyze = func(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+		byPkg := diagCache[a.Name]
+		if byPkg == nil {
+			byPkg = make(map[string][]Diagnostic)
+			diagCache[a.Name] = byPkg
+		}
+		if diags, ok := byPkg[pkg.Path]; ok {
+			return diags, nil
+		}
+		// Go forbids import cycles, so the recursion terminates; marking
+		// the cache before descending would only mask a loader bug.
+		if a.UsesFacts {
+			for _, dep := range projectImports(l, pkg) {
+				depPkg, err := l.Load(dep)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := analyze(a, depPkg); err != nil {
+					return nil, err
+				}
+			}
+		}
+		var diags []Diagnostic
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      l.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report:    func(d Diagnostic) { diags = append(diags, d) },
+			facts:     store,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+		byPkg[pkg.Path] = diags
+		return diags, nil
+	}
+
 	var findings []Finding
 	for _, path := range importPaths {
 		pkg, err := l.Load(path)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		allows, bad := parseAllows(l.Fset, pkg.Files, known)
 		for _, d := range bad {
@@ -133,17 +210,9 @@ func Run(l *Loader, importPaths []string, rules []Rule) ([]Finding, error) {
 			if !r.Match(path) {
 				continue
 			}
-			var diags []Diagnostic
-			pass := &Pass{
-				Analyzer:  r.Analyzer,
-				Fset:      l.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.Info,
-				Report:    func(d Diagnostic) { diags = append(diags, d) },
-			}
-			if err := r.Analyzer.Run(pass); err != nil {
-				return nil, fmt.Errorf("lint: %s on %s: %w", r.Analyzer.Name, path, err)
+			diags, err := analyze(r.Analyzer, pkg)
+			if err != nil {
+				return nil, nil, err
 			}
 			for _, d := range diags {
 				pos := l.Fset.Position(d.Pos)
@@ -167,7 +236,22 @@ func Run(l *Loader, importPaths []string, rules []Rule) ([]Finding, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
+	return findings, store, nil
+}
+
+// projectImports lists pkg's direct imports that the loader can resolve
+// from source — the module- or fixture-internal dependencies whose facts
+// an interprocedural analyzer needs — sorted for deterministic analysis
+// order.
+func projectImports(l *Loader, pkg *Package) []string {
+	var out []string
+	for _, imp := range pkg.Types.Imports() {
+		if l.resolvable(imp.Path()) {
+			out = append(out, imp.Path())
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Print writes findings one per line in the go-vet style

@@ -3,6 +3,7 @@ package lint_test
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"taccc/internal/lint"
@@ -116,6 +117,95 @@ func Tick() time.Time { return time.Now() }
 	for a, n := range want {
 		if byAnalyzer[a] != n {
 			t.Errorf("analyzer %s: got %d findings, want %d (all: %v)", a, byAnalyzer[a], n, findings)
+		}
+	}
+}
+
+// TestSeededInterproceduralViolations proves the interprocedural teeth:
+// a time.Now laundered through a two-hop helper chain in an unscoped
+// utility package is flagged where the deterministic package calls it, a
+// par closure growing a captured slice is flagged, and a float sum in
+// map-range order is flagged — one finding per seeded violation, with
+// the laundering chain spelled out.
+func TestSeededInterproceduralViolations(t *testing.T) {
+	dir := seedModule(t, map[string]string{
+		// timeutil is outside every determinism scope; taintclock's facts
+		// must carry the taint from here into internal/assign.
+		"internal/timeutil/timeutil.go": `package timeutil
+
+import "time"
+
+func stamp() int64 { return time.Now().UnixNano() }
+
+func Wrap() int64 { return stamp() }
+`,
+		"internal/assign/assign.go": `package assign
+
+import "taccc/internal/timeutil"
+
+func Solve() int64 { return timeutil.Wrap() }
+`,
+		"internal/par/par.go": `package par
+
+func For(workers, n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+`,
+		"internal/topology/paths.go": `package topology
+
+import "taccc/internal/par"
+
+func Collect(n int) []int {
+	var out []int
+	par.For(4, n, func(i int) {
+		out = append(out, i*i)
+	})
+	return out
+}
+`,
+		"internal/cluster/stats.go": `package cluster
+
+func Total(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+`,
+	})
+	l, modPath, err := lint.NewModuleLoader(dir)
+	if err != nil {
+		t.Fatalf("NewModuleLoader: %v", err)
+	}
+	paths, err := lint.ExpandPatterns(dir, modPath, []string{"./..."})
+	if err != nil {
+		t.Fatalf("ExpandPatterns: %v", err)
+	}
+	findings, err := lint.Run(l, paths, lint.DefaultRules())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	byAnalyzer := make(map[string][]lint.Finding)
+	for _, f := range findings {
+		byAnalyzer[f.Analyzer] = append(byAnalyzer[f.Analyzer], f)
+	}
+	for analyzer, want := range map[string]int{"taintclock": 1, "parshare": 1, "fpfold": 1} {
+		if len(byAnalyzer[analyzer]) != want {
+			t.Errorf("analyzer %s: got %d findings, want %d (all: %v)", analyzer, len(byAnalyzer[analyzer]), want, findings)
+		}
+	}
+	if len(findings) != 3 {
+		t.Errorf("got %d findings, want exactly 3: %v", len(findings), findings)
+	}
+	if tc := byAnalyzer["taintclock"]; len(tc) == 1 {
+		if !strings.Contains(tc[0].Message, "timeutil.Wrap -> stamp -> time.Now") {
+			t.Errorf("taintclock message lacks the laundering chain: %s", tc[0].Message)
+		}
+		if filepath.Base(filepath.Dir(tc[0].Pos.Filename)) != "assign" {
+			t.Errorf("taintclock finding not at the deterministic call site: %+v", tc[0])
 		}
 	}
 }

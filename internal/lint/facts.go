@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/types"
+	"sort"
+)
+
+// Fact is a piece of analyzer-derived knowledge attached to a
+// types.Object — typically a *types.Func — that outlives the analysis of
+// the package that defined the object. Facts are how the suite becomes
+// interprocedural: an analyzer running over package a exports facts for
+// a's functions, and the same analyzer running over a package that
+// imports a reads them back, so properties like "this helper transitively
+// reaches time.Now" survive package boundaries the way they do in
+// golang.org/x/tools/go/analysis.
+//
+// AFact is a marker method (mirroring the upstream interface); String is
+// the human-readable form that linttest fact assertions match against.
+type Fact interface {
+	AFact()
+	String() string
+}
+
+// factKey identifies one fact: the analyzer that computed it and the
+// object it describes. Object identity is sound across packages because
+// one Loader shares a single FileSet and returns the same *types.Package
+// for every importer, so an imported function resolves to the same
+// types.Object everywhere.
+type factKey struct {
+	analyzer string
+	obj      types.Object
+}
+
+// FactStore holds every fact exported during one driver run. One store
+// spans all packages and analyzers of the run; analyzers see only their
+// own facts through the Pass accessors.
+type FactStore struct {
+	facts map[factKey]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{facts: make(map[factKey]Fact)}
+}
+
+func (s *FactStore) put(analyzer string, obj types.Object, f Fact) {
+	if s == nil || obj == nil || f == nil {
+		return
+	}
+	s.facts[factKey{analyzer: analyzer, obj: obj}] = f
+}
+
+func (s *FactStore) get(analyzer string, obj types.Object) (Fact, bool) {
+	if s == nil || obj == nil {
+		return nil, false
+	}
+	f, ok := s.facts[factKey{analyzer: analyzer, obj: obj}]
+	return f, ok
+}
+
+// ExportedFact pairs an object with the fact an analyzer exported for it.
+type ExportedFact struct {
+	Object types.Object
+	Fact   Fact
+}
+
+// AnalyzerFacts returns every fact exported by the named analyzer, sorted
+// by the defining package's path and the object's declaration position so
+// the slice is deterministic — linttest matches fact assertions against
+// it in order.
+func (s *FactStore) AnalyzerFacts(analyzer string) []ExportedFact {
+	if s == nil {
+		return nil
+	}
+	var out []ExportedFact
+	for k, f := range s.facts {
+		if k.analyzer == analyzer {
+			out = append(out, ExportedFact{Object: k.obj, Fact: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Object, out[j].Object
+		ap, bp := "", ""
+		if a.Pkg() != nil {
+			ap = a.Pkg().Path()
+		}
+		if b.Pkg() != nil {
+			bp = b.Pkg().Path()
+		}
+		if ap != bp {
+			return ap < bp
+		}
+		if a.Pos() != b.Pos() {
+			return a.Pos() < b.Pos()
+		}
+		return a.Name() < b.Name()
+	})
+	return out
+}
+
+// ExportObjectFact records f as this analyzer's fact for obj. Facts are
+// visible to the same analyzer in every later pass of the run, including
+// passes over other packages.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if p.facts == nil {
+		return
+	}
+	p.facts.put(p.Analyzer.Name, obj, f)
+}
+
+// ImportObjectFact returns the fact this analyzer previously exported for
+// obj, if any — typically a fact computed while analyzing the package
+// that defines obj. The driver analyzes project-internal dependencies
+// before their importers, so by the time a package is analyzed the facts
+// for everything it imports are present.
+func (p *Pass) ImportObjectFact(obj types.Object) (Fact, bool) {
+	if p.facts == nil {
+		return nil, false
+	}
+	return p.facts.get(p.Analyzer.Name, obj)
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFactStoreRoundTrip exercises the store through the Pass API the
+// analyzers use: export on one pass, import on another, keyed by
+// analyzer name and object identity.
+func TestFactStoreRoundTrip(t *testing.T) {
+	pkgA := types.NewPackage("taccc/internal/a", "a")
+	pkgB := types.NewPackage("taccc/internal/b", "b")
+	objA := types.NewVar(token.Pos(10), pkgA, "x", types.Typ[types.Int])
+	objB := types.NewVar(token.Pos(5), pkgB, "y", types.Typ[types.Int])
+
+	store := NewFactStore()
+	export := &Pass{Analyzer: Taintclock, facts: store}
+	export.ExportObjectFact(objA, &ClockTaint{Chain: []string{"time.Now"}})
+	export.ExportObjectFact(objB, &ClockTaint{Chain: []string{"helper", "time.Now"}})
+
+	imp := &Pass{Analyzer: Taintclock, facts: store}
+	f, ok := imp.ImportObjectFact(objA)
+	if !ok {
+		t.Fatalf("fact for objA not found after export")
+	}
+	ct, ok := f.(*ClockTaint)
+	if !ok || ct.String() != "tainted: time.Now" {
+		t.Errorf("imported fact = %v, want tainted: time.Now", f)
+	}
+	if _, ok := imp.ImportObjectFact(types.NewVar(token.NoPos, pkgA, "z", types.Typ[types.Int])); ok {
+		t.Errorf("fact found for an object none was exported for")
+	}
+
+	// Facts are namespaced per analyzer: parshare sees nothing of
+	// taintclock's exports.
+	other := &Pass{Analyzer: Parshare, facts: store}
+	if _, ok := other.ImportObjectFact(objA); ok {
+		t.Errorf("fact leaked across analyzer namespaces")
+	}
+
+	// AnalyzerFacts orders by package path, then position: a before b.
+	facts := store.AnalyzerFacts(Taintclock.Name)
+	if len(facts) != 2 {
+		t.Fatalf("AnalyzerFacts returned %d facts, want 2", len(facts))
+	}
+	if facts[0].Object != objA || facts[1].Object != objB {
+		t.Errorf("AnalyzerFacts order = [%v %v], want [objA objB]", facts[0].Object, facts[1].Object)
+	}
+}
+
+// TestFactAPIWithoutStore pins the nil-store behavior: a Pass outside a
+// driver run (a unit-driven analyzer) neither panics nor remembers.
+func TestFactAPIWithoutStore(t *testing.T) {
+	pkg := types.NewPackage("taccc/internal/a", "a")
+	obj := types.NewVar(token.NoPos, pkg, "x", types.Typ[types.Int])
+	p := &Pass{Analyzer: Taintclock}
+	p.ExportObjectFact(obj, &ClockTaint{Chain: []string{"time.Now"}})
+	if _, ok := p.ImportObjectFact(obj); ok {
+		t.Errorf("fact survived without a store")
+	}
+}
+
+// TestCrossPackageFactFlow loads the taintclock fixture tree through the
+// real driver and checks that facts exported while analyzing the helper
+// dependency are visible — object identity intact — when the importing
+// package is analyzed: the laundered two-hop chain is reconstructed in
+// full at the importer's call site.
+func TestCrossPackageFactFlow(t *testing.T) {
+	srcRoot, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewSourceLoader(srcRoot)
+	findings, store, err := RunWithFacts(l, []string{"taintclock"}, []Rule{
+		{Analyzer: Taintclock, Match: func(string) bool { return true }},
+	})
+	if err != nil {
+		t.Fatalf("RunWithFacts: %v", err)
+	}
+
+	chains := make(map[string]string) // "pkg.Func" -> chain
+	for _, ef := range store.AnalyzerFacts(Taintclock.Name) {
+		ct, ok := ef.Fact.(*ClockTaint)
+		if !ok {
+			t.Fatalf("unexpected fact type %T", ef.Fact)
+		}
+		chains[ef.Object.Pkg().Path()+"."+ef.Object.Name()] = strings.Join(ct.Chain, " -> ")
+	}
+	for fn, want := range map[string]string{
+		"taintclock/helper.Wrap":  "stamp -> time.Now",
+		"taintclock/helper.stamp": "time.Now",
+		"taintclock.useLaundered": "helper.Wrap -> stamp -> time.Now",
+	} {
+		if chains[fn] != want {
+			t.Errorf("fact chain for %s = %q, want %q (all: %v)", fn, chains[fn], want, chains)
+		}
+	}
+	if got, ok := chains["taintclock/helper.Pure"]; ok {
+		t.Errorf("untainted helper.Pure exported a fact: %q", got)
+	}
+
+	laundered := false
+	for _, f := range findings {
+		if strings.Contains(f.Message, "helper.Wrap -> stamp -> time.Now") {
+			laundered = true
+		}
+	}
+	if !laundered {
+		t.Errorf("laundered chain not reported at the importer's call site: %v", findings)
+	}
+}

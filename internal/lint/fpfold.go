@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Fpfold polices floating-point reduction order. FP addition (and
+// multiplication) is not associative: (a+b)+c and a+(b+c) differ in the
+// last bits, so a float fold is only deterministic when the operands
+// arrive in a fixed order. Two loop shapes violate that by construction:
+//
+//   - a range over a map folds in Go's deliberately randomized iteration
+//     order, so the same data produces run-dependent last bits — the
+//     exact drift that breaks the byte-identical archive set;
+//   - a range over a channel folds in arrival order, which for a
+//     fan-in of per-worker shard results is scheduling order.
+//
+// Accumulating into a per-key slot (out[k] += v, each key visited
+// exactly once) is deterministic and exempt; so are integer
+// accumulators, comparisons (min/max folds commute), and folds that
+// first sort the keys and range over the resulting slice — the repo's
+// collect-then-sort idiom. Everything else either restructures onto
+// fixed index order or documents itself with //lint:allow fpfold.
+var Fpfold = &Analyzer{
+	Name: "fpfold",
+	Doc:  "forbid floating-point accumulation in map-range or channel-range order; fold in fixed index order",
+	Run:  runFpfold,
+}
+
+func runFpfold(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			var over string
+			switch t.Underlying().(type) {
+			case *types.Map:
+				over = "map"
+			case *types.Chan:
+				over = "channel"
+			default:
+				return true
+			}
+			var keyObj, valObj types.Object
+			if over == "map" {
+				if id, ok := rs.Key.(*ast.Ident); ok && id.Name != "_" {
+					keyObj = objectOf(p.TypesInfo, id)
+				}
+			}
+			valExpr := rs.Value
+			if over == "channel" {
+				valExpr = rs.Key // a channel range binds the element to Key
+			}
+			if id, ok := valExpr.(*ast.Ident); ok && id.Name != "_" {
+				valObj = objectOf(p.TypesInfo, id)
+			}
+			checkFold(p, rs.Body, over, keyObj, valObj)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFold flags floating-point accumulation anywhere inside body —
+// including nested fixed-order loops, whose per-outer-iteration partial
+// sums still merge in the outer range's order. Nested map/channel ranges
+// are skipped; the outer walk visits them as ranges in their own right.
+func checkFold(p *Pass, body *ast.BlockStmt, over string, keyObj, valObj types.Object) {
+	floatTyped := func(e ast.Expr) bool {
+		t := p.TypesInfo.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+	}
+	// perElement: the write lands in per-element state — an element
+	// indexed by exactly the range key (each slot accumulates at most once
+	// per iteration), or a field reached through the range value variable
+	// (each iteration updates the element it just received, as in
+	// j.remaining -= done over a job map). Neither folds across
+	// iterations, so order cannot matter. An index merely derived from the
+	// key (hist[k/10]) can collide across keys and stays flagged.
+	perElement := func(lhs ast.Expr) bool {
+		if valObj != nil {
+			if root := rootIdent(lhs); root != nil && objectOf(p.TypesInfo, root) == valObj {
+				return true
+			}
+		}
+		if keyObj == nil {
+			return false
+		}
+		for {
+			switch e := lhs.(type) {
+			case *ast.ParenExpr:
+				lhs = e.X
+			case *ast.IndexExpr:
+				if id, ok := unparen(e.Index).(*ast.Ident); ok && objectOf(p.TypesInfo, id) == keyObj {
+					return true
+				}
+				lhs = e.X
+			case *ast.SelectorExpr:
+				lhs = e.X
+			case *ast.StarExpr:
+				lhs = e.X
+			default:
+				return false
+			}
+		}
+	}
+	report := func(pos token.Pos) {
+		switch over {
+		case "map":
+			p.Reportf(pos, "floating-point accumulation inside a map range folds in randomized iteration order (FP addition is not associative); fold over sorted keys or into per-key slots, or annotate with //lint:allow fpfold <reason>")
+		default:
+			p.Reportf(pos, "floating-point accumulation inside a channel range folds in arrival order (FP addition is not associative); collect into per-index slots and fold sequentially, or annotate with //lint:allow fpfold <reason>")
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if rs, ok := n.(*ast.RangeStmt); ok {
+			if t := p.TypesInfo.TypeOf(rs.X); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map, *types.Chan:
+					return false // its own range; checked by the outer walk
+				}
+			}
+			return true
+		}
+		st, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch st.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			if floatTyped(st.Lhs[0]) && !perElement(st.Lhs[0]) {
+				report(st.Pos())
+			}
+		case token.ASSIGN:
+			// The spelled-out form: sum = sum + v (or v + sum, sum*f, ...).
+			if len(st.Lhs) != 1 || len(st.Rhs) != 1 || !floatTyped(st.Lhs[0]) || perElement(st.Lhs[0]) {
+				return true
+			}
+			root := rootIdent(st.Lhs[0])
+			if root == nil {
+				return true
+			}
+			obj := objectOf(p.TypesInfo, root)
+			if obj == nil {
+				return true
+			}
+			if selfArithmetic(p.TypesInfo, st.Rhs[0], obj) {
+				report(st.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// selfArithmetic reports whether rhs combines obj with other operands
+// through +, -, * or / — the accumulation shape. A bare reassignment
+// (worst = v) or an order-independent fold (math.Max) is not arithmetic
+// self-reference.
+func selfArithmetic(info *types.Info, rhs ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return !found
+		}
+		switch be.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+			if mentionsObject(info, be.X, obj) || mentionsObject(info, be.Y, obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}

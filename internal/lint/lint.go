@@ -1,7 +1,7 @@
-// Package lint is the repository's static-analysis suite: six analyzers
-// that machine-enforce the determinism, zero-overhead-observability and
-// hot-path-performance invariants the rest of the codebase only
-// documents.
+// Package lint is the repository's static-analysis suite: nine analyzers
+// that machine-enforce the determinism, zero-overhead-observability,
+// hot-path-performance and parallel-safety invariants the rest of the
+// codebase only documents.
 //
 //   - detrand: no wall-clock reads (time.Now/Since/Until) and no math/rand
 //     in the deterministic packages — all randomness flows through the
@@ -21,13 +21,30 @@
 //   - resmon: no runtime.ReadMemStats/NumGoroutine/runtime-metrics reads
 //     outside internal/obs/sysmon — resource telemetry flows through the
 //     sysmon sampler so "sysmon off" provably means zero probes.
+//   - taintclock: the interprocedural complement of detrand — a function
+//     that transitively reaches time.Now or math/rand through any call
+//     chain is tainted (an exported object fact), and calling a tainted
+//     function from a determinism-scoped package is a finding even when
+//     the helper lives outside detrand's package scope.
+//   - parshare: closures passed to internal/par entry points may write
+//     only per-index slots (out[i] = ...) or mutex-guarded sinks —
+//     the static complement of the race detector for the repository's
+//     bit-identical-at-any-worker-count contract.
+//   - fpfold: no floating-point accumulation inside map or channel
+//     ranges — FP addition is non-associative, so a reduction that folds
+//     in map-iteration or arrival order breaks the byte-identical
+//     archive contract in the last bits.
 //
 // The framework mirrors the golang.org/x/tools/go/analysis API surface
-// (Analyzer, Pass, analysistest-style "// want" fixtures) but is built
-// entirely on the standard library's go/ast, go/types and go/importer so
-// the repository stays dependency-free; swapping an analyzer onto the
-// upstream framework is a mechanical change. Intentional violations are
-// annotated in place with "//lint:allow <analyzer> <reason>" (see allow.go).
+// (Analyzer, Pass, object facts, analysistest-style "// want" fixtures)
+// but is built entirely on the standard library's go/ast, go/types and
+// go/importer so the repository stays dependency-free; swapping an
+// analyzer onto the upstream framework is a mechanical change.
+// Interprocedural analyzers export per-function facts (see facts.go)
+// that the driver carries across packages, dependency-first, so taint
+// laundered through an unscoped helper package is still visible at the
+// scoped call site. Intentional violations are annotated in place with
+// "//lint:allow <analyzer> <reason>" (see allow.go).
 package lint
 
 import (
@@ -48,6 +65,11 @@ type Analyzer struct {
 	Doc string
 	// Run performs the check over one package.
 	Run func(*Pass) error
+	// UsesFacts marks the analyzer interprocedural: the driver runs it
+	// over a package's project-internal import closure (dependency-first)
+	// before the package itself, so facts exported for imported objects
+	// are available through Pass.ImportObjectFact.
+	UsesFacts bool
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -66,6 +88,10 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Report delivers one finding.
 	Report func(Diagnostic)
+
+	// facts is the run-wide fact store (see facts.go); accessed through
+	// ExportObjectFact / ImportObjectFact.
+	facts *FactStore
 }
 
 // Diagnostic is one finding at one position.
@@ -81,7 +107,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 
 // Analyzers lists every analyzer in the suite, in diagnostic-output order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Detrand, Maporder, Nilrecv, Sinkerr, Hotloop, Resmon}
+	return []*Analyzer{Detrand, Maporder, Nilrecv, Sinkerr, Hotloop, Resmon, Taintclock, Parshare, Fpfold}
 }
 
 // objectOf resolves an identifier to its object via Uses or Defs.

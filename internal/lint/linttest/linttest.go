@@ -9,8 +9,18 @@
 // Each backquoted (or double-quoted) segment after "// want" is a regular
 // expression that must match one diagnostic reported on that line; every
 // diagnostic must be matched by exactly one want and vice versa.
-// //lint:allow directives are honored exactly as the taclint driver
-// honors them, so fixtures exercise the suppression path too.
+//
+// Interprocedural analyzers additionally assert object facts: a segment
+// of the form Name:`regex` expects a fact of type Name, exported for an
+// object declared on that line, whose String() matches the regex —
+//
+//	func Wrap() int64 { // want ClockTaint:`tainted: stamp -> time\.Now`
+//
+// Facts exported for the fixture package's own objects must all be
+// asserted, and vice versa; facts for dependency packages are checked
+// when linttest runs over the dependency's import path. //lint:allow
+// directives are honored exactly as the taclint driver honors them, so
+// fixtures exercise the suppression path too.
 package linttest
 
 import (
@@ -36,58 +46,91 @@ func TestData(t *testing.T) string {
 }
 
 // Run loads the fixture package at importPath under srcRoot, applies the
-// analyzer, filters through //lint:allow, and checks the diagnostics
-// against the fixture's want comments.
+// analyzer (dependency-first when it uses facts), filters through
+// //lint:allow, and checks diagnostics and exported facts against the
+// fixture's want comments.
 func Run(t *testing.T, srcRoot string, a *lint.Analyzer, importPath string) {
 	t.Helper()
 	l := lint.NewSourceLoader(srcRoot)
-	findings, err := lint.Run(l, []string{importPath}, []lint.Rule{
+	findings, store, err := lint.RunWithFacts(l, []string{importPath}, []lint.Rule{
 		{Analyzer: a, Match: func(string) bool { return true }},
 	})
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", importPath, err)
 	}
 
-	wants, err := parseWants(filepath.Join(srcRoot, filepath.FromSlash(importPath)))
+	dir := filepath.Join(srcRoot, filepath.FromSlash(importPath))
+	wants, err := parseWants(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	matched := make([]bool, len(wants))
+	match := func(factName, file string, line int, text string) bool {
+		for i, w := range wants {
+			if matched[i] || w.fact != factName || w.file != file || w.line != line {
+				continue
+			}
+			if w.re.MatchString(text) {
+				matched[i] = true
+				return true
+			}
+		}
+		return false
+	}
+
 	for _, f := range findings {
 		if f.Analyzer == "allow" {
 			t.Errorf("%s:%d: malformed allow in fixture: %s", f.Pos.Filename, f.Pos.Line, f.Message)
 			continue
 		}
-		ok := false
-		for i, w := range wants {
-			if matched[i] || w.file != filepath.Base(f.Pos.Filename) || w.line != f.Pos.Line {
-				continue
-			}
-			if w.re.MatchString(f.Message) {
-				matched[i] = true
-				ok = true
-				break
-			}
-		}
-		if !ok {
+		if !match("", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Message) {
 			t.Errorf("%s:%d:%d: unexpected diagnostic: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message)
 		}
 	}
-	for i, w := range wants {
-		if !matched[i] {
-			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+	// Facts are asserted for the target package's own objects; a
+	// dependency's facts are that fixture's contract, not this one's.
+	for _, ef := range store.AnalyzerFacts(a.Name) {
+		pos := l.Fset.Position(ef.Object.Pos())
+		if filepath.Dir(pos.Filename) != dir {
+			continue
+		}
+		name, text := factTypeName(ef.Fact), ef.Fact.String()
+		if !match(name, filepath.Base(pos.Filename), pos.Line, text) {
+			t.Errorf("%s:%d: unexpected fact on %s: %s:%q", pos.Filename, pos.Line, ef.Object.Name(), name, text)
 		}
 	}
+	for i, w := range wants {
+		if matched[i] {
+			continue
+		}
+		if w.fact != "" {
+			t.Errorf("%s:%d: expected fact %s matching %q, got none", w.file, w.line, w.fact, w.re)
+			continue
+		}
+		t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+	}
+}
+
+// factTypeName renders a fact's type for want matching: *lint.ClockTaint
+// asserts as ClockTaint.
+func factTypeName(f lint.Fact) string {
+	name := strings.TrimPrefix(fmt.Sprintf("%T", f), "*")
+	if i := strings.LastIndex(name, "."); i >= 0 {
+		name = name[i+1:]
+	}
+	return name
 }
 
 type want struct {
 	file string
 	line int
+	// fact is the expected fact type name; empty for a diagnostic want.
+	fact string
 	re   *regexp.Regexp
 }
 
-var wantRe = regexp.MustCompile("// want((?: +(?:`[^`]*`|\"[^\"]*\"))+)\\s*$")
-var wantArgRe = regexp.MustCompile("`[^`]*`|\"[^\"]*\"")
+var wantRe = regexp.MustCompile("// want((?: +(?:[A-Za-z_][A-Za-z0-9_]*:)?(?:`[^`]*`|\"[^\"]*\"))+)\\s*$")
+var wantArgRe = regexp.MustCompile("(?:([A-Za-z_][A-Za-z0-9_]*):)?(`[^`]*`|\"[^\"]*\")")
 
 // parseWants scans every non-test fixture file in dir for want comments.
 func parseWants(dir string) ([]want, error) {
@@ -109,16 +152,17 @@ func parseWants(dir string) ([]want, error) {
 			m := wantRe.FindStringSubmatch(line)
 			if m == nil {
 				if strings.Contains(line, "// want") {
-					return nil, fmt.Errorf("%s:%d: malformed want comment (use // want `regex`)", name, i+1)
+					return nil, fmt.Errorf("%s:%d: malformed want comment (use // want `regex` or // want Fact:`regex`)", name, i+1)
 				}
 				continue
 			}
-			for _, arg := range wantArgRe.FindAllString(m[1], -1) {
-				re, err := regexp.Compile(arg[1 : len(arg)-1])
+			for _, arg := range wantArgRe.FindAllStringSubmatch(m[1], -1) {
+				q := arg[2]
+				re, err := regexp.Compile(q[1 : len(q)-1])
 				if err != nil {
 					return nil, fmt.Errorf("%s:%d: bad want regexp: %v", name, i+1, err)
 				}
-				wants = append(wants, want{file: name, line: i + 1, re: re})
+				wants = append(wants, want{file: name, line: i + 1, fact: arg[1], re: re})
 			}
 		}
 	}

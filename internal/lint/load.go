@@ -110,6 +110,14 @@ func NewSourceLoader(root string) *Loader {
 	})
 }
 
+// resolvable reports whether importPath resolves to a source directory
+// under this loader's root — i.e. whether it is a project-internal
+// package rather than standard library.
+func (l *Loader) resolvable(importPath string) bool {
+	_, ok := l.resolve(importPath)
+	return ok
+}
+
 // Load parses and type-checks the package at importPath (memoized).
 func (l *Loader) Load(importPath string) (*Package, error) {
 	if pkg, ok := l.pkgs[importPath]; ok {

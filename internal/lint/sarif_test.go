@@ -1,0 +1,143 @@
+package lint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"taccc/internal/lint"
+)
+
+func sampleFindings() []lint.Finding {
+	mk := func(analyzer, file string, line, col int, msg string) lint.Finding {
+		f := lint.Finding{Analyzer: analyzer, Message: msg}
+		f.Pos.Filename = file
+		f.Pos.Line = line
+		f.Pos.Column = col
+		return f
+	}
+	return []lint.Finding{
+		mk("detrand", "/repo/internal/assign/solve.go", 42, 9, "wall-clock read time.Now in a deterministic package"),
+		mk("parshare", "/repo/internal/topology/paths.go", 7, 3, `append to captured slice "out" inside a par.For closure`),
+		mk("allow", "/repo/internal/gap/gap.go", 3, 1, "malformed //lint:allow directive: missing reason"),
+	}
+}
+
+// TestSARIFRoundTrip writes findings and reads them back through the
+// strict reader: analyzer, relative slash path, line, column and message
+// all survive.
+func TestSARIFRoundTrip(t *testing.T) {
+	in := sampleFindings()
+	var buf bytes.Buffer
+	if err := lint.WriteSARIF(&buf, in, "/repo"); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	out, err := lint.ReadSARIF(&buf)
+	if err != nil {
+		t.Fatalf("ReadSARIF rejected our own output: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round-trip returned %d findings, want %d", len(out), len(in))
+	}
+	wantURIs := []string{"internal/assign/solve.go", "internal/topology/paths.go", "internal/gap/gap.go"}
+	for i, f := range out {
+		if f.Analyzer != in[i].Analyzer || f.Message != in[i].Message {
+			t.Errorf("finding %d = %s %q, want %s %q", i, f.Analyzer, f.Message, in[i].Analyzer, in[i].Message)
+		}
+		if f.Pos.Filename != wantURIs[i] {
+			t.Errorf("finding %d uri = %q, want %q", i, f.Pos.Filename, wantURIs[i])
+		}
+		if f.Pos.Line != in[i].Pos.Line || f.Pos.Column != in[i].Pos.Column {
+			t.Errorf("finding %d at %d:%d, want %d:%d", i, f.Pos.Line, f.Pos.Column, in[i].Pos.Line, in[i].Pos.Column)
+		}
+	}
+}
+
+// TestSARIFCleanRun pins the empty-tree shape: still a complete document
+// — version, one run, the full rule table — with a results array that is
+// present and empty, not null (GitHub's upload rejects null).
+func TestSARIFCleanRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := lint.WriteSARIF(&buf, nil, ""); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 || doc.Runs[0].Tool.Driver.Name != "taclint" {
+		t.Errorf("unexpected document shape: %s", buf.String())
+	}
+	if string(doc.Runs[0].Results) != "[]" {
+		t.Errorf("clean run results = %s, want []", doc.Runs[0].Results)
+	}
+	// One rule per analyzer plus the allow pseudo-rule.
+	if want := len(lint.Analyzers()) + 1; len(doc.Runs[0].Tool.Driver.Rules) != want {
+		t.Errorf("rule table has %d entries, want %d", len(doc.Runs[0].Tool.Driver.Rules), want)
+	}
+	if _, err := lint.ReadSARIF(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Errorf("strict reader rejected the clean document: %v", err)
+	}
+}
+
+// TestSARIFReaderStrictness feeds the reader documents that are
+// near-valid in exactly one way each; all must be rejected.
+func TestSARIFReaderStrictness(t *testing.T) {
+	var valid bytes.Buffer
+	if err := lint.WriteSARIF(&valid, sampleFindings(), "/repo"); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string]func(string) string{
+		"unknown field": func(s string) string {
+			return strings.Replace(s, `"version"`, `"versionn"`, 1)
+		},
+		"wrong version": func(s string) string {
+			return strings.Replace(s, `"2.1.0"`, `"2.0.0"`, 1)
+		},
+		"undeclared ruleId": func(s string) string {
+			return strings.Replace(s, `"ruleId": "detrand"`, `"ruleId": "nosuch"`, 1)
+		},
+		"zero startLine": func(s string) string {
+			return strings.Replace(s, `"startLine": 42`, `"startLine": 0`, 1)
+		},
+	}
+	for name, mutate := range cases {
+		doc := mutate(valid.String())
+		if doc == valid.String() {
+			t.Fatalf("%s: mutation did not apply", name)
+		}
+		if _, err := lint.ReadSARIF(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: strict reader accepted the document", name)
+		}
+	}
+
+	// Structurally valid JSON with two runs.
+	twoRuns := `{"$schema":"https://json.schemastore.org/sarif-2.1.0.json","version":"2.1.0","runs":[` +
+		`{"tool":{"driver":{"name":"taclint","rules":[]}},"results":[]},` +
+		`{"tool":{"driver":{"name":"taclint","rules":[]}},"results":[]}]}`
+	if _, err := lint.ReadSARIF(strings.NewReader(twoRuns)); err == nil {
+		t.Errorf("two runs: strict reader accepted the document")
+	}
+	// A result without locations, well-formed.
+	noLoc := `{"$schema":"https://json.schemastore.org/sarif-2.1.0.json","version":"2.1.0","runs":[` +
+		`{"tool":{"driver":{"name":"taclint","rules":[{"id":"detrand","shortDescription":{"text":"d"}}]}},` +
+		`"results":[{"ruleId":"detrand","level":"error","message":{"text":"m"},"locations":[]}]}]}`
+	if _, err := lint.ReadSARIF(strings.NewReader(noLoc)); err == nil {
+		t.Errorf("no locations: strict reader accepted the document")
+	}
+}

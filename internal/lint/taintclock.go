@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Taintclock closes detrand's laundering hole. detrand is syntactic and
+// package-scoped: a time.Now or math/rand reference inside a
+// deterministic package is flagged, but the same read moved into a
+// helper — in the same package or, worse, in a package outside detrand's
+// scope entirely — sails straight through. Taintclock tracks the
+// property transitively: any function that reaches a wall-clock read or
+// math/rand through any call chain is tainted (an exported ClockTaint
+// object fact), and a call to a tainted function from a scoped package
+// is a finding, with the full laundering chain spelled out in the
+// message.
+//
+// Sanctioned sinks stop the taint at its source: a read annotated with
+// //lint:allow detrand (obs.Clock's two reads, the experiment suite's
+// runtime measurements) or //lint:allow taintclock never taints its
+// function, and internal/xrand — the one sanctioned math/rand consumer —
+// exports no taint at all. A call annotated with //lint:allow taintclock
+// likewise neither reports nor propagates, so a reviewed measurement
+// call does not condemn its whole caller chain.
+var Taintclock = &Analyzer{
+	Name:      "taintclock",
+	Doc:       "forbid calls that transitively reach time.Now or math/rand in the deterministic packages, across package boundaries",
+	UsesFacts: true,
+}
+
+// Run is attached in init: runTaintclock consults Analyzers() for allow
+// parsing, and a direct reference in the composite literal would be an
+// initialization cycle.
+func init() { Taintclock.Run = runTaintclock }
+
+// ClockTaint is the object fact taintclock exports for every function
+// that transitively reaches a wall-clock read or math/rand. Chain walks
+// from the function's first tainted callee down to the primitive, e.g.
+// ["helper.Wrap", "stamp", "time.Now"]; names are unqualified in the
+// package that recorded them.
+type ClockTaint struct {
+	Chain []string
+}
+
+// AFact marks ClockTaint as a Fact.
+func (*ClockTaint) AFact() {}
+
+func (f *ClockTaint) String() string { return "tainted: " + strings.Join(f.Chain, " -> ") }
+
+// maxTaintChain bounds the chain carried in facts and messages; deeper
+// laundering still taints, the message just elides the middle.
+const maxTaintChain = 8
+
+// taintSanctionedPackage reports whether path is a package whose
+// functions never export taint: internal/xrand wraps math/rand behind
+// the seeded split-stream API and is the reason the deterministic
+// packages can avoid math/rand in the first place.
+func taintSanctionedPackage(path string) bool {
+	return path == "xrand" || strings.HasSuffix(path, "/xrand")
+}
+
+func runTaintclock(p *Pass) error {
+	if taintSanctionedPackage(p.Pkg.Path()) {
+		return nil
+	}
+	// Honor allow directives at taint sources and call sites during
+	// propagation, not just at reporting time: an annotated read is a
+	// reviewed sink, and treating it as tainted would flag every caller
+	// of obs.WallClock. The known set spans the whole suite so a file's
+	// unrelated annotations don't confuse the parse.
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	allows, _ := parseAllows(p.Fset, p.Files, known)
+	allowed := func(pos token.Pos) bool {
+		line := p.Fset.Position(pos).Line
+		return allows.suppresses(Taintclock.Name, line) || allows.suppresses(Detrand.Name, line)
+	}
+
+	type callEdge struct {
+		pos    token.Pos
+		callee *types.Func
+	}
+	type fnInfo struct {
+		obj   *types.Func
+		taint *ClockTaint
+		edges []callEdge
+	}
+	var fns []*fnInfo
+	index := make(map[*types.Func]*fnInfo)
+
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := p.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			info := &fnInfo{obj: obj}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					// Direct primitives, detected exactly as detrand
+					// detects them (calls and value references alike).
+					o := objectOf(p.TypesInfo, n.Sel)
+					if o == nil || o.Pkg() == nil {
+						return true
+					}
+					prim := ""
+					switch o.Pkg().Path() {
+					case "time":
+						if wallClockFuncs[o.Name()] {
+							prim = "time." + o.Name()
+						}
+					case "math/rand", "math/rand/v2":
+						prim = o.Pkg().Path() + "." + o.Name()
+					}
+					if prim != "" && info.taint == nil && !allowed(n.Pos()) {
+						info.taint = &ClockTaint{Chain: []string{prim}}
+					}
+				case *ast.CallExpr:
+					if allowed(n.Pos()) {
+						return true
+					}
+					if callee := calleeFunc(p.TypesInfo, n); callee != nil {
+						info.edges = append(info.edges, callEdge{pos: n.Pos(), callee: callee})
+					}
+				}
+				return true
+			})
+			fns = append(fns, info)
+			index[obj] = info
+		}
+	}
+
+	calleeTaint := func(fn *types.Func) *ClockTaint {
+		if fn.Pkg() != nil && taintSanctionedPackage(fn.Pkg().Path()) {
+			return nil
+		}
+		if local, ok := index[fn]; ok {
+			return local.taint
+		}
+		if f, ok := p.ImportObjectFact(fn); ok {
+			if t, ok := f.(*ClockTaint); ok {
+				return t
+			}
+		}
+		return nil
+	}
+	extend := func(fn *types.Func, t *ClockTaint) *ClockTaint {
+		chain := append([]string{taintFuncName(p.Pkg, fn)}, t.Chain...)
+		if len(chain) > maxTaintChain {
+			chain = chain[:maxTaintChain]
+		}
+		return &ClockTaint{Chain: chain}
+	}
+
+	// Fixpoint over in-package edges. Iterating functions in declaration
+	// order and edges in source order keeps the recorded chain — and
+	// therefore the fact and the message — deterministic; taint is
+	// monotone, so the loop terminates even through in-package recursion.
+	for changed := true; changed; {
+		changed = false
+		for _, info := range fns {
+			if info.taint != nil {
+				continue
+			}
+			for _, e := range info.edges {
+				if t := calleeTaint(e.callee); t != nil {
+					info.taint = extend(e.callee, t)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for _, info := range fns {
+		if info.taint != nil {
+			p.ExportObjectFact(info.obj, info.taint)
+		}
+	}
+	// Report every call edge whose callee is tainted. Direct primitive
+	// reads are deliberately not reported here — those are detrand's
+	// findings; taintclock owns the laundered hop.
+	for _, info := range fns {
+		for _, e := range info.edges {
+			if t := calleeTaint(e.callee); t != nil {
+				full := extend(e.callee, t)
+				prim := full.Chain[len(full.Chain)-1]
+				p.Reportf(e.pos, "call to %s reaches %s (%s) in a deterministic package; route timing through obs.Clock and randomness through internal/xrand, or annotate with //lint:allow taintclock <reason>",
+					taintFuncName(p.Pkg, e.callee), prim, strings.Join(full.Chain, " -> "))
+			}
+		}
+	}
+	return nil
+}
+
+// calleeFunc resolves a call expression to the named function or method
+// it invokes, or nil for calls through function values, built-ins, type
+// conversions and function literals.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := call.Fun
+	for {
+		switch e := fun.(type) {
+		case *ast.ParenExpr:
+			fun = e.X
+		case *ast.IndexExpr: // explicit generic instantiation f[T](...)
+			fun = e.X
+		case *ast.IndexListExpr:
+			fun = e.X
+		default:
+			var id *ast.Ident
+			switch e := fun.(type) {
+			case *ast.Ident:
+				id = e
+			case *ast.SelectorExpr:
+				id = e.Sel
+			default:
+				return nil
+			}
+			fn, _ := objectOf(info, id).(*types.Func)
+			return fn
+		}
+	}
+}
+
+// taintFuncName renders fn for chains and messages: methods carry their
+// receiver type, and anything outside the package under analysis carries
+// its package name.
+func taintFuncName(cur *types.Package, fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil && fn.Pkg() != cur {
+		name = fn.Pkg().Name() + "." + name
+	}
+	return name
+}

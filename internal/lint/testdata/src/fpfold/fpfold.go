@@ -1,0 +1,110 @@
+// Package fpfold exercises floating-point fold-order policing: sums in
+// map-iteration or channel-arrival order are findings, per-key slots,
+// per-element updates, sorted-key folds, integer counters and min/max
+// folds pass.
+package fpfold
+
+import "sort"
+
+func mapSum(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want `floating-point accumulation inside a map range`
+	}
+	return sum
+}
+
+func mapSumSpelled(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum = sum + v // want `floating-point accumulation inside a map range`
+	}
+	return sum
+}
+
+func nestedFixedOrder(m map[string][]float64) float64 {
+	total := 0.0
+	for _, vs := range m {
+		for _, v := range vs {
+			total += v // want `floating-point accumulation inside a map range`
+		}
+	}
+	return total
+}
+
+func chanSum(ch chan float64) float64 {
+	sum := 0.0
+	for v := range ch {
+		sum += v // want `floating-point accumulation inside a channel range`
+	}
+	return sum
+}
+
+// sortedSum is the repository's collect-then-sort idiom: the fold ranges
+// over a sorted slice, not the map.
+func sortedSum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sum := 0.0
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// perKey accumulates into the slot owned by the range key.
+func perKey(m map[int]float64, out []float64) {
+	for k, v := range m {
+		out[k] += v
+	}
+}
+
+// derivedKey collides: two keys can land in the same bucket, so the
+// bucket's sum still folds in map order.
+func derivedKey(m map[int]float64, hist []float64) {
+	for k, v := range m {
+		hist[k/10] += v // want `floating-point accumulation inside a map range`
+	}
+}
+
+type job struct{ remaining float64 }
+
+// perElementUpdate writes through the range value: each element is
+// touched exactly once, so order cannot matter.
+func perElementUpdate(jobs map[int]*job, done float64) {
+	for _, j := range jobs {
+		j.remaining -= done
+	}
+}
+
+// intCount is exempt: integer addition is associative.
+func intCount(m map[string]float64) int {
+	n := 0
+	for range m {
+		n += 1
+	}
+	return n
+}
+
+// maxFold commutes; a bare reassignment is not accumulation.
+func maxFold(m map[string]float64) float64 {
+	worst := 0.0
+	for _, v := range m {
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// allowed documents a reviewed tolerance for last-bit drift.
+func allowed(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v //lint:allow fpfold diagnostic output only, never archived
+	}
+	return sum
+}

@@ -1,0 +1,19 @@
+// Package helper is the laundering package: it sits outside any
+// determinism scope, reads the wall clock two hops down, and exports the
+// innocuous-looking Wrap. Taintclock's facts carry the taint across the
+// package boundary to helper's importers.
+package helper
+
+import "time"
+
+func stamp() int64 { // want ClockTaint:`tainted: time\.Now`
+	return time.Now().UnixNano()
+}
+
+// Wrap launders the clock read behind an exported hop.
+func Wrap() int64 { // want ClockTaint:`tainted: stamp -> time\.Now`
+	return stamp() // want `call to stamp reaches time\.Now \(stamp -> time\.Now\)`
+}
+
+// Pure has no taint and exports no fact.
+func Pure() int64 { return 42 }

@@ -1,0 +1,59 @@
+// Package taintclock exercises transitive clock/rand taint: direct
+// sources taint their functions (facts, no diagnostics — those are
+// detrand's), calls to tainted functions are findings with the full
+// chain, laundering through another package is caught via imported
+// facts, and allow directives stop taint at the source or the call.
+package taintclock
+
+import (
+	"math/rand"
+	"time"
+
+	"taintclock/helper"
+	"taintclock/xrand"
+)
+
+// stamp reads the wall clock directly: detrand owns that diagnostic, but
+// the read taints the function.
+func stamp() int64 { // want ClockTaint:`tainted: time\.Now`
+	return time.Now().UnixNano()
+}
+
+func roll() int { // want ClockTaint:`tainted: math/rand\.Intn`
+	return rand.Intn(6)
+}
+
+func useLocal() int64 { // want ClockTaint:`tainted: stamp -> time\.Now`
+	return stamp() // want `call to stamp reaches time\.Now \(stamp -> time\.Now\)`
+}
+
+func useRoll() int { // want ClockTaint:`tainted: roll -> math/rand\.Intn`
+	return roll() // want `call to roll reaches math/rand\.Intn \(roll -> math/rand\.Intn\)`
+}
+
+func useLaundered() int64 { // want ClockTaint:`tainted: helper\.Wrap -> stamp -> time\.Now`
+	return helper.Wrap() // want `call to helper\.Wrap reaches time\.Now \(helper\.Wrap -> stamp -> time\.Now\)`
+}
+
+// clean calls only untainted helpers; no fact, no finding.
+func clean() int64 { return helper.Pure() }
+
+// useXrand calls the sanctioned randomness package; xrand exports no
+// taint, so the call is clean.
+func useXrand() int { return xrand.Intn(6) }
+
+// sanctioned models obs.Clock: the annotated read is reviewed, so the
+// function exports no taint and its callers stay clean.
+func sanctioned() int64 {
+	return time.Now().UnixNano() //lint:allow detrand models the sanctioned wall-clock entry point
+}
+
+func useSanctioned() int64 { return sanctioned() }
+
+// allowedCall suppresses one reviewed call to a tainted function without
+// condemning its own callers.
+func allowedCall() int64 {
+	return helper.Wrap() //lint:allow taintclock reviewed measurement call
+}
+
+func useAllowedCall() int64 { return allowedCall() }

@@ -80,9 +80,18 @@ func (c *Controller) Placement(id int) (int, error) {
 }
 
 // TotalDelay returns the summed current delay over attached devices.
+// Devices are folded in ascending id order: FP addition is not
+// associative, and summing in map-iteration order would make the last
+// bits of the total vary run to run.
 func (c *Controller) TotalDelay() float64 {
+	ids := make([]int, 0, len(c.devices))
+	for id := range c.devices {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
 	total := 0.0
-	for _, d := range c.devices {
+	for _, id := range ids {
+		d := c.devices[id]
 		total += d.costs[d.edge]
 	}
 	return total
